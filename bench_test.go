@@ -1,0 +1,235 @@
+package optrule
+
+// One benchmark per table/figure of the paper's evaluation. Each bench
+// wraps the corresponding experiment at a fixed size so that
+// `go test -bench=.` regenerates every result; cmd/optbench prints the
+// same experiments as full paper-style sweeps (use `optbench -full`
+// for paper-scale sizes).
+
+import (
+	"math/rand"
+	"testing"
+
+	"optrule/internal/bucketing"
+	"optrule/internal/core"
+	"optrule/internal/datagen"
+	"optrule/internal/experiments"
+	"optrule/internal/stats"
+)
+
+// BenchmarkFig1BinomialTail measures the Figure 1 analysis: the
+// binomial-tail deviation probability at the paper's operating point
+// (S = 40·M, δ = 0.5, M = 10⁴).
+func BenchmarkFig1BinomialTail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stats.BucketDeviationProbability(400000, 10000, 0.5)
+	}
+}
+
+// BenchmarkTable1ApproxError regenerates Table I: analytic error bounds
+// plus the measured approximation on the planted 100k-tuple data set.
+func BenchmarkTable1ApproxError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(100000)
+	}
+}
+
+// BenchmarkFig9Algorithm31 measures the randomized bucketing pipeline
+// (Algorithm 3.1, all 8 numeric attributes, M = 1000) on 100k tuples of
+// the paper's 8-numeric + 8-Boolean random shape.
+func BenchmarkFig9Algorithm31(b *testing.B) {
+	rel := datagen.MustMaterialize(datagen.PaperPerfShape(), 100000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bucketing.Algorithm31All(rel, 1000, 40, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9NaiveSort measures the full-tuple Quick Sort baseline of
+// Figure 9 on the same workload.
+func BenchmarkFig9NaiveSort(b *testing.B) {
+	rel := datagen.MustMaterialize(datagen.PaperPerfShape(), 100000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bucketing.NaiveSortAll(rel, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9VerticalSplitSort measures the (tupleID, value)
+// temporary-table baseline of Figure 9.
+func BenchmarkFig9VerticalSplitSort(b *testing.B) {
+	rel := datagen.MustMaterialize(datagen.PaperPerfShape(), 100000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bucketing.VerticalSplitSortAll(rel, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ruleBenchBuckets builds M almost-equi-depth buckets (~100 tuples
+// each) with random hit counts, the Figures 10/11 input shape.
+func ruleBenchBuckets(m int) (u []int, v []float64) {
+	rng := rand.New(rand.NewSource(7))
+	u = make([]int, m)
+	v = make([]float64, m)
+	for i := range u {
+		u[i] = 90 + rng.Intn(21)
+		v[i] = float64(rng.Intn(u[i] + 1))
+	}
+	return u, v
+}
+
+// BenchmarkFig10ConfidenceHull measures the O(M) optimized-confidence
+// algorithm (Algorithms 4.1 + 4.2) at M = 10⁴ with the paper's 5%
+// minimum support.
+func BenchmarkFig10ConfidenceHull(b *testing.B) {
+	u, v := ruleBenchBuckets(10000)
+	total := 0
+	for _, x := range u {
+		total += x
+	}
+	minSup := 0.05 * float64(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.OptimalSlopePair(u, v, minSup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10ConfidenceNaive measures the quadratic baseline of
+// Figure 10 at the same size.
+func BenchmarkFig10ConfidenceNaive(b *testing.B) {
+	u, v := ruleBenchBuckets(10000)
+	total := 0
+	for _, x := range u {
+		total += x
+	}
+	minSup := 0.05 * float64(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.NaiveOptimalSlopePair(u, v, minSup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11SupportLinear measures the O(M) optimized-support
+// algorithm (Algorithms 4.3 + 4.4) at M = 10⁴ with the paper's 50%
+// minimum confidence.
+func BenchmarkFig11SupportLinear(b *testing.B) {
+	u, v := ruleBenchBuckets(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.OptimalSupportPair(u, v, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11SupportNaive measures the quadratic baseline of
+// Figure 11 at the same size.
+func BenchmarkFig11SupportNaive(b *testing.B) {
+	u, v := ruleBenchBuckets(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.NaiveOptimalSupportPair(u, v, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelBucketing measures the Section 3.3 parallel counting
+// scan (Algorithm 3.2) with 8 processing elements over 1M tuples.
+func BenchmarkParallelBucketing(b *testing.B) {
+	shape, err := datagen.NewPerfShape(1, 4, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := datagen.MustMaterialize(shape, 1000000, 1)
+	rng := rand.New(rand.NewSource(2))
+	bounds, err := bucketing.SampledBoundaries(rel, 0, 1000, 40, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var opts bucketing.Options
+	for _, bi := range rel.Schema().BooleanIndices() {
+		opts.Bools = append(opts.Bools, bucketing.BoolCond{Attr: bi, Want: true})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bucketing.ParallelCount(rel, 0, bounds, opts, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionRect2D measures the §1.4 rectangle extension: the
+// O(M³) rectangle sweep on a 48×48 grid of 100k tuples, end to end
+// (bucketing, grid counting, optimization).
+func BenchmarkExtensionRect2D(b *testing.B) {
+	rel, err := SampleBankData(100000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine2D(rel, "Age", "Balance", "CardLoan", true,
+			OptimizedConfidence, 48, Config{MinSupport: 0.05, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionXMonotone measures the x-monotone gain DP end to
+// end at the same grid size.
+func BenchmarkExtensionXMonotone(b *testing.B) {
+	rel, err := SampleBankData(100000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MineXMonotone(rel, "Age", "Balance", "CardLoan", true,
+			48, Config{MinConfidence: 0.5, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionRectConvex measures the rectilinear-convex
+// four-phase DP end to end at the same grid size.
+func BenchmarkExtensionRectConvex(b *testing.B) {
+	rel, err := SampleBankData(100000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MineRectilinearConvex(rel, "Age", "Balance", "CardLoan", true,
+			48, Config{MinConfidence: 0.5, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMineAllBank measures the end-to-end system: the complete set
+// of optimized rules for all combinations (3 numeric × 3 Boolean) on
+// 100k bank tuples — the headline workload of the paper's introduction.
+func BenchmarkMineAllBank(b *testing.B) {
+	rel, err := SampleBankData(100000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MineAll(rel, Config{Buckets: 1000, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

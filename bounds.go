@@ -1,0 +1,43 @@
+package optrule
+
+import (
+	"optrule/internal/core"
+	"optrule/internal/stats"
+)
+
+// Approximation-quality helpers from the paper's Sections 3.2 and 3.4,
+// exposed so users can size their bucket counts.
+
+// SupportErrorBound returns the worst-case relative support error
+// 2/(M·supportOpt) of approximating an optimal range (of fractional
+// support supportOpt) with M equi-depth buckets.
+func SupportErrorBound(m int, supportOpt float64) float64 {
+	return core.SupportErrorBound(m, supportOpt)
+}
+
+// ConfidenceErrorBound returns the worst-case relative confidence error
+// 2/(M·supportOpt − 2); +Inf when M·supportOpt <= 2.
+func ConfidenceErrorBound(m int, supportOpt float64) float64 {
+	return core.ConfidenceErrorBound(m, supportOpt)
+}
+
+// MinBucketsForError returns the smallest bucket count whose relative
+// support error bound is at most maxRelErr for ranges of the given
+// support.
+func MinBucketsForError(supportOpt, maxRelErr float64) int {
+	return core.MinBucketsForNegligibleError(supportOpt, maxRelErr)
+}
+
+// RecommendedSampleSize returns the sample size S the randomized
+// bucketing draws for m buckets (the paper's S = 40·M, chosen from the
+// binomial-tail analysis of Figure 1).
+func RecommendedSampleSize(m int) int {
+	return stats.RecommendedSampleSize(m)
+}
+
+// BucketDeviationProbability returns the probability that a bucket
+// built from a size-S sample deviates from equi-depth by a factor of at
+// least delta — the curve of the paper's Figure 1.
+func BucketDeviationProbability(sampleSize, buckets int, delta float64) float64 {
+	return stats.BucketDeviationProbability(sampleSize, buckets, delta)
+}

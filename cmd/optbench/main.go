@@ -1,0 +1,101 @@
+// Command optbench regenerates every table and figure of the paper's
+// evaluation and prints them in the paper's format.
+//
+//	optbench -exp all          # everything at scaled-down sizes
+//	optbench -exp fig9 -full   # Figure 9 at paper scale (5·10⁵…5·10⁶ tuples)
+//	optbench -exp fig10        # optimized-confidence rule timings
+//
+// Experiments: fig1 (sample-size analysis), table1 (approximation error
+// bounds and measurements), fig9 (bucketing performance), fig10
+// (optimized-confidence rules vs naive), fig11 (optimized-support rules
+// vs naive), par (parallel bucketing, Section 3.3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "optbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("optbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, or all")
+	full := fs.Bool("full", false, "paper-scale sizes (slow; needs several GB of RAM for fig9)")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := false
+
+	if all || want["fig1"] {
+		ran = true
+		if err := runFig1(); err != nil {
+			return err
+		}
+	}
+	if all || want["table1"] {
+		ran = true
+		if err := runTable1(); err != nil {
+			return err
+		}
+	}
+	if all || want["fig9"] {
+		ran = true
+		if err := runFig9(*full, *seed); err != nil {
+			return err
+		}
+	}
+	if all || want["fig9disk"] {
+		ran = true
+		if err := runFig9Disk(*full, *seed); err != nil {
+			return err
+		}
+	}
+	if all || want["fig10"] {
+		ran = true
+		if err := runFig10(*full, *seed); err != nil {
+			return err
+		}
+	}
+	if all || want["fig11"] {
+		ran = true
+		if err := runFig11(*full, *seed); err != nil {
+			return err
+		}
+	}
+	if all || want["par"] {
+		ran = true
+		if err := runParallel(*full, *seed); err != nil {
+			return err
+		}
+	}
+	if all || want["ablate"] {
+		ran = true
+		if err := runAblations(*full, *seed); err != nil {
+			return err
+		}
+	}
+	if all || want["regions"] {
+		ran = true
+		if err := runRegions(*full, *seed); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunSelectsExperiments(t *testing.T) {
+	// fig1 and table1 are cheap and deterministic; run them for real.
+	if err := run([]string{"-exp", "fig1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "fig1,table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Errorf("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"optrule/internal/relation"
+)
+
+func TestRunCSVAndOpr(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"bank", "retail", "perf"} {
+		csvPath := filepath.Join(dir, kind+".csv")
+		if err := run([]string{"-kind", kind, "-n", "200", "-out", csvPath}); err != nil {
+			t.Fatalf("%s csv: %v", kind, err)
+		}
+		oprPath := filepath.Join(dir, kind+".opr")
+		if err := run([]string{"-kind", kind, "-n", "200", "-out", oprPath}); err != nil {
+			t.Fatalf("%s opr: %v", kind, err)
+		}
+		dr, err := relation.OpenDisk(oprPath)
+		if err != nil {
+			t.Fatalf("%s: reopening opr: %v", kind, err)
+		}
+		if dr.NumTuples() != 200 {
+			t.Errorf("%s: NumTuples = %d, want 200", kind, dr.NumTuples())
+		}
+	}
+}
+
+func TestRunPerfShapeFlags(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.opr")
+	if err := run([]string{"-kind", "perf", "-n", "100", "-numeric", "3", "-bool", "2", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	dr, err := relation.OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dr.Schema()
+	if len(s.NumericIndices()) != 3 || len(s.BooleanIndices()) != 2 {
+		t.Errorf("schema = %v", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{"-kind", "bank"}, // missing -out
+		{"-kind", "nope", "-out", filepath.Join(dir, "x.csv")},                  // bad kind
+		{"-kind", "bank", "-out", filepath.Join(dir, "x.txt")},                  // bad extension
+		{"-kind", "perf", "-numeric", "0", "-out", filepath.Join(dir, "x.csv")}, // invalid shape
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"optrule/internal/datagen"
+	"optrule/internal/relation"
+)
+
+func writeBankCSV(t *testing.T, n int) string {
+	t.Helper()
+	bank, err := datagen.NewBank(datagen.BankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := datagen.MustMaterialize(bank, n, 1)
+	path := filepath.Join(t.TempDir(), "bank.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := relation.WriteCSV(f, rel); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseConds(t *testing.T) {
+	conds, err := parseConds("Pizza=yes, Beer=no,Wine=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conds) != 3 {
+		t.Fatalf("got %d conditions", len(conds))
+	}
+	if conds[0].Attr != "Pizza" || !conds[0].Value {
+		t.Errorf("conds[0] = %+v", conds[0])
+	}
+	if conds[1].Attr != "Beer" || conds[1].Value {
+		t.Errorf("conds[1] = %+v", conds[1])
+	}
+	if conds, err := parseConds(""); err != nil || conds != nil {
+		t.Errorf("empty string should give no conditions")
+	}
+	if _, err := parseConds("Pizza"); err == nil {
+		t.Errorf("missing = accepted")
+	}
+	if _, err := parseConds("Pizza=maybe"); err == nil {
+		t.Errorf("bad value accepted")
+	}
+}
+
+func TestRunMineAllMode(t *testing.T) {
+	path := writeBankCSV(t, 3000)
+	if err := run([]string{"-in", path, "-buckets", "50", "-top", "5"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTargetedMode(t *testing.T) {
+	path := writeBankCSV(t, 3000)
+	err := run([]string{"-in", path, "-numeric", "Balance", "-objective", "CardLoan",
+		"-minconf", "0.55", "-buckets", "50", "-cond", "AutoWithdraw=yes"}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTargetedWithProfileAndTopK(t *testing.T) {
+	path := writeBankCSV(t, 3000)
+	err := run([]string{"-in", path, "-numeric", "Balance", "-objective", "CardLoan",
+		"-minconf", "0.55", "-buckets", "50", "-profile", "-k", "3"}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSONModes(t *testing.T) {
+	path := writeBankCSV(t, 2000)
+	for _, args := range [][]string{
+		{"-in", path, "-buckets", "50", "-top", "3", "-json"},
+		{"-in", path, "-numeric", "Balance", "-objective", "CardLoan", "-buckets", "50", "-json"},
+		{"-in", path, "-numeric", "Age", "-numeric2", "Balance", "-objective", "CardLoan", "-grid", "12", "-json"},
+	} {
+		if err := run(args, os.Stdout); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRun2DMode(t *testing.T) {
+	path := writeBankCSV(t, 3000)
+	if err := run([]string{"-in", path, "-numeric", "Balance", "-numeric2", "Age",
+		"-objective", "CardLoan", "-grid", "16", "-minconf", "0.5"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	// 2-D without the second attribute's partner flags.
+	if err := run([]string{"-in", path, "-numeric2", "Age"}, os.Stdout); err == nil {
+		t.Errorf("incomplete 2-D flags accepted")
+	}
+	// Region classes.
+	for _, rc := range []string{"xmonotone", "rectconvex"} {
+		if err := run([]string{"-in", path, "-numeric", "Balance", "-numeric2", "Age",
+			"-objective", "CardLoan", "-grid", "10", "-region", rc}, os.Stdout); err != nil {
+			t.Fatalf("region %s: %v", rc, err)
+		}
+	}
+	if err := run([]string{"-in", path, "-numeric", "Balance", "-numeric2", "Age",
+		"-objective", "CardLoan", "-region", "blob"}, os.Stdout); err == nil {
+		t.Errorf("unknown region class accepted")
+	}
+}
+
+func TestRunDescribeMode(t *testing.T) {
+	path := writeBankCSV(t, 500)
+	if err := run([]string{"-in", path, "-describe"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAvgMode(t *testing.T) {
+	path := writeBankCSV(t, 3000)
+	err := run([]string{"-in", path, "-avg", "-numeric", "Age", "-target", "Balance",
+		"-minsup", "0.2", "-buckets", "50", "-minavg", "1"}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeBankCSV(t, 100)
+	cases := [][]string{
+		{},                                   // missing -in
+		{"-in", "nope.txt"},                  // bad extension
+		{"-in", "missing.csv"},               // missing file
+		{"-in", path, "-numeric", "Balance"}, // numeric without objective
+		{"-in", path, "-avg"},                // avg without attrs
+		{"-in", path, "-numeric", "X", "-objective", "CardLoan"}, // unknown attr
+	}
+	for i, args := range cases {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestOpenRelationOpr(t *testing.T) {
+	bank, _ := datagen.NewBank(datagen.BankConfig{})
+	path := filepath.Join(t.TempDir(), "bank.opr")
+	if err := datagen.WriteDisk(path, bank, 500, 2); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := openRelation(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumTuples() != 500 {
+		t.Errorf("NumTuples = %d", rel.NumTuples())
+	}
+}

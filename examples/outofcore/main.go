@@ -1,0 +1,98 @@
+// Out-of-core example: the scenario that motivates the paper's
+// randomized bucketing. The data set is streamed to disk tuple by tuple
+// (never fully materialized in memory), then mined directly from the
+// file: every pass over the data is a sequential scan, the only thing
+// ever sorted is the 40·M-tuple sample, and memory stays O(M + S)
+// regardless of the relation's size.
+//
+//	go run ./examples/outofcore
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"optrule"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "optrule-outofcore")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "transactions.opr")
+
+	// Stream 2 million tuples to disk without holding them in memory.
+	// (Transaction amount drives a planted "premium customer" flag.)
+	const n = 2_000_000
+	if err := writeTransactions(path, n); err != nil {
+		log.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d tuples (%.1f MB) to %s\n", n, float64(st.Size())/1e6, path)
+
+	// Open the relation; only metadata is read here.
+	rel, err := optrule.OpenDisk(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Mine straight off the file: one sampling scan + one counting scan
+	// per numeric attribute.
+	sup, conf, err := optrule.Mine(rel, "Amount", "Premium", true, nil, optrule.Config{
+		MinSupport:    0.05,
+		MinConfidence: 0.60,
+		Buckets:       1000,
+		Seed:          1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noptimized rules mined from disk:")
+	if sup != nil {
+		fmt.Println("  ", sup)
+	}
+	if conf != nil {
+		fmt.Println("  ", conf)
+	}
+}
+
+// writeTransactions streams synthetic transactions to path: Amount is
+// lognormal; transactions with Amount in [150, 600] are premium with
+// probability 0.8, others with 0.1.
+func writeTransactions(path string, n int) error {
+	w, err := optrule.NewDiskWriter(path, optrule.Schema{
+		{Name: "Amount", Kind: optrule.Numeric},
+		{Name: "Items", Kind: optrule.Numeric},
+		{Name: "Premium", Kind: optrule.Boolean},
+		{Name: "Returned", Kind: optrule.Boolean},
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < n; i++ {
+		amount := 20 * rng.ExpFloat64() * (1 + 9*rng.Float64())
+		items := float64(1 + rng.Intn(12))
+		p := 0.1
+		if amount >= 150 && amount <= 600 {
+			p = 0.8
+		}
+		err := w.Append(
+			[]float64{amount, items},
+			[]bool{rng.Float64() < p, rng.Float64() < 0.03},
+		)
+		if err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}

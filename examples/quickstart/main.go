@@ -1,0 +1,41 @@
+// Quickstart: generate a small synthetic bank-customer data set, mine
+// every optimized rule, and print the most interesting ones.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optrule"
+)
+
+func main() {
+	// 100k synthetic bank customers; the generator plants the paper's
+	// headline association (Balance ∈ [3000, 20000]) ⇒ (CardLoan=yes).
+	rel, err := optrule.SampleBankData(100000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Mine optimized-support and optimized-confidence rules for every
+	// (numeric, Boolean) attribute combination.
+	res, err := optrule.MineAll(rel, optrule.Config{
+		MinSupport:    0.10, // confidence rules must cover >= 10% of customers
+		MinConfidence: 0.55, // support rules must be >= 55% confident
+		Buckets:       1000,
+		Seed:          42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mined %d rules from %d tuples; top 5 by lift:\n\n", len(res.Rules), res.Tuples)
+	for i, rule := range res.Rules {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("%d. %s\n", i+1, rule)
+	}
+}

@@ -1,0 +1,79 @@
+// Retail example: basket data in the spirit of the paper's
+// introduction ((Pizza=yes) ∧ (Coke=yes) ⇒ (Potato=yes)), extended with
+// the numeric Amount attribute so ranges matter: which spending range
+// predicts premium (Wine) purchases, overall and within the
+// pizza-buyers segment?
+//
+//	go run ./examples/retail
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optrule"
+)
+
+func main() {
+	rel, err := optrule.SampleRetailData(150000, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := optrule.Config{
+		MinSupport:    0.05,
+		MinConfidence: 0.40,
+		Buckets:       800,
+		Seed:          11,
+	}
+
+	fmt.Println("== (Amount in I) => (Wine=yes) ==")
+	sup, conf, err := optrule.Mine(rel, "Amount", "Wine", true, nil, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	print2(sup, conf)
+
+	fmt.Println("\n== generalized: (Amount in I) and (Pizza=yes) => (Coke=yes) ==")
+	supG, confG, err := optrule.Mine(rel, "Amount", "Coke", true,
+		[]optrule.Condition{{Attr: "Pizza", Value: true}},
+		optrule.Config{MinSupport: 0.05, MinConfidence: 0.60, Buckets: 800, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	print2(supG, confG)
+
+	fmt.Println("\n== conjunctive objective (§4.3 general form): (Amount in I) => (Coke=yes and Potato=yes) ==")
+	supCJ, confCJ, err := optrule.MineConjunctive(rel, "Amount",
+		[]optrule.Condition{{Attr: "Coke", Value: true}, {Attr: "Potato", Value: true}},
+		nil,
+		optrule.Config{MinSupport: 0.05, MinConfidence: 0.20, Buckets: 800, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	print2(supCJ, confCJ)
+
+	fmt.Println("\n== full sweep: every (numeric, item) combination, top 8 by lift ==")
+	res, err := optrule.MineAll(rel, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range res.Rules {
+		if i == 8 {
+			break
+		}
+		fmt.Printf("%d. %s\n", i+1, r)
+	}
+}
+
+func print2(sup, conf *optrule.Rule) {
+	if sup != nil {
+		fmt.Println("  optimized support:    ", sup)
+	} else {
+		fmt.Println("  optimized support:     none meets thresholds")
+	}
+	if conf != nil {
+		fmt.Println("  optimized confidence: ", conf)
+	} else {
+		fmt.Println("  optimized confidence:  none meets thresholds")
+	}
+}

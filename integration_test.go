@@ -1,0 +1,154 @@
+package optrule_test
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"optrule"
+)
+
+// TestFullSystemIntegration walks the entire public surface on one data
+// set: generate → persist to disk → describe-equivalent scans → mine all
+// kinds (1-D, conditional, top-K, 2-D, average) → render a profile →
+// verify every mined rule exactly.
+func TestFullSystemIntegration(t *testing.T) {
+	rel, err := optrule.SampleBankData(60000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist and reopen from disk; mine from the disk copy throughout
+	// to exercise the out-of-core path end to end.
+	path := filepath.Join(t.TempDir(), "it.opr")
+	dw, err := optrule.NewDiskWriter(path, rel.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, _ := rel.NumericColumn(0)
+	age, _ := rel.NumericColumn(1)
+	yrs, _ := rel.NumericColumn(2)
+	loan, _ := rel.BoolColumn(3)
+	mort, _ := rel.BoolColumn(4)
+	auto, _ := rel.BoolColumn(5)
+	for i := 0; i < rel.NumTuples(); i++ {
+		if err := dw.Append([]float64{bal[i], age[i], yrs[i]}, []bool{loan[i], mort[i], auto[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := optrule.OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := optrule.Config{
+		MinSupport:    0.05,
+		MinConfidence: 0.55,
+		Buckets:       400,
+		Seed:          99,
+		MineGain:      true,
+		PEs:           4,
+	}
+
+	// 1. Full sweep with all three kinds.
+	res, err := optrule.MineAll(disk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[optrule.RuleKind]int{}
+	for _, r := range res.Rules {
+		kinds[r.Kind]++
+	}
+	if kinds[optrule.OptimizedSupport] == 0 || kinds[optrule.OptimizedConfidence] == 0 || kinds[optrule.OptimizedGain] == 0 {
+		t.Fatalf("missing rule kinds in full sweep: %v", kinds)
+	}
+
+	// 2. Every mined rule verifies exactly against a rescan.
+	for _, r := range res.Rules {
+		v, err := optrule.Verify(disk, r, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Count != r.Count || math.Abs(v.Confidence-r.Confidence) > 1e-12 {
+			t.Errorf("verification mismatch for %s: got count=%d conf=%g", r, v.Count, v.Confidence)
+		}
+	}
+
+	// 3. Conditional (generalized) rule.
+	supC, _, err := optrule.Mine(disk, "Balance", "CardLoan", true,
+		[]optrule.Condition{{Attr: "AutoWithdraw", Value: true}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if supC == nil {
+		t.Fatal("no conditional rule")
+	}
+	vc, err := optrule.Verify(disk, *supC, []optrule.Condition{{Attr: "AutoWithdraw", Value: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Count != supC.Count {
+		t.Errorf("conditional verification mismatch: %d vs %d", vc.Count, supC.Count)
+	}
+
+	// 4. Top-K disjoint ranges: disjoint, ordered, first == optimum.
+	topk, err := optrule.MineTopK(disk, "Balance", "CardLoan", true, optrule.OptimizedConfidence, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topk) < 2 {
+		t.Fatalf("expected multiple disjoint ranges, got %d", len(topk))
+	}
+	for i := 1; i < len(topk); i++ {
+		if topk[i].Confidence > topk[i-1].Confidence+1e-12 {
+			t.Errorf("top-K not ordered by confidence")
+		}
+		for j := 0; j < i; j++ {
+			if topk[i].Low <= topk[j].High && topk[j].Low <= topk[i].High {
+				t.Errorf("top-K ranges %d and %d overlap", i, j)
+			}
+		}
+	}
+
+	// 5. 2-D rectangle rule.
+	r2, err := optrule.Mine2D(disk, "Age", "Balance", "CardLoan", true, optrule.OptimizedConfidence, 24, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 == nil {
+		t.Fatal("no 2-D rule")
+	}
+	if r2.Support < cfg.MinSupport-1e-9 {
+		t.Errorf("2-D rule below support floor: %+v", r2)
+	}
+
+	// 6. Average-operator ranges.
+	avg, err := optrule.MaxAverageRange(disk, "Age", "Balance", 0.10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Average < avg.OverallAverage {
+		t.Errorf("max-average range below overall: %+v", avg)
+	}
+
+	// 7. Profile renders and highlights.
+	prof, err := optrule.BuildProfile(disk, "Balance", "CardLoan", true, 15, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	optrule.RenderProfile(&buf, prof, &res.Rules[0])
+	if buf.Len() == 0 {
+		t.Error("empty profile rendering")
+	}
+
+	// 8. Significance: the planted top rule is overwhelmingly unlikely
+	// under the null.
+	if p := res.Rules[0].PValue(); p > 1e-6 {
+		t.Errorf("top rule p-value %g, want tiny", p)
+	}
+}

@@ -1,0 +1,216 @@
+package bucketing
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"optrule/internal/relation"
+)
+
+// This file implements the three bucketing pipelines compared in the
+// paper's Figure 9 experiment. The test case is: for EACH numeric
+// attribute, divide the data into M buckets and count the number of
+// tuples in every bucket for each Boolean attribute.
+//
+//   - Algorithm31All: the paper's randomized method (Algorithm 3.1) —
+//     sample + sort the sample per attribute, then one counting scan
+//     per attribute. O(max(S log S, N log M)) per attribute.
+//   - NaiveSortAll: materialize and sort the FULL TUPLES once per
+//     numeric attribute (the paper's "Naive Sort" with Quick Sort),
+//     then cut into exactly equi-depth buckets and count.
+//   - VerticalSplitSortAll: for each numeric attribute, extract a slim
+//     (tupleID, value) temporary table, sort that, then cut and count
+//     (the paper's "Vertical Split Sort").
+//
+// All three produce per-attribute Counts with one V row per Boolean
+// attribute, so their outputs are directly comparable.
+
+// AttributeBuckets is the result of bucketing one numeric attribute.
+type AttributeBuckets struct {
+	Attr   int // schema position of the driver attribute
+	Bounds Boundaries
+	Counts *Counts
+}
+
+// allBoolConds returns one (B = yes) objective per Boolean attribute.
+func allBoolConds(s relation.Schema) []BoolCond {
+	var out []BoolCond
+	for _, i := range s.BooleanIndices() {
+		out = append(out, BoolCond{Attr: i, Want: true})
+	}
+	return out
+}
+
+// Algorithm31All runs the full randomized bucketing pipeline for every
+// numeric attribute: sample factor sampleFactor (paper: 40), m buckets.
+func Algorithm31All(rel relation.Relation, m, sampleFactor int, seed int64) ([]AttributeBuckets, error) {
+	s := rel.Schema()
+	opts := Options{Bools: allBoolConds(s)}
+	rng := rand.New(rand.NewSource(seed))
+	var out []AttributeBuckets
+	for _, attr := range s.NumericIndices() {
+		bounds, err := SampledBoundaries(rel, attr, m, sampleFactor, rng)
+		if err != nil {
+			return nil, fmt.Errorf("bucketing: attribute %s: %w", s[attr].Name, err)
+		}
+		counts, err := Count(rel, attr, bounds, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AttributeBuckets{Attr: attr, Bounds: bounds, Counts: counts})
+	}
+	return out, nil
+}
+
+// tupleRow is a full materialized tuple for the Naive Sort baseline.
+// Sorting these moves every attribute's payload on each swap, which is
+// what makes the naive method expensive.
+type tupleRow struct {
+	nums  []float64
+	bools []bool
+}
+
+// NaiveSortAll materializes all tuples and, for each numeric attribute,
+// sorts the full tuple table by that attribute before cutting it into m
+// exactly equi-depth buckets and counting the Boolean attributes.
+func NaiveSortAll(rel relation.Relation, m int) ([]AttributeBuckets, error) {
+	s := rel.Schema()
+	numIdx := s.NumericIndices()
+	boolIdx := s.BooleanIndices()
+	n := rel.NumTuples()
+	if n == 0 {
+		return nil, fmt.Errorf("bucketing: empty relation")
+	}
+	rows := make([]tupleRow, 0, n)
+	cols := relation.ColumnSet{Numeric: numIdx, Bool: boolIdx}
+	err := rel.Scan(cols, func(b *relation.Batch) error {
+		for r := 0; r < b.Len; r++ {
+			row := tupleRow{nums: make([]float64, len(numIdx)), bools: make([]bool, len(boolIdx))}
+			for k := range numIdx {
+				row.nums[k] = b.Numeric[k][r]
+			}
+			for k := range boolIdx {
+				row.bools[k] = b.Bool[k][r]
+			}
+			rows = append(rows, row)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []AttributeBuckets
+	for k, attr := range numIdx {
+		k := k
+		sort.Slice(rows, func(i, j int) bool { return rows[i].nums[k] < rows[j].nums[k] })
+		ab, err := countsFromSortedRows(rows, k, attr, m, len(boolIdx))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ab)
+	}
+	return out, nil
+}
+
+// countsFromSortedRows cuts rows (sorted by numeric position k) into m
+// equi-depth buckets and tallies Boolean counts.
+func countsFromSortedRows(rows []tupleRow, k, attr, m, numBools int) (AttributeBuckets, error) {
+	n := len(rows)
+	column := make([]float64, n)
+	for i, r := range rows {
+		column[i] = r.nums[k]
+	}
+	bounds, err := FromSortedSample(column, m)
+	if err != nil {
+		return AttributeBuckets{}, err
+	}
+	c := &Counts{M: m, N: n, Total: n, U: make([]int, m), V: make([][]int, numBools)}
+	for b := range c.V {
+		c.V[b] = make([]int, m)
+	}
+	for _, r := range rows {
+		i := bounds.Locate(r.nums[k])
+		c.U[i]++
+		for b, val := range r.bools {
+			if val {
+				c.V[b][i]++
+			}
+		}
+	}
+	return AttributeBuckets{Attr: attr, Bounds: bounds, Counts: c}, nil
+}
+
+// vsEntry is one row of the Vertical Split Sort temporary table.
+type vsEntry struct {
+	tid int32
+	val float64
+}
+
+// VerticalSplitSortAll builds, for each numeric attribute, a slim
+// (tupleID, value) table, sorts it, cuts it into m equi-depth buckets,
+// and then counts Boolean attributes through the tuple IDs.
+func VerticalSplitSortAll(rel relation.Relation, m int) ([]AttributeBuckets, error) {
+	s := rel.Schema()
+	numIdx := s.NumericIndices()
+	boolIdx := s.BooleanIndices()
+	n := rel.NumTuples()
+	if n == 0 {
+		return nil, fmt.Errorf("bucketing: empty relation")
+	}
+	// Boolean columns are materialized once; the per-attribute temporary
+	// tables reference tuples by ID.
+	boolCols := make([][]bool, len(boolIdx))
+	for k := range boolCols {
+		boolCols[k] = make([]bool, 0, n)
+	}
+	err := rel.Scan(relation.ColumnSet{Bool: boolIdx}, func(b *relation.Batch) error {
+		for k := range boolIdx {
+			boolCols[k] = append(boolCols[k], b.Bool[k][:b.Len]...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []AttributeBuckets
+	tmp := make([]vsEntry, n)
+	for _, attr := range numIdx {
+		tmp = tmp[:0]
+		tid := int32(0)
+		err := rel.Scan(relation.ColumnSet{Numeric: []int{attr}}, func(b *relation.Batch) error {
+			for _, v := range b.Numeric[0][:b.Len] {
+				tmp = append(tmp, vsEntry{tid: tid, val: v})
+				tid++
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(tmp, func(i, j int) bool { return tmp[i].val < tmp[j].val })
+		column := make([]float64, n)
+		for i, e := range tmp {
+			column[i] = e.val
+		}
+		bounds, err := FromSortedSample(column, m)
+		if err != nil {
+			return nil, err
+		}
+		c := &Counts{M: m, N: n, Total: n, U: make([]int, m), V: make([][]int, len(boolIdx))}
+		for b := range c.V {
+			c.V[b] = make([]int, m)
+		}
+		for _, e := range tmp {
+			i := bounds.Locate(e.val)
+			c.U[i]++
+			for b := range boolCols {
+				if boolCols[b][e.tid] {
+					c.V[b][i]++
+				}
+			}
+		}
+		out = append(out, AttributeBuckets{Attr: attr, Bounds: bounds, Counts: c})
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package bucketing
+
+import (
+	"testing"
+
+	"optrule/internal/datagen"
+	"optrule/internal/stats"
+)
+
+func TestThreePipelinesAgreeOnTotals(t *testing.T) {
+	ps, err := datagen.NewPerfShape(3, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, m := 20000, 50
+	rel := datagen.MustMaterialize(ps, n, 11)
+
+	alg31, err := Algorithm31All(rel, m, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NaiveSortAll(rel, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsplit, err := VerticalSplitSortAll(rel, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string][]AttributeBuckets{"alg31": alg31, "naive": naive, "vsplit": vsplit} {
+		if len(res) != 3 {
+			t.Fatalf("%s: %d attribute results, want 3", name, len(res))
+		}
+		for _, ab := range res {
+			if ab.Counts.M != m {
+				t.Errorf("%s attr %d: M=%d, want %d", name, ab.Attr, ab.Counts.M, m)
+			}
+			total := 0
+			for _, u := range ab.Counts.U {
+				total += u
+			}
+			if total != n {
+				t.Errorf("%s attr %d: bucket sizes sum to %d, want %d", name, ab.Attr, total, n)
+			}
+			// V counts are bounded by U counts bucketwise.
+			for k := range ab.Counts.V {
+				vTotal := 0
+				for i, v := range ab.Counts.V[k] {
+					if v > ab.Counts.U[i] {
+						t.Errorf("%s attr %d: v[%d][%d]=%d > u=%d", name, ab.Attr, k, i, v, ab.Counts.U[i])
+					}
+					vTotal += v
+				}
+				if vTotal == 0 || vTotal == n {
+					t.Errorf("%s attr %d: degenerate boolean attribute %d (total %d)", name, ab.Attr, k, vTotal)
+				}
+			}
+		}
+	}
+
+	// The exact methods must agree with each other bucket-for-bucket
+	// (both cut perfectly equi-depth boundaries from the sorted column).
+	for a := range naive {
+		for i := range naive[a].Counts.U {
+			if naive[a].Counts.U[i] != vsplit[a].Counts.U[i] {
+				t.Fatalf("attr %d bucket %d: naive u=%d, vsplit u=%d",
+					a, i, naive[a].Counts.U[i], vsplit[a].Counts.U[i])
+			}
+			for k := range naive[a].Counts.V {
+				if naive[a].Counts.V[k][i] != vsplit[a].Counts.V[k][i] {
+					t.Fatalf("attr %d bucket %d bool %d: naive v=%d, vsplit v=%d",
+						a, i, k, naive[a].Counts.V[k][i], vsplit[a].Counts.V[k][i])
+				}
+			}
+		}
+	}
+}
+
+func TestExactPipelinesPerfectEquiDepth(t *testing.T) {
+	ps, _ := datagen.NewPerfShape(1, 1, nil)
+	n, m := 10000, 25
+	rel := datagen.MustMaterialize(ps, n, 13)
+	naive, err := NaiveSortAll(rel, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With continuous uniform data (no ties) exact bucketing should be
+	// perfectly equi-depth.
+	if dev := stats.DepthDeviation(naive[0].Counts.U); dev > 1e-9 {
+		t.Errorf("naive sort depth deviation %g, want 0", dev)
+	}
+}
+
+func TestAlgorithm31AlmostEquiDepthVsExact(t *testing.T) {
+	ps, _ := datagen.NewPerfShape(1, 1, nil)
+	n, m := 100000, 100
+	rel := datagen.MustMaterialize(ps, n, 17)
+	alg31, err := Algorithm31All(rel, m, 40, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := stats.DepthDeviation(alg31[0].Counts.U)
+	// Sampled boundaries are only *almost* equi-depth; Section 3.2's
+	// analysis puts large deviations at well under 1% probability per
+	// bucket at S/M=40. A >70% deviation would mean the pipeline is broken.
+	if dev > 0.7 {
+		t.Errorf("algorithm 3.1 depth deviation %g too large", dev)
+	}
+	if dev == 0 {
+		t.Logf("note: sampled bucketing came out exactly equi-depth (possible but unusual)")
+	}
+}
+
+func TestBaselinesRejectEmptyRelation(t *testing.T) {
+	ps, _ := datagen.NewPerfShape(1, 1, nil)
+	empty := datagen.MustMaterialize(ps, 0, 1)
+	if _, err := NaiveSortAll(empty, 5); err == nil {
+		t.Errorf("naive sort accepted empty relation")
+	}
+	if _, err := VerticalSplitSortAll(empty, 5); err == nil {
+		t.Errorf("vertical split sort accepted empty relation")
+	}
+}

@@ -1,0 +1,57 @@
+package bucketing
+
+import (
+	"math/rand"
+	"testing"
+
+	"optrule/internal/datagen"
+	"optrule/internal/relation"
+)
+
+func benchRelation(b *testing.B, n int) *relation.MemoryRelation {
+	b.Helper()
+	shape, err := datagen.NewPerfShape(1, 4, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return datagen.MustMaterialize(shape, n, 1)
+}
+
+func BenchmarkSampledBoundaries1M(b *testing.B) {
+	rel := benchRelation(b, 1000000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		if _, err := SampledBoundaries(rel, 0, 1000, 40, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCount1M(b *testing.B) {
+	rel := benchRelation(b, 1000000)
+	rng := rand.New(rand.NewSource(1))
+	bounds, err := SampledBoundaries(rel, 0, 1000, 40, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{Bools: []BoolCond{{Attr: 1, Want: true}, {Attr: 2, Want: true}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Count(rel, 0, bounds, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(rel.NumTuples() * 8))
+}
+
+func BenchmarkExternalExactBoundaries200k(b *testing.B) {
+	rel := benchRelation(b, 200000)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExternalExactBoundaries(rel, 0, 1000, dir, 1<<14); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

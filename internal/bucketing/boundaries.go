@@ -1,0 +1,220 @@
+// Package bucketing implements Section 3 of the paper: dividing the
+// domain of a numeric attribute into M almost equi-depth buckets
+// without sorting the database (Algorithm 3.1), the parallel counting
+// variant (Algorithm 3.2), the sort-based baselines the paper compares
+// against in Figure 9 (Naive Sort and Vertical Split Sort), and the
+// counting pass that produces the per-bucket statistics (u_i, v_i,
+// target sums) consumed by the optimized-rule algorithms of Section 4.
+package bucketing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"optrule/internal/relation"
+	"optrule/internal/sampling"
+	"optrule/internal/stats"
+)
+
+// Boundaries are the interior cut points p_1 <= … <= p_{M−1} of a
+// bucketing: bucket 0 is (−∞, p_1], bucket i is (p_i, p_{i+1}], bucket
+// M−1 is (p_{M−1}, +∞). This matches step 4 of Algorithm 3.1, which
+// assigns tuple value x to the bucket with p_{i−1} < x <= p_i.
+type Boundaries struct {
+	cuts []float64
+}
+
+// NewBoundaries wraps interior cut points. The cuts must be
+// non-decreasing; M buckets need M−1 cuts.
+func NewBoundaries(cuts []float64) (Boundaries, error) {
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] < cuts[i-1] {
+			return Boundaries{}, fmt.Errorf("bucketing: cuts not sorted at %d: %g < %g", i, cuts[i], cuts[i-1])
+		}
+	}
+	return Boundaries{cuts: cuts}, nil
+}
+
+// NumBuckets returns M.
+func (b Boundaries) NumBuckets() int { return len(b.cuts) + 1 }
+
+// Cuts returns the interior cut points. Callers must not modify the
+// returned slice.
+func (b Boundaries) Cuts() []float64 { return b.cuts }
+
+// Locate returns the bucket index of value x: the smallest i with
+// x <= cuts[i], or M−1 if x exceeds every cut. O(log M) binary search,
+// as in step 4 of Algorithm 3.1.
+func (b Boundaries) Locate(x float64) int {
+	lo, hi := 0, len(b.cuts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if x <= b.cuts[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// BucketRange returns the half-open value interval (lo, hi] covered by
+// bucket i, using ±Inf for the outermost buckets.
+func (b Boundaries) BucketRange(i int) (lo, hi float64) {
+	m := b.NumBuckets()
+	if i < 0 || i >= m {
+		panic(fmt.Sprintf("bucketing: bucket %d out of [0,%d)", i, m))
+	}
+	lo, hi = math.Inf(-1), math.Inf(1)
+	if i > 0 {
+		lo = b.cuts[i-1]
+	}
+	if i < m-1 {
+		hi = b.cuts[i]
+	}
+	return lo, hi
+}
+
+// FromSortedSample builds boundaries for m buckets from an
+// already-sorted sample, per step 3 of Algorithm 3.1: the i-th cut is
+// the ⌈i·S/m⌉-th smallest sample value.
+func FromSortedSample(sorted []float64, m int) (Boundaries, error) {
+	if m < 1 {
+		return Boundaries{}, fmt.Errorf("bucketing: bucket count %d must be positive", m)
+	}
+	if len(sorted) == 0 && m > 1 {
+		return Boundaries{}, fmt.Errorf("bucketing: empty sample cannot define %d buckets", m)
+	}
+	if m == 1 {
+		return Boundaries{}, nil
+	}
+	return NewBoundaries(stats.EquiDepthBoundaries(sorted, m))
+}
+
+// SampledBoundaries performs steps 1–3 of Algorithm 3.1 on the numeric
+// attribute at schema position attr: draw an S-sized with-replacement
+// random sample (S = sampleFactor·m; the paper fixes sampleFactor=40),
+// sort it, and cut at the sample quantiles.
+func SampledBoundaries(rel relation.Relation, attr, m, sampleFactor int, rng *rand.Rand) (Boundaries, error) {
+	if sampleFactor < 1 {
+		return Boundaries{}, fmt.Errorf("bucketing: sample factor %d must be positive", sampleFactor)
+	}
+	if m < 1 {
+		return Boundaries{}, fmt.Errorf("bucketing: bucket count %d must be positive", m)
+	}
+	if m == 1 {
+		return Boundaries{}, nil
+	}
+	s := m * sampleFactor
+	sample, err := sampling.ColumnWithReplacement(rel, attr, s, rng)
+	if err != nil {
+		return Boundaries{}, err
+	}
+	// Missing values (NaN) carry no order information; drop them from
+	// the sample so cut points stay well defined. The counting pass
+	// likewise skips NaN driver values (Counts.NaNs).
+	clean := sample[:0]
+	for _, x := range sample {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		return Boundaries{}, fmt.Errorf("bucketing: attribute %d sampled only NaN values", attr)
+	}
+	sort.Float64s(clean)
+	return FromSortedSample(clean, m)
+}
+
+// ExactBoundaries computes perfectly equi-depth boundaries by sorting a
+// full copy of the column. This is the non-approximate reference that
+// the Naive Sort and Vertical Split Sort baselines reduce to once the
+// column is in memory.
+func ExactBoundaries(column []float64, m int) (Boundaries, error) {
+	sorted := stats.SortedCopy(column)
+	return FromSortedSample(sorted, m)
+}
+
+// EquiWidthBoundaries cuts [lo, hi] into m equal-width buckets. The
+// paper's footnote 3 argues AGAINST this scheme — on skewed data some
+// equi-width bucket holds far more than 1/M of the tuples, inflating
+// the approximation error — and the bucketing-scheme ablation in the
+// experiments package quantifies that claim. Provided for comparison,
+// not for production use.
+func EquiWidthBoundaries(lo, hi float64, m int) (Boundaries, error) {
+	if m < 1 {
+		return Boundaries{}, fmt.Errorf("bucketing: bucket count %d must be positive", m)
+	}
+	if !(lo < hi) {
+		return Boundaries{}, fmt.Errorf("bucketing: invalid value range [%g, %g]", lo, hi)
+	}
+	cuts := make([]float64, 0, m-1)
+	width := (hi - lo) / float64(m)
+	for i := 1; i < m; i++ {
+		cuts = append(cuts, lo+width*float64(i))
+	}
+	return NewBoundaries(cuts)
+}
+
+// ColumnExtremes scans one numeric attribute and returns its finite
+// minimum and maximum (NaNs ignored), for use with EquiWidthBoundaries.
+func ColumnExtremes(rel relation.Relation, attr int) (lo, hi float64, err error) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	err = rel.Scan(relation.ColumnSet{Numeric: []int{attr}}, func(b *relation.Batch) error {
+		for _, x := range b.Numeric[0][:b.Len] {
+			if math.IsNaN(x) {
+				continue
+			}
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if lo > hi {
+		return 0, 0, fmt.Errorf("bucketing: attribute %d has no finite values", attr)
+	}
+	return lo, hi, nil
+}
+
+// DistinctValueBoundaries builds *finest* buckets (Definition 2.5): one
+// bucket per distinct value of the attribute. It errors if the number
+// of distinct values exceeds maxDistinct — the paper's point being that
+// finest buckets are only feasible for small domains such as ages
+// (Example 2.4).
+func DistinctValueBoundaries(rel relation.Relation, attr, maxDistinct int) (Boundaries, error) {
+	seen := make(map[float64]struct{})
+	err := rel.Scan(relation.ColumnSet{Numeric: []int{attr}}, func(b *relation.Batch) error {
+		for _, v := range b.Numeric[0][:b.Len] {
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				if len(seen) > maxDistinct {
+					return fmt.Errorf("bucketing: more than %d distinct values; use equi-depth buckets instead", maxDistinct)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Boundaries{}, err
+	}
+	if len(seen) == 0 {
+		return Boundaries{}, fmt.Errorf("bucketing: empty relation")
+	}
+	values := make([]float64, 0, len(seen))
+	for v := range seen {
+		values = append(values, v)
+	}
+	sort.Float64s(values)
+	// Cut at every distinct value except the largest: bucket i is then
+	// exactly [v_i, v_i] for observed values.
+	return NewBoundaries(values[:len(values)-1])
+}

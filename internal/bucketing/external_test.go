@@ -1,0 +1,149 @@
+package bucketing
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"optrule/internal/relation"
+)
+
+func TestExternalExactBoundariesMatchesInMemory(t *testing.T) {
+	n := 25000
+	rel := uniformRelation(t, n, 41)
+	col, err := rel.NumericColumn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExactBoundaries(col, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// memLimit far below n forces multiple spilled runs.
+	got, err := ExternalExactBoundaries(rel, 0, 64, t.TempDir(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, gc := want.Cuts(), got.Cuts()
+	if len(wc) != len(gc) {
+		t.Fatalf("cut counts differ: %d vs %d", len(gc), len(wc))
+	}
+	for i := range wc {
+		if wc[i] != gc[i] {
+			t.Fatalf("cut %d differs: external %g vs memory %g", i, gc[i], wc[i])
+		}
+	}
+}
+
+func TestExternalExactBoundariesOnDiskRelation(t *testing.T) {
+	// End-to-end out-of-core: data on disk, sort spills on disk.
+	schema := relation.Schema{{Name: "X", Kind: relation.Numeric}}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.opr")
+	dw, err := relation.NewDiskWriter(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	n := 50000
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = rng.NormFloat64() * 1000
+		if err := dw.Append([]float64{values[i]}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dr, err := relation.OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := ExternalExactBoundaries(dr, 0, 100, dir, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect equi-depth: every bucket holds n/100 values.
+	counts, err := Count(dr, 0, bounds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range counts.U {
+		if u != n/100 {
+			t.Fatalf("bucket %d holds %d values, want %d", i, u, n/100)
+		}
+	}
+	// Spill files are cleaned up.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "data.opr" {
+			t.Errorf("leftover spill file %s", e.Name())
+		}
+	}
+}
+
+func TestExternalExactBoundariesSingleRun(t *testing.T) {
+	// memLimit >= n: one run, no merge pressure.
+	rel := uniformRelation(t, 500, 3)
+	got, err := ExternalExactBoundaries(rel, 0, 10, t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, _ := rel.NumericColumn(0)
+	want, _ := ExactBoundaries(col, 10)
+	for i := range want.Cuts() {
+		if want.Cuts()[i] != got.Cuts()[i] {
+			t.Fatalf("cut %d differs", i)
+		}
+	}
+}
+
+func TestExternalExactBoundariesSkipsNaN(t *testing.T) {
+	rel := relation.MustNewMemoryRelation(relation.Schema{{Name: "X", Kind: relation.Numeric}})
+	for i := 0; i < 100; i++ {
+		v := float64(i)
+		if i%4 == 0 {
+			v = math.NaN()
+		}
+		rel.MustAppend([]float64{v}, nil)
+	}
+	bounds, err := ExternalExactBoundaries(rel, 0, 5, t.TempDir(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range bounds.Cuts() {
+		if math.IsNaN(c) {
+			t.Fatalf("NaN cut: %v", bounds.Cuts())
+		}
+	}
+}
+
+func TestExternalExactBoundariesErrors(t *testing.T) {
+	rel := uniformRelation(t, 100, 5)
+	if _, err := ExternalExactBoundaries(rel, 0, 0, t.TempDir(), 10); err == nil {
+		t.Errorf("zero buckets accepted")
+	}
+	if _, err := ExternalExactBoundaries(rel, 0, 10, t.TempDir(), 0); err == nil {
+		t.Errorf("zero memory limit accepted")
+	}
+	allNaN := relation.MustNewMemoryRelation(relation.Schema{{Name: "X", Kind: relation.Numeric}})
+	allNaN.MustAppend([]float64{math.NaN()}, nil)
+	if _, err := ExternalExactBoundaries(allNaN, 0, 5, t.TempDir(), 10); err == nil {
+		t.Errorf("all-NaN column accepted")
+	}
+	// m=1 needs no cuts.
+	b, err := ExternalExactBoundaries(rel, 0, 1, t.TempDir(), 10)
+	if err != nil || b.NumBuckets() != 1 {
+		t.Errorf("m=1 failed: %v", err)
+	}
+	// Unwritable temp dir.
+	if _, err := ExternalExactBoundaries(rel, 0, 10, "/nonexistent-dir-xyz", 10); err == nil {
+		t.Errorf("unwritable tmpDir accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package bucketing
+
+import (
+	"math"
+	"testing"
+
+	"optrule/internal/relation"
+	"optrule/internal/stats"
+)
+
+func TestEquiWidthBoundaries(t *testing.T) {
+	b, err := EquiWidthBoundaries(0, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := b.Cuts()
+	if len(cuts) != 3 || cuts[0] != 25 || cuts[1] != 50 || cuts[2] != 75 {
+		t.Errorf("cuts = %v, want [25 50 75]", cuts)
+	}
+	if b.Locate(10) != 0 || b.Locate(30) != 1 || b.Locate(99) != 3 {
+		t.Errorf("Locate misplaced values")
+	}
+	if _, err := EquiWidthBoundaries(5, 5, 4); err == nil {
+		t.Errorf("degenerate range accepted")
+	}
+	if _, err := EquiWidthBoundaries(0, 10, 0); err == nil {
+		t.Errorf("zero buckets accepted")
+	}
+	single, err := EquiWidthBoundaries(0, 10, 1)
+	if err != nil || single.NumBuckets() != 1 {
+		t.Errorf("single bucket failed: %v", err)
+	}
+}
+
+func TestColumnExtremes(t *testing.T) {
+	rel := relation.MustNewMemoryRelation(relation.Schema{{Name: "X", Kind: relation.Numeric}})
+	for _, v := range []float64{5, -3, math.NaN(), 17, 0} {
+		rel.MustAppend([]float64{v}, nil)
+	}
+	lo, hi, err := ColumnExtremes(rel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != -3 || hi != 17 {
+		t.Errorf("extremes = [%g, %g], want [-3, 17]", lo, hi)
+	}
+	allNaN := relation.MustNewMemoryRelation(rel.Schema())
+	allNaN.MustAppend([]float64{math.NaN()}, nil)
+	if _, _, err := ColumnExtremes(allNaN, 0); err == nil {
+		t.Errorf("all-NaN column accepted")
+	}
+}
+
+func TestEquiWidthSkewOnSkewedData(t *testing.T) {
+	// Exponential-ish data: equi-width buckets are badly unbalanced,
+	// the property footnote 3 warns about.
+	rel := relation.MustNewMemoryRelation(relation.Schema{{Name: "X", Kind: relation.Numeric}})
+	for i := 1; i <= 4096; i++ {
+		rel.MustAppend([]float64{math.Log2(float64(i))}, nil) // heavy right tail in log space? keep it simple
+	}
+	// Values are log2(i) in [0, 12]: density increases towards 12, so
+	// equi-width buckets at the low end are nearly empty.
+	lo, hi, err := ColumnExtremes(rel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EquiWidthBoundaries(lo, hi, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := Count(rel, 0, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev := stats.DepthDeviation(counts.U); dev < 1 {
+		t.Errorf("expected heavy skew (>100%% deviation), got %g", dev)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Section 5 feeds the same algorithms v_i that are SUMS of a target
+// attribute — arbitrary reals, possibly negative — rather than hit
+// counts bounded by u_i. These tests pin the fast algorithms to the
+// naive oracles in that regime.
+
+func randomAverageBuckets(rng *rand.Rand, m, maxU int) (u []int, v []float64) {
+	u = make([]int, m)
+	v = make([]float64, m)
+	for i := range u {
+		u[i] = 1 + rng.Intn(maxU)
+		// Sum of u_i values drawn around a per-bucket mean in [-100, 100].
+		mean := rng.Float64()*200 - 100
+		v[i] = mean * float64(u[i])
+	}
+	return u, v
+}
+
+func TestOptimalSlopePairAverageRegimeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 1500; trial++ {
+		m := 1 + rng.Intn(15)
+		u, v := randomAverageBuckets(rng, m, 8)
+		minSup := float64(rng.Intn(30))
+		fast, okF, err := OptimalSlopePair(u, v, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, okN, err := NaiveOptimalSlopePair(u, v, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okF != okN {
+			t.Fatalf("trial %d: ok mismatch (u=%v v=%v minSup=%g)", trial, u, v, minSup)
+		}
+		if okF && (fast.Conf != naive.Conf || fast.Count != naive.Count) {
+			t.Fatalf("trial %d: fast=%+v naive=%+v (u=%v v=%v minSup=%g)", trial, fast, naive, u, v, minSup)
+		}
+	}
+}
+
+func TestOptimalSupportPairAverageRegimeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 1500; trial++ {
+		m := 1 + rng.Intn(15)
+		u, v := randomAverageBuckets(rng, m, 8)
+		theta := rng.Float64()*200 - 100 // thresholds across the value range
+		fast, okF, err := OptimalSupportPair(u, v, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, okN, err := NaiveOptimalSupportPair(u, v, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okF != okN {
+			t.Fatalf("trial %d: ok mismatch (u=%v v=%v θ=%g)", trial, u, v, theta)
+		}
+		if okF && fast.Count != naive.Count {
+			t.Fatalf("trial %d: fast=%+v naive=%+v (u=%v v=%v θ=%g)", trial, fast, naive, u, v, theta)
+		}
+	}
+}
+
+func TestAverageRegimeNegativeValuesProperty(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(mRaw%40) + 1
+		u, v := randomAverageBuckets(rng, m, 20)
+		// All-negative target sums with a negative threshold.
+		for i := range v {
+			if v[i] > 0 {
+				v[i] = -v[i]
+			}
+		}
+		theta := -50.0
+		fast, okF, err1 := OptimalSupportPair(u, v, theta)
+		naive, okN, err2 := NaiveOptimalSupportPair(u, v, theta)
+		if err1 != nil || err2 != nil || okF != okN {
+			return false
+		}
+		if okF && fast.Count != naive.Count {
+			return false
+		}
+		minSup := float64(rng.Intn(20))
+		fast2, okF2, err3 := OptimalSlopePair(u, v, minSup)
+		naive2, okN2, err4 := NaiveOptimalSlopePair(u, v, minSup)
+		if err3 != nil || err4 != nil || okF2 != okN2 {
+			return false
+		}
+		if okF2 && (fast2.Conf != naive2.Conf || fast2.Count != naive2.Count) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAverageRegimeLargeMagnitudes(t *testing.T) {
+	// Balances in the 1e9 range with small buckets must not lose the
+	// optimum to floating-point trouble versus the shared-prefix oracle.
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 200; trial++ {
+		m := 2 + rng.Intn(20)
+		u := make([]int, m)
+		v := make([]float64, m)
+		for i := range u {
+			u[i] = 1 + rng.Intn(1000)
+			v[i] = (rng.Float64() - 0.3) * 1e9 * float64(u[i])
+		}
+		fast, okF, err := OptimalSlopePair(u, v, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, okN, _ := NaiveOptimalSlopePair(u, v, 100)
+		if okF != okN || (okF && (fast.Conf != naive.Conf || fast.Count != naive.Count)) {
+			t.Fatalf("trial %d: fast=%+v naive=%+v", trial, fast, naive)
+		}
+	}
+}

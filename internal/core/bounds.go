@@ -1,0 +1,83 @@
+package core
+
+import "math"
+
+// Error bounds from Section 3.4: with M equi-depth buckets, the range
+// of an optimized rule is approximated by a combination of consecutive
+// buckets, each holding 1/M of the data, so the approximation can only
+// miss by up to one bucket on each side.
+
+// SupportErrorBound returns the relative support error bound
+//
+//	|support_app − support_opt| / support_opt <= 2 / (M·support_opt)
+//
+// for M equi-depth buckets and an optimal range of the given support
+// (a fraction in (0, 1]). It returns +Inf for degenerate inputs.
+func SupportErrorBound(m int, supportOpt float64) float64 {
+	if m <= 0 || supportOpt <= 0 {
+		return math.Inf(1)
+	}
+	return 2 / (float64(m) * supportOpt)
+}
+
+// ConfidenceErrorBound returns the relative confidence error bound
+//
+//	|conf_app − conf_opt| / conf_opt <= 2 / (M·support_opt − 2)
+//
+// valid when M·support_opt > 2; otherwise it returns +Inf (the bound is
+// vacuous when the optimal range spans at most two buckets).
+func ConfidenceErrorBound(m int, supportOpt float64) float64 {
+	if m <= 0 || supportOpt <= 0 {
+		return math.Inf(1)
+	}
+	d := float64(m)*supportOpt - 2
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return 2 / d
+}
+
+// ApproxSupportInterval returns the worst-case interval
+// [support_opt·(1−bound), support_opt·(1+bound)] that an approximate
+// range's support can fall in — the quantity tabulated in the paper's
+// Table I (column support_app).
+func ApproxSupportInterval(m int, supportOpt float64) (lo, hi float64) {
+	b := SupportErrorBound(m, supportOpt)
+	if math.IsInf(b, 1) {
+		return 0, 1
+	}
+	return clamp01(supportOpt * (1 - b)), clamp01(supportOpt * (1 + b))
+}
+
+// ApproxConfidenceInterval is the Table I conf_app column: the
+// worst-case interval for the approximate range's confidence around
+// conf_opt.
+func ApproxConfidenceInterval(m int, supportOpt, confOpt float64) (lo, hi float64) {
+	b := ConfidenceErrorBound(m, supportOpt)
+	if math.IsInf(b, 1) {
+		return 0, 1
+	}
+	return clamp01(confOpt * (1 - b)), clamp01(confOpt * (1 + b))
+}
+
+// MinBucketsForNegligibleError returns the smallest M for which the
+// relative support error bound stays at or below maxRelErr, i.e.
+// M >= 2/(maxRelErr·support_opt). Section 3.4's guidance that "the
+// number of buckets should be much larger than 1/support_opt" follows
+// from this with maxRelErr fixed.
+func MinBucketsForNegligibleError(supportOpt, maxRelErr float64) int {
+	if supportOpt <= 0 || maxRelErr <= 0 {
+		return math.MaxInt32
+	}
+	return int(math.Ceil(2 / (maxRelErr * supportOpt)))
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSupportErrorBound(t *testing.T) {
+	// Table I anchor: support_opt = 30%, M = 10 → bound 2/3, so the
+	// approximate support lies in [10%, 50%].
+	b := SupportErrorBound(10, 0.3)
+	if math.Abs(b-2.0/3) > 1e-12 {
+		t.Errorf("bound = %g, want 2/3", b)
+	}
+	lo, hi := ApproxSupportInterval(10, 0.3)
+	if math.Abs(lo-0.1) > 1e-12 || math.Abs(hi-0.5) > 1e-12 {
+		t.Errorf("interval = [%g, %g], want [0.1, 0.5]", lo, hi)
+	}
+}
+
+func TestConfidenceErrorBound(t *testing.T) {
+	// Table I anchor: conf_opt = 70%, support_opt = 30%, M = 10 →
+	// bound 2/(3−2) = 2 → interval clamps to [0, 1] (the paper prints
+	// 4.2% … 100% via the one-sided exact form; our symmetric bound is
+	// conservative and must contain it).
+	lo, hi := ApproxConfidenceInterval(10, 0.3, 0.7)
+	if lo != 0 || hi != 1 {
+		t.Errorf("interval = [%g, %g], want [0, 1] (vacuous at M=10)", lo, hi)
+	}
+	// M=1000: bound 2/(300−2) ≈ 0.00671 → conf in ~[0.695, 0.705],
+	// matching Table I's 69.5% … 70.5%.
+	lo, hi = ApproxConfidenceInterval(1000, 0.3, 0.7)
+	if math.Abs(lo-0.6953) > 0.001 || math.Abs(hi-0.7047) > 0.001 {
+		t.Errorf("interval = [%g, %g], want ≈[0.695, 0.705]", lo, hi)
+	}
+}
+
+func TestTableISupportColumn(t *testing.T) {
+	// Reproduce the support_app column of Table I (support_opt = 30%):
+	// M=10: 10.0…50.0, M=50: 26.0…34.0, M=100: 28.0…32.0,
+	// M=500: 29.6…30.4, M=1000: 29.8…30.2.
+	want := map[int][2]float64{
+		10:   {0.10, 0.50},
+		50:   {0.26, 0.34},
+		100:  {0.28, 0.32},
+		500:  {0.296, 0.304},
+		1000: {0.298, 0.302},
+	}
+	for m, w := range want {
+		lo, hi := ApproxSupportInterval(m, 0.3)
+		if math.Abs(lo-w[0]) > 1e-9 || math.Abs(hi-w[1]) > 1e-9 {
+			t.Errorf("M=%d: interval [%g, %g], want [%g, %g]", m, lo, hi, w[0], w[1])
+		}
+	}
+}
+
+func TestTableIConfidenceColumnLargeM(t *testing.T) {
+	// The conf_app column for large M (where the symmetric bound is
+	// tight): M=500 → 2/(150−2) ≈ 1.35% → [69.05%, 70.95%] vs the
+	// paper's 69.1…70.9; M=1000 → [69.53%, 70.47%] vs 69.5…70.5.
+	lo, hi := ApproxConfidenceInterval(500, 0.3, 0.7)
+	if math.Abs(lo-0.691) > 0.002 || math.Abs(hi-0.709) > 0.002 {
+		t.Errorf("M=500: [%g, %g], want ≈[0.691, 0.709]", lo, hi)
+	}
+	lo, hi = ApproxConfidenceInterval(1000, 0.3, 0.7)
+	if math.Abs(lo-0.695) > 0.002 || math.Abs(hi-0.705) > 0.002 {
+		t.Errorf("M=1000: [%g, %g], want ≈[0.695, 0.705]", lo, hi)
+	}
+}
+
+func TestBoundDegenerateInputs(t *testing.T) {
+	if !math.IsInf(SupportErrorBound(0, 0.3), 1) {
+		t.Errorf("M=0 should give +Inf")
+	}
+	if !math.IsInf(SupportErrorBound(10, 0), 1) {
+		t.Errorf("support 0 should give +Inf")
+	}
+	if !math.IsInf(ConfidenceErrorBound(5, 0.3), 1) {
+		t.Errorf("M·s <= 2 should give +Inf")
+	}
+	lo, hi := ApproxSupportInterval(0, 0.3)
+	if lo != 0 || hi != 1 {
+		t.Errorf("degenerate interval should be [0,1]")
+	}
+	lo, hi = ApproxConfidenceInterval(2, 0.3, 0.7)
+	if lo != 0 || hi != 1 {
+		t.Errorf("vacuous confidence interval should be [0,1]")
+	}
+}
+
+func TestMinBucketsForNegligibleError(t *testing.T) {
+	// For support 30% and 1% relative error: M >= 2/(0.01·0.3) ≈ 667.
+	m := MinBucketsForNegligibleError(0.3, 0.01)
+	if m != 667 {
+		t.Errorf("M = %d, want 667", m)
+	}
+	// Section 3.4: M must be much larger than 1/support_opt.
+	if float64(m) <= 1.0/0.3 {
+		t.Errorf("M should far exceed 1/support")
+	}
+	if MinBucketsForNegligibleError(0, 0.01) != math.MaxInt32 {
+		t.Errorf("degenerate support should return MaxInt32")
+	}
+}
+
+func TestBoundsMonotoneInM(t *testing.T) {
+	prev := math.Inf(1)
+	for _, m := range []int{10, 50, 100, 500, 1000, 10000} {
+		b := SupportErrorBound(m, 0.3)
+		if b >= prev {
+			t.Errorf("support bound should shrink with M: %g at M=%d", b, m)
+		}
+		prev = b
+	}
+}

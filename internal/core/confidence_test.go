@@ -1,0 +1,296 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomBuckets generates M buckets with sizes in [1, maxU] and hit
+// counts v_i <= u_i (the association-rule setting).
+func randomBuckets(rng *rand.Rand, m, maxU int) (u []int, v []float64) {
+	u = make([]int, m)
+	v = make([]float64, m)
+	for i := range u {
+		u[i] = 1 + rng.Intn(maxU)
+		v[i] = float64(rng.Intn(u[i] + 1))
+	}
+	return u, v
+}
+
+func TestOptimalSlopePairValidation(t *testing.T) {
+	if _, _, err := OptimalSlopePair(nil, nil, 1); err == nil {
+		t.Errorf("empty buckets accepted")
+	}
+	if _, _, err := OptimalSlopePair([]int{1, 2}, []float64{1}, 1); err == nil {
+		t.Errorf("length mismatch accepted")
+	}
+	if _, _, err := OptimalSlopePair([]int{1, 0}, []float64{1, 0}, 1); err == nil {
+		t.Errorf("empty bucket accepted")
+	}
+}
+
+func TestOptimalSlopePairTinyCases(t *testing.T) {
+	// Single bucket: the only range is [0,0].
+	p, ok, err := OptimalSlopePair([]int{10}, []float64{5}, 5)
+	if err != nil || !ok {
+		t.Fatalf("single bucket failed: %v %v", ok, err)
+	}
+	if p.S != 0 || p.T != 0 || p.Conf != 0.5 || p.Count != 10 {
+		t.Errorf("single bucket pair = %+v", p)
+	}
+	// Threshold above the total: no ample range.
+	if _, ok, err := OptimalSlopePair([]int{10}, []float64{5}, 11); ok || err != nil {
+		t.Errorf("over-threshold should return ok=false, got ok=%v err=%v", ok, err)
+	}
+}
+
+func TestOptimalSlopePairExample23(t *testing.T) {
+	// Mirrors Example 2.3's structure: a high-confidence small cluster
+	// inside a broader mediocre region. Buckets of 10 tuples each with
+	// hits: 2 2 9 8 2 2. Threshold: at least 30 tuples.
+	u := []int{10, 10, 10, 10, 10, 10}
+	v := []float64{2, 2, 9, 8, 2, 2}
+	p, ok, err := OptimalSlopePair(u, v, 30)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	// Best 3-bucket window is [1,3]: (2+9+8)/30 or [2,4]: (9+8+2)/30 —
+	// both 19/30; tie-break by support cannot extend. The algorithm must
+	// return conf 19/30 with count 30.
+	if p.Count != 30 || p.Conf != 19.0/30 {
+		t.Errorf("pair = %+v, want count 30 conf %g", p, 19.0/30)
+	}
+}
+
+func TestOptimalSlopePairPrefersSupportOnTie(t *testing.T) {
+	// Two windows with equal confidence but different sizes: buckets
+	// sized 10 with hits 5 each everywhere — every ample range has conf
+	// 0.5, so the tie-break must pick the longest (full) range.
+	u := []int{10, 10, 10, 10}
+	v := []float64{5, 5, 5, 5}
+	p, ok, err := OptimalSlopePair(u, v, 10)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if p.Count != 40 {
+		t.Errorf("tie-break should maximize support: got count %d, want 40", p.Count)
+	}
+}
+
+func TestOptimalSlopePairMinSupZero(t *testing.T) {
+	// With a non-positive threshold every non-empty range is ample; the
+	// best single bucket (or longer run) must be found.
+	u := []int{5, 5, 5}
+	v := []float64{1, 5, 2}
+	p, ok, err := OptimalSlopePair(u, v, 0)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if p.S != 1 || p.T != 1 || p.Conf != 1 {
+		t.Errorf("pair = %+v, want the pure bucket [1,1]", p)
+	}
+}
+
+func TestOptimalSlopePairMatchesNaiveSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		m := 1 + rng.Intn(12)
+		u, v := randomBuckets(rng, m, 6)
+		minSup := float64(rng.Intn(20))
+		fast, okF, err := OptimalSlopePair(u, v, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, okN, err := NaiveOptimalSlopePair(u, v, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okF != okN {
+			t.Fatalf("trial %d: ok mismatch fast=%v naive=%v (u=%v v=%v minSup=%g)", trial, okF, okN, u, v, minSup)
+		}
+		if !okF {
+			continue
+		}
+		if fast.Conf != naive.Conf || fast.Count != naive.Count {
+			t.Fatalf("trial %d: fast=%+v naive=%+v (u=%v v=%v minSup=%g)", trial, fast, naive, u, v, minSup)
+		}
+		if float64(fast.Count) < minSup {
+			t.Fatalf("trial %d: fast pair not ample: %+v < %g", trial, fast, minSup)
+		}
+	}
+}
+
+func TestOptimalSlopePairMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64, mRaw uint8, supRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(mRaw%80) + 1
+		u, v := randomBuckets(rng, m, 50)
+		total := 0
+		for _, x := range u {
+			total += x
+		}
+		minSup := float64(int(supRaw) % (total + 2))
+		fast, okF, err1 := OptimalSlopePair(u, v, minSup)
+		naive, okN, err2 := NaiveOptimalSlopePair(u, v, minSup)
+		if err1 != nil || err2 != nil || okF != okN {
+			return false
+		}
+		if !okF {
+			return true
+		}
+		return fast.Conf == naive.Conf && fast.Count == naive.Count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalSlopePairSection5Averages(t *testing.T) {
+	// Section 5: v_i as value sums, maximizing the average. Buckets of
+	// sizes 4,4,4 with sums 40, 400, 80: best average window of count
+	// >= 8 is buckets [1,2]: 480/8 = 60.
+	u := []int{4, 4, 4}
+	v := []float64{40, 400, 80}
+	p, ok, err := OptimalSlopePair(u, v, 8)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if p.S != 1 || p.T != 2 || p.Conf != 60 {
+		t.Errorf("max-average range = %+v, want [1,2] avg 60", p)
+	}
+}
+
+func TestOptimalSlopePairAdversarialShapes(t *testing.T) {
+	cases := []struct {
+		name   string
+		u      []int
+		v      []float64
+		minSup float64
+	}{
+		{"all zero hits", []int{3, 3, 3}, []float64{0, 0, 0}, 3},
+		{"all full hits", []int{3, 3, 3}, []float64{3, 3, 3}, 3},
+		{"increasing conf", []int{10, 10, 10, 10}, []float64{1, 3, 6, 9}, 20},
+		{"decreasing conf", []int{10, 10, 10, 10}, []float64{9, 6, 3, 1}, 20},
+		{"alternating", []int{5, 5, 5, 5, 5, 5}, []float64{5, 0, 5, 0, 5, 0}, 10},
+		{"single spike", []int{100, 1, 100}, []float64{10, 1, 10}, 2},
+		{"huge buckets", []int{1000000, 1000000}, []float64{999999, 1}, 1000000},
+	}
+	for _, c := range cases {
+		fast, okF, err := OptimalSlopePair(c.u, c.v, c.minSup)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		naive, okN, _ := NaiveOptimalSlopePair(c.u, c.v, c.minSup)
+		if okF != okN {
+			t.Fatalf("%s: ok mismatch", c.name)
+		}
+		if okF && (fast.Conf != naive.Conf || fast.Count != naive.Count) {
+			t.Errorf("%s: fast=%+v naive=%+v", c.name, fast, naive)
+		}
+	}
+}
+
+func TestOptimalSlopePairAllCollinear(t *testing.T) {
+	// Identical buckets make every cumulative point collinear — the
+	// degenerate hull. Every range has the same confidence, so the
+	// tie-break must select maximum support (the whole domain).
+	m := 50
+	u := make([]int, m)
+	v := make([]float64, m)
+	for i := range u {
+		u[i] = 4
+		v[i] = 2
+	}
+	p, ok, err := OptimalSlopePair(u, v, 8)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if p.S != 0 || p.T != m-1 {
+		t.Errorf("collinear case should select the full range, got %+v", p)
+	}
+	if p.Conf != 0.5 {
+		t.Errorf("conf = %g, want 0.5", p.Conf)
+	}
+}
+
+func TestOptimalSlopePairMostlyCollinearSegments(t *testing.T) {
+	// Long collinear stretches interrupted by spikes exercise the hull
+	// tree's collinear-popping logic.
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 300; trial++ {
+		m := 5 + rng.Intn(40)
+		u := make([]int, m)
+		v := make([]float64, m)
+		for i := range u {
+			u[i] = 2
+			v[i] = 1 // collinear baseline
+		}
+		// A few spikes.
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			i := rng.Intn(m)
+			v[i] = float64(rng.Intn(3))
+		}
+		minSup := float64(2 * (1 + rng.Intn(m)))
+		fast, okF, err := OptimalSlopePair(u, v, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, okN, _ := NaiveOptimalSlopePair(u, v, minSup)
+		if okF != okN || (okF && (fast.Conf != naive.Conf || fast.Count != naive.Count)) {
+			t.Fatalf("trial %d: fast=%+v naive=%+v (v=%v minSup=%g)", trial, fast, naive, v, minSup)
+		}
+	}
+}
+
+func TestOptimalPairsMediumScaleCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quadratic oracle at M=4000")
+	}
+	rng := rand.New(rand.NewSource(97))
+	u, v := randomBuckets(rng, 4000, 30)
+	fast, okF, err := OptimalSlopePair(u, v, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, okN, err := NaiveOptimalSlopePair(u, v, 1000)
+	if err != nil || okF != okN {
+		t.Fatal(err)
+	}
+	if fast.Conf != naive.Conf || fast.Count != naive.Count {
+		t.Fatalf("M=4000 slope mismatch: fast=%+v naive=%+v", fast, naive)
+	}
+	fastS, okFS, err := OptimalSupportPair(u, v, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveS, okNS, err := NaiveOptimalSupportPair(u, v, 0.5)
+	if err != nil || okFS != okNS {
+		t.Fatal(err)
+	}
+	if fastS.Count != naiveS.Count {
+		t.Fatalf("M=4000 support mismatch: fast=%+v naive=%+v", fastS, naiveS)
+	}
+}
+
+func BenchmarkOptimalSlopePair1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	u, v := randomBuckets(rng, 1000, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := OptimalSlopePair(u, v, 2500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNaiveOptimalSlopePair1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	u, v := randomBuckets(rng, 1000, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := NaiveOptimalSlopePair(u, v, 2500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

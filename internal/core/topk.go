@@ -1,0 +1,120 @@
+package core
+
+// Top-K disjoint optimized ranges: a practical extension of the paper's
+// single-range optimization. After reporting the optimal range, the
+// natural follow-up question is "and where is the next such cluster?".
+// We answer it greedily: report the optimal range, remove its buckets,
+// and re-optimize independently on the left and right remainders, until
+// k ranges are found or no remaining segment has a qualifying range.
+// Each emitted range is optimal within its segment, and all ranges are
+// pairwise disjoint. Worst-case O(k·M) time.
+
+// segment is a contiguous bucket interval with its cached best pair.
+type segment struct {
+	lo, hi int // inclusive bucket bounds within the original arrays
+	pair   Pair
+	ok     bool
+}
+
+// solveSegment runs solve on u[lo..hi] and rebases the result.
+func solveSegment(u []int, v []float64, lo, hi int,
+	solve func(u []int, v []float64) (Pair, bool, error)) (segment, error) {
+	seg := segment{lo: lo, hi: hi}
+	if lo > hi {
+		return seg, nil
+	}
+	p, ok, err := solve(u[lo:hi+1], v[lo:hi+1])
+	if err != nil {
+		return seg, err
+	}
+	if ok {
+		p.S += lo
+		p.T += lo
+		seg.pair = p
+		seg.ok = true
+	}
+	return seg, nil
+}
+
+// topK runs the greedy disjoint-range loop with the given per-segment
+// solver and a comparator that returns true when a is strictly better
+// than b.
+func topK(u []int, v []float64, k int,
+	solve func(u []int, v []float64) (Pair, bool, error),
+	better func(a, b Pair) bool) ([]Pair, error) {
+	if err := validate(u, v); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	first, err := solveSegment(u, v, 0, len(u)-1, solve)
+	if err != nil {
+		return nil, err
+	}
+	segs := []segment{first}
+	var out []Pair
+	for len(out) < k {
+		best := -1
+		for i, s := range segs {
+			if !s.ok {
+				continue
+			}
+			if best < 0 || better(s.pair, segs[best].pair) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen := segs[best]
+		out = append(out, chosen.pair)
+		// Split the winning segment around the emitted range.
+		segs = append(segs[:best], segs[best+1:]...)
+		left, err := solveSegment(u, v, chosen.lo, chosen.pair.S-1, solve)
+		if err != nil {
+			return nil, err
+		}
+		if left.ok {
+			segs = append(segs, left)
+		}
+		right, err := solveSegment(u, v, chosen.pair.T+1, chosen.hi, solve)
+		if err != nil {
+			return nil, err
+		}
+		if right.ok {
+			segs = append(segs, right)
+		}
+	}
+	return out, nil
+}
+
+// TopKSlopePairs returns up to k pairwise-disjoint bucket ranges in
+// decreasing confidence order, each ample (support count >= minSupCount)
+// and each the optimal slope pair of the segment it was drawn from.
+func TopKSlopePairs(u []int, v []float64, minSupCount float64, k int) ([]Pair, error) {
+	solve := func(su []int, sv []float64) (Pair, bool, error) {
+		return OptimalSlopePair(su, sv, minSupCount)
+	}
+	better := func(a, b Pair) bool {
+		// Higher confidence first; ties by larger support.
+		la := a.SumV * float64(b.Count)
+		lb := b.SumV * float64(a.Count)
+		if la != lb {
+			return la > lb
+		}
+		return a.Count > b.Count
+	}
+	return topK(u, v, k, solve, better)
+}
+
+// TopKSupportPairs returns up to k pairwise-disjoint bucket ranges in
+// decreasing support order, each confident (average >= theta) and each
+// the optimal support pair of the segment it was drawn from.
+func TopKSupportPairs(u []int, v []float64, theta float64, k int) ([]Pair, error) {
+	solve := func(su []int, sv []float64) (Pair, bool, error) {
+		return OptimalSupportPair(su, sv, theta)
+	}
+	better := func(a, b Pair) bool { return a.Count > b.Count }
+	return topK(u, v, k, solve, better)
+}

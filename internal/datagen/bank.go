@@ -1,0 +1,149 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"optrule/internal/relation"
+)
+
+// PlantedRule describes a ground-truth association planted into
+// generated data: tuples whose driver attribute falls inside Range get
+// the Boolean target with probability InsideProb, all others with
+// probability OutsideProb. Tests recover the planted range with the
+// optimized-rule algorithms and check it against this specification.
+type PlantedRule struct {
+	Driver      string // numeric attribute name
+	Target      string // Boolean attribute name
+	Range       [2]float64
+	InsideProb  float64
+	OutsideProb float64
+}
+
+// Contains reports whether v falls inside the planted range.
+func (p PlantedRule) Contains(v float64) bool {
+	return v >= p.Range[0] && v <= p.Range[1]
+}
+
+// BankConfig parameterizes the bank-customer generator — the paper's
+// running example (Balance, CardLoan, …).
+type BankConfig struct {
+	// Balance is the distribution of account balances. Default:
+	// LogNormal(8, 1.2), a skewed domain spanning a few units to ~1e6.
+	Balance Distribution
+	// Age is the distribution of ages. Default: UniformInt{18, 90}.
+	Age Distribution
+	// ServiceYears is the distribution of years as a customer.
+	// Default: Uniform[0, 40).
+	ServiceYears Distribution
+	// CardLoan plants the paper's headline rule
+	// (Balance ∈ I) ⇒ (CardLoan = yes). Default plants I = [3000, 20000]
+	// with inside probability 0.65 and outside probability 0.12.
+	CardLoan PlantedRule
+	// Mortgage plants a second rule on Age. Default I = [30, 45],
+	// inside 0.5, outside 0.1.
+	Mortgage PlantedRule
+	// AutoWithdrawProb is the unconditional probability of the
+	// AutoWithdraw attribute (no planted structure). Default 0.4.
+	AutoWithdrawProb float64
+}
+
+// DefaultBankConfig returns the configuration described in the
+// BankConfig field docs.
+func DefaultBankConfig() BankConfig {
+	return BankConfig{
+		Balance:      LogNormal{Mu: 8, Sigma: 1.2},
+		Age:          UniformInt{Lo: 18, Hi: 90},
+		ServiceYears: Uniform{Lo: 0, Hi: 40},
+		CardLoan: PlantedRule{
+			Driver: "Balance", Target: "CardLoan",
+			Range: [2]float64{3000, 20000}, InsideProb: 0.65, OutsideProb: 0.12,
+		},
+		Mortgage: PlantedRule{
+			Driver: "Age", Target: "Mortgage",
+			Range: [2]float64{30, 45}, InsideProb: 0.5, OutsideProb: 0.1,
+		},
+		AutoWithdrawProb: 0.4,
+	}
+}
+
+// Bank generates bank-customer tuples with planted rules.
+//
+// Schema: Balance, Age, ServiceYears (numeric);
+// CardLoan, Mortgage, AutoWithdraw (Boolean).
+type Bank struct {
+	cfg BankConfig
+}
+
+// NewBank validates cfg (zero-value fields are filled with defaults)
+// and returns the generator.
+func NewBank(cfg BankConfig) (*Bank, error) {
+	def := DefaultBankConfig()
+	if cfg.Balance == nil {
+		cfg.Balance = def.Balance
+	}
+	if cfg.Age == nil {
+		cfg.Age = def.Age
+	}
+	if cfg.ServiceYears == nil {
+		cfg.ServiceYears = def.ServiceYears
+	}
+	if cfg.CardLoan == (PlantedRule{}) {
+		cfg.CardLoan = def.CardLoan
+	}
+	if cfg.Mortgage == (PlantedRule{}) {
+		cfg.Mortgage = def.Mortgage
+	}
+	if cfg.AutoWithdrawProb == 0 {
+		cfg.AutoWithdrawProb = def.AutoWithdrawProb
+	}
+	for _, p := range []PlantedRule{cfg.CardLoan, cfg.Mortgage} {
+		if p.Range[0] > p.Range[1] {
+			return nil, fmt.Errorf("datagen: planted range %v inverted", p.Range)
+		}
+		if p.InsideProb < 0 || p.InsideProb > 1 || p.OutsideProb < 0 || p.OutsideProb > 1 {
+			return nil, fmt.Errorf("datagen: planted probabilities out of [0,1]: %+v", p)
+		}
+	}
+	return &Bank{cfg: cfg}, nil
+}
+
+// Config returns the (defaulted) configuration, including the planted
+// ground truth.
+func (b *Bank) Config() BankConfig { return b.cfg }
+
+// Schema implements RowSource.
+func (b *Bank) Schema() relation.Schema {
+	return relation.Schema{
+		{Name: "Balance", Kind: relation.Numeric},
+		{Name: "Age", Kind: relation.Numeric},
+		{Name: "ServiceYears", Kind: relation.Numeric},
+		{Name: "CardLoan", Kind: relation.Boolean},
+		{Name: "Mortgage", Kind: relation.Boolean},
+		{Name: "AutoWithdraw", Kind: relation.Boolean},
+	}
+}
+
+// Row implements RowSource.
+func (b *Bank) Row(rng *rand.Rand, nums []float64, bools []bool) ([]float64, []bool) {
+	balance := b.cfg.Balance.Sample(rng)
+	age := b.cfg.Age.Sample(rng)
+	years := b.cfg.ServiceYears.Sample(rng)
+
+	pLoan := b.cfg.CardLoan.OutsideProb
+	if b.cfg.CardLoan.Contains(balance) {
+		pLoan = b.cfg.CardLoan.InsideProb
+	}
+	pMort := b.cfg.Mortgage.OutsideProb
+	if b.cfg.Mortgage.Contains(age) {
+		pMort = b.cfg.Mortgage.InsideProb
+	}
+
+	nums = append(nums, balance, age, years)
+	bools = append(bools,
+		rng.Float64() < pLoan,
+		rng.Float64() < pMort,
+		rng.Float64() < b.cfg.AutoWithdrawProb,
+	)
+	return nums, bools
+}

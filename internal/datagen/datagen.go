@@ -1,0 +1,75 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"optrule/internal/relation"
+)
+
+// RowSource produces tuples for a fixed schema. Implementations must be
+// deterministic given the rng stream, so that the same seed regenerates
+// the same relation (tests and experiments depend on this).
+type RowSource interface {
+	// Schema returns the schema of produced tuples.
+	Schema() relation.Schema
+	// Row appends one tuple's numeric and Boolean values to the provided
+	// buffers (which may be reused between calls) and returns them.
+	Row(rng *rand.Rand, nums []float64, bools []bool) ([]float64, []bool)
+}
+
+// Materialize builds an in-memory relation of n tuples from src.
+func Materialize(src RowSource, n int, seed int64) (*relation.MemoryRelation, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("datagen: negative tuple count %d", n)
+	}
+	rel, err := relation.NewMemoryRelation(src.Schema())
+	if err != nil {
+		return nil, err
+	}
+	rel.Grow(n)
+	rng := rand.New(rand.NewSource(seed))
+	var nums []float64
+	var bools []bool
+	for i := 0; i < n; i++ {
+		nums, bools = src.Row(rng, nums[:0], bools[:0])
+		if err := rel.Append(nums, bools); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// MustMaterialize is Materialize that panics on error, for tests and
+// examples.
+func MustMaterialize(src RowSource, n int, seed int64) *relation.MemoryRelation {
+	rel, err := Materialize(src, n, seed)
+	if err != nil {
+		panic(err)
+	}
+	return rel
+}
+
+// WriteDisk streams n tuples from src into the binary disk format at
+// path, without holding the relation in memory — this is how the
+// larger-than-memory experiment inputs are produced.
+func WriteDisk(path string, src RowSource, n int, seed int64) error {
+	if n < 0 {
+		return fmt.Errorf("datagen: negative tuple count %d", n)
+	}
+	dw, err := relation.NewDiskWriter(path, src.Schema())
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var nums []float64
+	var bools []bool
+	for i := 0; i < n; i++ {
+		nums, bools = src.Row(rng, nums[:0], bools[:0])
+		if err := dw.Append(nums, bools); err != nil {
+			dw.Close()
+			return err
+		}
+	}
+	return dw.Close()
+}

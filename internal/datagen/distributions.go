@@ -1,0 +1,139 @@
+// Package datagen generates the synthetic workloads used by the tests,
+// examples, and benchmark harness. It provides a small distribution
+// toolkit, a bank-customers generator with planted ground-truth ranges
+// (the paper's motivating scenario), a retail-basket generator for the
+// conjunctive-rule extension, and the "performance shape" generator
+// matching the paper's evaluation data: 8 numeric + 8 Boolean
+// attributes of random values (Section 6.1).
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distribution draws float64 values.
+type Distribution interface {
+	// Sample draws one value using rng.
+	Sample(rng *rand.Rand) float64
+	// String describes the distribution for documentation output.
+	String() string
+}
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Sample implements Distribution.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return u.Lo + rng.Float64()*(u.Hi-u.Lo)
+}
+
+func (u Uniform) String() string { return fmt.Sprintf("Uniform[%g,%g)", u.Lo, u.Hi) }
+
+// UniformInt draws integer-valued floats uniformly from {Lo, …, Hi}.
+type UniformInt struct {
+	Lo, Hi int
+}
+
+// Sample implements Distribution.
+func (u UniformInt) Sample(rng *rand.Rand) float64 {
+	return float64(u.Lo + rng.Intn(u.Hi-u.Lo+1))
+}
+
+func (u UniformInt) String() string { return fmt.Sprintf("UniformInt{%d..%d}", u.Lo, u.Hi) }
+
+// Gaussian is the normal distribution N(Mean, Std²).
+type Gaussian struct {
+	Mean, Std float64
+}
+
+// Sample implements Distribution.
+func (g Gaussian) Sample(rng *rand.Rand) float64 {
+	return g.Mean + g.Std*rng.NormFloat64()
+}
+
+func (g Gaussian) String() string { return fmt.Sprintf("N(%g,%g²)", g.Mean, g.Std) }
+
+// LogNormal draws exp(N(Mu, Sigma²)) — the paper's canonical example of
+// a numeric attribute with a huge, skewed domain (account balances).
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// Sample implements Distribution.
+func (l LogNormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+func (l LogNormal) String() string { return fmt.Sprintf("LogNormal(%g,%g)", l.Mu, l.Sigma) }
+
+// Zipf draws from a Zipf distribution with parameters (s, v, imax),
+// scaled by Unit. Useful for purchase-amount style attributes.
+type Zipf struct {
+	S    float64 // exponent, > 1
+	V    float64 // value offset, >= 1
+	Imax uint64  // maximum rank
+	Unit float64 // multiplier applied to the rank
+}
+
+// Sample implements Distribution. Note: each Sample constructs a value
+// from the rank distribution directly (inverse transform on a truncated
+// power law) rather than keeping per-rng state, so one Zipf value is
+// O(1) and the type is safe for concurrent use with distinct rngs.
+func (z Zipf) Sample(rng *rand.Rand) float64 {
+	// Inverse-transform sampling on P(rank > x) ∝ x^{1−s}.
+	s := z.S
+	if s <= 1 {
+		s = 1.0001
+	}
+	u := rng.Float64()
+	maxR := float64(z.Imax)
+	if maxR < 1 {
+		maxR = 1
+	}
+	// Truncated Pareto inverse CDF on [1, maxR].
+	a := s - 1
+	x := math.Pow(1-u*(1-math.Pow(maxR, -a)), -1/a)
+	unit := z.Unit
+	if unit == 0 {
+		unit = 1
+	}
+	return x * unit
+}
+
+func (z Zipf) String() string {
+	return fmt.Sprintf("Zipf(s=%g,imax=%d)x%g", z.S, z.Imax, z.Unit)
+}
+
+// Mixture draws from one of several component distributions chosen by
+// weight — e.g. a bimodal balance distribution with a mass of ordinary
+// customers and a mass of wealthy ones.
+type Mixture struct {
+	Components []Distribution
+	Weights    []float64
+}
+
+// Sample implements Distribution.
+func (m Mixture) Sample(rng *rand.Rand) float64 {
+	if len(m.Components) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i, w := range m.Weights {
+		acc += w
+		if u < acc {
+			return m.Components[i].Sample(rng)
+		}
+	}
+	return m.Components[len(m.Components)-1].Sample(rng)
+}
+
+func (m Mixture) String() string { return fmt.Sprintf("Mixture(%d components)", len(m.Components)) }

@@ -1,0 +1,108 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"optrule/internal/relation"
+)
+
+// PerfShape reproduces the data shape of the paper's performance
+// evaluation (Section 6.1): "randomly generated test data with eight
+// numeric attributes and eight Boolean attributes, that is, with 72
+// bytes per tuple". Numeric values are uniform over a large domain so
+// that the number of finest buckets is huge — the hard case motivating
+// Algorithm 3.1 — and Boolean attributes are independent coin flips
+// with varying biases.
+type PerfShape struct {
+	NumNumeric int
+	NumBool    int
+	Domain     Distribution
+}
+
+// NewPerfShape returns a generator with numNumeric numeric and numBool
+// Boolean attributes. A nil domain defaults to Uniform[0, 1e8), mimicking
+// balances of millions of customers ("the domain of A may range from
+// ¢0 to ~10^10", Example 2.4).
+func NewPerfShape(numNumeric, numBool int, domain Distribution) (*PerfShape, error) {
+	if numNumeric < 1 {
+		return nil, fmt.Errorf("datagen: need at least one numeric attribute, got %d", numNumeric)
+	}
+	if numBool < 0 {
+		return nil, fmt.Errorf("datagen: negative Boolean attribute count %d", numBool)
+	}
+	if domain == nil {
+		domain = Uniform{Lo: 0, Hi: 1e8}
+	}
+	return &PerfShape{NumNumeric: numNumeric, NumBool: numBool, Domain: domain}, nil
+}
+
+// PaperPerfShape returns the exact 8-numeric, 8-Boolean shape used in
+// the paper's Figure 9 experiment.
+func PaperPerfShape() *PerfShape {
+	ps, err := NewPerfShape(8, 8, nil)
+	if err != nil {
+		panic(err)
+	}
+	return ps
+}
+
+// Schema implements RowSource.
+func (p *PerfShape) Schema() relation.Schema {
+	s := make(relation.Schema, 0, p.NumNumeric+p.NumBool)
+	for i := 0; i < p.NumNumeric; i++ {
+		s = append(s, relation.Attribute{Name: fmt.Sprintf("N%d", i), Kind: relation.Numeric})
+	}
+	for i := 0; i < p.NumBool; i++ {
+		s = append(s, relation.Attribute{Name: fmt.Sprintf("B%d", i), Kind: relation.Boolean})
+	}
+	return s
+}
+
+// Row implements RowSource. Boolean attribute i is true with
+// probability (i+1)/(NumBool+1), giving the mining layer a spread of
+// confidence baselines to work against.
+func (p *PerfShape) Row(rng *rand.Rand, nums []float64, bools []bool) ([]float64, []bool) {
+	for i := 0; i < p.NumNumeric; i++ {
+		nums = append(nums, p.Domain.Sample(rng))
+	}
+	for i := 0; i < p.NumBool; i++ {
+		bools = append(bools, rng.Float64() < float64(i+1)/float64(p.NumBool+1))
+	}
+	return nums, bools
+}
+
+// CorrelatedShape is a variant of PerfShape in which Boolean attribute
+// B0 depends on numeric attribute N0 through a planted range, so that
+// optimized-rule queries on generated data have a meaningful answer.
+type CorrelatedShape struct {
+	*PerfShape
+	Planted PlantedRule
+}
+
+// NewCorrelatedShape plants rule (N0 ∈ planted.Range) ⇒ B0 on top of a
+// PerfShape.
+func NewCorrelatedShape(numNumeric, numBool int, domain Distribution, planted PlantedRule) (*CorrelatedShape, error) {
+	if numBool < 1 {
+		return nil, fmt.Errorf("datagen: correlated shape needs at least one Boolean attribute")
+	}
+	ps, err := NewPerfShape(numNumeric, numBool, domain)
+	if err != nil {
+		return nil, err
+	}
+	if planted.Range[0] > planted.Range[1] {
+		return nil, fmt.Errorf("datagen: planted range %v inverted", planted.Range)
+	}
+	return &CorrelatedShape{PerfShape: ps, Planted: planted}, nil
+}
+
+// Row implements RowSource.
+func (c *CorrelatedShape) Row(rng *rand.Rand, nums []float64, bools []bool) ([]float64, []bool) {
+	nums, bools = c.PerfShape.Row(rng, nums, bools)
+	p := c.Planted.OutsideProb
+	if c.Planted.Contains(nums[0]) {
+		p = c.Planted.InsideProb
+	}
+	bools[0] = rng.Float64() < p
+	return nums, bools
+}

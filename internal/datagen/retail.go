@@ -1,0 +1,175 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"optrule/internal/relation"
+)
+
+// RetailConfig parameterizes the basket-data generator used by the
+// conjunctive-rule examples (Section 4.3 of the paper: rules of the
+// form (A ∈ [v1,v2]) ∧ C1 ⇒ C2).
+type RetailConfig struct {
+	// Items are the Boolean item attributes and their unconditional
+	// purchase probabilities.
+	Items []Item
+	// Lifts boost the probability of item Then when item When is in the
+	// basket, multiplying the base probability (capped at 1).
+	Lifts []Lift
+	// AmountSpent plants a numeric association: baskets whose total
+	// amount falls in PremiumRange buy the premium item with
+	// PremiumProb instead of its base probability.
+	Amount       Distribution
+	PremiumItem  string
+	PremiumRange [2]float64
+	PremiumProb  float64
+}
+
+// Item is one Boolean basket attribute.
+type Item struct {
+	Name string
+	Prob float64
+}
+
+// Lift is a pairwise item correlation.
+type Lift struct {
+	When, Then string
+	Factor     float64
+}
+
+// DefaultRetailConfig returns a basket workload in the spirit of the
+// paper's introduction: Pizza/Coke/Potato correlations plus an Amount
+// attribute that drives purchases of a premium item.
+func DefaultRetailConfig() RetailConfig {
+	return RetailConfig{
+		Items: []Item{
+			{Name: "Pizza", Prob: 0.30},
+			{Name: "Coke", Prob: 0.35},
+			{Name: "Beer", Prob: 0.20},
+			{Name: "Potato", Prob: 0.25},
+			{Name: "Wine", Prob: 0.10},
+		},
+		Lifts: []Lift{
+			{When: "Pizza", Then: "Coke", Factor: 2.0},
+			{When: "Coke", Then: "Potato", Factor: 1.8},
+			{When: "Beer", Then: "Potato", Factor: 1.5},
+		},
+		Amount:       LogNormal{Mu: 3.5, Sigma: 0.8},
+		PremiumItem:  "Wine",
+		PremiumRange: [2]float64{60, 250},
+		PremiumProb:  0.55,
+	}
+}
+
+// Retail generates basket tuples.
+//
+// Schema: Amount, ItemCount (numeric); one Boolean attribute per item.
+type Retail struct {
+	cfg      RetailConfig
+	itemIdx  map[string]int
+	premIdx  int
+	liftSrc  []int
+	liftDst  []int
+	liftFact []float64
+}
+
+// NewRetail validates cfg and returns the generator.
+func NewRetail(cfg RetailConfig) (*Retail, error) {
+	if len(cfg.Items) == 0 {
+		return nil, fmt.Errorf("datagen: retail config needs at least one item")
+	}
+	r := &Retail{cfg: cfg, itemIdx: make(map[string]int, len(cfg.Items)), premIdx: -1}
+	for i, it := range cfg.Items {
+		if it.Prob < 0 || it.Prob > 1 {
+			return nil, fmt.Errorf("datagen: item %q probability %g out of [0,1]", it.Name, it.Prob)
+		}
+		if _, dup := r.itemIdx[it.Name]; dup {
+			return nil, fmt.Errorf("datagen: duplicate item %q", it.Name)
+		}
+		r.itemIdx[it.Name] = i
+	}
+	for _, l := range cfg.Lifts {
+		src, ok := r.itemIdx[l.When]
+		if !ok {
+			return nil, fmt.Errorf("datagen: lift references unknown item %q", l.When)
+		}
+		dst, ok := r.itemIdx[l.Then]
+		if !ok {
+			return nil, fmt.Errorf("datagen: lift references unknown item %q", l.Then)
+		}
+		if dst <= src {
+			return nil, fmt.Errorf("datagen: lift %q->%q must point forward in item order", l.When, l.Then)
+		}
+		r.liftSrc = append(r.liftSrc, src)
+		r.liftDst = append(r.liftDst, dst)
+		r.liftFact = append(r.liftFact, l.Factor)
+	}
+	if cfg.PremiumItem != "" {
+		idx, ok := r.itemIdx[cfg.PremiumItem]
+		if !ok {
+			return nil, fmt.Errorf("datagen: premium item %q not in item list", cfg.PremiumItem)
+		}
+		r.premIdx = idx
+	}
+	if cfg.Amount == nil {
+		return nil, fmt.Errorf("datagen: retail config needs an Amount distribution")
+	}
+	return r, nil
+}
+
+// Config returns the generator's configuration.
+func (r *Retail) Config() RetailConfig { return r.cfg }
+
+// Schema implements RowSource.
+func (r *Retail) Schema() relation.Schema {
+	s := relation.Schema{
+		{Name: "Amount", Kind: relation.Numeric},
+		{Name: "ItemCount", Kind: relation.Numeric},
+	}
+	for _, it := range r.cfg.Items {
+		s = append(s, relation.Attribute{Name: it.Name, Kind: relation.Boolean})
+	}
+	return s
+}
+
+// Row implements RowSource.
+func (r *Retail) Row(rng *rand.Rand, nums []float64, bools []bool) ([]float64, []bool) {
+	amount := r.cfg.Amount.Sample(rng)
+	basket := make([]bool, len(r.cfg.Items))
+	probs := make([]float64, len(r.cfg.Items))
+	for i, it := range r.cfg.Items {
+		probs[i] = it.Prob
+	}
+	if r.premIdx >= 0 && amount >= r.cfg.PremiumRange[0] && amount <= r.cfg.PremiumRange[1] {
+		probs[r.premIdx] = r.cfg.PremiumProb
+	}
+	// Items are decided in order; lifts only point forward, so each
+	// item's final probability is known when it is decided.
+	for i := range basket {
+		basket[i] = rng.Float64() < minf(probs[i], 1)
+		if basket[i] {
+			for k := range r.liftSrc {
+				if r.liftSrc[k] == i {
+					probs[r.liftDst[k]] *= r.liftFact[k]
+				}
+			}
+		}
+	}
+	count := 0
+	for _, b := range basket {
+		if b {
+			count++
+		}
+	}
+	nums = append(nums, amount, float64(count))
+	bools = append(bools, basket...)
+	return nums, bools
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"optrule/internal/bucketing"
+	"optrule/internal/core"
+	"optrule/internal/datagen"
+	"optrule/internal/hull"
+	"optrule/internal/stats"
+)
+
+// Ablations quantify the paper's individual design choices:
+//
+//  1. the sample factor S/M (why 40 and not 5 or 80),
+//  2. the convex hull tree + amortized tangents of Algorithms 4.1/4.2
+//     (versus recomputing each suffix hull from scratch), and
+//  3. the bucket count M (accuracy/time trade-off behind Table I).
+
+// SampleFactorRow reports bucketing quality and cost for one S/M.
+type SampleFactorRow struct {
+	Factor       int
+	Seconds      float64
+	MaxDeviation float64 // worst bucket's relative depth deviation
+}
+
+// SampleFactorResult is the S/M ablation.
+type SampleFactorResult struct {
+	Tuples  int
+	Buckets int
+	Rows    []SampleFactorRow
+}
+
+// AblateSampleFactor buckets an n-tuple uniform column into m buckets
+// at several sample factors and reports the worst depth deviation — the
+// empirical counterpart of Figure 1's analysis.
+func AblateSampleFactor(n, m int, factors []int, seed int64) (SampleFactorResult, error) {
+	if factors == nil {
+		factors = []int{5, 10, 20, 40, 80}
+	}
+	res := SampleFactorResult{Tuples: n, Buckets: m}
+	shape, err := datagen.NewPerfShape(1, 0, nil)
+	if err != nil {
+		return res, err
+	}
+	rel, err := datagen.Materialize(shape, n, seed)
+	if err != nil {
+		return res, err
+	}
+	for _, f := range factors {
+		rng := rand.New(rand.NewSource(seed + int64(f)))
+		start := time.Now()
+		bounds, err := bucketing.SampledBoundaries(rel, 0, m, f, rng)
+		if err != nil {
+			return res, err
+		}
+		counts, err := bucketing.Count(rel, 0, bounds, bucketing.Options{})
+		if err != nil {
+			return res, err
+		}
+		sec := time.Since(start).Seconds()
+		res.Rows = append(res.Rows, SampleFactorRow{
+			Factor:       f,
+			Seconds:      sec,
+			MaxDeviation: stats.DepthDeviation(counts.U),
+		})
+	}
+	return res, nil
+}
+
+// Print writes the sample-factor ablation.
+func (r SampleFactorResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: sample factor S/M (%d tuples, M=%d)\n", r.Tuples, r.Buckets)
+	fmt.Fprintf(w, "%6s  %12s  %22s\n", "S/M", "seconds", "worst depth deviation")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%6d  %12.3f  %21.1f%%\n", row.Factor, row.Seconds, 100*row.MaxDeviation)
+	}
+}
+
+// rescanOptimalSlopePair solves the optimized-confidence problem
+// WITHOUT the hull tree: for every anchor it rebuilds the suffix hull
+// with a monotone chain and scans it for the tangent. O(M²) worst case
+// — this is what Algorithm 4.1's tree and Algorithm 4.2's amortized
+// tangent searches save. Results must equal OptimalSlopePair.
+func rescanOptimalSlopePair(u []int, v []float64, minSupCount float64) (core.Pair, bool) {
+	m := len(u)
+	pu := make([]int, m+1)
+	pv := make([]float64, m+1)
+	for i := 0; i < m; i++ {
+		pu[i+1] = pu[i] + u[i]
+		pv[i+1] = pv[i] + v[i]
+	}
+	pts := make([]hull.Point, m+1)
+	for k := 0; k <= m; k++ {
+		pts[k] = hull.Point{X: float64(pu[k]), Y: pv[k]}
+	}
+	bs, bt := -1, -1
+	better := func(s1, t1, s2, t2 int) bool {
+		du1 := float64(pu[t1+1] - pu[s1])
+		dv1 := pv[t1+1] - pv[s1]
+		du2 := float64(pu[t2+1] - pu[s2])
+		dv2 := pv[t2+1] - pv[s2]
+		if dv1*du2 != dv2*du1 {
+			return dv1*du2 > dv2*du1
+		}
+		return du1 > du2
+	}
+	r := 0
+	for anchor := 0; anchor < m; anchor++ {
+		if r < anchor+1 {
+			r = anchor + 1
+		}
+		for r <= m && float64(pu[r]-pu[anchor]) < minSupCount {
+			r++
+		}
+		if r > m {
+			break
+		}
+		// Rebuild the suffix hull from scratch — the ablated cost.
+		hh := hull.UpperHull(pts[r:])
+		best := hh[0] + r
+		for _, rel := range hh[1:] {
+			node := rel + r
+			if hull.CompareSlopes(pts[anchor], pts[node], pts[best]) >= 0 {
+				best = node
+			}
+		}
+		if bs < 0 || better(anchor, best-1, bs, bt) {
+			bs, bt = anchor, best-1
+		}
+	}
+	if bs < 0 {
+		return core.Pair{}, false
+	}
+	count := pu[bt+1] - pu[bs]
+	sumV := pv[bt+1] - pv[bs]
+	return core.Pair{S: bs, T: bt, Count: count, SumV: sumV, Conf: sumV / float64(count)}, true
+}
+
+// HullTreeRow compares the hull-tree algorithm with the rescan ablation
+// at one bucket count.
+type HullTreeRow struct {
+	Buckets       int
+	TreeSeconds   float64
+	RescanSeconds float64
+	Agree         bool
+}
+
+// HullTreeResult is the hull-tree ablation.
+type HullTreeResult struct {
+	Rows []HullTreeRow
+}
+
+// AblateHullTree times OptimalSlopePair against the rescan variant.
+func AblateHullTree(ms []int, seed int64) (HullTreeResult, error) {
+	if ms == nil {
+		ms = []int{100, 1000, 10000, 50000}
+	}
+	var res HullTreeResult
+	rng := rand.New(rand.NewSource(seed))
+	for _, m := range ms {
+		u, v := ruleBuckets(m, rng)
+		total := 0
+		for _, x := range u {
+			total += x
+		}
+		minSup := 0.05 * float64(total)
+		start := time.Now()
+		fast, okF, err := core.OptimalSlopePair(u, v, minSup)
+		if err != nil {
+			return res, err
+		}
+		treeSec := time.Since(start).Seconds()
+		start = time.Now()
+		slow, okS := rescanOptimalSlopePair(u, v, minSup)
+		rescanSec := time.Since(start).Seconds()
+		agree := okF == okS && (!okF || (fast.Conf == slow.Conf && fast.Count == slow.Count))
+		res.Rows = append(res.Rows, HullTreeRow{
+			Buckets: m, TreeSeconds: treeSec, RescanSeconds: rescanSec, Agree: agree,
+		})
+	}
+	return res, nil
+}
+
+// Print writes the hull-tree ablation.
+func (r HullTreeResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: convex hull tree (Alg 4.1/4.2) vs per-anchor hull rebuild")
+	fmt.Fprintf(w, "%10s  %14s  %14s  %10s  %6s\n", "buckets", "hull tree (s)", "rebuild (s)", "speedup", "agree")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%10d  %14.6f  %14.6f  %9.1fx  %6v\n",
+			row.Buckets, row.TreeSeconds, row.RescanSeconds, row.RescanSeconds/row.TreeSeconds, row.Agree)
+	}
+}
+
+// BucketCountRow reports mining accuracy at one bucket count, measured
+// against the exact (finest-bucket) optimum.
+type BucketCountRow struct {
+	Buckets      int
+	Seconds      float64
+	SupportError float64 // |approx − exact| / exact
+	ConfError    float64
+}
+
+// BucketCountResult is the bucket-count accuracy/cost ablation — the
+// empirical companion of Table I on realistic (randomly planted) data.
+type BucketCountResult struct {
+	Tuples int
+	Rows   []BucketCountRow
+}
+
+// AblateBucketCount mines the planted bank rule at several bucket
+// counts and reports the relative error against the exact optimum
+// computed from finest buckets over the raw values.
+func AblateBucketCount(n int, ms []int, seed int64) (BucketCountResult, error) {
+	if ms == nil {
+		ms = []int{10, 50, 100, 500, 1000, 5000}
+	}
+	res := BucketCountResult{Tuples: n}
+	bank, err := datagen.NewBank(datagen.BankConfig{})
+	if err != nil {
+		return res, err
+	}
+	rel, err := datagen.Materialize(bank, n, seed)
+	if err != nil {
+		return res, err
+	}
+	theta := 0.55
+
+	// Exact optimum: one finest bucket per distinct Balance value.
+	bal, err := rel.NumericColumn(0)
+	if err != nil {
+		return res, err
+	}
+	loan, err := rel.BoolColumn(3)
+	if err != nil {
+		return res, err
+	}
+	type pairVal struct {
+		x   float64
+		hit bool
+	}
+	pairs := make([]pairVal, n)
+	for i := range pairs {
+		pairs[i] = pairVal{bal[i], loan[i]}
+	}
+	// Sort by value and collapse ties into finest buckets.
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].x < pairs[j].x })
+	var exactU []int
+	var exactV []float64
+	for i := 0; i < n; {
+		j := i
+		uu, vv := 0, 0.0
+		for j < n && pairs[j].x == pairs[i].x {
+			uu++
+			if pairs[j].hit {
+				vv++
+			}
+			j++
+		}
+		exactU = append(exactU, uu)
+		exactV = append(exactV, vv)
+		i = j
+	}
+	exact, okE, err := core.OptimalSupportPair(exactU, exactV, theta)
+	if err != nil || !okE {
+		return res, fmt.Errorf("experiments: exact optimum failed: ok=%v err=%v", okE, err)
+	}
+	exactSupport := float64(exact.Count) / float64(n)
+
+	for _, m := range ms {
+		rng := rand.New(rand.NewSource(seed + int64(m)))
+		start := time.Now()
+		bounds, err := bucketing.SampledBoundaries(rel, 0, m, 40, rng)
+		if err != nil {
+			return res, err
+		}
+		counts, err := bucketing.Count(rel, 0, bounds, bucketing.Options{
+			Bools: []bucketing.BoolCond{{Attr: 3, Want: true}},
+		})
+		if err != nil {
+			return res, err
+		}
+		compact, _ := counts.Compact()
+		v := make([]float64, compact.M)
+		for i, c := range compact.V[0] {
+			v[i] = float64(c)
+		}
+		approx, okA, err := core.OptimalSupportPair(compact.U, v, theta)
+		sec := time.Since(start).Seconds()
+		if err != nil {
+			return res, err
+		}
+		row := BucketCountRow{Buckets: m, Seconds: sec, SupportError: 1, ConfError: 1}
+		if okA {
+			approxSupport := float64(approx.Count) / float64(n)
+			row.SupportError = abs(approxSupport-exactSupport) / exactSupport
+			row.ConfError = abs(approx.Conf-exact.Conf) / exact.Conf
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Print writes the bucket-count ablation.
+func (r BucketCountResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: bucket count M vs accuracy (%d tuples, optimized-support rule, θ=55%%)\n", r.Tuples)
+	fmt.Fprintf(w, "%10s  %12s  %16s  %16s\n", "buckets", "seconds", "support error", "confidence error")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%10d  %12.3f  %15.2f%%  %15.2f%%\n",
+			row.Buckets, row.Seconds, 100*row.SupportError, 100*row.ConfError)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

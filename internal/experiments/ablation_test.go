@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"optrule/internal/core"
+)
+
+func TestAblateSampleFactorQualityImproves(t *testing.T) {
+	res, err := AblateSampleFactor(100000, 100, []int{5, 40}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// S/M = 40 must give materially tighter buckets than S/M = 5.
+	if res.Rows[1].MaxDeviation >= res.Rows[0].MaxDeviation {
+		t.Errorf("S/M=40 deviation %g should beat S/M=5 deviation %g",
+			res.Rows[1].MaxDeviation, res.Rows[0].MaxDeviation)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "sample factor") {
+		t.Errorf("print malformed")
+	}
+}
+
+func TestRescanMatchesHullTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		m := 1 + rng.Intn(60)
+		u := make([]int, m)
+		v := make([]float64, m)
+		for i := range u {
+			u[i] = 1 + rng.Intn(20)
+			v[i] = float64(rng.Intn(u[i] + 1))
+		}
+		minSup := float64(rng.Intn(40))
+		slow, okS := rescanOptimalSlopePair(u, v, minSup)
+		fast, okF, err := core.OptimalSlopePair(u, v, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okS != okF {
+			t.Fatalf("trial %d: ok mismatch (u=%v v=%v minSup=%g)", trial, u, v, minSup)
+		}
+		if okS && (slow.Conf != fast.Conf || slow.Count != fast.Count) {
+			t.Fatalf("trial %d: rescan %+v != tree %+v", trial, slow, fast)
+		}
+	}
+}
+
+func TestAblateHullTreeAgreesAndWins(t *testing.T) {
+	res, err := AblateHullTree([]int{200, 5000}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if !row.Agree {
+			t.Errorf("M=%d: rescan ablation disagrees with the hull tree", row.Buckets)
+		}
+	}
+	// At 5000 buckets the tree must win clearly.
+	last := res.Rows[len(res.Rows)-1]
+	if last.RescanSeconds < 2*last.TreeSeconds {
+		t.Errorf("hull tree should be >2x faster at M=%d: tree %gs rescan %gs",
+			last.Buckets, last.TreeSeconds, last.RescanSeconds)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "hull tree") {
+		t.Errorf("print malformed")
+	}
+}
+
+func TestAblateBucketCountErrorShrinks(t *testing.T) {
+	res, err := AblateBucketCount(50000, []int{10, 1000}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	coarse, fine := res.Rows[0], res.Rows[1]
+	if fine.SupportError > coarse.SupportError+1e-9 {
+		t.Errorf("M=1000 support error %g should not exceed M=10 error %g",
+			fine.SupportError, coarse.SupportError)
+	}
+	// At M=1000 the approximation should be tight (§3.4: error ~2/(M·s)).
+	if fine.SupportError > 0.05 {
+		t.Errorf("M=1000 support error %g too large", fine.SupportError)
+	}
+	if fine.ConfError > 0.05 {
+		t.Errorf("M=1000 confidence error %g too large", fine.ConfError)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "bucket count") {
+		t.Errorf("print malformed")
+	}
+}

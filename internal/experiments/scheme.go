@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"optrule/internal/bucketing"
+	"optrule/internal/core"
+	"optrule/internal/datagen"
+	"optrule/internal/stats"
+)
+
+// SchemeRow compares equi-depth and equi-width bucketing at one M.
+type SchemeRow struct {
+	Buckets int
+	// DepthDevDepth/Width: worst relative bucket-depth deviation.
+	DepthDevDepth, DepthDevWidth float64
+	// SupErrDepth/Width: relative support error of the mined
+	// optimized-support rule versus the exact (finest-bucket) optimum.
+	SupErrDepth, SupErrWidth float64
+}
+
+// SchemeResult is the bucketing-scheme ablation (paper footnote 3:
+// "using equi-depth buckets minimizes the possible error of
+// approximations for any fixed number of buckets").
+type SchemeResult struct {
+	Tuples int
+	Rows   []SchemeRow
+}
+
+// AblateBucketingScheme mines the planted bank rule (skewed lognormal
+// Balance) with equi-depth versus equi-width buckets and reports both
+// bucket-depth skew and rule-approximation error.
+func AblateBucketingScheme(n int, ms []int, seed int64) (SchemeResult, error) {
+	if ms == nil {
+		ms = []int{50, 200, 1000}
+	}
+	res := SchemeResult{Tuples: n}
+	bank, err := datagen.NewBank(datagen.BankConfig{})
+	if err != nil {
+		return res, err
+	}
+	rel, err := datagen.Materialize(bank, n, seed)
+	if err != nil {
+		return res, err
+	}
+	theta := 0.55
+	opts := bucketing.Options{Bools: []bucketing.BoolCond{{Attr: 3, Want: true}}}
+
+	// Exact optimum from finest buckets.
+	bal, err := rel.NumericColumn(0)
+	if err != nil {
+		return res, err
+	}
+	loan, err := rel.BoolColumn(3)
+	if err != nil {
+		return res, err
+	}
+	exactSupport, err := exactSupportOptimum(bal, loan, theta)
+	if err != nil {
+		return res, err
+	}
+
+	lo, hi, err := bucketing.ColumnExtremes(rel, 0)
+	if err != nil {
+		return res, err
+	}
+	for _, m := range ms {
+		row := SchemeRow{Buckets: m}
+
+		rng := rand.New(rand.NewSource(seed + int64(m)))
+		depthBounds, err := bucketing.SampledBoundaries(rel, 0, m, 40, rng)
+		if err != nil {
+			return res, err
+		}
+		widthBounds, err := bucketing.EquiWidthBoundaries(lo, hi, m)
+		if err != nil {
+			return res, err
+		}
+		for i, bounds := range []bucketing.Boundaries{depthBounds, widthBounds} {
+			counts, err := bucketing.Count(rel, 0, bounds, opts)
+			if err != nil {
+				return res, err
+			}
+			dev := stats.DepthDeviation(counts.U)
+			compact, _ := counts.Compact()
+			v := make([]float64, compact.M)
+			for k, c := range compact.V[0] {
+				v[k] = float64(c)
+			}
+			supErr := 1.0
+			if p, ok, err := core.OptimalSupportPair(compact.U, v, theta); err != nil {
+				return res, err
+			} else if ok {
+				supErr = abs(float64(p.Count)/float64(n)-exactSupport) / exactSupport
+			}
+			if i == 0 {
+				row.DepthDevDepth, row.SupErrDepth = dev, supErr
+			} else {
+				row.DepthDevWidth, row.SupErrWidth = dev, supErr
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// exactSupportOptimum computes the finest-bucket optimized-support
+// fraction for a raw (values, hits) column.
+func exactSupportOptimum(values []float64, hits []bool, theta float64) (float64, error) {
+	type pv struct {
+		x   float64
+		hit bool
+	}
+	n := len(values)
+	pairs := make([]pv, n)
+	for i := range pairs {
+		pairs[i] = pv{values[i], hits[i]}
+	}
+	sortByX := func(i, j int) bool { return pairs[i].x < pairs[j].x }
+	sort.Slice(pairs, sortByX)
+	var u []int
+	var v []float64
+	for i := 0; i < n; {
+		j := i
+		cnt, hit := 0, 0
+		for j < n && pairs[j].x == pairs[i].x {
+			cnt++
+			if pairs[j].hit {
+				hit++
+			}
+			j++
+		}
+		u = append(u, cnt)
+		v = append(v, float64(hit))
+		i = j
+	}
+	p, ok, err := core.OptimalSupportPair(u, v, theta)
+	if err != nil || !ok {
+		return 0, fmt.Errorf("experiments: exact optimum failed: ok=%v err=%v", ok, err)
+	}
+	return float64(p.Count) / float64(n), nil
+}
+
+// Print writes the scheme ablation.
+func (r SchemeResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: equi-depth vs equi-width buckets (footnote 3; %d tuples, skewed Balance)\n", r.Tuples)
+	fmt.Fprintf(w, "%10s  %16s  %16s  %16s  %16s\n",
+		"buckets", "depth skew (ed)", "depth skew (ew)", "rule err (ed)", "rule err (ew)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%10d  %15.1f%%  %15.0f%%  %15.2f%%  %15.2f%%\n",
+			row.Buckets, 100*row.DepthDevDepth, 100*row.DepthDevWidth,
+			100*row.SupErrDepth, 100*row.SupErrWidth)
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblateBucketingSchemeFootnote3(t *testing.T) {
+	res, err := AblateBucketingScheme(100000, []int{200}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	// On skewed lognormal data, equi-width buckets are wildly uneven
+	// while sampled equi-depth buckets stay close to uniform.
+	if row.DepthDevWidth < 5*row.DepthDevDepth {
+		t.Errorf("equi-width skew %g should dwarf equi-depth skew %g",
+			row.DepthDevWidth, row.DepthDevDepth)
+	}
+	// And the mined rule should be at least as accurate with equi-depth
+	// buckets (footnote 3's claim, with a small tolerance for sampling
+	// noise).
+	if row.SupErrDepth > row.SupErrWidth+0.02 {
+		t.Errorf("equi-depth rule error %g should not exceed equi-width error %g",
+			row.SupErrDepth, row.SupErrWidth)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "equi-depth vs equi-width") {
+		t.Errorf("print malformed")
+	}
+}

@@ -1,0 +1,47 @@
+package hull
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPoints(n int) []Point {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, n)
+	x := 0.0
+	for i := range pts {
+		x += 1 + rng.Float64()
+		pts[i] = Point{X: x, Y: rng.NormFloat64() * 100}
+	}
+	return pts
+}
+
+func BenchmarkNewTree10k(b *testing.B) {
+	pts := benchPoints(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewTree(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeFullRestoration10k(b *testing.B) {
+	pts := benchPoints(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree, err := NewTree(pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tree.AdvanceTo(len(pts) - 1)
+	}
+}
+
+func BenchmarkUpperHull10k(b *testing.B) {
+	pts := benchPoints(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UpperHull(pts)
+	}
+}

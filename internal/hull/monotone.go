@@ -1,0 +1,31 @@
+package hull
+
+// UpperHull returns the indices (into pts) of the upper hull of pts, in
+// left-to-right order, using Andrew's monotone chain. pts must be
+// sorted by strictly increasing X. Collinear interior points are
+// excluded, matching the paper's hulls whose nodes are exactly the
+// vertices. This is the reference implementation the convex hull tree
+// is property-tested against.
+func UpperHull(pts []Point) []int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	hull := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		// Pop while the last two hull points and pts[i] make a
+		// non-clockwise turn (i.e. the middle point is on or below the
+		// chord), keeping the hull strictly convex from above.
+		for len(hull) >= 2 {
+			a := pts[hull[len(hull)-2]]
+			b := pts[hull[len(hull)-1]]
+			if Cross(a, b, pts[i]) >= 0 {
+				hull = hull[:len(hull)-1]
+			} else {
+				break
+			}
+		}
+		hull = append(hull, i)
+	}
+	return hull
+}

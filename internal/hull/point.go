@@ -1,0 +1,57 @@
+// Package hull implements the computational-geometry machinery behind
+// the paper's optimized-confidence algorithm: 2-D points, exact-ish
+// slope comparisons via cross products, a reference monotone-chain
+// upper hull, and the convex hull tree of Algorithm 4.1 (online
+// maintenance of the upper hulls U_m of point suffixes, with the stack
+// S and branch stacks D_i exactly as in the paper).
+package hull
+
+// Point is a point in the plane. In the optimized-rule setting,
+// X-coordinates are cumulative bucket sizes (strictly increasing, since
+// every bucket holds at least one tuple) and Y-coordinates are
+// cumulative hit counts or value sums.
+type Point struct {
+	X, Y float64
+}
+
+// Sub returns p − q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Cross returns the z-component of (b−a) × (c−a): positive when the
+// turn a→b→c is counterclockwise, negative when clockwise, zero when
+// collinear.
+func Cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// CompareSlopes compares slope(o→a) with slope(o→b) without division,
+// assuming a.X > o.X and b.X > o.X. It returns −1, 0, or +1.
+func CompareSlopes(o, a, b Point) int {
+	// slope(o,a) < slope(o,b)  ⇔  (a.Y−o.Y)(b.X−o.X) < (b.Y−o.Y)(a.X−o.X)
+	lhs := (a.Y - o.Y) * (b.X - o.X)
+	rhs := (b.Y - o.Y) * (a.X - o.X)
+	switch {
+	case lhs < rhs:
+		return -1
+	case lhs > rhs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// AboveOrOn reports whether p lies on or above the line through a and
+// b, where a.X < b.X.
+func AboveOrOn(p, a, b Point) bool {
+	// Line direction a→b; p above means the turn a→b→p is clockwise for
+	// screen coordinates but counterclockwise in standard orientation:
+	// Cross(a, b, p) >= 0 puts p on the left of a→b, which for a
+	// left-to-right segment is above.
+	return Cross(a, b, p) >= 0
+}
+
+// Slope returns (b.Y−a.Y)/(b.X−a.X). Callers must ensure b.X != a.X;
+// with strictly increasing cumulative sizes this always holds.
+func Slope(a, b Point) float64 {
+	return (b.Y - a.Y) / (b.X - a.X)
+}

@@ -1,0 +1,149 @@
+package hull
+
+import "fmt"
+
+// Tree is the convex hull tree of Algorithm 4.1. Given points
+// Q_0 … Q_{n−1} sorted by strictly increasing X, the preparatory phase
+// (NewTree) computes, in O(n) total time, the branch stacks D_i holding
+// the nodes that belong to U_{i+1} (the upper hull of {Q_{i+1}, …,
+// Q_{n−1}}) but not to U_i. Afterwards the stack S holds U_0, and the
+// restoration phase (Advance) transforms S from U_cur to U_{cur+1} in
+// amortized O(1): pop Q_cur, push back D_cur.
+//
+// The stack is exposed positionally for the tangent searches of
+// Algorithm 4.2: position StackLen()−1 is the top (the leftmost hull
+// node Q_cur), position 0 the bottom (the rightmost node Q_{n−1});
+// walking down the stack visits the hull clockwise (left to right).
+type Tree struct {
+	pts   []Point
+	stack []int
+	// Branch stacks D_i. Every node is popped at most once during the
+	// preparatory phase and all pops for step i are contiguous, so the
+	// branches are slices of one shared arena — the whole tree costs
+	// four allocations regardless of size.
+	d    [][]int
+	dBuf []int
+	pos  []int
+	cur  int
+}
+
+// NewTree runs the preparatory phase over pts, which must be sorted by
+// strictly increasing X (cumulative bucket sizes guarantee this). After
+// construction the stack holds U_0.
+func NewTree(pts []Point) (*Tree, error) {
+	n := len(pts)
+	if n == 0 {
+		return nil, fmt.Errorf("hull: no points")
+	}
+	for i := 1; i < n; i++ {
+		if pts[i].X <= pts[i-1].X {
+			return nil, fmt.Errorf("hull: X not strictly increasing at %d (%g after %g)", i, pts[i].X, pts[i-1].X)
+		}
+	}
+	t := &Tree{
+		pts:   pts,
+		stack: make([]int, 0, n),
+		d:     make([][]int, n),
+		dBuf:  make([]int, 0, n),
+		pos:   make([]int, n),
+	}
+	for i := range t.pos {
+		t.pos[i] = -1
+	}
+	for i := n - 1; i >= 0; i-- {
+		// Clockwise search: pop hull nodes that fall below the tangent
+		// from Q_i, recording them on the branch stack D_i.
+		start := len(t.dBuf)
+		for len(t.stack) >= 2 {
+			top := t.stack[len(t.stack)-1]
+			second := t.stack[len(t.stack)-2]
+			if CompareSlopes(t.pts[i], t.pts[top], t.pts[second]) <= 0 {
+				t.popToBuf()
+			} else {
+				break
+			}
+		}
+		t.d[i] = t.dBuf[start:len(t.dBuf):len(t.dBuf)]
+		t.push(i)
+	}
+	t.cur = 0
+	return t, nil
+}
+
+// push puts node on top of S.
+func (t *Tree) push(node int) {
+	t.stack = append(t.stack, node)
+	t.pos[node] = len(t.stack) - 1
+}
+
+// popToBuf removes the top of S and records it on the branch arena.
+func (t *Tree) popToBuf() {
+	top := t.stack[len(t.stack)-1]
+	t.stack = t.stack[:len(t.stack)-1]
+	t.pos[top] = -1
+	t.dBuf = append(t.dBuf, top)
+}
+
+// Cur returns the index m such that the stack currently holds U_m.
+func (t *Tree) Cur() int { return t.cur }
+
+// NumPoints returns the number of points the tree was built over.
+func (t *Tree) NumPoints() int { return len(t.pts) }
+
+// Advance performs one restoration step, turning U_cur into U_{cur+1}.
+// It panics if the tree is already at the last suffix.
+func (t *Tree) Advance() {
+	if t.cur >= len(t.pts)-1 {
+		panic("hull: Advance past the last suffix hull")
+	}
+	// Pop Q_cur …
+	top := t.stack[len(t.stack)-1]
+	if top != t.cur {
+		panic(fmt.Sprintf("hull: stack top %d is not Q_%d; tree corrupted", top, t.cur))
+	}
+	t.stack = t.stack[:len(t.stack)-1]
+	t.pos[top] = -1
+	// … and push back the branch D_cur in top-to-bottom order (reverse
+	// of pop order), which restores U_{cur+1} with Q_{cur+1} on top.
+	branch := t.d[t.cur]
+	for j := len(branch) - 1; j >= 0; j-- {
+		t.push(branch[j])
+	}
+	t.cur++
+}
+
+// AdvanceTo advances until the stack holds U_m. m must be >= Cur() and
+// < NumPoints().
+func (t *Tree) AdvanceTo(m int) {
+	if m < t.cur {
+		panic(fmt.Sprintf("hull: cannot rewind from U_%d to U_%d", t.cur, m))
+	}
+	for t.cur < m {
+		t.Advance()
+	}
+}
+
+// StackLen returns the number of nodes on the current hull.
+func (t *Tree) StackLen() int { return len(t.stack) }
+
+// NodeAt returns the point index stored at stack position p
+// (0 = bottom/rightmost, StackLen()−1 = top/leftmost).
+func (t *Tree) NodeAt(p int) int { return t.stack[p] }
+
+// Pos returns the stack position of node, or −1 if the node is not on
+// the current hull.
+func (t *Tree) Pos(node int) int { return t.pos[node] }
+
+// Point returns the coordinates of point index i.
+func (t *Tree) Point(i int) Point { return t.pts[i] }
+
+// HullLeftToRight returns the current hull's point indices from the
+// leftmost node (Q_cur) to the rightmost (Q_{n−1}). Intended for tests
+// and debugging; allocates a fresh slice.
+func (t *Tree) HullLeftToRight() []int {
+	out := make([]int, len(t.stack))
+	for i := range out {
+		out[i] = t.stack[len(t.stack)-1-i]
+	}
+	return out
+}

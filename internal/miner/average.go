@@ -1,0 +1,134 @@
+package miner
+
+import (
+	"fmt"
+	"math/rand"
+
+	"optrule/internal/bucketing"
+	"optrule/internal/core"
+	"optrule/internal/relation"
+)
+
+// AvgRange is an optimized range for the average operator (Section 5):
+// a range of the driver attribute A optimizing the average of the
+// target attribute B.
+type AvgRange struct {
+	// Driver and Target are the attribute names A and B.
+	Driver, Target string
+	// Low and High delimit the range of A (observed values).
+	Low, High float64
+	// Support is the fraction of tuples with A in the range; Count the
+	// absolute number.
+	Support float64
+	Count   int
+	// Average is the mean of B over tuples with A in the range.
+	Average float64
+	// OverallAverage is the mean of B over all tuples.
+	OverallAverage float64
+}
+
+// String renders the range as the decision-support query it answers.
+func (a AvgRange) String() string {
+	return fmt.Sprintf("avg(%s | %s in [%.6g, %.6g]) = %.6g over %d tuples (%.2f%% support; overall avg %.6g)",
+		a.Target, a.Driver, a.Low, a.High, a.Average, a.Count, 100*a.Support, a.OverallAverage)
+}
+
+// averageSetup buckets the driver attribute and accumulates per-bucket
+// target sums in one scan.
+func averageSetup(rel relation.Relation, driver, target string, cfg Config) (*bucketing.Counts, error) {
+	s := rel.Schema()
+	dAttr := s.Index(driver)
+	if dAttr < 0 || s[dAttr].Kind != relation.Numeric {
+		return nil, fmt.Errorf("miner: %q is not a numeric attribute", driver)
+	}
+	tAttr := s.Index(target)
+	if tAttr < 0 || s[tAttr].Kind != relation.Numeric {
+		return nil, fmt.Errorf("miner: %q is not a numeric attribute", target)
+	}
+	if rel.NumTuples() == 0 {
+		return nil, fmt.Errorf("miner: empty relation")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(dAttr)*1e6 + 17))
+	bounds, err := bucketing.SampledBoundaries(rel, dAttr, cfg.Buckets, cfg.SampleFactor, rng)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := bucketing.Count(rel, dAttr, bounds, bucketing.Options{
+		Targets:       []int{tAttr},
+		TrackExtremes: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	compact, _ := counts.Compact()
+	return compact, nil
+}
+
+// fillAvg assembles an AvgRange from a bucket-range solution.
+func fillAvg(driver, target string, p core.Pair, c *bucketing.Counts) AvgRange {
+	totalSum := 0.0
+	for _, x := range c.Sum[0] {
+		totalSum += x
+	}
+	return AvgRange{
+		Driver:         driver,
+		Target:         target,
+		Low:            c.MinVal[p.S],
+		High:           c.MaxVal[p.T],
+		Support:        float64(p.Count) / float64(c.N),
+		Count:          p.Count,
+		Average:        p.Conf,
+		OverallAverage: totalSum / float64(c.N),
+	}
+}
+
+// MaxAverageRange computes the range of driver values that maximizes
+// the average of the target attribute among ranges containing at least
+// minSupport (a fraction) of the tuples — Definition 5.2, solved with
+// the optimal-slope-pair algorithm.
+func MaxAverageRange(rel relation.Relation, driver, target string, minSupport float64, cfg Config) (AvgRange, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return AvgRange{}, err
+	}
+	if minSupport < 0 || minSupport > 1 {
+		return AvgRange{}, fmt.Errorf("miner: minSupport %g out of [0,1]", minSupport)
+	}
+	compact, err := averageSetup(rel, driver, target, cfg)
+	if err != nil {
+		return AvgRange{}, err
+	}
+	p, ok, err := core.OptimalSlopePair(compact.U, compact.Sum[0], minSupport*float64(compact.N))
+	if err != nil {
+		return AvgRange{}, err
+	}
+	if !ok {
+		return AvgRange{}, fmt.Errorf("miner: no range reaches support %g", minSupport)
+	}
+	return fillAvg(driver, target, p, compact), nil
+}
+
+// MaxSupportRange computes the range of driver values that maximizes
+// support among ranges whose target average is at least minAverage —
+// Definition 5.3, solved with the optimal-support-pair algorithm. As
+// the paper notes, a threshold at or below the overall average is
+// trivially satisfied by the whole domain; that result is returned, not
+// an error.
+func MaxSupportRange(rel relation.Relation, driver, target string, minAverage float64, cfg Config) (AvgRange, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return AvgRange{}, err
+	}
+	compact, err := averageSetup(rel, driver, target, cfg)
+	if err != nil {
+		return AvgRange{}, err
+	}
+	p, ok, err := core.OptimalSupportPair(compact.U, compact.Sum[0], minAverage)
+	if err != nil {
+		return AvgRange{}, err
+	}
+	if !ok {
+		return AvgRange{}, fmt.Errorf("miner: no range reaches average %g", minAverage)
+	}
+	return fillAvg(driver, target, p, compact), nil
+}

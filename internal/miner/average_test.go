@@ -1,0 +1,142 @@
+package miner
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"optrule/internal/relation"
+)
+
+// savingsRelation plants a Section 5 scenario: customers whose
+// CheckingAccount lies in [1000, 3000] have SavingAccount ~ N(50000,
+// 5000); everyone else ~ N(8000, 2000).
+func savingsRelation(t testing.TB, n int) *relation.MemoryRelation {
+	t.Helper()
+	rel := relation.MustNewMemoryRelation(relation.Schema{
+		{Name: "CheckingAccount", Kind: relation.Numeric},
+		{Name: "SavingAccount", Kind: relation.Numeric},
+	})
+	rng := rand.New(rand.NewSource(55))
+	rel.Grow(n)
+	for i := 0; i < n; i++ {
+		checking := rng.Float64() * 10000
+		var saving float64
+		if checking >= 1000 && checking <= 3000 {
+			saving = 50000 + rng.NormFloat64()*5000
+		} else {
+			saving = 8000 + rng.NormFloat64()*2000
+		}
+		rel.MustAppend([]float64{checking, saving}, nil)
+	}
+	return rel
+}
+
+func TestMaxAverageRangeFindsRichSegment(t *testing.T) {
+	rel := savingsRelation(t, 50000)
+	got, err := MaxAverageRange(rel, "CheckingAccount", "SavingAccount", 0.10, Config{Buckets: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~20% of checking values fall in [1000,3000]; with a 10% support
+	// floor the best range should sit inside the rich segment.
+	if got.Low < 500 || got.High > 3600 {
+		t.Errorf("range [%g, %g] strays from planted [1000, 3000]", got.Low, got.High)
+	}
+	if got.Average < 30000 {
+		t.Errorf("average %g too low; planted segment averages ~50000", got.Average)
+	}
+	if got.Support < 0.10-1e-9 {
+		t.Errorf("support %g below the floor", got.Support)
+	}
+	if got.OverallAverage > got.Average {
+		t.Errorf("selected average should beat overall (%g vs %g)", got.Average, got.OverallAverage)
+	}
+	if !strings.Contains(got.String(), "CheckingAccount") {
+		t.Errorf("String() = %q", got.String())
+	}
+}
+
+func TestMaxSupportRangeWithHighThreshold(t *testing.T) {
+	rel := savingsRelation(t, 50000)
+	got, err := MaxSupportRange(rel, "CheckingAccount", "SavingAccount", 40000, Config{Buckets: 500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Average < 40000 {
+		t.Errorf("average %g below the 40000 threshold", got.Average)
+	}
+	// Only the rich segment can sustain a 40k average; its support is
+	// about 20%.
+	if got.Support < 0.1 || got.Support > 0.3 {
+		t.Errorf("support %g, want ≈0.2 (the planted segment)", got.Support)
+	}
+	if got.Low < 500 || got.High > 3600 {
+		t.Errorf("range [%g, %g] strays from planted [1000, 3000]", got.Low, got.High)
+	}
+}
+
+func TestMaxSupportRangeTrivialThreshold(t *testing.T) {
+	// Threshold at or below the overall average: whole domain wins
+	// (the paper calls this the trivial case).
+	rel := savingsRelation(t, 20000)
+	got, err := MaxSupportRange(rel, "CheckingAccount", "SavingAccount", 0, Config{Buckets: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Support-1) > 1e-9 {
+		t.Errorf("trivial threshold should select everything, support = %g", got.Support)
+	}
+}
+
+func TestMaxAverageRangeUnreachableSupport(t *testing.T) {
+	rel := savingsRelation(t, 1000)
+	if _, err := MaxAverageRange(rel, "CheckingAccount", "SavingAccount", 1.0, Config{Buckets: 50}); err == nil {
+		// Support 1.0 is satisfiable only by the whole range, which IS a
+		// valid answer — so this must NOT error.
+		t.Log("full-domain support accepted (expected)")
+	}
+	if _, err := MaxSupportRange(rel, "CheckingAccount", "SavingAccount", 1e12, Config{Buckets: 50}); err == nil {
+		t.Errorf("unreachable average threshold accepted")
+	}
+}
+
+func TestAverageValidation(t *testing.T) {
+	rel := savingsRelation(t, 100)
+	if _, err := MaxAverageRange(rel, "Nope", "SavingAccount", 0.1, Config{}); err == nil {
+		t.Errorf("unknown driver accepted")
+	}
+	if _, err := MaxAverageRange(rel, "CheckingAccount", "Nope", 0.1, Config{}); err == nil {
+		t.Errorf("unknown target accepted")
+	}
+	if _, err := MaxAverageRange(rel, "CheckingAccount", "SavingAccount", -0.1, Config{}); err == nil {
+		t.Errorf("negative support accepted")
+	}
+	empty := relation.MustNewMemoryRelation(rel.Schema())
+	if _, err := MaxAverageRange(empty, "CheckingAccount", "SavingAccount", 0.1, Config{}); err == nil {
+		t.Errorf("empty relation accepted")
+	}
+	if _, err := MaxSupportRange(rel, "CheckingAccount", "SavingAccount", 1e9, Config{Buckets: -1}); err == nil {
+		t.Errorf("bad config accepted")
+	}
+}
+
+func TestMaxAverageRangeSelfDriver(t *testing.T) {
+	// Driver == target: the max-average range with a support floor must
+	// be the top tail of the distribution.
+	rel := relation.MustNewMemoryRelation(relation.Schema{{Name: "X", Kind: relation.Numeric}})
+	for i := 1; i <= 1000; i++ {
+		rel.MustAppend([]float64{float64(i)}, nil)
+	}
+	got, err := MaxAverageRange(rel, "X", "X", 0.10, Config{Buckets: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Low < 850 {
+		t.Errorf("top-tail range should start near 900, got [%g, %g]", got.Low, got.High)
+	}
+	if got.High != 1000 {
+		t.Errorf("range should end at the max, got %g", got.High)
+	}
+}

@@ -1,0 +1,124 @@
+package miner
+
+import (
+	"math"
+	"optrule/internal/datagen"
+	"optrule/internal/relation"
+	"strings"
+	"testing"
+)
+
+func TestMineConjunctiveMatchesSingleObjective(t *testing.T) {
+	// With one objective and no conditions, MineConjunctive must agree
+	// with Mine (identical boundaries seed, identical thresholds).
+	rel, _ := bankRelation(t, 20000)
+	cfg := Config{MinConfidence: 0.55, MinSupport: 0.05, Buckets: 200, Seed: 7}
+	supC, confC, err := MineConjunctive(rel, "Balance",
+		[]Condition{{Attr: "CardLoan", Value: true}}, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supS, confS, err := Mine(rel, "Balance", "CardLoan", true, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (supC == nil) != (supS == nil) || (confC == nil) != (confS == nil) {
+		t.Fatalf("rule presence differs: %v/%v vs %v/%v", supC, confC, supS, confS)
+	}
+	if supC != nil {
+		if supC.Count != supS.Count || math.Abs(supC.Confidence-supS.Confidence) > 1e-12 {
+			t.Errorf("support rule differs:\nconj:   %v\nsingle: %v", supC, supS)
+		}
+	}
+	if confC != nil {
+		if confC.Count != confS.Count || math.Abs(confC.Confidence-confS.Confidence) > 1e-12 {
+			t.Errorf("confidence rule differs:\nconj:   %v\nsingle: %v", confC, confS)
+		}
+	}
+}
+
+func TestMineConjunctiveObjective(t *testing.T) {
+	// (Balance ∈ I) ⇒ (CardLoan=yes ∧ AutoWithdraw=yes). AutoWithdraw is
+	// independent at 40%, so the conjunction's confidence ≈ 0.4 × the
+	// single-objective confidence, and the baseline drops accordingly.
+	rel, _ := bankRelation(t, 60000)
+	cfg := Config{MinConfidence: 0.2, MinSupport: 0.05, Buckets: 300, Seed: 9}
+	sup, conf, err := MineConjunctive(rel, "Balance",
+		[]Condition{{Attr: "CardLoan", Value: true}, {Attr: "AutoWithdraw", Value: true}},
+		nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup == nil || conf == nil {
+		t.Fatalf("rules missing: %v %v", sup, conf)
+	}
+	_, confSingle, err := Mine(rel, "Balance", "CardLoan", true, nil,
+		Config{MinConfidence: 0.5, MinSupport: 0.05, Buckets: 300, Seed: 9})
+	if err != nil || confSingle == nil {
+		t.Fatal(err)
+	}
+	ratio := conf.Confidence / confSingle.Confidence
+	if ratio < 0.3 || ratio > 0.5 {
+		t.Errorf("conjunction confidence ratio %g, want ≈0.4 (independent AutoWithdraw)", ratio)
+	}
+	if !strings.Contains(conf.String(), "CardLoan=yes") || !strings.Contains(conf.String(), "AutoWithdraw=yes") {
+		t.Errorf("conjunctive objective not rendered: %s", conf)
+	}
+	if conf.Confidence < 0.2 {
+		t.Errorf("confidence %g below threshold", conf.Confidence)
+	}
+}
+
+func TestMineConjunctiveWithPresumptiveCondition(t *testing.T) {
+	// Full general form: (Amount ∈ I) ∧ (Pizza=yes) ⇒ (Coke=yes ∧ Potato=yes).
+	rel := retailRelation(t, 50000)
+	sup, _, err := MineConjunctive(rel, "Amount",
+		[]Condition{{Attr: "Coke", Value: true}, {Attr: "Potato", Value: true}},
+		[]Condition{{Attr: "Pizza", Value: true}},
+		Config{MinConfidence: 0.25, Buckets: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup == nil {
+		t.Fatal("no rule; P(Coke ∧ Potato | Pizza) should exceed 25% with lifts")
+	}
+	if !strings.Contains(sup.String(), "Pizza=yes") {
+		t.Errorf("presumptive condition not rendered: %s", sup)
+	}
+	if sup.Confidence < 0.25 {
+		t.Errorf("confidence %g below threshold", sup.Confidence)
+	}
+}
+
+func TestMineConjunctiveValidation(t *testing.T) {
+	rel, _ := bankRelation(t, 100)
+	if _, _, err := MineConjunctive(rel, "Balance", nil, nil, Config{}); err == nil {
+		t.Errorf("empty objective conjunction accepted")
+	}
+	if _, _, err := MineConjunctive(rel, "Nope",
+		[]Condition{{Attr: "CardLoan", Value: true}}, nil, Config{}); err == nil {
+		t.Errorf("unknown numeric accepted")
+	}
+	if _, _, err := MineConjunctive(rel, "Balance",
+		[]Condition{{Attr: "Balance", Value: true}}, nil, Config{}); err == nil {
+		t.Errorf("numeric objective accepted")
+	}
+	// Contradictory C1 excludes everything: no rules, no error.
+	sup, conf, err := MineConjunctive(rel, "Balance",
+		[]Condition{{Attr: "CardLoan", Value: true}},
+		[]Condition{{Attr: "Mortgage", Value: true}, {Attr: "Mortgage", Value: false}},
+		Config{Buckets: 10})
+	if err != nil || sup != nil || conf != nil {
+		t.Errorf("contradictory condition should yield no rules: %v %v %v", sup, conf, err)
+	}
+}
+
+// retailRelation materializes the default retail workload.
+func retailRelation(t testing.TB, n int) *relation.MemoryRelation {
+	t.Helper()
+	ret, err := datagen.NewRetail(datagen.DefaultRetailConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return datagen.MustMaterialize(ret, n, 77)
+}

@@ -1,0 +1,123 @@
+package miner
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"optrule/internal/relation"
+)
+
+// AttributeSummary describes one attribute of a relation.
+type AttributeSummary struct {
+	Name string
+	Kind relation.Kind
+	// Numeric attributes:
+	Min, Max, Mean, StdDev float64
+	NaNs                   int
+	// Boolean attributes:
+	YesCount int
+}
+
+// DatasetSummary describes a relation, for the describe mode of the
+// mining CLI and for quick data sanity checks before mining.
+type DatasetSummary struct {
+	Tuples     int
+	Attributes []AttributeSummary
+}
+
+// Describe scans the relation once and summarizes every attribute.
+func Describe(rel relation.Relation) (*DatasetSummary, error) {
+	s := rel.Schema()
+	sum := &DatasetSummary{Tuples: rel.NumTuples()}
+	numIdx := s.NumericIndices()
+	boolIdx := s.BooleanIndices()
+	cols := relation.ColumnSet{Numeric: numIdx, Bool: boolIdx}
+
+	type numAcc struct {
+		min, max, sum, sumSq float64
+		n, nans              int
+	}
+	numAccs := make([]numAcc, len(numIdx))
+	for i := range numAccs {
+		numAccs[i].min = math.Inf(1)
+		numAccs[i].max = math.Inf(-1)
+	}
+	boolAccs := make([]int, len(boolIdx))
+
+	err := rel.Scan(cols, func(b *relation.Batch) error {
+		for k := range numIdx {
+			acc := &numAccs[k]
+			for _, v := range b.Numeric[k][:b.Len] {
+				if math.IsNaN(v) {
+					acc.nans++
+					continue
+				}
+				if v < acc.min {
+					acc.min = v
+				}
+				if v > acc.max {
+					acc.max = v
+				}
+				acc.sum += v
+				acc.sumSq += v * v
+				acc.n++
+			}
+		}
+		for k := range boolIdx {
+			for _, v := range b.Bool[k][:b.Len] {
+				if v {
+					boolAccs[k]++
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, attr := range numIdx {
+		acc := numAccs[k]
+		a := AttributeSummary{Name: s[attr].Name, Kind: relation.Numeric, NaNs: acc.nans}
+		if acc.n > 0 {
+			a.Min, a.Max = acc.min, acc.max
+			a.Mean = acc.sum / float64(acc.n)
+			variance := acc.sumSq/float64(acc.n) - a.Mean*a.Mean
+			if variance > 0 {
+				a.StdDev = math.Sqrt(variance)
+			}
+		} else {
+			a.Min, a.Max = math.NaN(), math.NaN()
+			a.Mean, a.StdDev = math.NaN(), math.NaN()
+		}
+		sum.Attributes = append(sum.Attributes, a)
+	}
+	for k, attr := range boolIdx {
+		sum.Attributes = append(sum.Attributes, AttributeSummary{
+			Name: s[attr].Name, Kind: relation.Boolean, YesCount: boolAccs[k],
+		})
+	}
+	return sum, nil
+}
+
+// Print writes the summary as a table.
+func (d *DatasetSummary) Print(w io.Writer) {
+	fmt.Fprintf(w, "%d tuples, %d attributes\n", d.Tuples, len(d.Attributes))
+	for _, a := range d.Attributes {
+		switch a.Kind {
+		case relation.Numeric:
+			fmt.Fprintf(w, "  %-20s numeric  min %.6g  max %.6g  mean %.6g  std %.6g",
+				a.Name, a.Min, a.Max, a.Mean, a.StdDev)
+			if a.NaNs > 0 {
+				fmt.Fprintf(w, "  (%d NaN)", a.NaNs)
+			}
+			fmt.Fprintln(w)
+		case relation.Boolean:
+			pct := 0.0
+			if d.Tuples > 0 {
+				pct = 100 * float64(a.YesCount) / float64(d.Tuples)
+			}
+			fmt.Fprintf(w, "  %-20s boolean  yes %d (%.1f%%)\n", a.Name, a.YesCount, pct)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package miner
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"optrule/internal/relation"
+)
+
+func TestDescribe(t *testing.T) {
+	rel := relation.MustNewMemoryRelation(relation.Schema{
+		{Name: "X", Kind: relation.Numeric},
+		{Name: "B", Kind: relation.Boolean},
+	})
+	for i := 1; i <= 4; i++ {
+		rel.MustAppend([]float64{float64(i)}, []bool{i <= 3})
+	}
+	rel.MustAppend([]float64{math.NaN()}, []bool{false})
+	sum, err := Describe(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Tuples != 5 || len(sum.Attributes) != 2 {
+		t.Fatalf("summary shape wrong: %+v", sum)
+	}
+	x := sum.Attributes[0]
+	if x.Name != "X" || x.Min != 1 || x.Max != 4 || x.Mean != 2.5 || x.NaNs != 1 {
+		t.Errorf("numeric summary wrong: %+v", x)
+	}
+	wantStd := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 4) // population std of 1..4
+	if math.Abs(x.StdDev-wantStd) > 1e-9 {
+		t.Errorf("std = %g, want %g", x.StdDev, wantStd)
+	}
+	b := sum.Attributes[1]
+	if b.Name != "B" || b.YesCount != 3 {
+		t.Errorf("boolean summary wrong: %+v", b)
+	}
+	var buf bytes.Buffer
+	sum.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"5 tuples", "X", "numeric", "(1 NaN)", "B", "yes 3 (60.0%)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("print missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribeAllNaNColumn(t *testing.T) {
+	rel := relation.MustNewMemoryRelation(relation.Schema{{Name: "X", Kind: relation.Numeric}})
+	rel.MustAppend([]float64{math.NaN()}, nil)
+	sum, err := Describe(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(sum.Attributes[0].Mean) {
+		t.Errorf("all-NaN column should have NaN mean, got %g", sum.Attributes[0].Mean)
+	}
+	var buf bytes.Buffer
+	sum.Print(&buf) // must not panic
+}

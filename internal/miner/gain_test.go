@@ -1,0 +1,75 @@
+package miner
+
+import (
+	"testing"
+)
+
+func TestMineGainRules(t *testing.T) {
+	rel, _ := bankRelation(t, 30000)
+	res, err := MineAll(rel, Config{
+		Buckets: 200, Seed: 3, MinConfidence: 0.5, MineGain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gains []Rule
+	for _, r := range res.Rules {
+		if r.Kind == OptimizedGain {
+			gains = append(gains, r)
+		}
+	}
+	if len(gains) == 0 {
+		t.Fatal("no optimized-gain rules; the planted Balance→CardLoan band exceeds θ=0.5")
+	}
+	for _, r := range gains {
+		if r.Gain <= 0 {
+			t.Errorf("gain rule with non-positive gain: %+v", r)
+		}
+		// A positive-gain range is necessarily confident: gain > 0 means
+		// Σv > θ·Σu.
+		if r.Confidence < 0.5 {
+			t.Errorf("positive-gain range below threshold confidence: %+v", r)
+		}
+		if r.Low > r.High || r.Support <= 0 || r.Support > 1 {
+			t.Errorf("malformed gain rule: %+v", r)
+		}
+	}
+	// The gain rule for the planted pair sits between the two classic
+	// kinds: more support than the confidence rule, more confidence than
+	// the threshold.
+	var gainBal, confBal *Rule
+	for i := range res.Rules {
+		r := &res.Rules[i]
+		if r.Numeric == "Balance" && r.Objective == "CardLoan" {
+			switch r.Kind {
+			case OptimizedGain:
+				gainBal = r
+			case OptimizedConfidence:
+				confBal = r
+			}
+		}
+	}
+	if gainBal == nil || confBal == nil {
+		t.Fatal("Balance→CardLoan rules missing")
+	}
+	if gainBal.Count <= confBal.Count {
+		t.Errorf("gain rule should trade confidence for support vs the confidence rule: %d <= %d",
+			gainBal.Count, confBal.Count)
+	}
+	if OptimizedGain.String() != "optimized-gain" {
+		t.Errorf("kind string wrong")
+	}
+}
+
+func TestMineGainOffByDefault(t *testing.T) {
+	rel, _ := bankRelation(t, 5000)
+	res, err := MineAll(rel, Config{Buckets: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rules {
+		if r.Kind == OptimizedGain {
+			t.Fatalf("gain rule mined without MineGain: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package miner
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"optrule/internal/datagen"
+	"optrule/internal/relation"
+)
+
+func bankRelation(t testing.TB, n int) (*relation.MemoryRelation, datagen.BankConfig) {
+	t.Helper()
+	bank, err := datagen.NewBank(datagen.BankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return datagen.MustMaterialize(bank, n, 101), bank.Config()
+}
+
+func TestMineRecoversPlantedRule(t *testing.T) {
+	rel, cfg := bankRelation(t, 60000)
+	planted := cfg.CardLoan
+
+	supRule, confRule, err := Mine(rel, "Balance", "CardLoan", true, nil, Config{
+		MinSupport:    0.05,
+		MinConfidence: 0.55,
+		Buckets:       500,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if supRule == nil {
+		t.Fatal("no optimized-support rule found")
+	}
+	// The planted range [3000, 20000] has inside confidence 0.65 and
+	// outside 0.12, so the optimized-support rule at θ=0.55 should land
+	// close to the planted range.
+	overlapLo := math.Max(supRule.Low, planted.Range[0])
+	overlapHi := math.Min(supRule.High, planted.Range[1])
+	if overlapLo >= overlapHi {
+		t.Errorf("support rule range [%g, %g] does not overlap planted %v", supRule.Low, supRule.High, planted.Range)
+	}
+	if supRule.Confidence < 0.55 {
+		t.Errorf("support rule confidence %g below threshold", supRule.Confidence)
+	}
+	// The optimized-support rule maximizes support at confidence >= θ,
+	// so it should contain essentially the whole planted high-confidence
+	// core (which alone has confidence 0.65 > 0.55) and may legitimately
+	// stretch further until dilution pulls confidence down to θ.
+	if supRule.Low > planted.Range[0]*1.2 || supRule.High < planted.Range[1]*0.8 {
+		t.Errorf("support rule range [%g, %g] fails to cover the planted core %v", supRule.Low, supRule.High, planted.Range)
+	}
+	if confRule == nil {
+		t.Fatal("no optimized-confidence rule found")
+	}
+	if confRule.Support < 0.05-1e-9 {
+		t.Errorf("confidence rule support %g below threshold", confRule.Support)
+	}
+	// The optimized-confidence rule seeks the highest-confidence cluster
+	// of at least 5% support, which lives inside the planted range.
+	if confRule.Low < planted.Range[0]*0.7 || confRule.High > planted.Range[1]*1.4 {
+		t.Errorf("confidence rule range [%g, %g] should sit inside the planted core %v",
+			confRule.Low, confRule.High, planted.Range)
+	}
+	if confRule.Confidence < supRule.Confidence-1e-9 {
+		t.Errorf("optimized-confidence rule (%g) should not be less confident than the support rule (%g)",
+			confRule.Confidence, supRule.Confidence)
+	}
+	if confRule.Lift() < 1.5 {
+		t.Errorf("planted rule should show lift, got %g", confRule.Lift())
+	}
+}
+
+func TestMineAllCoversAllCombinations(t *testing.T) {
+	rel, _ := bankRelation(t, 20000)
+	res, err := MineAll(rel, Config{Buckets: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 numeric × 3 Boolean, two kinds each: up to 18 rules; all
+	// combinations should yield at least the optimized-support rule
+	// given the generous default thresholds... at minimum expect more
+	// than 9 rules and every pair present at least once.
+	type key struct{ n, o string }
+	seen := map[key]bool{}
+	for _, r := range res.Rules {
+		seen[key{r.Numeric, r.Objective}] = true
+		if r.Support < 0 || r.Support > 1 || r.Confidence < 0 || r.Confidence > 1 {
+			t.Errorf("rule out of range: %+v", r)
+		}
+		if r.Low > r.High {
+			t.Errorf("inverted range: %+v", r)
+		}
+	}
+	for _, n := range []string{"Balance", "Age", "ServiceYears"} {
+		for _, o := range []string{"CardLoan", "Mortgage", "AutoWithdraw"} {
+			if !seen[key{n, o}] {
+				t.Errorf("no rule mined for (%s, %s)", n, o)
+			}
+		}
+	}
+	// Sorted by lift descending.
+	for i := 1; i < len(res.Rules); i++ {
+		if res.Rules[i].Lift() > res.Rules[i-1].Lift()+1e-9 {
+			t.Errorf("rules not sorted by lift at %d", i)
+		}
+	}
+	if res.Tuples != 20000 {
+		t.Errorf("Tuples = %d", res.Tuples)
+	}
+}
+
+func TestMineAllTopRuleIsPlanted(t *testing.T) {
+	rel, _ := bankRelation(t, 40000)
+	res, err := MineAll(rel, Config{Buckets: 300, Seed: 5, MinConfidence: 0.55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rules) == 0 {
+		t.Fatal("no rules")
+	}
+	top := res.Rules[0]
+	// The strongest associations in the generator are Balance→CardLoan
+	// (lift up to ~3.4) and Age→Mortgage (~2.8); the top rule must be
+	// one of them.
+	okTop := (top.Numeric == "Balance" && top.Objective == "CardLoan") ||
+		(top.Numeric == "Age" && top.Objective == "Mortgage")
+	if !okTop {
+		t.Errorf("top rule is (%s, %s), want a planted association; rule: %s", top.Numeric, top.Objective, top)
+	}
+}
+
+func TestMineDeterministicAcrossWorkerCounts(t *testing.T) {
+	rel, _ := bankRelation(t, 10000)
+	var prev []Rule
+	for _, workers := range []int{1, 2, 8} {
+		res, err := MineAll(rel, Config{Buckets: 100, Seed: 11, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			if len(res.Rules) != len(prev) {
+				t.Fatalf("workers=%d: %d rules vs %d", workers, len(res.Rules), len(prev))
+			}
+			for i := range prev {
+				if res.Rules[i] != prev[i] {
+					t.Fatalf("workers=%d: rule %d differs:\n%v\n%v", workers, i, res.Rules[i], prev[i])
+				}
+			}
+		}
+		prev = res.Rules
+	}
+}
+
+func TestMineDeterministicAcrossPECounts(t *testing.T) {
+	rel, _ := bankRelation(t, 15000)
+	var prev []Rule
+	for _, pes := range []int{1, 4, 16} {
+		res, err := MineAll(rel, Config{Buckets: 100, Seed: 11, PEs: pes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			if len(res.Rules) != len(prev) {
+				t.Fatalf("PEs=%d: %d rules vs %d", pes, len(res.Rules), len(prev))
+			}
+			for i := range prev {
+				if res.Rules[i] != prev[i] {
+					t.Fatalf("PEs=%d: rule %d differs", pes, i)
+				}
+			}
+		}
+		prev = res.Rules
+	}
+}
+
+func TestMineWithConjunctiveCondition(t *testing.T) {
+	ret, err := datagen.NewRetail(datagen.DefaultRetailConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := datagen.MustMaterialize(ret, 40000, 19)
+	// Generalized rule: (Amount ∈ I) ∧ (Pizza=yes) ⇒ (Coke=yes).
+	supRule, _, err := Mine(rel, "Amount", "Coke", true,
+		[]Condition{{Attr: "Pizza", Value: true}}, Config{Buckets: 200, MinConfidence: 0.55, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if supRule == nil {
+		t.Fatal("no rule under condition (Pizza=yes); lifted P(Coke|Pizza)=0.7 should exceed 0.55")
+	}
+	if !strings.Contains(supRule.Condition, "Pizza=yes") {
+		t.Errorf("condition not recorded: %q", supRule.Condition)
+	}
+	if !strings.Contains(supRule.String(), "Pizza=yes") {
+		t.Errorf("String() omits condition: %s", supRule)
+	}
+	// Baseline under the condition should be ~0.7 (lifted), not ~0.35.
+	if supRule.Baseline < 0.6 {
+		t.Errorf("conditional baseline = %g, want ~0.7", supRule.Baseline)
+	}
+
+	// The unconditional rule has a much lower baseline.
+	unc, _, err := Mine(rel, "Amount", "Coke", true, nil, Config{Buckets: 200, MinConfidence: 0.3, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unc == nil {
+		t.Fatal("no unconditional rule")
+	}
+	if unc.Baseline >= supRule.Baseline {
+		t.Errorf("unconditional baseline %g should be below conditional %g", unc.Baseline, supRule.Baseline)
+	}
+}
+
+func TestMineNegations(t *testing.T) {
+	rel, _ := bankRelation(t, 10000)
+	res, err := MineAll(rel, Config{Buckets: 100, Seed: 2, MineNegations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawNeg := false
+	for _, r := range res.Rules {
+		if !r.ObjectiveValue {
+			sawNeg = true
+			if !strings.Contains(r.String(), "=no") {
+				t.Errorf("negated rule prints wrong: %s", r)
+			}
+		}
+	}
+	if !sawNeg {
+		t.Errorf("MineNegations produced no (C=no) rules")
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	rel, _ := bankRelation(t, 100)
+	if _, _, err := Mine(rel, "Nope", "CardLoan", true, nil, Config{}); err == nil {
+		t.Errorf("unknown numeric attribute accepted")
+	}
+	if _, _, err := Mine(rel, "CardLoan", "CardLoan", true, nil, Config{}); err == nil {
+		t.Errorf("boolean as numeric accepted")
+	}
+	if _, _, err := Mine(rel, "Balance", "Balance", true, nil, Config{}); err == nil {
+		t.Errorf("numeric as objective accepted")
+	}
+	if _, _, err := Mine(rel, "Balance", "CardLoan", true, []Condition{{Attr: "Balance"}}, Config{}); err == nil {
+		t.Errorf("numeric condition accepted")
+	}
+	if _, err := MineAll(rel, Config{MinSupport: 1.5}); err == nil {
+		t.Errorf("MinSupport > 1 accepted")
+	}
+	if _, err := MineAll(rel, Config{MinConfidence: -0.1}); err == nil {
+		t.Errorf("negative MinConfidence accepted")
+	}
+	if _, err := MineAll(rel, Config{Buckets: -5}); err == nil {
+		t.Errorf("negative bucket count accepted")
+	}
+	empty := relation.MustNewMemoryRelation(rel.Schema())
+	if _, err := MineAll(empty, Config{}); err == nil {
+		t.Errorf("empty relation accepted")
+	}
+	boolOnly := relation.MustNewMemoryRelation(relation.Schema{{Name: "B", Kind: relation.Boolean}})
+	boolOnly.MustAppend(nil, []bool{true})
+	if _, err := MineAll(boolOnly, Config{}); err == nil {
+		t.Errorf("relation without numeric attributes accepted")
+	}
+	numOnly := relation.MustNewMemoryRelation(relation.Schema{{Name: "X", Kind: relation.Numeric}})
+	numOnly.MustAppend([]float64{1}, nil)
+	if _, err := MineAll(numOnly, Config{}); err == nil {
+		t.Errorf("relation without boolean attributes accepted")
+	}
+}
+
+func TestMineFilterExcludesEverything(t *testing.T) {
+	rel := relation.MustNewMemoryRelation(relation.Schema{
+		{Name: "X", Kind: relation.Numeric},
+		{Name: "B", Kind: relation.Boolean},
+	})
+	for i := 0; i < 100; i++ {
+		rel.MustAppend([]float64{float64(i)}, []bool{false}) // B always no
+	}
+	sup, conf, err := Mine(rel, "X", "B", true, []Condition{{Attr: "B", Value: true}}, Config{Buckets: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup != nil || conf != nil {
+		t.Errorf("rules mined from zero filtered tuples: %v %v", sup, conf)
+	}
+}
+
+func TestRuleKindJSON(t *testing.T) {
+	b, err := json.Marshal(OptimizedConfidence)
+	if err != nil || string(b) != `"optimized-confidence"` {
+		t.Errorf("RuleKind JSON = %s (%v)", b, err)
+	}
+	r := Rule{Kind: OptimizedGain, Numeric: "X", Objective: "B", Confidence: 0.5}
+	out, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"optimized-gain"`) {
+		t.Errorf("rule JSON missing kind name: %s", out)
+	}
+}
+
+func TestRulePValue(t *testing.T) {
+	// Strong planted rule: tiny p-value. Null-level rule: p around 0.5.
+	strong := Rule{Count: 1000, Confidence: 0.65, Baseline: 0.2}
+	if p := strong.PValue(); p > 1e-9 {
+		t.Errorf("strong rule p-value %g, want tiny", p)
+	}
+	nullish := Rule{Count: 1000, Confidence: 0.2, Baseline: 0.2}
+	if p := nullish.PValue(); p < 0.4 || p > 0.6 {
+		t.Errorf("null rule p-value %g, want ~0.5", p)
+	}
+	if p := (Rule{Count: 0, Confidence: 1, Baseline: 0.5}).PValue(); p != 1 {
+		t.Errorf("degenerate rule p-value %g, want 1", p)
+	}
+	// Mined planted rules should be overwhelmingly significant.
+	rel, _ := bankRelation(t, 30000)
+	_, conf, err := Mine(rel, "Balance", "CardLoan", true, nil, Config{Buckets: 200, Seed: 1})
+	if err != nil || conf == nil {
+		t.Fatal(err)
+	}
+	if p := conf.PValue(); p > 1e-12 {
+		t.Errorf("planted rule p-value %g, want ≈0", p)
+	}
+}
+
+func TestRuleStringAndLift(t *testing.T) {
+	r := Rule{
+		Kind: OptimizedConfidence, Numeric: "Balance", Low: 100, High: 200,
+		Objective: "CardLoan", ObjectiveValue: true,
+		Support: 0.25, Confidence: 0.8, Baseline: 0.2, Count: 250,
+	}
+	s := r.String()
+	for _, want := range []string{"Balance", "[100, 200]", "CardLoan=yes", "optimized-confidence", "80.00%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if r.Lift() != 4 {
+		t.Errorf("Lift = %g, want 4", r.Lift())
+	}
+	r.Baseline = 0
+	if !math.IsInf(r.Lift(), 1) {
+		t.Errorf("zero baseline should give +Inf lift")
+	}
+	if OptimizedSupport.String() != "optimized-support" || RuleKind(9).String() == "" {
+		t.Errorf("RuleKind strings wrong")
+	}
+}

@@ -1,0 +1,126 @@
+package miner
+
+import (
+	"math/rand"
+	"testing"
+
+	"optrule/internal/relation"
+)
+
+// twoClusterRelation plants TWO disjoint high-confidence ranges of X
+// for objective B: [100, 200] at ~0.9 and [600, 700] at ~0.75, against
+// a 0.05 background.
+func twoClusterRelation(t testing.TB, n int) *relation.MemoryRelation {
+	t.Helper()
+	rel := relation.MustNewMemoryRelation(relation.Schema{
+		{Name: "X", Kind: relation.Numeric},
+		{Name: "B", Kind: relation.Boolean},
+	})
+	rng := rand.New(rand.NewSource(77))
+	rel.Grow(n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 1000
+		p := 0.05
+		switch {
+		case x >= 100 && x <= 200:
+			p = 0.9
+		case x >= 600 && x <= 700:
+			p = 0.75
+		}
+		rel.MustAppend([]float64{x}, []bool{rng.Float64() < p})
+	}
+	return rel
+}
+
+func TestMineTopKConfidenceFindsBothClusters(t *testing.T) {
+	rel := twoClusterRelation(t, 60000)
+	rules, err := MineTopK(rel, "X", "B", true, OptimizedConfidence, 3, Config{
+		MinSupport: 0.05, Buckets: 400, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) < 2 {
+		t.Fatalf("expected >= 2 disjoint rules, got %d", len(rules))
+	}
+	// First rule: the 0.9 cluster; second: the 0.75 cluster.
+	r0, r1 := rules[0], rules[1]
+	if r0.Low < 50 || r0.High > 250 {
+		t.Errorf("first rule [%g, %g] should cover the 0.9 cluster [100, 200]", r0.Low, r0.High)
+	}
+	if r1.Low < 550 || r1.High > 750 {
+		t.Errorf("second rule [%g, %g] should cover the 0.75 cluster [600, 700]", r1.Low, r1.High)
+	}
+	if r0.Confidence < r1.Confidence {
+		t.Errorf("rules out of confidence order: %g < %g", r0.Confidence, r1.Confidence)
+	}
+	// Disjoint ranges.
+	if r0.High >= r1.Low && r1.High >= r0.Low {
+		t.Errorf("rules overlap: [%g,%g] and [%g,%g]", r0.Low, r0.High, r1.Low, r1.High)
+	}
+	for _, r := range rules {
+		if r.Support < 0.05-1e-9 {
+			t.Errorf("rule support %g below floor", r.Support)
+		}
+	}
+}
+
+func TestMineTopKSupportOrder(t *testing.T) {
+	rel := twoClusterRelation(t, 60000)
+	rules, err := MineTopK(rel, "X", "B", true, OptimizedSupport, 3, Config{
+		MinConfidence: 0.7, Buckets: 400, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) < 2 {
+		t.Fatalf("expected >= 2 rules, got %d", len(rules))
+	}
+	for i, r := range rules {
+		if r.Confidence < 0.7 {
+			t.Errorf("rule %d confidence %g below threshold", i, r.Confidence)
+		}
+		if i > 0 && r.Count > rules[i-1].Count {
+			t.Errorf("rules not in decreasing support order")
+		}
+	}
+}
+
+func TestMineTopKValidation(t *testing.T) {
+	rel := twoClusterRelation(t, 100)
+	if _, err := MineTopK(rel, "X", "B", true, OptimizedConfidence, 0, Config{}); err == nil {
+		t.Errorf("k=0 accepted")
+	}
+	if _, err := MineTopK(rel, "Nope", "B", true, OptimizedConfidence, 1, Config{}); err == nil {
+		t.Errorf("unknown numeric accepted")
+	}
+	if _, err := MineTopK(rel, "X", "Nope", true, OptimizedConfidence, 1, Config{}); err == nil {
+		t.Errorf("unknown objective accepted")
+	}
+	if _, err := MineTopK(rel, "X", "B", true, RuleKind(9), 1, Config{}); err == nil {
+		t.Errorf("bad kind accepted")
+	}
+	empty := relation.MustNewMemoryRelation(rel.Schema())
+	if _, err := MineTopK(empty, "X", "B", true, OptimizedConfidence, 1, Config{}); err == nil {
+		t.Errorf("empty relation accepted")
+	}
+}
+
+func TestMineTopKFirstMatchesSingleMine(t *testing.T) {
+	rel := twoClusterRelation(t, 20000)
+	cfg := Config{MinSupport: 0.05, MinConfidence: 0.7, Buckets: 200, Seed: 9}
+	rules, err := MineTopK(rel, "X", "B", true, OptimizedConfidence, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, conf, err := Mine(rel, "X", "B", true, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || conf == nil {
+		t.Fatalf("missing rules: topk=%d single=%v", len(rules), conf)
+	}
+	if rules[0].Low != conf.Low || rules[0].High != conf.High || rules[0].Confidence != conf.Confidence {
+		t.Errorf("top-1 differs from single optimum:\n%v\n%v", rules[0], *conf)
+	}
+}

@@ -1,0 +1,104 @@
+package miner
+
+import (
+	"fmt"
+	"sort"
+
+	"optrule/internal/core"
+)
+
+// MineValues mines both optimized rules directly from parallel slices —
+// the paper's headline theoretical setting: given data sorted by the
+// numeric attribute, the optimized rules are found in time LINEAR in
+// the number of distinct values (Section 1.3). Values need not be
+// pre-sorted; if they are (sort.Float64sAreSorted), no sorting happens
+// and the whole computation is one linear pass over finest buckets.
+// Rules are exact (finest buckets, Definition 2.5), not bucket
+// approximations.
+//
+// values[i] is the numeric attribute of tuple i and hits[i] whether it
+// meets the objective condition. minSupport is a fraction of len(values);
+// minConfidence a fraction in [0, 1]. Either returned rule may be nil.
+func MineValues(values []float64, hits []bool, minSupport, minConfidence float64,
+	numericName, objectiveName string) (supportRule, confidenceRule *Rule, err error) {
+	n := len(values)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("miner: no values")
+	}
+	if len(hits) != n {
+		return nil, nil, fmt.Errorf("miner: %d values but %d hits", n, len(hits))
+	}
+	if minSupport < 0 || minSupport > 1 {
+		return nil, nil, fmt.Errorf("miner: minSupport %g out of [0,1]", minSupport)
+	}
+	if minConfidence < 0 || minConfidence > 1 {
+		return nil, nil, fmt.Errorf("miner: minConfidence %g out of [0,1]", minConfidence)
+	}
+
+	// Order by value; skip the sort when the caller pre-sorted (the
+	// linear-time case). hits must follow the same permutation.
+	xs, hs := values, hits
+	if !sort.Float64sAreSorted(values) {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+		xs = make([]float64, n)
+		hs = make([]bool, n)
+		for p, i := range idx {
+			xs[p] = values[i]
+			hs[p] = hits[i]
+		}
+	}
+
+	// Finest buckets: collapse runs of equal values.
+	var u []int
+	var v []float64
+	var lows []float64
+	baselineHits := 0
+	for i := 0; i < n; {
+		j := i
+		cnt, hit := 0, 0
+		for j < n && xs[j] == xs[i] {
+			cnt++
+			if hs[j] {
+				hit++
+			}
+			j++
+		}
+		u = append(u, cnt)
+		v = append(v, float64(hit))
+		lows = append(lows, xs[i])
+		baselineHits += hit
+		i = j
+	}
+	baseline := float64(baselineHits) / float64(n)
+
+	mk := func(kind RuleKind, p core.Pair) *Rule {
+		return &Rule{
+			Kind:           kind,
+			Numeric:        numericName,
+			Objective:      objectiveName,
+			ObjectiveValue: true,
+			Low:            lows[p.S],
+			High:           lows[p.T],
+			Support:        float64(p.Count) / float64(n),
+			Count:          p.Count,
+			Confidence:     p.Conf,
+			Baseline:       baseline,
+			Buckets:        len(u),
+		}
+	}
+	if p, ok, err := core.OptimalSupportPair(u, v, minConfidence); err != nil {
+		return nil, nil, err
+	} else if ok {
+		supportRule = mk(OptimizedSupport, p)
+	}
+	if p, ok, err := core.OptimalSlopePair(u, v, minSupport*float64(n)); err != nil {
+		return nil, nil, err
+	} else if ok {
+		confidenceRule = mk(OptimizedConfidence, p)
+	}
+	return supportRule, confidenceRule, nil
+}

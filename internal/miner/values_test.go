@@ -1,0 +1,150 @@
+package miner
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMineValuesSimple(t *testing.T) {
+	// Ages 20..29, hits only for 24..26.
+	var values []float64
+	var hits []bool
+	for age := 20; age < 30; age++ {
+		for k := 0; k < 10; k++ {
+			values = append(values, float64(age))
+			hits = append(hits, age >= 24 && age <= 26)
+		}
+	}
+	sup, conf, err := MineValues(values, hits, 0.1, 0.9, "Age", "Hit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup == nil || conf == nil {
+		t.Fatal("rules missing")
+	}
+	if sup.Low != 24 || sup.High != 26 || sup.Count != 30 || sup.Confidence != 1 {
+		t.Errorf("support rule = %+v, want exactly [24, 26]", sup)
+	}
+	if conf.Confidence != 1 || conf.Count < 10 {
+		t.Errorf("confidence rule = %+v", conf)
+	}
+	if sup.Buckets != 10 {
+		t.Errorf("expected 10 finest buckets, got %d", sup.Buckets)
+	}
+}
+
+func TestMineValuesSortedAndUnsortedAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	values := make([]float64, n)
+	hits := make([]bool, n)
+	for i := range values {
+		values[i] = float64(rng.Intn(200))
+		hits[i] = rng.Float64() < 0.3+0.4*boolTo(values[i] >= 50 && values[i] <= 80)
+	}
+	sup1, conf1, err := MineValues(values, hits, 0.05, 0.5, "X", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-sort with the same permutation and re-mine.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	sv := make([]float64, n)
+	sh := make([]bool, n)
+	for p, i := range idx {
+		sv[p] = values[i]
+		sh[p] = hits[i]
+	}
+	sup2, conf2, err := MineValues(sv, sh, 0.05, 0.5, "X", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *sup1 != *sup2 || *conf1 != *conf2 {
+		t.Errorf("sorted and unsorted inputs disagree:\n%v\n%v\n%v\n%v", sup1, sup2, conf1, conf2)
+	}
+}
+
+func boolTo(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestMineValuesValidation(t *testing.T) {
+	if _, _, err := MineValues(nil, nil, 0.1, 0.5, "X", "B"); err == nil {
+		t.Errorf("empty input accepted")
+	}
+	if _, _, err := MineValues([]float64{1}, []bool{true, false}, 0.1, 0.5, "X", "B"); err == nil {
+		t.Errorf("length mismatch accepted")
+	}
+	if _, _, err := MineValues([]float64{1}, []bool{true}, -0.1, 0.5, "X", "B"); err == nil {
+		t.Errorf("bad support accepted")
+	}
+	if _, _, err := MineValues([]float64{1}, []bool{true}, 0.1, 1.5, "X", "B"); err == nil {
+		t.Errorf("bad confidence accepted")
+	}
+}
+
+func TestMineValuesMatchesRelationExactMode(t *testing.T) {
+	// MineValues on raw slices must equal Mine with ExactDomainLimit on
+	// the same data (both use finest buckets).
+	rel := ageRelation(t, 20000)
+	ages, _ := rel.NumericColumn(0)
+	hits, _ := rel.BoolColumn(1)
+	supV, _, err := MineValues(ages, hits, 0.05, 0.5, "Age", "Mortgage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	supR, _, err := Mine(rel, "Age", "Mortgage", true, nil, Config{
+		MinSupport: 0.05, MinConfidence: 0.5, ExactDomainLimit: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if supV == nil || supR == nil {
+		t.Fatal("rules missing")
+	}
+	if supV.Count != supR.Count || supV.Low != supR.Low || supV.High != supR.High {
+		t.Errorf("slice mining %+v != exact relation mining %+v", supV, supR)
+	}
+}
+
+func TestMineValuesConfidenceRuleProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%2000) + 10
+		values := make([]float64, n)
+		hits := make([]bool, n)
+		for i := range values {
+			values[i] = float64(rng.Intn(50))
+			hits[i] = rng.Intn(3) == 0
+		}
+		sup, conf, err := MineValues(values, hits, 0.1, 0.4, "X", "B")
+		if err != nil {
+			return false
+		}
+		if sup != nil && sup.Confidence < 0.4 {
+			return false
+		}
+		if conf != nil && float64(conf.Count) < 0.1*float64(n)-1e-9 {
+			return false
+		}
+		// When the support rule's range is itself ample (so it is a
+		// feasible candidate for the confidence optimization), the
+		// confidence rule cannot do worse.
+		if sup != nil && conf != nil && float64(sup.Count) >= 0.1*float64(n) &&
+			conf.Confidence < sup.Confidence-1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

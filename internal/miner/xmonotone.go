@@ -1,0 +1,245 @@
+package miner
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"optrule/internal/bucketing"
+	"optrule/internal/region"
+	"optrule/internal/relation"
+)
+
+// RegionBand is one column slice of a mined x-monotone region, in value
+// space: tuples with NumericB in (BLo, BHi] and NumericA in [ALo, AHi].
+type RegionBand struct {
+	BLo, BHi float64 // column bucket's value range of the second attribute
+	ALo, AHi float64 // row interval's value range of the first attribute
+}
+
+// RegionRule is a mined x-monotone region rule (§1.4):
+// ((A, B) ∈ R) ⇒ (Objective = Value) where R is a connected region
+// whose intersection with every B-slice is one A-interval.
+type RegionRule struct {
+	Class              RegionClass
+	NumericA, NumericB string
+	Objective          string
+	ObjectiveValue     bool
+	Bands              []RegionBand
+	Support            float64
+	Count              int
+	Confidence         float64
+	Baseline           float64
+	Gain               float64
+}
+
+// Lift is Confidence / Baseline (+Inf when the baseline is zero).
+func (r RegionRule) Lift() float64 {
+	if r.Baseline == 0 {
+		return math.Inf(1)
+	}
+	return r.Confidence / r.Baseline
+}
+
+// String renders the rule with a compact band list.
+func (r RegionRule) String() string {
+	val := "yes"
+	if !r.ObjectiveValue {
+		val = "no"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "((%s, %s) in %s region, %d bands) => (%s=%s)  [optimized-gain: support %.2f%%, confidence %.2f%%, lift %.2f, gain %.1f]",
+		r.NumericA, r.NumericB, r.Class, len(r.Bands), r.Objective, val,
+		100*r.Support, 100*r.Confidence, r.Lift(), r.Gain)
+	return b.String()
+}
+
+// Describe renders every band, one per line.
+func (r RegionRule) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.String())
+	for _, band := range r.Bands {
+		fmt.Fprintf(&b, "  %s in (%.6g, %.6g]: %s in [%.6g, %.6g]\n",
+			r.NumericB, band.BLo, band.BHi, r.NumericA, band.ALo, band.AHi)
+	}
+	return b.String()
+}
+
+// RegionClass selects the 2-D region family for region mining — the
+// three classes named in the paper's §1.4 in increasing generality.
+type RegionClass int
+
+const (
+	// RectangleClass is handled by Mine2D; listed for completeness.
+	RectangleClass RegionClass = iota
+	// RectilinearConvexClass regions intersect every row AND column in
+	// one interval (KDD'97 companion [20]).
+	RectilinearConvexClass
+	// XMonotoneClass regions intersect every column in one interval
+	// (SIGMOD'96 companion [7]).
+	XMonotoneClass
+)
+
+// String returns the class name.
+func (c RegionClass) String() string {
+	switch c {
+	case RectangleClass:
+		return "rectangle"
+	case RectilinearConvexClass:
+		return "rectilinear-convex"
+	case XMonotoneClass:
+		return "x-monotone"
+	default:
+		return fmt.Sprintf("RegionClass(%d)", int(c))
+	}
+}
+
+// MineXMonotone mines the x-monotone region maximizing the gain
+// Σ(v − MinConfidence·u) over the (numericA, numericB) plane — the
+// §1.4 extension for regions that follow diagonal trends. Returns nil
+// when no region achieves positive gain. gridSide buckets per axis
+// (0 = default).
+func MineXMonotone(rel relation.Relation, numericA, numericB, objective string,
+	objectiveValue bool, gridSide int, cfg Config) (*RegionRule, error) {
+	return mineRegion(rel, numericA, numericB, objective, objectiveValue, gridSide, cfg, XMonotoneClass)
+}
+
+// MineRectilinearConvex mines the gain-optimal rectilinear-convex
+// region — connected, bulging outward then back in, intersecting every
+// row and column in a single interval. Returns nil when no region
+// achieves positive gain.
+func MineRectilinearConvex(rel relation.Relation, numericA, numericB, objective string,
+	objectiveValue bool, gridSide int, cfg Config) (*RegionRule, error) {
+	return mineRegion(rel, numericA, numericB, objective, objectiveValue, gridSide, cfg, RectilinearConvexClass)
+}
+
+// mineRegion is the shared implementation.
+func mineRegion(rel relation.Relation, numericA, numericB, objective string,
+	objectiveValue bool, gridSide int, cfg Config, class RegionClass) (*RegionRule, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if gridSide == 0 {
+		gridSide = DefaultGridSide
+	}
+	if gridSide < 1 {
+		return nil, fmt.Errorf("miner: grid side %d must be positive", gridSide)
+	}
+	s := rel.Schema()
+	aAttr := s.Index(numericA)
+	if aAttr < 0 || s[aAttr].Kind != relation.Numeric {
+		return nil, fmt.Errorf("miner: %q is not a numeric attribute", numericA)
+	}
+	bAttr := s.Index(numericB)
+	if bAttr < 0 || s[bAttr].Kind != relation.Numeric {
+		return nil, fmt.Errorf("miner: %q is not a numeric attribute", numericB)
+	}
+	if aAttr == bAttr {
+		return nil, fmt.Errorf("miner: the two numeric attributes must differ")
+	}
+	objAttr := s.Index(objective)
+	if objAttr < 0 || s[objAttr].Kind != relation.Boolean {
+		return nil, fmt.Errorf("miner: %q is not a Boolean attribute", objective)
+	}
+	if rel.NumTuples() == 0 {
+		return nil, fmt.Errorf("miner: empty relation")
+	}
+
+	rngA := rand.New(rand.NewSource(cfg.Seed + int64(aAttr)*1e6 + 17))
+	boundsA, err := bucketing.SampledBoundaries(rel, aAttr, gridSide, cfg.SampleFactor, rngA)
+	if err != nil {
+		return nil, err
+	}
+	rngB := rand.New(rand.NewSource(cfg.Seed + int64(bAttr)*1e6 + 17))
+	boundsB, err := bucketing.SampledBoundaries(rel, bAttr, gridSide, cfg.SampleFactor, rngB)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := region.NewGrid(boundsA.NumBuckets(), boundsB.NumBuckets())
+	if err != nil {
+		return nil, err
+	}
+	// Per-row observed extremes of A (for band value ranges).
+	minA := make([]float64, boundsA.NumBuckets())
+	maxA := make([]float64, boundsA.NumBuckets())
+	for i := range minA {
+		minA[i], maxA[i] = math.Inf(1), math.Inf(-1)
+	}
+	n, hits := 0, 0
+	err = rel.Scan(relation.ColumnSet{Numeric: []int{aAttr, bAttr}, Bool: []int{objAttr}},
+		func(batch *relation.Batch) error {
+			for row := 0; row < batch.Len; row++ {
+				a := batch.Numeric[0][row]
+				b := batch.Numeric[1][row]
+				if math.IsNaN(a) || math.IsNaN(b) {
+					continue
+				}
+				ra := boundsA.Locate(a)
+				cb := boundsB.Locate(b)
+				grid.U[ra][cb]++
+				n++
+				if batch.Bool[0][row] == objectiveValue {
+					grid.V[ra][cb]++
+					hits++
+				}
+				if a < minA[ra] {
+					minA[ra] = a
+				}
+				if a > maxA[ra] {
+					maxA[ra] = a
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("miner: no tuples with finite (%s, %s) values", numericA, numericB)
+	}
+
+	var xm region.XMonotoneRegion
+	var ok bool
+	switch class {
+	case XMonotoneClass:
+		xm, ok, err = region.MaxGainXMonotone(grid, cfg.MinConfidence)
+	case RectilinearConvexClass:
+		xm, ok, err = region.MaxGainRectilinearConvex(grid, cfg.MinConfidence)
+	default:
+		return nil, fmt.Errorf("miner: region class %v not supported here (rectangles use Mine2D)", class)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !ok || xm.Gain <= 0 {
+		return nil, nil
+	}
+	out := &RegionRule{
+		Class:          class,
+		NumericA:       numericA,
+		NumericB:       numericB,
+		Objective:      objective,
+		ObjectiveValue: objectiveValue,
+		Support:        float64(xm.Count) / float64(n),
+		Count:          xm.Count,
+		Confidence:     xm.Conf,
+		Baseline:       float64(hits) / float64(n),
+		Gain:           xm.Gain,
+	}
+	for _, ci := range xm.Columns {
+		bLo, bHi := boundsB.BucketRange(ci.Col)
+		band := RegionBand{BLo: bLo, BHi: bHi, ALo: math.Inf(1), AHi: math.Inf(-1)}
+		for r := ci.Lo; r <= ci.Hi; r++ {
+			if minA[r] < band.ALo {
+				band.ALo = minA[r]
+			}
+			if maxA[r] > band.AHi {
+				band.AHi = maxA[r]
+			}
+		}
+		out.Bands = append(out.Bands, band)
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package miner
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"optrule/internal/relation"
+)
+
+// diagonalRelation plants a diagonal trend: the objective rate is high
+// when A/1000 and B/200 are within 0.15 of each other — a region no
+// axis-parallel rectangle captures well.
+func diagonalRelation(t testing.TB, n int) *relation.MemoryRelation {
+	t.Helper()
+	rel := relation.MustNewMemoryRelation(relation.Schema{
+		{Name: "A", Kind: relation.Numeric},
+		{Name: "B", Kind: relation.Numeric},
+		{Name: "C", Kind: relation.Boolean},
+	})
+	rng := rand.New(rand.NewSource(404))
+	rel.Grow(n)
+	for i := 0; i < n; i++ {
+		a := rng.Float64() * 1000
+		b := rng.Float64() * 200
+		p := 0.05
+		if diff := a/1000 - b/200; diff < 0.15 && diff > -0.15 {
+			p = 0.8
+		}
+		rel.MustAppend([]float64{a, b}, []bool{rng.Float64() < p})
+	}
+	return rel
+}
+
+func TestMineXMonotoneFollowsDiagonal(t *testing.T) {
+	rel := diagonalRelation(t, 120000)
+	cfg := Config{MinConfidence: 0.5, Seed: 9}
+	xm, err := MineXMonotone(rel, "A", "B", "C", true, 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xm == nil {
+		t.Fatal("no x-monotone region found")
+	}
+	if xm.Gain <= 0 {
+		t.Fatalf("non-positive gain: %+v", xm)
+	}
+	if xm.Confidence < 0.5 {
+		t.Errorf("region confidence %g below θ", xm.Confidence)
+	}
+	if len(xm.Bands) < 10 {
+		t.Errorf("diagonal region should span many bands, got %d", len(xm.Bands))
+	}
+	// The bands must track the diagonal: band centers of A rise with B.
+	first := xm.Bands[0]
+	last := xm.Bands[len(xm.Bands)-1]
+	firstMid := (first.ALo + first.AHi) / 2
+	lastMid := (last.ALo + last.AHi) / 2
+	if lastMid <= firstMid {
+		t.Errorf("region does not follow the rising diagonal: first A-mid %g, last %g", firstMid, lastMid)
+	}
+
+	// A rectangle on the same grid captures materially less gain.
+	rect, err := Mine2D(rel, "A", "B", "C", true, OptimizedGain, 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rect == nil {
+		t.Fatal("no rectangle for comparison")
+	}
+	if xm.Gain < rect.Gain {
+		t.Errorf("x-monotone gain %g below rectangle gain %g", xm.Gain, rect.Gain)
+	}
+	if xm.Gain < 1.3*rect.Gain {
+		t.Errorf("on diagonal data the x-monotone region should clearly beat the rectangle: %g vs %g",
+			xm.Gain, rect.Gain)
+	}
+	if !strings.Contains(xm.Describe(), "x-monotone region") {
+		t.Errorf("Describe malformed: %s", xm.Describe())
+	}
+}
+
+func TestMineXMonotoneNoSignal(t *testing.T) {
+	// Uniform noise below θ everywhere: no positive-gain region.
+	rel := relation.MustNewMemoryRelation(relation.Schema{
+		{Name: "A", Kind: relation.Numeric},
+		{Name: "B", Kind: relation.Numeric},
+		{Name: "C", Kind: relation.Boolean},
+	})
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		rel.MustAppend([]float64{rng.Float64(), rng.Float64()}, []bool{rng.Float64() < 0.05})
+	}
+	xm, err := MineXMonotone(rel, "A", "B", "C", true, 10, Config{MinConfidence: 0.9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xm != nil {
+		t.Errorf("found a region in pure noise at θ=0.9: %+v", xm)
+	}
+}
+
+func TestMineRectilinearConvexOnBlob(t *testing.T) {
+	// A circular blob: high objective rate inside a disk — the natural
+	// habitat of rectilinear-convex regions.
+	rel := relation.MustNewMemoryRelation(relation.Schema{
+		{Name: "A", Kind: relation.Numeric},
+		{Name: "B", Kind: relation.Numeric},
+		{Name: "C", Kind: relation.Boolean},
+	})
+	rng := rand.New(rand.NewSource(606))
+	n := 100000
+	rel.Grow(n)
+	for i := 0; i < n; i++ {
+		a := rng.Float64()*2 - 1
+		b := rng.Float64()*2 - 1
+		p := 0.05
+		if a*a+b*b < 0.35 {
+			p = 0.75
+		}
+		rel.MustAppend([]float64{a, b}, []bool{rng.Float64() < p})
+	}
+	cfg := Config{MinConfidence: 0.5, Seed: 4}
+	rc, err := MineRectilinearConvex(rel, "A", "B", "C", true, 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc == nil {
+		t.Fatal("no rectilinear-convex region on a planted disk")
+	}
+	if rc.Class != RectilinearConvexClass {
+		t.Errorf("class = %v", rc.Class)
+	}
+	if rc.Confidence < 0.5 || rc.Gain <= 0 {
+		t.Errorf("bad region stats: %+v", rc)
+	}
+	// The disk covers ~27% of the square at 0.75 confidence; the region
+	// should capture a sizeable share of it.
+	if rc.Support < 0.10 {
+		t.Errorf("region support %g; expected to cover much of the disk", rc.Support)
+	}
+	if !strings.Contains(rc.String(), "rectilinear-convex") {
+		t.Errorf("String() = %s", rc)
+	}
+	// Class hierarchy on the same data/grid: gains ordered.
+	xm, err := MineXMonotone(rel, "A", "B", "C", true, 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect, err := Mine2D(rel, "A", "B", "C", true, OptimizedGain, 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xm == nil || rect == nil {
+		t.Fatal("missing comparison rules")
+	}
+	if rc.Gain < rect.Gain-1e-9 || xm.Gain < rc.Gain-1e-9 {
+		t.Errorf("gain hierarchy violated: rect %g, rectconvex %g, xmonotone %g",
+			rect.Gain, rc.Gain, xm.Gain)
+	}
+}
+
+func TestMineXMonotoneValidation(t *testing.T) {
+	rel := diagonalRelation(t, 100)
+	if _, err := MineXMonotone(rel, "Nope", "B", "C", true, 8, Config{}); err == nil {
+		t.Errorf("unknown attribute accepted")
+	}
+	if _, err := MineXMonotone(rel, "A", "A", "C", true, 8, Config{}); err == nil {
+		t.Errorf("identical attributes accepted")
+	}
+	if _, err := MineXMonotone(rel, "A", "B", "A", true, 8, Config{}); err == nil {
+		t.Errorf("numeric objective accepted")
+	}
+	empty := relation.MustNewMemoryRelation(rel.Schema())
+	if _, err := MineXMonotone(empty, "A", "B", "C", true, 8, Config{}); err == nil {
+		t.Errorf("empty relation accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGrid(side int) *Grid {
+	rng := rand.New(rand.NewSource(1))
+	return randomGrid(rng, side, side, 50)
+}
+
+func BenchmarkRectSweep64(b *testing.B) {
+	g := benchGrid(64)
+	minSup := float64(g.Total()) * 0.02
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := OptimalRectConfidence(g, minSup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRectSupportSweep64(b *testing.B) {
+	g := benchGrid(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := OptimalRectSupport(g, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxGainRect64(b *testing.B) {
+	g := benchGrid(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MaxGainRect(g, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXMonotoneDP64(b *testing.B) {
+	g := benchGrid(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MaxGainXMonotone(g, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRectConvexDP64(b *testing.B) {
+	g := benchGrid(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MaxGainRectilinearConvex(g, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNaiveRectSweep16(b *testing.B) {
+	g := benchGrid(16)
+	minSup := float64(g.Total()) * 0.02
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := NaiveOptimalRectConfidence(g, minSup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

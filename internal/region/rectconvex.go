@@ -1,0 +1,339 @@
+package region
+
+// Rectilinear-convex regions — the third region class named in the
+// paper's §1.4 (developed in the KDD'97 companion [20]): connected
+// regions whose intersection with EVERY row and EVERY column is a
+// single interval. Equivalently: per-column intervals [a_c, b_c] of
+// consecutive overlapping columns where the lower endpoints a_c are
+// valley-unimodal (non-increasing, then non-decreasing) and the upper
+// endpoints b_c are hill-unimodal (non-decreasing, then non-increasing).
+// Such regions bulge outward and back in — the shape of a 2-D cluster —
+// without the axis-parallel rigidity of a rectangle or the free-form
+// drift of an x-monotone region.
+//
+// MaxGainRectilinearConvex finds the gain-optimal such region by
+// dynamic programming over columns with four phase layers
+// (a still-descending / a ascending) × (b still-ascending / b
+// descending). Predecessor maxima are 2-D box queries answered by
+// per-layer sparse tables, giving O(cols · rows² · log² rows) time —
+// heavier than the companion paper's specialized algorithm but exact,
+// and fast at mining grid sizes.
+
+// layer indices: pa=0 a-descending stage, pa=1 a-ascending stage;
+// pb=0 b-ascending stage, pb=1 b-descending stage.
+const numPhases = 2
+
+// sparse2D answers max queries over rectangles of a rows×rows value
+// grid, tracking the argmax. Values at invalid cells are negInfF.
+type sparse2D struct {
+	rows int
+	logs []int
+	// t[ka][kb] is the (rows × rows) table of maxima over blocks of
+	// size 2^ka × 2^kb; flattened.
+	val [][]float64
+	arg [][]int32
+}
+
+func newSparse2D(rows int) *sparse2D {
+	s := &sparse2D{rows: rows, logs: make([]int, rows+1)}
+	for i := 2; i <= rows; i++ {
+		s.logs[i] = s.logs[i/2] + 1
+	}
+	k := s.logs[rows] + 1
+	s.val = make([][]float64, k*k)
+	s.arg = make([][]int32, k*k)
+	for i := range s.val {
+		s.val[i] = make([]float64, rows*rows)
+		s.arg[i] = make([]int32, rows*rows)
+	}
+	return s
+}
+
+// build loads the base layer from f (flattened rows×rows; caller marks
+// invalid cells with negInfF) and fills the doubling tables.
+func (s *sparse2D) build(f []float64) {
+	rows := s.rows
+	k := s.logs[rows] + 1
+	base := s.val[0]
+	copy(base, f)
+	for i := range f {
+		s.arg[0][i] = int32(i)
+	}
+	// Double along the first (a) dimension.
+	for ka := 1; ka < k; ka++ {
+		src := s.val[(ka-1)*k]
+		srcA := s.arg[(ka-1)*k]
+		dst := s.val[ka*k]
+		dstA := s.arg[ka*k]
+		half := 1 << (ka - 1)
+		for a := 0; a+(1<<ka) <= rows; a++ {
+			for b := 0; b < rows; b++ {
+				i1 := a*rows + b
+				i2 := (a+half)*rows + b
+				if src[i1] >= src[i2] {
+					dst[a*rows+b] = src[i1]
+					dstA[a*rows+b] = srcA[i1]
+				} else {
+					dst[a*rows+b] = src[i2]
+					dstA[a*rows+b] = srcA[i2]
+				}
+			}
+		}
+	}
+	// Double along the second (b) dimension for every ka.
+	for ka := 0; ka < k; ka++ {
+		for kb := 1; kb < k; kb++ {
+			src := s.val[ka*k+kb-1]
+			srcA := s.arg[ka*k+kb-1]
+			dst := s.val[ka*k+kb]
+			dstA := s.arg[ka*k+kb]
+			half := 1 << (kb - 1)
+			for a := 0; a < rows; a++ {
+				if ka > 0 && a+(1<<ka) > rows {
+					continue
+				}
+				for b := 0; b+(1<<kb) <= rows; b++ {
+					i1 := a*rows + b
+					i2 := a*rows + b + half
+					if src[i1] >= src[i2] {
+						dst[i1] = src[i1]
+						dstA[i1] = srcA[i1]
+					} else {
+						dst[i1] = src[i2]
+						dstA[i1] = srcA[i2]
+					}
+				}
+			}
+		}
+	}
+}
+
+// query returns the max and argmax over a' ∈ [a1, a2], b' ∈ [b1, b2]
+// (inclusive). Empty ranges return negInfF.
+func (s *sparse2D) query(a1, a2, b1, b2 int) (float64, int32) {
+	if a1 < 0 {
+		a1 = 0
+	}
+	if b1 < 0 {
+		b1 = 0
+	}
+	if a2 >= s.rows {
+		a2 = s.rows - 1
+	}
+	if b2 >= s.rows {
+		b2 = s.rows - 1
+	}
+	if a1 > a2 || b1 > b2 {
+		return negInfF, -1
+	}
+	k := s.logs[s.rows] + 1
+	ka := s.logs[a2-a1+1]
+	kb := s.logs[b2-b1+1]
+	t := s.val[ka*k+kb]
+	ta := s.arg[ka*k+kb]
+	rows := s.rows
+	a3 := a2 - (1 << ka) + 1
+	b3 := b2 - (1 << kb) + 1
+	best, arg := t[a1*rows+b1], ta[a1*rows+b1]
+	if v := t[a1*rows+b3]; v > best {
+		best, arg = v, ta[a1*rows+b3]
+	}
+	if v := t[a3*rows+b1]; v > best {
+		best, arg = v, ta[a3*rows+b1]
+	}
+	if v := t[a3*rows+b3]; v > best {
+		best, arg = v, ta[a3*rows+b3]
+	}
+	return best, arg
+}
+
+// rcState encodes a backtracking step: the predecessor's flattened
+// interval index and phase layer, or -1 when the region starts here.
+type rcState struct {
+	prevIdx   int32
+	prevLayer int8
+}
+
+// MaxGainRectilinearConvex returns the rectilinear-convex region
+// maximizing the gain Σ(v − θ·u). The result is reported in the same
+// per-column interval form as x-monotone regions (rectilinear-convex
+// regions are a subclass); Validate plus the unimodality of the
+// endpoints is checked by the tests.
+func MaxGainRectilinearConvex(g *Grid, theta float64) (XMonotoneRegion, bool, error) {
+	if err := g.validate(); err != nil {
+		return XMonotoneRegion{}, false, err
+	}
+	rows, cols := g.Rows(), g.Cols()
+
+	w := make([]float64, rows*rows)
+	// fPrev/fCur[layer][idx]; layer = pa*2+pb.
+	fPrev := make([][]float64, 4)
+	fCur := make([][]float64, 4)
+	for l := 0; l < 4; l++ {
+		fPrev[l] = make([]float64, rows*rows)
+		fCur[l] = make([]float64, rows*rows)
+	}
+	tables := make([]*sparse2D, 4)
+	for l := range tables {
+		tables[l] = newSparse2D(rows)
+	}
+	back := make([][][]rcState, cols)
+
+	bestGain := negInfF
+	bestCol, bestIdx, bestLayer := -1, -1, 0
+
+	colGain := make([]float64, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			colGain[r] = g.V[r][c] - theta*float64(g.U[r][c])
+		}
+		for a := 0; a < rows; a++ {
+			run := 0.0
+			for b := a; b < rows; b++ {
+				run += colGain[b]
+				w[a*rows+b] = run
+			}
+		}
+		back[c] = make([][]rcState, 4)
+		for l := 0; l < 4; l++ {
+			back[c][l] = make([]rcState, rows*rows)
+		}
+		if c > 0 {
+			for l := 0; l < 4; l++ {
+				tables[l].build(fPrev[l])
+			}
+		}
+		for l := 0; l < 4; l++ {
+			pa, pb := l/2, l%2
+			cur := fCur[l]
+			for a := 0; a < rows; a++ {
+				for b := a; b < rows; b++ {
+					idx := a*rows + b
+					// Starting fresh at this column is always allowed
+					// for layer (0, 0) semantics; a region of one column
+					// is in every phase, so seed all layers identically.
+					bestPrev := negInfF
+					var bestArg int32 = -1
+					var bestL int8 = -1
+					if c > 0 {
+						// Predecessor interval ranges by phase:
+						// a' ∈ [a, b] when pa=0 (a non-increasing stage:
+						// a <= a', plus overlap a' <= b);
+						// a' ∈ [0, a] when pa=1 (a >= a').
+						a1, a2 := a, b
+						if pa == 1 {
+							a1, a2 = 0, a
+						}
+						// b' ∈ [a, b] when pb=0 (b >= b', overlap b' >= a);
+						// b' ∈ [b, rows) when pb=1 (b <= b').
+						b1, b2 := a, b
+						if pb == 1 {
+							b1, b2 = b, rows-1
+						}
+						// Allowed predecessor layers: pa'=0 always; pa'=1
+						// only if pa=1. Same for pb.
+						for _, pl := range predLayers(pa, pb) {
+							if v, arg := tables[pl].query(a1, a2, b1, b2); v > bestPrev {
+								bestPrev = v
+								bestArg = arg
+								bestL = int8(pl)
+							}
+						}
+					}
+					if bestPrev > 0 {
+						cur[idx] = w[idx] + bestPrev
+						back[c][l][idx] = rcState{prevIdx: bestArg, prevLayer: bestL}
+					} else {
+						cur[idx] = w[idx]
+						back[c][l][idx] = rcState{prevIdx: -1, prevLayer: -1}
+					}
+					if cur[idx] > bestGain {
+						bestGain = cur[idx]
+						bestCol, bestIdx, bestLayer = c, idx, l
+					}
+				}
+			}
+			// Invalid (a > b) cells must never win queries.
+			for a := 0; a < rows; a++ {
+				for b := 0; b < a; b++ {
+					cur[a*rows+b] = negInfF
+				}
+			}
+		}
+		fPrev, fCur = fCur, fPrev
+	}
+	if bestCol < 0 {
+		return XMonotoneRegion{}, false, nil
+	}
+
+	var rev []ColumnInterval
+	c, idx, l := bestCol, bestIdx, bestLayer
+	for {
+		rev = append(rev, ColumnInterval{Col: c, Lo: idx / rows, Hi: idx % rows})
+		st := back[c][l][idx]
+		if st.prevIdx < 0 {
+			break
+		}
+		idx = int(st.prevIdx)
+		l = int(st.prevLayer)
+		c--
+	}
+	region := XMonotoneRegion{Gain: bestGain}
+	region.Columns = make([]ColumnInterval, len(rev))
+	for i := range rev {
+		region.Columns[len(rev)-1-i] = rev[i]
+	}
+	for _, ci := range region.Columns {
+		for r := ci.Lo; r <= ci.Hi; r++ {
+			region.Count += g.U[r][ci.Col]
+			region.SumV += g.V[r][ci.Col]
+		}
+	}
+	if region.Count > 0 {
+		region.Conf = region.SumV / float64(region.Count)
+	}
+	return region, true, nil
+}
+
+// predLayers lists the predecessor phase layers a target (pa, pb) may
+// extend: a phase can only move forward (0 → 1), never back.
+func predLayers(pa, pb int) []int {
+	switch {
+	case pa == 0 && pb == 0:
+		return []int{0} // (0,0)
+	case pa == 0 && pb == 1:
+		return []int{0, 1} // (0,0), (0,1)
+	case pa == 1 && pb == 0:
+		return []int{0, 2} // (0,0), (1,0)
+	default:
+		return []int{0, 1, 2, 3}
+	}
+}
+
+// IsRectilinearConvex reports whether a region's endpoints satisfy the
+// valley/hill unimodality that characterizes rectilinear convexity (on
+// top of the x-monotone structural invariants).
+func (r XMonotoneRegion) IsRectilinearConvex() bool {
+	aSwitched := false // a has entered its non-decreasing stage
+	bSwitched := false // b has entered its non-increasing stage
+	for i := 1; i < len(r.Columns); i++ {
+		prev, cur := r.Columns[i-1], r.Columns[i]
+		switch {
+		case cur.Lo < prev.Lo:
+			if aSwitched {
+				return false
+			}
+		case cur.Lo > prev.Lo:
+			aSwitched = true
+		}
+		switch {
+		case cur.Hi > prev.Hi:
+			if bSwitched {
+				return false
+			}
+		case cur.Hi < prev.Hi:
+			bSwitched = true
+		}
+	}
+	return true
+}

@@ -1,0 +1,272 @@
+// Package region implements the two-dimensional extension sketched in
+// the paper's Section 1.4: rules of the form
+//
+//	(A1, A2) ∈ X  ⇒  C
+//
+// where X is an axis-parallel RECTANGLE in the plane of two numeric
+// attributes (the paper's example: (Age, Balance) ∈ X ⇒ CardLoan=yes).
+// The paper notes that arbitrary connected regions are NP-hard and
+// defers region classes to follow-up work [7, 20]; the rectangle case
+// reduces cleanly to the 1-D machinery of Section 4: for every pair of
+// row ranges, collapse the grid rows into one bucket sequence over the
+// columns and run the 1-D optimizer. With an M×M grid this costs
+// O(M³) — practical for the display-sized grids 2-D rules make sense
+// at — versus O(M⁴) for naive rectangle enumeration, which is also
+// implemented as the property-test oracle.
+package region
+
+import (
+	"fmt"
+
+	"optrule/internal/core"
+)
+
+// Grid holds per-cell statistics over an M1×M2 bucketing of two
+// numeric attributes: U[r][c] tuples fall in row-bucket r of the first
+// attribute and column-bucket c of the second; V[r][c] of those meet
+// the objective condition.
+type Grid struct {
+	U [][]int
+	V [][]float64
+}
+
+// NewGrid allocates a zeroed rows×cols grid.
+func NewGrid(rows, cols int) (*Grid, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("region: grid shape %dx%d must be positive", rows, cols)
+	}
+	g := &Grid{U: make([][]int, rows), V: make([][]float64, rows)}
+	for r := 0; r < rows; r++ {
+		g.U[r] = make([]int, cols)
+		g.V[r] = make([]float64, cols)
+	}
+	return g, nil
+}
+
+// Rows returns the number of row buckets.
+func (g *Grid) Rows() int { return len(g.U) }
+
+// Cols returns the number of column buckets.
+func (g *Grid) Cols() int { return len(g.U[0]) }
+
+// Total returns the total tuple count.
+func (g *Grid) Total() int {
+	n := 0
+	for _, row := range g.U {
+		for _, u := range row {
+			n += u
+		}
+	}
+	return n
+}
+
+// validate checks the grid's shape invariants.
+func (g *Grid) validate() error {
+	if g == nil || len(g.U) == 0 || len(g.U[0]) == 0 {
+		return fmt.Errorf("region: empty grid")
+	}
+	cols := len(g.U[0])
+	if len(g.V) != len(g.U) {
+		return fmt.Errorf("region: U has %d rows, V has %d", len(g.U), len(g.V))
+	}
+	for r := range g.U {
+		if len(g.U[r]) != cols || len(g.V[r]) != cols {
+			return fmt.Errorf("region: ragged grid at row %d", r)
+		}
+		for c := range g.U[r] {
+			if g.U[r][c] < 0 {
+				return fmt.Errorf("region: negative count at (%d,%d)", r, c)
+			}
+		}
+	}
+	return nil
+}
+
+// Rect is an inclusive rectangle of bucket indices with its statistics.
+type Rect struct {
+	R1, R2 int // row-bucket range (first attribute)
+	C1, C2 int // column-bucket range (second attribute)
+	Count  int
+	SumV   float64
+	Conf   float64
+	Gain   float64 // set by MaxGainRect only
+}
+
+// collapse accumulates rows [r1, r2] into column sums. u and v must
+// have length Cols and are overwritten.
+func (g *Grid) collapseInto(u []int, v []float64, r int) {
+	for c := range u {
+		u[c] += g.U[r][c]
+		v[c] += g.V[r][c]
+	}
+}
+
+// compactColumns drops zero-count columns, returning compacted slices
+// plus the mapping from compact index to original column.
+func compactColumns(u []int, v []float64, cu []int, cv []float64, cmap []int) ([]int, []float64, []int) {
+	cu, cv, cmap = cu[:0], cv[:0], cmap[:0]
+	for c := range u {
+		if u[c] > 0 {
+			cu = append(cu, u[c])
+			cv = append(cv, v[c])
+			cmap = append(cmap, c)
+		}
+	}
+	return cu, cv, cmap
+}
+
+// OptimalRectConfidence finds the rectangle maximizing confidence among
+// rectangles with at least minSupCount tuples; ties prefer larger
+// support. ok is false when no rectangle is ample.
+func OptimalRectConfidence(g *Grid, minSupCount float64) (Rect, bool, error) {
+	return optimalRect(g, func(u []int, v []float64) (core.Pair, bool, error) {
+		return core.OptimalSlopePair(u, v, minSupCount)
+	}, func(a, b Rect) bool {
+		la := a.SumV * float64(b.Count)
+		lb := b.SumV * float64(a.Count)
+		if la != lb {
+			return la > lb
+		}
+		return a.Count > b.Count
+	})
+}
+
+// OptimalRectSupport finds the rectangle maximizing support among
+// rectangles whose confidence is at least theta.
+func OptimalRectSupport(g *Grid, theta float64) (Rect, bool, error) {
+	return optimalRect(g, func(u []int, v []float64) (core.Pair, bool, error) {
+		return core.OptimalSupportPair(u, v, theta)
+	}, func(a, b Rect) bool {
+		return a.Count > b.Count
+	})
+}
+
+// optimalRect runs the row-range sweep with a 1-D solver per collapsed
+// row range: O(Rows² · Cols) plus the solver costs.
+func optimalRect(g *Grid, solve func(u []int, v []float64) (core.Pair, bool, error),
+	better func(a, b Rect) bool) (Rect, bool, error) {
+	if err := g.validate(); err != nil {
+		return Rect{}, false, err
+	}
+	cols := g.Cols()
+	u := make([]int, cols)
+	v := make([]float64, cols)
+	cu := make([]int, 0, cols)
+	cv := make([]float64, 0, cols)
+	cmap := make([]int, 0, cols)
+	var best Rect
+	found := false
+	for r1 := 0; r1 < g.Rows(); r1++ {
+		for c := range u {
+			u[c], v[c] = 0, 0
+		}
+		for r2 := r1; r2 < g.Rows(); r2++ {
+			g.collapseInto(u, v, r2)
+			cu, cv, cmap = compactColumns(u, v, cu, cv, cmap)
+			if len(cu) == 0 {
+				continue
+			}
+			p, ok, err := solve(cu, cv)
+			if err != nil {
+				return Rect{}, false, err
+			}
+			if !ok {
+				continue
+			}
+			cand := Rect{
+				R1: r1, R2: r2,
+				C1: cmap[p.S], C2: cmap[p.T],
+				Count: p.Count, SumV: p.SumV, Conf: p.Conf,
+			}
+			if !found || better(cand, best) {
+				best = cand
+				found = true
+			}
+		}
+	}
+	return best, found, nil
+}
+
+// MaxGainRect finds the rectangle maximizing the gain Σ(v − θ·u) —
+// the 2-D optimized-gain region, O(Rows²·Cols) via Kadane per collapsed
+// row range.
+func MaxGainRect(g *Grid, theta float64) (Rect, bool, error) {
+	if err := g.validate(); err != nil {
+		return Rect{}, false, err
+	}
+	cols := g.Cols()
+	u := make([]int, cols)
+	v := make([]float64, cols)
+	f := make([]float64, cols+1)
+	var best Rect
+	found := false
+	for r1 := 0; r1 < g.Rows(); r1++ {
+		for c := range u {
+			u[c], v[c] = 0, 0
+		}
+		for r2 := r1; r2 < g.Rows(); r2++ {
+			g.collapseInto(u, v, r2)
+			// Kadane via the gain-prefix table, as in core.MaxGainRange:
+			// the best range ending at c is f[c+1] − min_{k<=c} f[k].
+			minIdx := 0
+			for c := 0; c < cols; c++ {
+				f[c+1] = f[c] + v[c] - theta*float64(u[c])
+				if f[c] < f[minIdx] {
+					minIdx = c
+				}
+				gain := f[c+1] - f[minIdx]
+				if !found || gain > best.Gain {
+					best = Rect{R1: r1, R2: r2, C1: minIdx, C2: c, Gain: gain}
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		return Rect{}, false, nil
+	}
+	// Fill in the winner's statistics with one more collapse.
+	for c := range u {
+		u[c], v[c] = 0, 0
+	}
+	for r := best.R1; r <= best.R2; r++ {
+		g.collapseInto(u, v, r)
+	}
+	for c := best.C1; c <= best.C2; c++ {
+		best.Count += u[c]
+		best.SumV += v[c]
+	}
+	if best.Count > 0 {
+		best.Conf = best.SumV / float64(best.Count)
+	}
+	return best, found, nil
+}
+
+// NaiveOptimalRectConfidence is the O(M⁴) property-test oracle and
+// complexity baseline: the same row-range sweep, but with core's
+// quadratic 1-D solver per collapsed row range. Because the 1-D naive
+// solvers share every floating-point operation with the fast solvers,
+// the oracle is bit-for-bit comparable to the sweep even at exact
+// confidence-threshold ties.
+func NaiveOptimalRectConfidence(g *Grid, minSupCount float64) (Rect, bool, error) {
+	return optimalRect(g, func(u []int, v []float64) (core.Pair, bool, error) {
+		return core.NaiveOptimalSlopePair(u, v, minSupCount)
+	}, func(a, b Rect) bool {
+		la := a.SumV * float64(b.Count)
+		lb := b.SumV * float64(a.Count)
+		if la != lb {
+			return la > lb
+		}
+		return a.Count > b.Count
+	})
+}
+
+// NaiveOptimalRectSupport is the O(M⁴) oracle for the support
+// objective; see NaiveOptimalRectConfidence.
+func NaiveOptimalRectSupport(g *Grid, theta float64) (Rect, bool, error) {
+	return optimalRect(g, func(u []int, v []float64) (core.Pair, bool, error) {
+		return core.NaiveOptimalSupportPair(u, v, theta)
+	}, func(a, b Rect) bool {
+		return a.Count > b.Count
+	})
+}

@@ -1,0 +1,207 @@
+package region
+
+import "fmt"
+
+// X-monotone regions (§1.4 of the paper; developed in the SIGMOD'96
+// companion [7]): a connected union of grid cells whose intersection
+// with every column is a single interval, with the intervals of
+// adjacent columns overlapping. X-monotone regions can follow diagonal
+// trends a rectangle cannot (e.g. card-loan propensity rising with both
+// age and balance).
+//
+// This file computes the x-monotone region maximizing the GAIN
+// Σ(v − θ·u) — the objective for which the companion paper gives its
+// fastest algorithms — by exact dynamic programming:
+//
+//	f(c, [a,b]) = W(c, [a,b]) + max(0, g(c−1, [a,b]))
+//	g(c−1, I)   = max{ f(c−1, I') : I' ∩ I ≠ ∅ }
+//
+// where W is the interval's gain in column c. The overlap maximum for
+// ALL intervals of a column is computed in O(rows²) with a staircase
+// max table, so the whole DP is O(cols · rows²) time and O(rows²)
+// memory — simpler and asymptotically heavier than the companion
+// paper's hand-probing algorithm, but exact, and entirely adequate at
+// the display-scale grids 2-D mining runs at.
+
+// ColumnInterval is one column's slice of an x-monotone region.
+type ColumnInterval struct {
+	Col    int // column bucket index
+	Lo, Hi int // inclusive row bucket range
+}
+
+// XMonotoneRegion is a mined x-monotone region with its statistics.
+type XMonotoneRegion struct {
+	Columns []ColumnInterval // consecutive columns, adjacent intervals overlap
+	Count   int
+	SumV    float64
+	Conf    float64
+	Gain    float64
+}
+
+// negInfF is a gain smaller than any achievable value, used as the DP's
+// "no region" marker.
+const negInfF = -1e308
+
+// MaxGainXMonotone returns the x-monotone region maximizing the gain
+// Σ(v − θ·u) over the grid. ok is false only for an invalid grid; on
+// any valid grid some single-cell region exists.
+//
+// Note the orientation: "columns" here are the grid's SECOND index (the
+// second numeric attribute), and the per-column interval is a row
+// range, so the region is monotone along the column axis.
+func MaxGainXMonotone(g *Grid, theta float64) (XMonotoneRegion, bool, error) {
+	if err := g.validate(); err != nil {
+		return XMonotoneRegion{}, false, err
+	}
+	rows, cols := g.Rows(), g.Cols()
+
+	// Per-column interval gains via prefix sums: W[a][b] for a <= b.
+	// Layout: w[a*rows+b].
+	w := make([]float64, rows*rows)
+	// f for the previous/current column, same layout.
+	fPrev := make([]float64, rows*rows)
+	fCur := make([]float64, rows*rows)
+	// stair[x*rows+y] = max{ fPrev[a'][b'] : a' <= x, b' >= y }.
+	stair := make([]float64, rows*rows)
+
+	// Backtracking: choice[c][a*rows+b] = the previous column's interval
+	// index (a'<<16|b') extended by (a,b), or -1 when the region starts
+	// at column c.
+	choice := make([][]int32, cols)
+
+	bestGain := negInfF
+	bestCol, bestIdx := -1, -1
+
+	colGain := make([]float64, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			colGain[r] = g.V[r][c] - theta*float64(g.U[r][c])
+		}
+		// Interval gains.
+		for a := 0; a < rows; a++ {
+			run := 0.0
+			for b := a; b < rows; b++ {
+				run += colGain[b]
+				w[a*rows+b] = run
+			}
+		}
+		choice[c] = make([]int32, rows*rows)
+		if c == 0 {
+			for a := 0; a < rows; a++ {
+				for b := a; b < rows; b++ {
+					fCur[a*rows+b] = w[a*rows+b]
+					choice[c][a*rows+b] = -1
+				}
+			}
+		} else {
+			// Staircase max over fPrev: stair(x, y) = max over a'<=x,
+			// b'>=y of fPrev[a'][b']. Fill y descending, x ascending.
+			// stairArg tracks the argmax for backtracking.
+			stairArg := make([]int32, rows*rows)
+			for y := rows - 1; y >= 0; y-- {
+				for x := 0; x < rows; x++ {
+					best := negInfF
+					var arg int32 = -1
+					if x <= y { // [x, y] is a real interval of the previous column
+						best = fPrev[x*rows+y]
+						arg = int32(x<<16 | y)
+					}
+					if x > 0 && stair[(x-1)*rows+y] > best {
+						best = stair[(x-1)*rows+y]
+						arg = stairArg[(x-1)*rows+y]
+					}
+					if y < rows-1 && stair[x*rows+y+1] > best {
+						best = stair[x*rows+y+1]
+						arg = stairArg[x*rows+y+1]
+					}
+					stair[x*rows+y] = best
+					stairArg[x*rows+y] = arg
+				}
+			}
+			for a := 0; a < rows; a++ {
+				for b := a; b < rows; b++ {
+					// Overlap condition for I'=[a',b'] vs I=[a,b]:
+					// a' <= b and b' >= a.
+					prev := stair[b*rows+a]
+					prevArg := stairArg[b*rows+a]
+					if prev > 0 {
+						fCur[a*rows+b] = w[a*rows+b] + prev
+						choice[c][a*rows+b] = prevArg
+					} else {
+						fCur[a*rows+b] = w[a*rows+b]
+						choice[c][a*rows+b] = -1
+					}
+				}
+			}
+		}
+		for a := 0; a < rows; a++ {
+			for b := a; b < rows; b++ {
+				if fCur[a*rows+b] > bestGain {
+					bestGain = fCur[a*rows+b]
+					bestCol = c
+					bestIdx = a*rows + b
+				}
+			}
+		}
+		fPrev, fCur = fCur, fPrev
+	}
+	if bestCol < 0 {
+		return XMonotoneRegion{}, false, nil
+	}
+
+	// Backtrack the column intervals right to left.
+	var rev []ColumnInterval
+	c, idx := bestCol, bestIdx
+	for {
+		a, b := idx/rows, idx%rows
+		rev = append(rev, ColumnInterval{Col: c, Lo: a, Hi: b})
+		prevArg := choice[c][idx]
+		if prevArg < 0 {
+			break
+		}
+		idx = int(prevArg>>16)*rows + int(prevArg&0xffff)
+		c--
+	}
+	region := XMonotoneRegion{Gain: bestGain}
+	region.Columns = make([]ColumnInterval, len(rev))
+	for i := range rev {
+		region.Columns[len(rev)-1-i] = rev[i]
+	}
+	for _, ci := range region.Columns {
+		for r := ci.Lo; r <= ci.Hi; r++ {
+			region.Count += g.U[r][ci.Col]
+			region.SumV += g.V[r][ci.Col]
+		}
+	}
+	if region.Count > 0 {
+		region.Conf = region.SumV / float64(region.Count)
+	}
+	return region, true, nil
+}
+
+// Validate checks the structural x-monotone invariants of a region:
+// consecutive columns, each a valid interval, adjacent intervals
+// overlapping. Used by tests and by callers that persist regions.
+func (r XMonotoneRegion) Validate(rows, cols int) error {
+	if len(r.Columns) == 0 {
+		return fmt.Errorf("region: empty x-monotone region")
+	}
+	for i, ci := range r.Columns {
+		if ci.Col < 0 || ci.Col >= cols {
+			return fmt.Errorf("region: column %d out of range", ci.Col)
+		}
+		if ci.Lo < 0 || ci.Hi >= rows || ci.Lo > ci.Hi {
+			return fmt.Errorf("region: invalid interval [%d, %d] at column %d", ci.Lo, ci.Hi, ci.Col)
+		}
+		if i > 0 {
+			prev := r.Columns[i-1]
+			if ci.Col != prev.Col+1 {
+				return fmt.Errorf("region: columns %d and %d not consecutive", prev.Col, ci.Col)
+			}
+			if ci.Lo > prev.Hi || prev.Lo > ci.Hi {
+				return fmt.Errorf("region: intervals at columns %d and %d do not overlap", prev.Col, ci.Col)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV conventions: the first row is a header of attribute names. Boolean
+// values are written as "yes"/"no" (the paper's domain for Boolean
+// attributes); "true"/"false"/"1"/"0"/"y"/"n" are accepted on input.
+// Numeric values are decimal floats.
+
+// parseBool interprets a CSV cell as a Boolean attribute value.
+func parseBool(cell string) (bool, error) {
+	switch strings.ToLower(strings.TrimSpace(cell)) {
+	case "yes", "y", "true", "t", "1":
+		return true, nil
+	case "no", "n", "false", "f", "0":
+		return false, nil
+	default:
+		return false, fmt.Errorf("relation: cannot parse %q as boolean", cell)
+	}
+}
+
+// ReadCSV parses a headered CSV stream into a MemoryRelation using the
+// given schema. The header must contain every schema attribute (extra
+// CSV columns are ignored); columns may appear in any order.
+func ReadCSV(r io.Reader, schema Schema) (*MemoryRelation, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	colOf := make([]int, len(schema))
+	for i, a := range schema {
+		colOf[i] = -1
+		for j, h := range header {
+			if strings.TrimSpace(h) == a.Name {
+				colOf[i] = j
+				break
+			}
+		}
+		if colOf[i] == -1 {
+			return nil, fmt.Errorf("relation: CSV header missing attribute %q", a.Name)
+		}
+	}
+	rel, err := NewMemoryRelation(schema)
+	if err != nil {
+		return nil, err
+	}
+	nums := make([]float64, 0, len(schema))
+	bools := make([]bool, 0, len(schema))
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV: %w", err)
+		}
+		line++
+		nums = nums[:0]
+		bools = bools[:0]
+		for i, a := range schema {
+			if colOf[i] >= len(rec) {
+				return nil, fmt.Errorf("relation: CSV line %d has %d fields, need column %d", line, len(rec), colOf[i]+1)
+			}
+			cell := rec[colOf[i]]
+			switch a.Kind {
+			case Numeric:
+				v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+				if err != nil {
+					return nil, fmt.Errorf("relation: CSV line %d, attribute %q: %w", line, a.Name, err)
+				}
+				nums = append(nums, v)
+			case Boolean:
+				b, err := parseBool(cell)
+				if err != nil {
+					return nil, fmt.Errorf("relation: CSV line %d, attribute %q: %w", line, a.Name, err)
+				}
+				bools = append(bools, b)
+			}
+		}
+		if err := rel.Append(nums, bools); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// InferSchema reads the header and first data row of a CSV stream and
+// guesses each column's kind: cells parseable as floats are Numeric,
+// cells recognizable as Booleans are Boolean. Returns an error on any
+// other cell.
+func InferSchema(header, firstRow []string) (Schema, error) {
+	if len(header) != len(firstRow) {
+		return nil, fmt.Errorf("relation: header has %d columns, first row has %d", len(header), len(firstRow))
+	}
+	schema := make(Schema, 0, len(header))
+	for i, name := range header {
+		cell := strings.TrimSpace(firstRow[i])
+		if _, err := parseBool(cell); err == nil {
+			schema = append(schema, Attribute{Name: strings.TrimSpace(name), Kind: Boolean})
+			continue
+		}
+		if _, err := strconv.ParseFloat(cell, 64); err == nil {
+			schema = append(schema, Attribute{Name: strings.TrimSpace(name), Kind: Numeric})
+			continue
+		}
+		return nil, fmt.Errorf("relation: cannot infer kind of column %q from value %q", name, cell)
+	}
+	return schema, schema.Validate()
+}
+
+// ReadCSVAutoSchema parses a headered CSV stream, inferring the schema
+// from the first data row.
+func ReadCSVAutoSchema(r io.Reader) (*MemoryRelation, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	first, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading first CSV row: %w", err)
+	}
+	schema, err := InferSchema(header, first)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := NewMemoryRelation(schema)
+	if err != nil {
+		return nil, err
+	}
+	appendRec := func(rec []string) error {
+		var nums []float64
+		var bools []bool
+		for i, a := range schema {
+			cell := strings.TrimSpace(rec[i])
+			switch a.Kind {
+			case Numeric:
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return fmt.Errorf("relation: attribute %q: %w", a.Name, err)
+				}
+				nums = append(nums, v)
+			case Boolean:
+				b, err := parseBool(cell)
+				if err != nil {
+					return fmt.Errorf("relation: attribute %q: %w", a.Name, err)
+				}
+				bools = append(bools, b)
+			}
+		}
+		return rel.Append(nums, bools)
+	}
+	if err := appendRec(first); err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rel, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV: %w", err)
+		}
+		if err := appendRec(rec); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// WriteCSV writes the relation with a header row. Boolean values are
+// encoded as "yes"/"no"; numeric values with strconv.FormatFloat 'g'.
+func WriteCSV(w io.Writer, rel Relation) error {
+	cw := csv.NewWriter(w)
+	schema := rel.Schema()
+	if err := cw.Write(schema.Names()); err != nil {
+		return err
+	}
+	cols := ColumnSet{Numeric: schema.NumericIndices(), Bool: schema.BooleanIndices()}
+	// Map schema position -> position within the scanned column set.
+	numAt := make(map[int]int, len(cols.Numeric))
+	for k, i := range cols.Numeric {
+		numAt[i] = k
+	}
+	boolAt := make(map[int]int, len(cols.Bool))
+	for k, i := range cols.Bool {
+		boolAt[i] = k
+	}
+	record := make([]string, len(schema))
+	err := rel.Scan(cols, func(b *Batch) error {
+		for row := 0; row < b.Len; row++ {
+			for i, a := range schema {
+				if a.Kind == Numeric {
+					record[i] = strconv.FormatFloat(b.Numeric[numAt[i]][row], 'g', -1, 64)
+				} else if b.Bool[boolAt[i]][row] {
+					record[i] = "yes"
+				} else {
+					record[i] = "no"
+				}
+			}
+			if err := cw.Write(record); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,150 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `Balance,Age,CardLoan,AutoWithdraw
+1500.5,34,yes,no
+200,61,no,no
+99999,18,YES,true
+`
+
+func TestReadCSVWithSchema(t *testing.T) {
+	rel, err := ReadCSV(strings.NewReader(sampleCSV), bankSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumTuples() != 3 {
+		t.Fatalf("NumTuples = %d, want 3", rel.NumTuples())
+	}
+	bal, _ := rel.NumericColumn(0)
+	if bal[0] != 1500.5 || bal[2] != 99999 {
+		t.Errorf("Balance = %v", bal)
+	}
+	cl, _ := rel.BoolColumn(2)
+	if !cl[0] || cl[1] || !cl[2] {
+		t.Errorf("CardLoan = %v", cl)
+	}
+	aw, _ := rel.BoolColumn(3)
+	if aw[0] || aw[1] || !aw[2] {
+		t.Errorf("AutoWithdraw = %v", aw)
+	}
+}
+
+func TestReadCSVColumnReorderAndExtras(t *testing.T) {
+	csvText := "Extra,CardLoan,Balance,Age,AutoWithdraw\nignored,yes,10,20,no\n"
+	rel, err := ReadCSV(strings.NewReader(csvText), bankSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, _ := rel.NumericColumn(0)
+	if bal[0] != 10 {
+		t.Errorf("Balance = %v, want [10]", bal)
+	}
+	cl, _ := rel.BoolColumn(2)
+	if !cl[0] {
+		t.Errorf("CardLoan should be yes")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"missing attr", "Balance,Age\n1,2\n"},
+		{"bad numeric", "Balance,Age,CardLoan,AutoWithdraw\nxyz,2,yes,no\n"},
+		{"bad bool", "Balance,Age,CardLoan,AutoWithdraw\n1,2,maybe,no\n"},
+		{"empty", ""},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.text), bankSchema()); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestInferSchema(t *testing.T) {
+	s, err := InferSchema([]string{"A", "B", "C"}, []string{"1.5", "yes", "42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0].Kind != Numeric || s[1].Kind != Boolean || s[2].Kind != Numeric {
+		t.Errorf("inferred kinds wrong: %v", s)
+	}
+	if _, err := InferSchema([]string{"A"}, []string{"hello"}); err == nil {
+		t.Errorf("uninferable column accepted")
+	}
+	if _, err := InferSchema([]string{"A", "B"}, []string{"1"}); err == nil {
+		t.Errorf("shape mismatch accepted")
+	}
+}
+
+func TestReadCSVAutoSchema(t *testing.T) {
+	rel, err := ReadCSVAutoSchema(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumTuples() != 3 {
+		t.Fatalf("NumTuples = %d, want 3", rel.NumTuples())
+	}
+	s := rel.Schema()
+	if s[0].Kind != Numeric || s[2].Kind != Boolean {
+		t.Errorf("auto schema wrong: %v", s)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rel, err := ReadCSV(strings.NewReader(sampleCSV), bankSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := ReadCSV(&buf, bankSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.NumTuples() != rel.NumTuples() {
+		t.Fatalf("round trip lost tuples: %d vs %d", rel2.NumTuples(), rel.NumTuples())
+	}
+	b1, _ := rel.NumericColumn(0)
+	b2, _ := rel2.NumericColumn(0)
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Errorf("row %d: balance %g != %g", i, b1[i], b2[i])
+		}
+	}
+	c1, _ := rel.BoolColumn(2)
+	c2, _ := rel2.BoolColumn(2)
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Errorf("row %d: cardloan %v != %v", i, c1[i], c2[i])
+		}
+	}
+}
+
+func TestParseBoolForms(t *testing.T) {
+	yes := []string{"yes", "Y", "TRUE", "t", "1", " yes "}
+	no := []string{"no", "N", "false", "F", "0"}
+	for _, s := range yes {
+		v, err := parseBool(s)
+		if err != nil || !v {
+			t.Errorf("parseBool(%q) = %v, %v; want true", s, v, err)
+		}
+	}
+	for _, s := range no {
+		v, err := parseBool(s)
+		if err != nil || v {
+			t.Errorf("parseBool(%q) = %v, %v; want false", s, v, err)
+		}
+	}
+	if _, err := parseBool("perhaps"); err == nil {
+		t.Errorf("parseBool(perhaps) should fail")
+	}
+}

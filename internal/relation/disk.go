@@ -1,0 +1,376 @@
+package relation
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary file layout (little endian):
+//
+//	magic   [4]byte  "OPTR"
+//	version uint32   1
+//	nattrs  uint32
+//	per attribute: kind uint8, nameLen uint16, name []byte
+//	numRows uint64   (patched on Close)
+//	rows: per row, one float64 per numeric attribute in schema order,
+//	      then ceil(nbool/8) bytes of packed Boolean values (bit i of
+//	      byte i/8 is the i-th Boolean attribute, LSB first).
+//
+// Fixed-width rows keep the scan sequential and make row offsets
+// computable, which the parallel bucketing scan (Algorithm 3.2) uses to
+// hand disjoint row segments to different processing elements.
+
+var diskMagic = [4]byte{'O', 'P', 'T', 'R'}
+
+const diskVersion = 1
+
+// rowWidth returns the encoded size in bytes of one tuple.
+func rowWidth(s Schema) int {
+	numNumeric, numBool := 0, 0
+	for _, a := range s {
+		if a.Kind == Numeric {
+			numNumeric++
+		} else {
+			numBool++
+		}
+	}
+	return 8*numNumeric + (numBool+7)/8
+}
+
+// DiskWriter streams tuples into the binary on-disk format.
+type DiskWriter struct {
+	f       *os.File
+	w       *bufio.Writer
+	schema  Schema
+	nums    int
+	bools   int
+	rows    uint64
+	rowBuf  []byte
+	rowsOff int64
+	closed  bool
+}
+
+// NewDiskWriter creates (truncating) the file at path and writes the
+// header. Call Append for each tuple and Close to finalize.
+func NewDiskWriter(path string, schema Schema) (*DiskWriter, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.Write(diskMagic[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], diskVersion)
+	w.Write(u32[:])
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(schema)))
+	w.Write(u32[:])
+	headerLen := int64(4 + 4 + 4)
+	for _, a := range schema {
+		w.WriteByte(byte(a.Kind))
+		var u16 [2]byte
+		binary.LittleEndian.PutUint16(u16[:], uint16(len(a.Name)))
+		w.Write(u16[:])
+		w.WriteString(a.Name)
+		headerLen += 1 + 2 + int64(len(a.Name))
+	}
+	// Placeholder row count, patched in Close.
+	var u64 [8]byte
+	if _, err := w.Write(u64[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	dw := &DiskWriter{f: f, w: w, schema: schema, rowsOff: headerLen, rowBuf: make([]byte, rowWidth(schema))}
+	for _, a := range schema {
+		if a.Kind == Numeric {
+			dw.nums++
+		} else {
+			dw.bools++
+		}
+	}
+	return dw, nil
+}
+
+// Append writes one tuple: nums in numeric schema order, bools in
+// Boolean schema order.
+func (dw *DiskWriter) Append(nums []float64, bools []bool) error {
+	if dw.closed {
+		return fmt.Errorf("relation: append to closed DiskWriter")
+	}
+	if len(nums) != dw.nums || len(bools) != dw.bools {
+		return fmt.Errorf("relation: tuple shape (%d numeric, %d bool) does not match schema (%d, %d)",
+			len(nums), len(bools), dw.nums, dw.bools)
+	}
+	buf := dw.rowBuf
+	off := 0
+	for _, v := range nums {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	for i := off; i < len(buf); i++ {
+		buf[i] = 0
+	}
+	for i, b := range bools {
+		if b {
+			buf[off+i/8] |= 1 << uint(i%8)
+		}
+	}
+	if _, err := dw.w.Write(buf); err != nil {
+		return err
+	}
+	dw.rows++
+	return nil
+}
+
+// Close flushes buffered rows, patches the row count into the header,
+// and closes the file.
+func (dw *DiskWriter) Close() error {
+	if dw.closed {
+		return nil
+	}
+	dw.closed = true
+	if err := dw.w.Flush(); err != nil {
+		dw.f.Close()
+		return err
+	}
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], dw.rows)
+	if _, err := dw.f.WriteAt(u64[:], dw.rowsOff); err != nil {
+		dw.f.Close()
+		return err
+	}
+	return dw.f.Close()
+}
+
+// DiskRelation is a Relation backed by the binary on-disk format. It
+// keeps only the schema and layout metadata in memory; scans stream
+// rows through a fixed-size buffer, which is what makes it a faithful
+// stand-in for the paper's larger-than-memory databases.
+type DiskRelation struct {
+	path    string
+	schema  Schema
+	numRows int
+	rowSize int
+	dataOff int64
+	nums    int
+	bools   int
+	numPos  []int // schema index -> dense numeric position
+	boolPos []int // schema index -> dense boolean position
+}
+
+// OpenDisk opens a file written by DiskWriter.
+func OpenDisk(path string) (*DiskRelation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("relation: reading magic: %w", err)
+	}
+	if magic != diskMagic {
+		return nil, fmt.Errorf("relation: %s is not an optrule data file", path)
+	}
+	var u32 [4]byte
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint32(u32[:]); v != diskVersion {
+		return nil, fmt.Errorf("relation: unsupported file version %d", v)
+	}
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return nil, err
+	}
+	nattrs := int(binary.LittleEndian.Uint32(u32[:]))
+	if nattrs <= 0 || nattrs > 1<<16 {
+		return nil, fmt.Errorf("relation: implausible attribute count %d", nattrs)
+	}
+	schema := make(Schema, 0, nattrs)
+	headerLen := int64(4 + 4 + 4)
+	for i := 0; i < nattrs; i++ {
+		kindB, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		var u16 [2]byte
+		if _, err := io.ReadFull(r, u16[:]); err != nil {
+			return nil, err
+		}
+		nameLen := int(binary.LittleEndian.Uint16(u16[:]))
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, err
+		}
+		schema = append(schema, Attribute{Name: string(name), Kind: Kind(kindB)})
+		headerLen += 1 + 2 + int64(nameLen)
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	var u64 [8]byte
+	if _, err := io.ReadFull(r, u64[:]); err != nil {
+		return nil, err
+	}
+	numRows := binary.LittleEndian.Uint64(u64[:])
+	headerLen += 8
+	dr := &DiskRelation{
+		path:    path,
+		schema:  schema,
+		numRows: int(numRows),
+		rowSize: rowWidth(schema),
+		dataOff: headerLen,
+		numPos:  make([]int, len(schema)),
+		boolPos: make([]int, len(schema)),
+	}
+	for i, a := range schema {
+		if a.Kind == Numeric {
+			dr.numPos[i] = dr.nums
+			dr.nums++
+		} else {
+			dr.boolPos[i] = dr.bools
+			dr.bools++
+		}
+	}
+	// Sanity-check the file size against the declared row count.
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	want := headerLen + int64(numRows)*int64(dr.rowSize)
+	if st.Size() < want {
+		return nil, fmt.Errorf("relation: %s truncated: %d bytes, need %d for %d rows", path, st.Size(), want, numRows)
+	}
+	return dr, nil
+}
+
+// Schema implements Relation.
+func (dr *DiskRelation) Schema() Schema { return dr.schema }
+
+// NumTuples implements Relation.
+func (dr *DiskRelation) NumTuples() int { return dr.numRows }
+
+// Scan implements Relation by streaming the whole file once.
+func (dr *DiskRelation) Scan(cols ColumnSet, fn func(*Batch) error) error {
+	return dr.ScanRange(0, dr.numRows, cols, fn)
+}
+
+// ScanRange streams rows [start, end) through fn. Each call opens its
+// own file handle, so disjoint ranges may be scanned concurrently — the
+// access pattern of the parallel bucketing Algorithm 3.2.
+func (dr *DiskRelation) ScanRange(start, end int, cols ColumnSet, fn func(*Batch) error) error {
+	if err := cols.Validate(dr.schema); err != nil {
+		return err
+	}
+	if start < 0 || end > dr.numRows || start > end {
+		return fmt.Errorf("relation: scan range [%d,%d) out of [0,%d)", start, end, dr.numRows)
+	}
+	if start == end {
+		return nil
+	}
+	f, err := os.Open(dr.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Seek(dr.dataOff+int64(start)*int64(dr.rowSize), io.SeekStart); err != nil {
+		return err
+	}
+	r := bufio.NewReaderSize(f, 1<<20)
+
+	batch := &Batch{
+		Numeric: make([][]float64, len(cols.Numeric)),
+		Bool:    make([][]bool, len(cols.Bool)),
+	}
+	for k := range batch.Numeric {
+		batch.Numeric[k] = make([]float64, DefaultBatchSize)
+	}
+	for k := range batch.Bool {
+		batch.Bool[k] = make([]bool, DefaultBatchSize)
+	}
+	rowBuf := make([]byte, dr.rowSize*DefaultBatchSize)
+	boolBase := 8 * dr.nums
+
+	for at := start; at < end; {
+		n := DefaultBatchSize
+		if at+n > end {
+			n = end - at
+		}
+		if _, err := io.ReadFull(r, rowBuf[:n*dr.rowSize]); err != nil {
+			return fmt.Errorf("relation: reading rows %d..%d of %s: %w", at, at+n, dr.path, err)
+		}
+		for k, i := range cols.Numeric {
+			dst := batch.Numeric[k][:n]
+			fieldOff := 8 * dr.numPos[i]
+			for row := 0; row < n; row++ {
+				bits := binary.LittleEndian.Uint64(rowBuf[row*dr.rowSize+fieldOff:])
+				dst[row] = math.Float64frombits(bits)
+			}
+			batch.Numeric[k] = dst
+		}
+		for k, i := range cols.Bool {
+			dst := batch.Bool[k][:n]
+			bit := dr.boolPos[i]
+			byteOff := boolBase + bit/8
+			mask := byte(1) << uint(bit%8)
+			for row := 0; row < n; row++ {
+				dst[row] = rowBuf[row*dr.rowSize+byteOff]&mask != 0
+			}
+			batch.Bool[k] = dst
+		}
+		batch.Len = n
+		if err := fn(batch); err != nil {
+			return err
+		}
+		at += n
+	}
+	return nil
+}
+
+// RangeScanner is implemented by relations that can scan an arbitrary
+// row range, enabling the parallel counting of Algorithm 3.2.
+type RangeScanner interface {
+	Relation
+	ScanRange(start, end int, cols ColumnSet, fn func(*Batch) error) error
+}
+
+// ScanRange makes MemoryRelation a RangeScanner.
+func (r *MemoryRelation) ScanRange(start, end int, cols ColumnSet, fn func(*Batch) error) error {
+	if err := cols.Validate(r.schema); err != nil {
+		return err
+	}
+	if start < 0 || end > r.numRows || start > end {
+		return fmt.Errorf("relation: scan range [%d,%d) out of [0,%d)", start, end, r.numRows)
+	}
+	batch := &Batch{
+		Numeric: make([][]float64, len(cols.Numeric)),
+		Bool:    make([][]bool, len(cols.Bool)),
+	}
+	for at := start; at < end; at += DefaultBatchSize {
+		stop := at + DefaultBatchSize
+		if stop > end {
+			stop = end
+		}
+		batch.Len = stop - at
+		for k, i := range cols.Numeric {
+			batch.Numeric[k] = r.numeric[r.colIdx[i]][at:stop]
+		}
+		for k, i := range cols.Bool {
+			batch.Bool[k] = r.boolean[r.colIdx[i]][at:stop]
+		}
+		if err := fn(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// writeTestFile writes n pseudo-random tuples to a temp file and
+// returns the path plus the in-memory twin for comparison.
+func writeTestFile(t *testing.T, n int, seed int64) (string, *MemoryRelation) {
+	t.Helper()
+	schema := bankSchema()
+	path := filepath.Join(t.TempDir(), "data.opr")
+	dw, err := NewDiskWriter(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := MustNewMemoryRelation(schema)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		nums := []float64{rng.Float64() * 1e6, float64(rng.Intn(100))}
+		bools := []bool{rng.Intn(2) == 0, rng.Intn(3) == 0}
+		if err := dw.Append(nums, bools); err != nil {
+			t.Fatal(err)
+		}
+		mem.MustAppend(nums, bools)
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, mem
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	n := DefaultBatchSize + 321
+	path, mem := writeTestFile(t, n, 1)
+	dr, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.NumTuples() != n {
+		t.Fatalf("NumTuples = %d, want %d", dr.NumTuples(), n)
+	}
+	if got := dr.Schema(); len(got) != 4 || got[0].Name != "Balance" || got[2].Kind != Boolean {
+		t.Fatalf("schema mismatch: %v", got)
+	}
+	cols := ColumnSet{Numeric: []int{0, 1}, Bool: []int{2, 3}}
+	wantBal, _ := mem.NumericColumn(0)
+	wantAge, _ := mem.NumericColumn(1)
+	wantCL, _ := mem.BoolColumn(2)
+	wantAW, _ := mem.BoolColumn(3)
+	at := 0
+	err = dr.Scan(cols, func(b *Batch) error {
+		for row := 0; row < b.Len; row++ {
+			if b.Numeric[0][row] != wantBal[at] || b.Numeric[1][row] != wantAge[at] {
+				t.Fatalf("numeric mismatch at row %d", at)
+			}
+			if b.Bool[0][row] != wantCL[at] || b.Bool[1][row] != wantAW[at] {
+				t.Fatalf("bool mismatch at row %d", at)
+			}
+			at++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != n {
+		t.Fatalf("scanned %d rows, want %d", at, n)
+	}
+}
+
+func TestDiskScanRangeMatchesMemory(t *testing.T) {
+	n := 1000
+	path, mem := writeTestFile(t, n, 2)
+	dr, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := func(r RangeScanner, start, end int) []float64 {
+		var out []float64
+		if err := r.ScanRange(start, end, ColumnSet{Numeric: []int{0}}, func(b *Batch) error {
+			out = append(out, b.Numeric[0][:b.Len]...)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	for _, rg := range [][2]int{{0, n}, {17, 430}, {999, 1000}, {500, 500}} {
+		got := collect(dr, rg[0], rg[1])
+		want := collect(mem, rg[0], rg[1])
+		if len(got) != len(want) {
+			t.Fatalf("range %v: got %d values, want %d", rg, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("range %v: value %d differs", rg, i)
+			}
+		}
+	}
+}
+
+func TestDiskConcurrentRangeScans(t *testing.T) {
+	n := 5000
+	path, mem := writeTestFile(t, n, 3)
+	dr, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := 4
+	sums := make([]float64, parts)
+	errs := make(chan error, parts)
+	for p := 0; p < parts; p++ {
+		go func(p int) {
+			start, end := p*n/parts, (p+1)*n/parts
+			errs <- dr.ScanRange(start, end, ColumnSet{Numeric: []int{0}}, func(b *Batch) error {
+				for _, v := range b.Numeric[0][:b.Len] {
+					sums[p] += v
+				}
+				return nil
+			})
+		}(p)
+	}
+	for p := 0; p < parts; p++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0.0
+	for _, s := range sums {
+		total += s
+	}
+	want := 0.0
+	col, _ := mem.NumericColumn(0)
+	for _, v := range col {
+		want += v
+	}
+	if math.Abs(total-want) > 1e-6*math.Abs(want) {
+		t.Errorf("parallel scan sum = %g, want %g", total, want)
+	}
+}
+
+func TestDiskSpecialFloatValues(t *testing.T) {
+	schema := Schema{{Name: "X", Kind: Numeric}, {Name: "B", Kind: Boolean}}
+	path := filepath.Join(t.TempDir(), "special.opr")
+	dw, err := NewDiskWriter(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64, -1.5}
+	for i, v := range values {
+		if err := dw.Append([]float64{v}, []bool{i%2 == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dr, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := 0
+	err = dr.Scan(ColumnSet{Numeric: []int{0}, Bool: []int{1}}, func(b *Batch) error {
+		for row := 0; row < b.Len; row++ {
+			got := b.Numeric[0][row]
+			want := values[at]
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("value %d: got %v (bits %x), want %v", at, got, math.Float64bits(got), want)
+			}
+			if b.Bool[0][row] != (at%2 == 0) {
+				t.Errorf("bool %d wrong", at)
+			}
+			at++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskManyBooleansPacking(t *testing.T) {
+	// 11 Boolean attributes forces two packed bytes per row.
+	schema := Schema{{Name: "X", Kind: Numeric}}
+	for i := 0; i < 11; i++ {
+		schema = append(schema, Attribute{Name: string(rune('A' + i)), Kind: Boolean})
+	}
+	path := filepath.Join(t.TempDir(), "bools.opr")
+	dw, err := NewDiskWriter(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 64
+	for r := 0; r < rows; r++ {
+		bools := make([]bool, 11)
+		for b := 0; b < 11; b++ {
+			bools[b] = (r>>uint(b%6))&1 == 1
+		}
+		if err := dw.Append([]float64{float64(r)}, bools); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dr, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boolIdx := dr.Schema().BooleanIndices()
+	at := 0
+	err = dr.Scan(ColumnSet{Bool: boolIdx}, func(b *Batch) error {
+		for row := 0; row < b.Len; row++ {
+			for k := 0; k < 11; k++ {
+				want := (at>>uint(k%6))&1 == 1
+				if b.Bool[k][row] != want {
+					t.Fatalf("row %d bool %d: got %v, want %v", at, k, b.Bool[k][row], want)
+				}
+			}
+			at++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskWriterErrors(t *testing.T) {
+	schema := Schema{{Name: "X", Kind: Numeric}}
+	path := filepath.Join(t.TempDir(), "w.opr")
+	dw, err := NewDiskWriter(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.Append([]float64{1, 2}, nil); err == nil {
+		t.Errorf("wrong-shape append accepted")
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.Close(); err != nil {
+		t.Errorf("double close should be a no-op, got %v", err)
+	}
+	if err := dw.Append([]float64{1}, nil); err == nil {
+		t.Errorf("append after close accepted")
+	}
+	if _, err := NewDiskWriter(path, Schema{}); err == nil {
+		t.Errorf("empty schema accepted")
+	}
+}
+
+func TestOpenDiskRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.opr")
+	if err := os.WriteFile(bad, []byte("this is not an optrule file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(bad); err == nil {
+		t.Errorf("garbage file accepted")
+	}
+	if _, err := OpenDisk(filepath.Join(dir, "missing.opr")); err == nil {
+		t.Errorf("missing file accepted")
+	}
+	// Truncated file: write a valid one, cut it short.
+	path, _ := writeTestFile(t, 100, 4)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.opr")
+	if err := os.WriteFile(trunc, data[:len(data)-40], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(trunc); err == nil {
+		t.Errorf("truncated file accepted")
+	}
+}
+
+func TestDiskMemoryEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%2000) + 1
+		path, mem := writeTestFile(t, n, seed)
+		dr, err := OpenDisk(path)
+		if err != nil {
+			return false
+		}
+		cols := ColumnSet{Numeric: []int{0}, Bool: []int{3}}
+		var dVals []float64
+		var dBools []bool
+		if err := dr.Scan(cols, func(b *Batch) error {
+			dVals = append(dVals, b.Numeric[0][:b.Len]...)
+			dBools = append(dBools, b.Bool[0][:b.Len]...)
+			return nil
+		}); err != nil {
+			return false
+		}
+		mVals, _ := mem.NumericColumn(0)
+		mBools, _ := mem.BoolColumn(3)
+		if len(dVals) != len(mVals) {
+			return false
+		}
+		for i := range dVals {
+			if dVals[i] != mVals[i] || dBools[i] != mBools[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

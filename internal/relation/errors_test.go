@@ -1,0 +1,114 @@
+package relation
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// failWriter errors after n bytes, to exercise write-error paths.
+type failWriter struct {
+	n       int
+	written int
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.written += len(p)
+	if f.written > f.n {
+		return 0, errSentinel("disk full")
+	}
+	return len(p), nil
+}
+
+func TestWriteCSVPropagatesWriterErrors(t *testing.T) {
+	rel := MustNewMemoryRelation(bankSchema())
+	for i := 0; i < 100; i++ {
+		rel.MustAppend([]float64{float64(i), 1}, []bool{true, false})
+	}
+	if err := WriteCSV(&failWriter{n: 10}, rel); err == nil {
+		t.Errorf("failing writer not reported")
+	}
+	if err := WriteCSV(&failWriter{n: 200}, rel); err == nil {
+		t.Errorf("mid-stream failure not reported")
+	}
+}
+
+func TestNewDiskWriterUnwritablePath(t *testing.T) {
+	if _, err := NewDiskWriter("/nonexistent-dir-xyz/f.opr", bankSchema()); err == nil {
+		t.Errorf("unwritable path accepted")
+	}
+}
+
+func TestOpenDiskWrongVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.opr")
+	dw, err := NewDiskWriter(path, Schema{{Name: "X", Kind: Numeric}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw.Append([]float64{1}, nil)
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the version field (bytes 4..8) to 99.
+	binary.LittleEndian.PutUint32(data[4:8], 99)
+	bad := filepath.Join(t.TempDir(), "v99.opr")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("wrong version accepted: %v", err)
+	}
+}
+
+func TestOpenDiskImplausibleAttributeCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(diskMagic[:])
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], diskVersion)
+	buf.Write(u32[:])
+	binary.LittleEndian.PutUint32(u32[:], 1<<20) // absurd attribute count
+	buf.Write(u32[:])
+	path := filepath.Join(t.TempDir(), "attrs.opr")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(path); err == nil {
+		t.Errorf("implausible attribute count accepted")
+	}
+}
+
+func TestDiskScanRangeErrors(t *testing.T) {
+	path, _ := writeTestFile(t, 50, 8)
+	dr, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dr.ScanRange(-1, 10, ColumnSet{}, func(*Batch) error { return nil }); err == nil {
+		t.Errorf("negative start accepted")
+	}
+	if err := dr.ScanRange(0, 51, ColumnSet{}, func(*Batch) error { return nil }); err == nil {
+		t.Errorf("end beyond rows accepted")
+	}
+	if err := dr.ScanRange(0, 10, ColumnSet{Numeric: []int{2}}, func(*Batch) error { return nil }); err == nil {
+		t.Errorf("bool column as numeric accepted")
+	}
+	// Callback error propagates.
+	want := errSentinel("stop")
+	if err := dr.ScanRange(0, 50, ColumnSet{Numeric: []int{0}}, func(*Batch) error { return want }); err != want {
+		t.Errorf("callback error lost: %v", err)
+	}
+	// Deleting the backing file breaks subsequent scans.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := dr.Scan(ColumnSet{Numeric: []int{0}}, func(*Batch) error { return nil }); err == nil {
+		t.Errorf("scan of deleted file succeeded")
+	}
+}

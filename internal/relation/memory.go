@@ -1,0 +1,144 @@
+package relation
+
+import "fmt"
+
+// MemoryRelation is a columnar in-memory implementation of Relation.
+// Numeric columns are []float64 and Boolean columns are []bool, stored
+// per attribute, so scans of a few columns touch only those columns.
+type MemoryRelation struct {
+	schema  Schema
+	numRows int
+	// colIdx[i] is the position of schema attribute i within its
+	// kind-specific column store.
+	colIdx  []int
+	numeric [][]float64
+	boolean [][]bool
+}
+
+// NewMemoryRelation creates an empty relation with the given schema.
+func NewMemoryRelation(schema Schema) (*MemoryRelation, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	r := &MemoryRelation{schema: schema, colIdx: make([]int, len(schema))}
+	for i, a := range schema {
+		switch a.Kind {
+		case Numeric:
+			r.colIdx[i] = len(r.numeric)
+			r.numeric = append(r.numeric, nil)
+		case Boolean:
+			r.colIdx[i] = len(r.boolean)
+			r.boolean = append(r.boolean, nil)
+		}
+	}
+	return r, nil
+}
+
+// MustNewMemoryRelation is NewMemoryRelation that panics on error, for
+// tests and examples with statically known schemas.
+func MustNewMemoryRelation(schema Schema) *MemoryRelation {
+	r, err := NewMemoryRelation(schema)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Schema implements Relation.
+func (r *MemoryRelation) Schema() Schema { return r.schema }
+
+// NumTuples implements Relation.
+func (r *MemoryRelation) NumTuples() int { return r.numRows }
+
+// Append adds one tuple. nums and bools must list the tuple's numeric
+// and Boolean values in schema order of their respective kinds.
+func (r *MemoryRelation) Append(nums []float64, bools []bool) error {
+	if len(nums) != len(r.numeric) {
+		return fmt.Errorf("relation: got %d numeric values, schema has %d", len(nums), len(r.numeric))
+	}
+	if len(bools) != len(r.boolean) {
+		return fmt.Errorf("relation: got %d boolean values, schema has %d", len(bools), len(r.boolean))
+	}
+	for i, v := range nums {
+		r.numeric[i] = append(r.numeric[i], v)
+	}
+	for i, v := range bools {
+		r.boolean[i] = append(r.boolean[i], v)
+	}
+	r.numRows++
+	return nil
+}
+
+// MustAppend is Append that panics on error.
+func (r *MemoryRelation) MustAppend(nums []float64, bools []bool) {
+	if err := r.Append(nums, bools); err != nil {
+		panic(err)
+	}
+}
+
+// Grow pre-allocates capacity for n additional tuples.
+func (r *MemoryRelation) Grow(n int) {
+	for i := range r.numeric {
+		if cap(r.numeric[i])-len(r.numeric[i]) < n {
+			col := make([]float64, len(r.numeric[i]), len(r.numeric[i])+n)
+			copy(col, r.numeric[i])
+			r.numeric[i] = col
+		}
+	}
+	for i := range r.boolean {
+		if cap(r.boolean[i])-len(r.boolean[i]) < n {
+			col := make([]bool, len(r.boolean[i]), len(r.boolean[i])+n)
+			copy(col, r.boolean[i])
+			r.boolean[i] = col
+		}
+	}
+}
+
+// NumericColumn returns the full column for the numeric attribute at
+// schema position i. The returned slice is the backing store: callers
+// must not modify it.
+func (r *MemoryRelation) NumericColumn(i int) ([]float64, error) {
+	if i < 0 || i >= len(r.schema) || r.schema[i].Kind != Numeric {
+		return nil, fmt.Errorf("relation: attribute %d is not a numeric column", i)
+	}
+	return r.numeric[r.colIdx[i]], nil
+}
+
+// BoolColumn returns the full column for the Boolean attribute at
+// schema position i. The returned slice is the backing store: callers
+// must not modify it.
+func (r *MemoryRelation) BoolColumn(i int) ([]bool, error) {
+	if i < 0 || i >= len(r.schema) || r.schema[i].Kind != Boolean {
+		return nil, fmt.Errorf("relation: attribute %d is not a boolean column", i)
+	}
+	return r.boolean[r.colIdx[i]], nil
+}
+
+// Scan implements Relation. Batches are views into the column stores
+// (no copying).
+func (r *MemoryRelation) Scan(cols ColumnSet, fn func(*Batch) error) error {
+	if err := cols.Validate(r.schema); err != nil {
+		return err
+	}
+	batch := &Batch{
+		Numeric: make([][]float64, len(cols.Numeric)),
+		Bool:    make([][]bool, len(cols.Bool)),
+	}
+	for start := 0; start < r.numRows; start += DefaultBatchSize {
+		end := start + DefaultBatchSize
+		if end > r.numRows {
+			end = r.numRows
+		}
+		batch.Len = end - start
+		for k, i := range cols.Numeric {
+			batch.Numeric[k] = r.numeric[r.colIdx[i]][start:end]
+		}
+		for k, i := range cols.Bool {
+			batch.Bool[k] = r.boolean[r.colIdx[i]][start:end]
+		}
+		if err := fn(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package relation
+
+import (
+	"testing"
+)
+
+func bankSchema() Schema {
+	return Schema{
+		{Name: "Balance", Kind: Numeric},
+		{Name: "Age", Kind: Numeric},
+		{Name: "CardLoan", Kind: Boolean},
+		{Name: "AutoWithdraw", Kind: Boolean},
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := bankSchema().Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		s    Schema
+	}{
+		{"empty", Schema{}},
+		{"blank name", Schema{{Name: "", Kind: Numeric}}},
+		{"dup name", Schema{{Name: "A", Kind: Numeric}, {Name: "A", Kind: Boolean}}},
+		{"bad kind", Schema{{Name: "A", Kind: Kind(9)}}},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestSchemaLookups(t *testing.T) {
+	s := bankSchema()
+	if i := s.Index("CardLoan"); i != 2 {
+		t.Errorf("Index(CardLoan) = %d, want 2", i)
+	}
+	if i := s.Index("Missing"); i != -1 {
+		t.Errorf("Index(Missing) = %d, want -1", i)
+	}
+	if got := s.NumericIndices(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("NumericIndices = %v", got)
+	}
+	if got := s.BooleanIndices(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("BooleanIndices = %v", got)
+	}
+	names := s.Names()
+	if names[0] != "Balance" || names[3] != "AutoWithdraw" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Numeric.String() != "numeric" || Boolean.String() != "boolean" {
+		t.Errorf("kind strings wrong")
+	}
+	if Kind(42).String() == "" {
+		t.Errorf("unknown kind should still print")
+	}
+}
+
+func TestMemoryAppendAndColumns(t *testing.T) {
+	r := MustNewMemoryRelation(bankSchema())
+	r.MustAppend([]float64{100, 30}, []bool{true, false})
+	r.MustAppend([]float64{200, 40}, []bool{false, true})
+	if r.NumTuples() != 2 {
+		t.Fatalf("NumTuples = %d, want 2", r.NumTuples())
+	}
+	bal, err := r.NumericColumn(0)
+	if err != nil || len(bal) != 2 || bal[0] != 100 || bal[1] != 200 {
+		t.Errorf("Balance column = %v (%v)", bal, err)
+	}
+	age, err := r.NumericColumn(1)
+	if err != nil || age[0] != 30 || age[1] != 40 {
+		t.Errorf("Age column = %v (%v)", age, err)
+	}
+	cl, err := r.BoolColumn(2)
+	if err != nil || !cl[0] || cl[1] {
+		t.Errorf("CardLoan column = %v (%v)", cl, err)
+	}
+	if _, err := r.NumericColumn(2); err == nil {
+		t.Errorf("NumericColumn on bool attr should fail")
+	}
+	if _, err := r.BoolColumn(0); err == nil {
+		t.Errorf("BoolColumn on numeric attr should fail")
+	}
+	if _, err := r.NumericColumn(-1); err == nil {
+		t.Errorf("NumericColumn(-1) should fail")
+	}
+}
+
+func TestMemoryAppendShapeErrors(t *testing.T) {
+	r := MustNewMemoryRelation(bankSchema())
+	if err := r.Append([]float64{1}, []bool{true, false}); err == nil {
+		t.Errorf("short numeric row accepted")
+	}
+	if err := r.Append([]float64{1, 2}, []bool{true}); err == nil {
+		t.Errorf("short bool row accepted")
+	}
+	if r.NumTuples() != 0 {
+		t.Errorf("failed appends should not grow the relation")
+	}
+}
+
+func TestMemoryScanBatches(t *testing.T) {
+	r := MustNewMemoryRelation(bankSchema())
+	n := 2*DefaultBatchSize + 17
+	r.Grow(n)
+	for i := 0; i < n; i++ {
+		r.MustAppend([]float64{float64(i), float64(i % 100)}, []bool{i%3 == 0, i%2 == 0})
+	}
+	var seen int
+	var sumBal float64
+	var countLoan int
+	err := r.Scan(ColumnSet{Numeric: []int{0}, Bool: []int{2}}, func(b *Batch) error {
+		if b.Len == 0 {
+			t.Fatal("empty batch delivered")
+		}
+		for row := 0; row < b.Len; row++ {
+			sumBal += b.Numeric[0][row]
+			if b.Bool[0][row] {
+				countLoan++
+			}
+		}
+		seen += b.Len
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != n {
+		t.Errorf("scanned %d tuples, want %d", seen, n)
+	}
+	wantSum := float64(n) * float64(n-1) / 2
+	if sumBal != wantSum {
+		t.Errorf("sum of Balance = %g, want %g", sumBal, wantSum)
+	}
+	wantLoan := (n + 2) / 3
+	if countLoan != wantLoan {
+		t.Errorf("CardLoan yes count = %d, want %d", countLoan, wantLoan)
+	}
+}
+
+func TestMemoryScanValidatesColumns(t *testing.T) {
+	r := MustNewMemoryRelation(bankSchema())
+	r.MustAppend([]float64{1, 2}, []bool{true, false})
+	if err := r.Scan(ColumnSet{Numeric: []int{2}}, func(*Batch) error { return nil }); err == nil {
+		t.Errorf("scan with bool column as numeric should fail")
+	}
+	if err := r.Scan(ColumnSet{Bool: []int{0}}, func(*Batch) error { return nil }); err == nil {
+		t.Errorf("scan with numeric column as bool should fail")
+	}
+	if err := r.Scan(ColumnSet{Numeric: []int{99}}, func(*Batch) error { return nil }); err == nil {
+		t.Errorf("scan with out-of-range column should fail")
+	}
+}
+
+func TestMemoryScanRange(t *testing.T) {
+	r := MustNewMemoryRelation(Schema{{Name: "X", Kind: Numeric}})
+	for i := 0; i < 100; i++ {
+		r.MustAppend([]float64{float64(i)}, nil)
+	}
+	var got []float64
+	err := r.ScanRange(10, 20, ColumnSet{Numeric: []int{0}}, func(b *Batch) error {
+		got = append(got, b.Numeric[0][:b.Len]...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Errorf("ScanRange(10,20) = %v", got)
+	}
+	if err := r.ScanRange(-1, 5, ColumnSet{}, func(*Batch) error { return nil }); err == nil {
+		t.Errorf("negative start accepted")
+	}
+	if err := r.ScanRange(5, 101, ColumnSet{}, func(*Batch) error { return nil }); err == nil {
+		t.Errorf("end beyond NumTuples accepted")
+	}
+	if err := r.ScanRange(7, 3, ColumnSet{}, func(*Batch) error { return nil }); err == nil {
+		t.Errorf("inverted range accepted")
+	}
+	// Empty range is a no-op.
+	if err := r.ScanRange(5, 5, ColumnSet{}, func(*Batch) error {
+		t.Fatal("callback invoked for empty range")
+		return nil
+	}); err != nil {
+		t.Errorf("empty range errored: %v", err)
+	}
+}
+
+func TestMemoryScanErrorPropagation(t *testing.T) {
+	r := MustNewMemoryRelation(Schema{{Name: "X", Kind: Numeric}})
+	for i := 0; i < 10; i++ {
+		r.MustAppend([]float64{1}, nil)
+	}
+	wantErr := errSentinel("boom")
+	err := r.Scan(ColumnSet{Numeric: []int{0}}, func(*Batch) error { return wantErr })
+	if err != wantErr {
+		t.Errorf("scan error = %v, want %v", err, wantErr)
+	}
+}
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }

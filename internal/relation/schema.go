@@ -1,0 +1,165 @@
+// Package relation provides the storage substrate of the reproduction:
+// a columnar in-memory relation, a paged disk-backed relation for data
+// sets that do not fit in main memory, and CSV / binary codecs.
+//
+// The paper's algorithms only require two access patterns, both of which
+// this package exposes as streaming scans:
+//
+//   - a full sequential scan of selected columns (bucket assignment and
+//     counting, Algorithm 3.1 step 4), and
+//   - a uniform random sample of one numeric column (Algorithm 3.1
+//     steps 1–2), implemented on top of the scan by package sampling.
+//
+// Avoiding random access is the point: the paper's premise is that the
+// database is far larger than main memory, so anything but sequential
+// scans and small sorted samples is prohibitively expensive.
+package relation
+
+import "fmt"
+
+// Kind is the type of an attribute.
+type Kind int
+
+const (
+	// Numeric attributes hold float64 values (balances, ages, …).
+	Numeric Kind = iota
+	// Boolean attributes hold yes/no values (CardLoan, …).
+	Boolean
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case Numeric:
+		return "numeric"
+	case Boolean:
+		return "boolean"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Attribute describes one column of a relation.
+type Attribute struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of attributes.
+type Schema []Attribute
+
+// Validate checks that the schema is non-empty and attribute names are
+// unique and non-blank.
+func (s Schema) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("relation: empty schema")
+	}
+	seen := make(map[string]bool, len(s))
+	for i, a := range s {
+		if a.Name == "" {
+			return fmt.Errorf("relation: attribute %d has empty name", i)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("relation: duplicate attribute name %q", a.Name)
+		}
+		if a.Kind != Numeric && a.Kind != Boolean {
+			return fmt.Errorf("relation: attribute %q has invalid kind %d", a.Name, int(a.Kind))
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+// Index returns the position of the attribute with the given name, or
+// -1 if absent.
+func (s Schema) Index(name string) int {
+	for i, a := range s {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumericIndices returns the schema positions of all numeric attributes.
+func (s Schema) NumericIndices() []int {
+	var out []int
+	for i, a := range s {
+		if a.Kind == Numeric {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// BooleanIndices returns the schema positions of all Boolean attributes.
+func (s Schema) BooleanIndices() []int {
+	var out []int
+	for i, a := range s {
+		if a.Kind == Boolean {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Names returns the attribute names in schema order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, a := range s {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// ColumnSet selects columns for a scan, by schema position.
+type ColumnSet struct {
+	Numeric []int // positions of numeric attributes to materialize
+	Bool    []int // positions of Boolean attributes to materialize
+}
+
+// Validate checks every requested position against the schema.
+func (c ColumnSet) Validate(s Schema) error {
+	for _, i := range c.Numeric {
+		if i < 0 || i >= len(s) {
+			return fmt.Errorf("relation: numeric column %d out of range", i)
+		}
+		if s[i].Kind != Numeric {
+			return fmt.Errorf("relation: column %d (%s) is not numeric", i, s[i].Name)
+		}
+	}
+	for _, i := range c.Bool {
+		if i < 0 || i >= len(s) {
+			return fmt.Errorf("relation: bool column %d out of range", i)
+		}
+		if s[i].Kind != Boolean {
+			return fmt.Errorf("relation: column %d (%s) is not boolean", i, s[i].Name)
+		}
+	}
+	return nil
+}
+
+// Batch is one chunk of scanned tuples in columnar form. Numeric[i] and
+// Bool[j] are parallel to the requesting ColumnSet's Numeric and Bool
+// slices; each has length Len. Batches are reused between callbacks —
+// callers must not retain the slices after the callback returns.
+type Batch struct {
+	Len     int
+	Numeric [][]float64
+	Bool    [][]bool
+}
+
+// Relation is a read-only table of tuples supporting streaming scans.
+type Relation interface {
+	// Schema returns the relation's schema.
+	Schema() Schema
+	// NumTuples returns the number of tuples.
+	NumTuples() int
+	// Scan streams the selected columns in storage order, invoking fn
+	// with reused batches. fn returning an error aborts the scan and the
+	// error is propagated.
+	Scan(cols ColumnSet, fn func(*Batch) error) error
+}
+
+// DefaultBatchSize is the number of tuples per scan batch.
+const DefaultBatchSize = 8192

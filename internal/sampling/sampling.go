@@ -1,0 +1,121 @@
+// Package sampling implements the random sampling primitives used by
+// the bucketing step (Algorithm 3.1): uniform sampling with replacement
+// from a relation of known size, realized as a single sequential scan,
+// and reservoir sampling for streams of unknown size.
+//
+// The paper's analysis (Section 3.2) assumes each sample point is drawn
+// independently and uniformly at random *with replacement*; the indexed
+// sampler below preserves exactly that distribution while touching the
+// underlying data in storage order only — no random I/O.
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"optrule/internal/relation"
+)
+
+// WithReplacementIndices draws s indices uniformly at random with
+// replacement from [0, n) and returns them sorted ascending. The sorted
+// order lets a caller fetch the sampled tuples in one sequential pass.
+func WithReplacementIndices(rng *rand.Rand, n, s int) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sampling: population size %d must be positive", n)
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("sampling: negative sample size %d", s)
+	}
+	idx := make([]int, s)
+	for i := range idx {
+		idx[i] = rng.Intn(n)
+	}
+	sort.Ints(idx)
+	return idx, nil
+}
+
+// ColumnWithReplacement draws a uniform with-replacement sample of size
+// s from the numeric attribute at schema position attr, using a single
+// sequential scan of rel. The returned values are in no particular
+// order with respect to the underlying distribution (they follow the
+// sorted index order), which is irrelevant to the bucketing step since
+// the sample is sorted immediately afterwards.
+func ColumnWithReplacement(rel relation.Relation, attr int, s int, rng *rand.Rand) ([]float64, error) {
+	n := rel.NumTuples()
+	idx, err := WithReplacementIndices(rng, n, s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, s)
+	next := 0 // next position in idx to satisfy
+	at := 0   // global row number of the batch start
+	err = rel.Scan(relation.ColumnSet{Numeric: []int{attr}}, func(b *relation.Batch) error {
+		if next >= len(idx) {
+			return errDone
+		}
+		hi := at + b.Len
+		for next < len(idx) && idx[next] < hi {
+			v := b.Numeric[0][idx[next]-at]
+			out = append(out, v)
+			next++
+			// Duplicated indices (with-replacement draws) each contribute
+			// one sample point; emit repeats without re-reading.
+			for next < len(idx) && idx[next] == idx[next-1] {
+				out = append(out, v)
+				next++
+			}
+		}
+		at = hi
+		return nil
+	})
+	if err != nil && err != errDone {
+		return nil, err
+	}
+	if len(out) != s {
+		return nil, fmt.Errorf("sampling: drew %d of %d requested samples", len(out), s)
+	}
+	return out, nil
+}
+
+// errDone aborts a scan early once every sampled index is satisfied.
+var errDone = fmt.Errorf("sampling: done")
+
+// Reservoir maintains a uniform without-replacement sample of a stream
+// of float64 values whose length is unknown in advance (Vitter's
+// Algorithm R). It is provided for completeness: Algorithm 3.1 knows N
+// and uses with-replacement sampling, but streaming ingest pipelines
+// often do not.
+type Reservoir struct {
+	k      int
+	seen   int
+	rng    *rand.Rand
+	sample []float64
+}
+
+// NewReservoir creates a reservoir holding at most k values.
+func NewReservoir(k int, rng *rand.Rand) (*Reservoir, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sampling: reservoir size %d must be positive", k)
+	}
+	return &Reservoir{k: k, rng: rng, sample: make([]float64, 0, k)}, nil
+}
+
+// Offer feeds one value from the stream.
+func (r *Reservoir) Offer(v float64) {
+	r.seen++
+	if len(r.sample) < r.k {
+		r.sample = append(r.sample, v)
+		return
+	}
+	if j := r.rng.Intn(r.seen); j < r.k {
+		r.sample[j] = v
+	}
+}
+
+// Seen returns how many values have been offered.
+func (r *Reservoir) Seen() int { return r.seen }
+
+// Sample returns the current sample. The returned slice is owned by the
+// reservoir; callers should copy it if they keep feeding values.
+func (r *Reservoir) Sample() []float64 { return r.sample }

@@ -1,0 +1,202 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"optrule/internal/relation"
+)
+
+func makeRelation(t testing.TB, n int) *relation.MemoryRelation {
+	t.Helper()
+	rel := relation.MustNewMemoryRelation(relation.Schema{{Name: "X", Kind: relation.Numeric}})
+	rel.Grow(n)
+	for i := 0; i < n; i++ {
+		rel.MustAppend([]float64{float64(i)}, nil)
+	}
+	return rel
+}
+
+func TestWithReplacementIndicesBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	idx, err := WithReplacementIndices(rng, 100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 1000 {
+		t.Fatalf("got %d indices, want 1000", len(idx))
+	}
+	if !sort.IntsAreSorted(idx) {
+		t.Errorf("indices not sorted")
+	}
+	for _, i := range idx {
+		if i < 0 || i >= 100 {
+			t.Fatalf("index %d out of range", i)
+		}
+	}
+}
+
+func TestWithReplacementIndicesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := WithReplacementIndices(rng, 0, 5); err == nil {
+		t.Errorf("empty population accepted")
+	}
+	if _, err := WithReplacementIndices(rng, 10, -1); err == nil {
+		t.Errorf("negative sample size accepted")
+	}
+	idx, err := WithReplacementIndices(rng, 10, 0)
+	if err != nil || len(idx) != 0 {
+		t.Errorf("zero sample should be empty, got %v, %v", idx, err)
+	}
+}
+
+func TestColumnWithReplacementExactCount(t *testing.T) {
+	rel := makeRelation(t, 10)
+	rng := rand.New(rand.NewSource(7))
+	// Oversampling a tiny relation forces many duplicate indices.
+	sample, err := ColumnWithReplacement(rel, 0, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 500 {
+		t.Fatalf("got %d samples, want 500", len(sample))
+	}
+	for _, v := range sample {
+		if v < 0 || v > 9 || v != math.Trunc(v) {
+			t.Fatalf("sample value %g not a valid row value", v)
+		}
+	}
+}
+
+func TestColumnWithReplacementSpansBatches(t *testing.T) {
+	n := 3*relation.DefaultBatchSize + 5
+	rel := makeRelation(t, n)
+	rng := rand.New(rand.NewSource(11))
+	sample, err := ColumnWithReplacement(rel, 0, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values must match their indices (row i holds value i), so a sample
+	// from late batches must include values beyond the first batch.
+	maxV := 0.0
+	for _, v := range sample {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV < float64(relation.DefaultBatchSize) {
+		t.Errorf("sample never crossed the first batch; max value %g", maxV)
+	}
+}
+
+func TestColumnWithReplacementUniformity(t *testing.T) {
+	// Chi-squared-ish check: sampling 40x per value from 100 values
+	// should hit every value and no value should be wildly off 40.
+	rel := makeRelation(t, 100)
+	rng := rand.New(rand.NewSource(13))
+	sample, err := ColumnWithReplacement(rel, 0, 4000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	for _, v := range sample {
+		counts[int(v)]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("value %d never sampled", i)
+		}
+		if c > 100 {
+			t.Errorf("value %d sampled %d times; suspiciously non-uniform", i, c)
+		}
+	}
+}
+
+func TestColumnWithReplacementPropertyCountAndMembership(t *testing.T) {
+	f := func(seed int64, nRaw, sRaw uint16) bool {
+		n := int(nRaw%5000) + 1
+		s := int(sRaw % 3000)
+		rel := makeRelation(t, n)
+		rng := rand.New(rand.NewSource(seed))
+		sample, err := ColumnWithReplacement(rel, 0, s, rng)
+		if err != nil || len(sample) != s {
+			return false
+		}
+		for _, v := range sample {
+			if v < 0 || v >= float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReservoirBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r, err := NewReservoir(10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		r.Offer(float64(i))
+	}
+	if r.Seen() != 1000 {
+		t.Errorf("Seen = %d, want 1000", r.Seen())
+	}
+	s := r.Sample()
+	if len(s) != 10 {
+		t.Fatalf("sample size %d, want 10", len(s))
+	}
+	seen := map[float64]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 1000 {
+			t.Errorf("sample value %g out of stream range", v)
+		}
+		if seen[v] {
+			t.Errorf("without-replacement sample has duplicate %g", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestReservoirShortStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	r, _ := NewReservoir(10, rng)
+	for i := 0; i < 3; i++ {
+		r.Offer(float64(i))
+	}
+	if len(r.Sample()) != 3 {
+		t.Errorf("short stream should keep everything, got %d", len(r.Sample()))
+	}
+	if _, err := NewReservoir(0, rng); err == nil {
+		t.Errorf("zero-size reservoir accepted")
+	}
+}
+
+func TestReservoirApproximatelyUniform(t *testing.T) {
+	// Each of 100 stream values should appear in a size-10 reservoir
+	// with probability 1/10; over 2000 trials each value's count should
+	// be near 200.
+	counts := make([]int, 100)
+	for trial := 0; trial < 2000; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		r, _ := NewReservoir(10, rng)
+		for i := 0; i < 100; i++ {
+			r.Offer(float64(i))
+		}
+		for _, v := range r.Sample() {
+			counts[int(v)]++
+		}
+	}
+	for i, c := range counts {
+		if c < 120 || c > 290 {
+			t.Errorf("value %d kept %d times over 2000 trials; want ~200", i, c)
+		}
+	}
+}

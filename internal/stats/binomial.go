@@ -1,0 +1,135 @@
+// Package stats provides the small statistical toolkit the bucketing
+// analysis of the paper depends on: exact binomial tail probabilities
+// (used to choose the sample size S = 40·M in Algorithm 3.1 and to
+// regenerate Figure 1), quantile selection, and summary statistics.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogBinomialPMF returns ln Pr(X = k) for X ~ Binomial(n, p).
+//
+// The value is computed in log space via math.Lgamma so that it stays
+// finite for the sample sizes the paper uses (n up to a few million).
+func LogBinomialPMF(n int, p float64, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		if k == n {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	lgN, _ := math.Lgamma(float64(n) + 1)
+	lgK, _ := math.Lgamma(float64(k) + 1)
+	lgNK, _ := math.Lgamma(float64(n-k) + 1)
+	return lgN - lgK - lgNK + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+}
+
+// BinomialPMF returns Pr(X = k) for X ~ Binomial(n, p).
+func BinomialPMF(n int, p float64, k int) float64 {
+	return math.Exp(LogBinomialPMF(n, p, k))
+}
+
+// BinomialCDF returns Pr(X <= k) for X ~ Binomial(n, p), by direct
+// summation of the probability mass function. The summation is exact up
+// to floating-point rounding; it is O(k) and intended for the moderate
+// n/p regimes of the bucketing analysis, not for extreme tails.
+func BinomialCDF(n int, p float64, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	// Sum the smaller side for accuracy.
+	mean := float64(n) * p
+	if float64(k) <= mean {
+		sum := 0.0
+		for i := 0; i <= k; i++ {
+			sum += BinomialPMF(n, p, i)
+		}
+		return math.Min(sum, 1)
+	}
+	sum := 0.0
+	for i := k + 1; i <= n; i++ {
+		sum += BinomialPMF(n, p, i)
+	}
+	return math.Max(0, 1-sum)
+}
+
+// BinomialUpperTail returns Pr(X >= k) for X ~ Binomial(n, p).
+func BinomialUpperTail(n int, p float64, k int) float64 {
+	return 1 - BinomialCDF(n, p, k-1)
+}
+
+// BucketDeviationProbability returns
+//
+//	p_e = Pr( |X − S/M| >= δ·S/M ),  X ~ Binomial(S, 1/M),
+//
+// the probability from Section 3.2 of the paper that the number of
+// sample points falling into an interval holding N/M of the data
+// deviates from its expectation S/M by a factor of at least δ. This is
+// the quantity plotted in Figure 1 (for δ = 0.5 and M ∈ {5, 10, 10000}).
+//
+// Note that p_e depends only on S and M, not on the database size N.
+func BucketDeviationProbability(sampleSize, numBuckets int, delta float64) float64 {
+	if sampleSize <= 0 {
+		return 1
+	}
+	if numBuckets <= 1 {
+		return 0
+	}
+	mean := float64(sampleSize) / float64(numBuckets)
+	lo := int(math.Ceil(mean * (1 - delta)))
+	hi := int(math.Floor(mean * (1 + delta)))
+	p := 1.0 / float64(numBuckets)
+	// Pr(X <= lo-1) + Pr(X >= hi+1); boundary values |X−mean| == δ·mean
+	// count as deviations per the paper's ">=".
+	if float64(lo)-mean*(1-delta) == 0 {
+		lo-- // X == (1−δ)mean is a deviation: include it in the lower tail.
+	}
+	if mean*(1+delta)-float64(hi) == 0 {
+		hi++ // X == (1+δ)mean is a deviation: include it in the upper tail.
+	}
+	lower := BinomialCDF(sampleSize, p, lo)
+	upper := BinomialUpperTail(sampleSize, p, hi)
+	pe := lower + upper
+	if pe > 1 {
+		pe = 1
+	}
+	return pe
+}
+
+// RecommendedSampleSize returns the sample size Algorithm 3.1 should
+// draw for numBuckets buckets. The paper observes (Fig. 1) that the
+// deviation probability p_e drops sharply until S/M ≈ 40 and flattens
+// afterwards, and therefore fixes S = 40·M.
+func RecommendedSampleSize(numBuckets int) int {
+	if numBuckets < 1 {
+		panic(fmt.Sprintf("stats: non-positive bucket count %d", numBuckets))
+	}
+	return 40 * numBuckets
+}
+
+// SampleSizePerBucketForTarget returns the smallest integer ratio S/M
+// in [1, maxRatio] whose deviation probability is at most target, or
+// maxRatio if none reaches the target. It mirrors the reading of Fig. 1
+// by which the paper selects 40.
+func SampleSizePerBucketForTarget(numBuckets int, delta, target float64, maxRatio int) int {
+	for r := 1; r <= maxRatio; r++ {
+		if BucketDeviationProbability(r*numBuckets, numBuckets, delta) <= target {
+			return r
+		}
+	}
+	return maxRatio
+}

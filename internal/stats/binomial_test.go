@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestBinomialPMFSmallCases(t *testing.T) {
+	// Binomial(4, 0.5): 1/16, 4/16, 6/16, 4/16, 1/16.
+	want := []float64{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+	for k, w := range want {
+		got := BinomialPMF(4, 0.5, k)
+		if !almostEqual(got, w, 1e-12) {
+			t.Errorf("PMF(4,0.5,%d) = %g, want %g", k, got, w)
+		}
+	}
+}
+
+func TestBinomialPMFEdgeProbabilities(t *testing.T) {
+	if got := BinomialPMF(5, 0, 0); got != 1 {
+		t.Errorf("PMF(5,0,0) = %g, want 1", got)
+	}
+	if got := BinomialPMF(5, 0, 1); got != 0 {
+		t.Errorf("PMF(5,0,1) = %g, want 0", got)
+	}
+	if got := BinomialPMF(5, 1, 5); got != 1 {
+		t.Errorf("PMF(5,1,5) = %g, want 1", got)
+	}
+	if got := BinomialPMF(5, 1, 3); got != 0 {
+		t.Errorf("PMF(5,1,3) = %g, want 0", got)
+	}
+	if got := BinomialPMF(5, 0.3, -1); got != 0 {
+		t.Errorf("PMF(5,0.3,-1) = %g, want 0", got)
+	}
+	if got := BinomialPMF(5, 0.3, 6); got != 0 {
+		t.Errorf("PMF(5,0.3,6) = %g, want 0", got)
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{10, 0.5}, {100, 0.1}, {1000, 0.01}, {37, 0.73}} {
+		sum := 0.0
+		for k := 0; k <= tc.n; k++ {
+			sum += BinomialPMF(tc.n, tc.p, k)
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			t.Errorf("sum of PMF(n=%d,p=%g) = %g, want 1", tc.n, tc.p, sum)
+		}
+	}
+}
+
+func TestBinomialCDFMonotone(t *testing.T) {
+	n, p := 200, 0.05
+	prev := -1.0
+	for k := -1; k <= n+1; k++ {
+		c := BinomialCDF(n, p, k)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF not monotone at k=%d: %g < %g", k, c, prev)
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("CDF(%d) = %g out of [0,1]", k, c)
+		}
+		prev = c
+	}
+	if BinomialCDF(n, p, n) != 1 {
+		t.Errorf("CDF at k=n should be 1")
+	}
+	if BinomialCDF(n, p, -1) != 0 {
+		t.Errorf("CDF at k=-1 should be 0")
+	}
+}
+
+func TestUpperTailComplement(t *testing.T) {
+	n, p := 120, 0.3
+	for k := 0; k <= n; k++ {
+		lo := BinomialCDF(n, p, k-1)
+		hi := BinomialUpperTail(n, p, k)
+		if !almostEqual(lo+hi, 1, 1e-9) {
+			t.Fatalf("CDF(k-1)+UpperTail(k) = %g at k=%d, want 1", lo+hi, k)
+		}
+	}
+}
+
+func TestBucketDeviationProbabilityDecreasesInSampleRatio(t *testing.T) {
+	// The Figure 1 phenomenon: p_e drops sharply as S/M grows.
+	m := 10
+	prevAvg := 1.0
+	// Compare block averages to tolerate small non-monotonic jitter from
+	// integer rounding of the tail cut points.
+	for _, ratio := range []int{5, 20, 40, 80} {
+		pe := BucketDeviationProbability(ratio*m, m, 0.5)
+		if pe > prevAvg+1e-9 {
+			t.Fatalf("p_e should fall as S/M grows: ratio=%d gives %g > %g", ratio, pe, prevAvg)
+		}
+		prevAvg = pe
+	}
+	// At the paper's operating point S = 40·M the probability is small.
+	if pe := BucketDeviationProbability(40*m, m, 0.5); pe > 0.01 {
+		t.Errorf("p_e at S/M=40, M=10 is %g, want <= 0.01", pe)
+	}
+}
+
+func TestBucketDeviationProbabilityPaperOperatingPoint(t *testing.T) {
+	// "It becomes smaller than 0.3% when S/M = 40" (Section 3.2).
+	for _, m := range []int{5, 10, 10000} {
+		pe := BucketDeviationProbability(40*m, m, 0.5)
+		if pe >= 0.003+5e-4 {
+			t.Errorf("M=%d: p_e(S/M=40) = %g, want < ~0.003", m, pe)
+		}
+	}
+}
+
+func TestBucketDeviationProbabilityEdges(t *testing.T) {
+	if got := BucketDeviationProbability(0, 10, 0.5); got != 1 {
+		t.Errorf("no samples should give p_e = 1, got %g", got)
+	}
+	if got := BucketDeviationProbability(100, 1, 0.5); got != 0 {
+		t.Errorf("single bucket should give p_e = 0, got %g", got)
+	}
+}
+
+func TestRecommendedSampleSize(t *testing.T) {
+	if got := RecommendedSampleSize(1000); got != 40000 {
+		t.Errorf("RecommendedSampleSize(1000) = %d, want 40000", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("RecommendedSampleSize(0) should panic")
+		}
+	}()
+	RecommendedSampleSize(0)
+}
+
+func TestSampleSizePerBucketForTarget(t *testing.T) {
+	// The ratio achieving p_e <= 0.3% for M=10 should be around 40
+	// (the paper's choice); certainly between 10 and 80.
+	r := SampleSizePerBucketForTarget(10, 0.5, 0.003, 200)
+	if r < 10 || r > 80 {
+		t.Errorf("ratio for target 0.3%% = %d, want within [10,80]", r)
+	}
+	// Unreachable target returns maxRatio.
+	if r := SampleSizePerBucketForTarget(10, 0.5, 0, 17); r != 17 {
+		t.Errorf("unreachable target should return maxRatio, got %d", r)
+	}
+}
+
+func TestLogPMFMatchesDirectComputationProperty(t *testing.T) {
+	f := func(nRaw uint8, kRaw uint8, pRaw uint16) bool {
+		n := int(nRaw%30) + 1
+		k := int(kRaw) % (n + 1)
+		p := (float64(pRaw%999) + 0.5) / 1000.0
+		// Direct product computation for small n.
+		direct := 1.0
+		for i := 0; i < k; i++ {
+			direct *= float64(n-i) / float64(k-i) * p
+		}
+		for i := 0; i < n-k; i++ {
+			direct *= 1 - p
+		}
+		got := BinomialPMF(n, p, k)
+		return almostEqual(got, direct, 1e-9*math.Max(1, direct))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

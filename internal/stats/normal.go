@@ -1,0 +1,23 @@
+package stats
+
+import "math"
+
+// NormalUpperTail returns Pr(Z >= z) for a standard normal Z, via the
+// complementary error function.
+func NormalUpperTail(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// BinomialZScore returns the normal-approximation z-score for observing
+// k successes in n trials when the null success probability is p0:
+//
+//	z = (k/n − p0) / sqrt(p0(1−p0)/n).
+//
+// Degenerate inputs (n = 0 or p0 outside (0,1)) return 0.
+func BinomialZScore(k, n int, p0 float64) float64 {
+	if n <= 0 || p0 <= 0 || p0 >= 1 {
+		return 0
+	}
+	phat := float64(k) / float64(n)
+	return (phat - p0) / math.Sqrt(p0*(1-p0)/float64(n))
+}

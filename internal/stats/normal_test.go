@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalUpperTailAnchors(t *testing.T) {
+	cases := []struct {
+		z, want, tol float64
+	}{
+		{0, 0.5, 1e-12},
+		{1.6448536269514722, 0.05, 1e-6},
+		{1.959963984540054, 0.025, 1e-6},
+		{2.3263478740408408, 0.01, 1e-6},
+		{-1.6448536269514722, 0.95, 1e-6},
+	}
+	for _, c := range cases {
+		if got := NormalUpperTail(c.z); math.Abs(got-c.want) > c.tol {
+			t.Errorf("NormalUpperTail(%g) = %g, want %g", c.z, got, c.want)
+		}
+	}
+}
+
+func TestBinomialZScore(t *testing.T) {
+	// 60 of 100 at null 0.5: z = 0.1/sqrt(0.25/100) = 2.
+	if z := BinomialZScore(60, 100, 0.5); math.Abs(z-2) > 1e-12 {
+		t.Errorf("z = %g, want 2", z)
+	}
+	// At the null rate the z-score is 0.
+	if z := BinomialZScore(50, 100, 0.5); z != 0 {
+		t.Errorf("z = %g, want 0", z)
+	}
+	// Degenerate inputs.
+	if BinomialZScore(1, 0, 0.5) != 0 || BinomialZScore(1, 10, 0) != 0 || BinomialZScore(1, 10, 1) != 0 {
+		t.Errorf("degenerate inputs should give 0")
+	}
+}
+
+func TestZScoreTailAgreesWithExactBinomial(t *testing.T) {
+	// The normal approximation should be close to the exact binomial
+	// upper tail in the moderate regime.
+	n, p0, k := 500, 0.3, 180
+	z := BinomialZScore(k, n, p0)
+	approx := NormalUpperTail(z)
+	exact := BinomialUpperTail(n, p0, k)
+	if math.Abs(approx-exact) > 0.01 {
+		t.Errorf("normal approx %g vs exact %g; too far apart", approx, exact)
+	}
+}

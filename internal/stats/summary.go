@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics of a float64 sample.
+type Summary struct {
+	Count  int
+	Min    float64
+	Max    float64
+	Mean   float64
+	StdDev float64
+}
+
+// Summarize computes a Summary over xs. An empty slice yields a zero
+// Summary with NaN Min/Max.
+func Summarize(xs []float64) Summary {
+	s := Summary{Count: len(xs), Min: math.NaN(), Max: math.NaN()}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if len(xs) > 1 {
+		s.StdDev = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of sorted xs using the
+// nearest-rank definition the paper's bucketing step relies on: the
+// ceil(q·n)-th smallest element. xs must be sorted ascending and
+// non-empty.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// EquiDepthBoundaries returns the m−1 interior boundaries p_1 … p_{m−1}
+// from step 3 of Algorithm 3.1: p_i is the ⌈i·n/m⌉-th smallest element
+// of the sorted sample. The caller supplies the sorted sample.
+func EquiDepthBoundaries(sorted []float64, m int) []float64 {
+	if m < 1 {
+		panic("stats: non-positive bucket count")
+	}
+	n := len(sorted)
+	if n == 0 && m > 1 {
+		panic("stats: EquiDepthBoundaries of empty slice")
+	}
+	bounds := make([]float64, 0, m-1)
+	for i := 1; i < m; i++ {
+		// rank = ceil(i·n/m) in exact integer arithmetic; floating-point
+		// q·n can round ranks up spuriously (e.g. 0.04·10000 > 400).
+		rank := (i*n + m - 1) / m
+		if rank < 1 {
+			rank = 1
+		}
+		bounds = append(bounds, sorted[rank-1])
+	}
+	return bounds
+}
+
+// DepthDeviation reports how far bucket sizes stray from perfect
+// equi-depth: it returns max_i |u_i − N/M| / (N/M) where u_i are the
+// observed bucket sizes and N = Σ u_i.
+func DepthDeviation(sizes []int) float64 {
+	if len(sizes) == 0 {
+		return 0
+	}
+	total := 0
+	for _, u := range sizes {
+		total += u
+	}
+	ideal := float64(total) / float64(len(sizes))
+	if ideal == 0 {
+		return 0
+	}
+	worst := 0.0
+	for _, u := range sizes {
+		d := math.Abs(float64(u)-ideal) / ideal
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// SortedCopy returns a sorted copy of xs.
+func SortedCopy(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	sort.Float64s(out)
+	return out
+}

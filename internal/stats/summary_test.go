@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Count != 4 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Summarize basics wrong: %+v", s)
+	}
+	if !almostEqual(s.Mean, 2.5, 1e-12) {
+		t.Errorf("Mean = %g, want 2.5", s.Mean)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if !almostEqual(s.StdDev, want, 1e-12) {
+		t.Errorf("StdDev = %g, want %g", s.StdDev, want)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || !math.IsNaN(s.Min) || !math.IsNaN(s.Max) {
+		t.Errorf("empty summary wrong: %+v", s)
+	}
+	s = Summarize([]float64{7})
+	if s.Count != 1 || s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.StdDev != 0 {
+		t.Errorf("singleton summary wrong: %+v", s)
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {0.2, 10}, {0.21, 20}, {0.5, 30}, {0.8, 40}, {0.99, 50}, {1, 50},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Quantile of empty slice should panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestEquiDepthBoundariesUniform(t *testing.T) {
+	n := 1000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	bounds := EquiDepthBoundaries(xs, 10)
+	if len(bounds) != 9 {
+		t.Fatalf("got %d boundaries, want 9", len(bounds))
+	}
+	for i, b := range bounds {
+		want := float64((i+1)*100 - 1)
+		if b != want {
+			t.Errorf("boundary %d = %g, want %g", i, b, want)
+		}
+	}
+}
+
+func TestEquiDepthBoundariesMonotoneProperty(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(mRaw%20) + 1
+		n := m*10 + rng.Intn(500)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		sort.Float64s(xs)
+		bounds := EquiDepthBoundaries(xs, m)
+		if len(bounds) != m-1 {
+			return false
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] < bounds[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepthDeviation(t *testing.T) {
+	if d := DepthDeviation([]int{100, 100, 100}); d != 0 {
+		t.Errorf("perfect equi-depth deviation = %g, want 0", d)
+	}
+	// sizes 50,150 around ideal 100: deviation 0.5.
+	if d := DepthDeviation([]int{50, 150}); !almostEqual(d, 0.5, 1e-12) {
+		t.Errorf("deviation = %g, want 0.5", d)
+	}
+	if d := DepthDeviation(nil); d != 0 {
+		t.Errorf("empty deviation = %g, want 0", d)
+	}
+}
+
+func TestSortedCopyDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	ys := SortedCopy(xs)
+	if !sort.Float64sAreSorted(ys) {
+		t.Errorf("SortedCopy not sorted: %v", ys)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("SortedCopy mutated input: %v", xs)
+	}
+}

@@ -1,0 +1,264 @@
+// Package optrule mines optimized association rules for numeric
+// attributes, reproducing Fukuda, Morimoto, Morishita and Tokuyama,
+// "Mining Optimized Association Rules for Numeric Attributes"
+// (PODS 1996; JCSS 58(1), 1999).
+//
+// Given a relation with numeric and Boolean attributes, the library
+// discovers rules of the form
+//
+//	(Balance ∈ [v1, v2]) ⇒ (CardLoan = yes)
+//
+// where the range [v1, v2] is computed, not enumerated: the
+// optimized-support rule maximizes the number of tuples in the range
+// subject to a minimum confidence, and the optimized-confidence rule
+// maximizes confidence subject to a minimum support. Both are found in
+// time linear in the number of buckets using the paper's convex-hull
+// and effective-index algorithms, after an out-of-core-friendly
+// randomized equi-depth bucketing pass that never sorts the database.
+//
+// # Quick start
+//
+//	rel, err := optrule.ReadCSVFile("customers.csv")
+//	if err != nil { ... }
+//	res, err := optrule.MineAll(rel, optrule.Config{
+//		MinSupport:    0.10,
+//		MinConfidence: 0.60,
+//	})
+//	for _, rule := range res.Rules {
+//		fmt.Println(rule)
+//	}
+//
+// Targeted queries mine a single attribute pair, optionally under a
+// conjunctive condition (the generalized rules of the paper's §4.3):
+//
+//	sup, conf, err := optrule.Mine(rel, "Balance", "CardLoan", true,
+//		[]optrule.Condition{{Attr: "AutoWithdraw", Value: true}},
+//		optrule.Config{})
+//
+// Section 5's decision-support queries — "which range of checking
+// balances maximizes the average savings balance?" — are available as
+// MaxAverageRange and MaxSupportRange.
+package optrule
+
+import (
+	"io"
+	"os"
+
+	"optrule/internal/datagen"
+	"optrule/internal/miner"
+	"optrule/internal/relation"
+)
+
+// Kind is the type of an attribute (Numeric or Boolean).
+type Kind = relation.Kind
+
+// Attribute kinds.
+const (
+	Numeric = relation.Numeric
+	Boolean = relation.Boolean
+)
+
+// Attribute describes one column of a relation.
+type Attribute = relation.Attribute
+
+// Schema is an ordered list of attributes.
+type Schema = relation.Schema
+
+// Relation is a read-only table supporting streaming scans. Both the
+// in-memory and the disk-backed implementations satisfy it.
+type Relation = relation.Relation
+
+// MemoryRelation is the columnar in-memory relation; build one with
+// NewMemoryRelation and Append, or load one from CSV.
+type MemoryRelation = relation.MemoryRelation
+
+// DiskRelation is the disk-backed relation for data sets larger than
+// main memory; open one with OpenDisk.
+type DiskRelation = relation.DiskRelation
+
+// DiskWriter streams tuples into the binary on-disk format.
+type DiskWriter = relation.DiskWriter
+
+// Rule is one mined optimized association rule.
+type Rule = miner.Rule
+
+// RuleKind distinguishes optimized-support from optimized-confidence
+// rules.
+type RuleKind = miner.RuleKind
+
+// Rule kinds.
+const (
+	OptimizedSupport    = miner.OptimizedSupport
+	OptimizedConfidence = miner.OptimizedConfidence
+	OptimizedGain       = miner.OptimizedGain
+)
+
+// Config controls mining; the zero value uses sensible defaults
+// (MinSupport 0.05, MinConfidence 0.5, 1000 buckets, sample factor 40).
+type Config = miner.Config
+
+// Condition is a primitive Boolean condition used as a presumptive
+// conjunct in generalized rules.
+type Condition = miner.Condition
+
+// Result is the output of MineAll.
+type Result = miner.Result
+
+// AvgRange is an optimized range for the average operator (Section 5).
+type AvgRange = miner.AvgRange
+
+// NewMemoryRelation creates an empty in-memory relation with the given
+// schema.
+func NewMemoryRelation(schema Schema) (*MemoryRelation, error) {
+	return relation.NewMemoryRelation(schema)
+}
+
+// ReadCSV parses a headered CSV stream into a relation using schema;
+// CSV columns may appear in any order and extra columns are ignored.
+func ReadCSV(r io.Reader, schema Schema) (*MemoryRelation, error) {
+	return relation.ReadCSV(r, schema)
+}
+
+// ReadCSVAuto parses a headered CSV stream, inferring each column's
+// kind from the first data row (floats are Numeric; yes/no/true/false
+// are Boolean).
+func ReadCSVAuto(r io.Reader) (*MemoryRelation, error) {
+	return relation.ReadCSVAutoSchema(r)
+}
+
+// ReadCSVFile is ReadCSVAuto over a file path.
+func ReadCSVFile(path string) (*MemoryRelation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return relation.ReadCSVAutoSchema(f)
+}
+
+// WriteCSV writes a relation with a header row; Boolean values are
+// encoded as yes/no.
+func WriteCSV(w io.Writer, rel Relation) error {
+	return relation.WriteCSV(w, rel)
+}
+
+// OpenDisk opens a binary relation file written by NewDiskWriter. Scans
+// stream through a fixed-size buffer, so relations far larger than main
+// memory can be mined.
+func OpenDisk(path string) (*DiskRelation, error) {
+	return relation.OpenDisk(path)
+}
+
+// NewDiskWriter creates a binary relation file at path.
+func NewDiskWriter(path string, schema Schema) (*DiskWriter, error) {
+	return relation.NewDiskWriter(path, schema)
+}
+
+// MineAll mines both optimized rules for every (numeric, Boolean)
+// attribute combination of the relation, sorted by descending lift.
+func MineAll(rel Relation, cfg Config) (*Result, error) {
+	return miner.MineAll(rel, cfg)
+}
+
+// Mine computes the optimized-support and optimized-confidence rules
+// for one numeric attribute and one Boolean objective
+// (objective = value), optionally under a conjunction of presumptive
+// Boolean conditions. Either returned rule may be nil when no range
+// meets the corresponding threshold.
+func Mine(rel Relation, numeric, objective string, value bool, conds []Condition, cfg Config) (supportRule, confidenceRule *Rule, err error) {
+	return miner.Mine(rel, numeric, objective, value, conds, cfg)
+}
+
+// MineConjunctive mines the fully general §4.3 rule form
+// (A ∈ [v1, v2]) ∧ C1 ⇒ C2 where both the presumptive condition C1
+// (conditions) and the objective C2 (objectives) are conjunctions of
+// primitive Boolean conditions.
+func MineConjunctive(rel Relation, numeric string, objectives, conditions []Condition,
+	cfg Config) (supportRule, confidenceRule *Rule, err error) {
+	return miner.MineConjunctive(rel, numeric, objectives, conditions, cfg)
+}
+
+// Rule2D is a mined two-dimensional optimized rule over a rectangle of
+// two numeric attributes (the paper's §1.4 extension).
+type Rule2D = miner.Rule2D
+
+// Mine2D mines the optimized rectangle rule of the given kind over two
+// numeric attributes: ((A1, A2) ∈ X) ⇒ C with X an axis-parallel
+// rectangle, e.g. (Age, Balance) ∈ X ⇒ (CardLoan=yes). gridSide buckets
+// per axis (0 = default 64). Returns nil when no rectangle meets the
+// kind's threshold.
+func Mine2D(rel Relation, numericA, numericB, objective string, value bool,
+	kind RuleKind, gridSide int, cfg Config) (*Rule2D, error) {
+	return miner.Mine2D(rel, numericA, numericB, objective, value, kind, gridSide, cfg)
+}
+
+// RegionRule is a mined x-monotone region rule: a connected region of
+// the (A, B) plane whose intersection with every B-slice is a single
+// A-interval, so it can follow diagonal trends a rectangle cannot.
+type RegionRule = miner.RegionRule
+
+// RegionBand is one column slice of a RegionRule.
+type RegionBand = miner.RegionBand
+
+// MineXMonotone mines the x-monotone region maximizing the gain
+// Σ(v − MinConfidence·u) over two numeric attributes — the most general
+// region class of the paper's §1.4. Returns nil when no region achieves
+// positive gain.
+func MineXMonotone(rel Relation, numericA, numericB, objective string, value bool,
+	gridSide int, cfg Config) (*RegionRule, error) {
+	return miner.MineXMonotone(rel, numericA, numericB, objective, value, gridSide, cfg)
+}
+
+// MineRectilinearConvex mines the gain-optimal rectilinear-convex
+// region (connected; every row and column intersection is one interval)
+// — the middle region class of the paper's §1.4, the right shape for
+// 2-D clusters. Returns nil when no region achieves positive gain.
+func MineRectilinearConvex(rel Relation, numericA, numericB, objective string, value bool,
+	gridSide int, cfg Config) (*RegionRule, error) {
+	return miner.MineRectilinearConvex(rel, numericA, numericB, objective, value, gridSide, cfg)
+}
+
+// MineTopK mines up to k pairwise-disjoint optimized ranges for one
+// (numeric, Boolean) attribute pair, ranked best first: the clusters a
+// campaign planner works through after the single optimal range. kind
+// selects the optimization (OptimizedConfidence or OptimizedSupport).
+func MineTopK(rel Relation, numeric, objective string, value bool, kind RuleKind, k int, cfg Config) ([]Rule, error) {
+	return miner.MineTopK(rel, numeric, objective, value, kind, k, cfg)
+}
+
+// MaxAverageRange finds the range of the driver attribute maximizing
+// the average of the target attribute among ranges with support at
+// least minSupport (Definition 5.2).
+func MaxAverageRange(rel Relation, driver, target string, minSupport float64, cfg Config) (AvgRange, error) {
+	return miner.MaxAverageRange(rel, driver, target, minSupport, cfg)
+}
+
+// MaxSupportRange finds the range of the driver attribute maximizing
+// support among ranges whose target average is at least minAverage
+// (Definition 5.3).
+func MaxSupportRange(rel Relation, driver, target string, minAverage float64, cfg Config) (AvgRange, error) {
+	return miner.MaxSupportRange(rel, driver, target, minAverage, cfg)
+}
+
+// SampleBankData generates the synthetic bank-customers data set used
+// throughout the documentation: Balance, Age, ServiceYears (numeric)
+// and CardLoan, Mortgage, AutoWithdraw (Boolean), with a planted
+// association between Balance and CardLoan. Deterministic in seed.
+func SampleBankData(n int, seed int64) (*MemoryRelation, error) {
+	bank, err := datagen.NewBank(datagen.BankConfig{})
+	if err != nil {
+		return nil, err
+	}
+	return datagen.Materialize(bank, n, seed)
+}
+
+// SampleRetailData generates the synthetic retail-baskets data set:
+// Amount, ItemCount (numeric) and five item attributes (Boolean) with
+// planted correlations. Deterministic in seed.
+func SampleRetailData(n int, seed int64) (*MemoryRelation, error) {
+	ret, err := datagen.NewRetail(datagen.DefaultRetailConfig())
+	if err != nil {
+		return nil, err
+	}
+	return datagen.Materialize(ret, n, seed)
+}

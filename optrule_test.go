@@ -1,0 +1,259 @@
+package optrule
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPublicEndToEndCSV(t *testing.T) {
+	// Generate, write to CSV, read back, mine.
+	rel, err := SampleBankData(20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVAuto(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTuples() != rel.NumTuples() {
+		t.Fatalf("round trip lost tuples: %d vs %d", back.NumTuples(), rel.NumTuples())
+	}
+	res, err := MineAll(back, Config{Buckets: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rules) == 0 {
+		t.Fatal("no rules mined")
+	}
+	found := false
+	for _, r := range res.Rules {
+		if r.Numeric == "Balance" && r.Objective == "CardLoan" && r.Lift() > 1.5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("planted Balance→CardLoan rule not recovered")
+	}
+}
+
+func TestPublicEndToEndDisk(t *testing.T) {
+	rel, err := SampleBankData(15000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bank.opr")
+	dw, err := NewDiskWriter(path, rel.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := rel.Schema()
+	_ = cols
+	// Copy memory relation to disk through the public scan interface.
+	bal, _ := rel.NumericColumn(0)
+	age, _ := rel.NumericColumn(1)
+	yrs, _ := rel.NumericColumn(2)
+	loan, _ := rel.BoolColumn(3)
+	mort, _ := rel.BoolColumn(4)
+	auto, _ := rel.BoolColumn(5)
+	for i := 0; i < rel.NumTuples(); i++ {
+		if err := dw.Append([]float64{bal[i], age[i], yrs[i]}, []bool{loan[i], mort[i], auto[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dr, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mining from disk must give the same rules as mining from memory
+	// (same seed, same data).
+	memRes, err := MineAll(rel, Config{Buckets: 150, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskRes, err := MineAll(dr, Config{Buckets: 150, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(memRes.Rules) != len(diskRes.Rules) {
+		t.Fatalf("memory mined %d rules, disk %d", len(memRes.Rules), len(diskRes.Rules))
+	}
+	for i := range memRes.Rules {
+		if memRes.Rules[i] != diskRes.Rules[i] {
+			t.Errorf("rule %d differs:\nmem:  %v\ndisk: %v", i, memRes.Rules[i], diskRes.Rules[i])
+		}
+	}
+}
+
+func TestPublicTargetedMine(t *testing.T) {
+	rel, err := SampleRetailData(30000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, conf, err := Mine(rel, "Amount", "Wine", true, nil, Config{Buckets: 300, MinConfidence: 0.3, MinSupport: 0.05, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup == nil || conf == nil {
+		t.Fatalf("expected both rules, got sup=%v conf=%v", sup, conf)
+	}
+	// The planted premium range is [60, 250]; the confidence rule
+	// should overlap it.
+	if conf.High < 60 || conf.Low > 250 {
+		t.Errorf("confidence rule [%g, %g] misses the planted premium range", conf.Low, conf.High)
+	}
+	if !strings.Contains(conf.String(), "Wine=yes") {
+		t.Errorf("rule renders wrong: %s", conf)
+	}
+}
+
+func TestPublicAverageRanges(t *testing.T) {
+	rel, err := SampleBankData(20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := MaxAverageRange(rel, "Age", "Balance", 0.2, Config{Buckets: 100, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Support < 0.2-1e-9 {
+		t.Errorf("support %g below floor", avg.Support)
+	}
+	if avg.Average < avg.OverallAverage {
+		t.Errorf("selected average %g below overall %g", avg.Average, avg.OverallAverage)
+	}
+	msr, err := MaxSupportRange(rel, "Age", "Balance", avg.OverallAverage*1.05, Config{Buckets: 100, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msr.Average < avg.OverallAverage*1.05-1e-6 {
+		t.Errorf("average %g below threshold", msr.Average)
+	}
+}
+
+func TestPublicBoundsHelpers(t *testing.T) {
+	if b := SupportErrorBound(1000, 0.3); b <= 0 || b > 0.01 {
+		t.Errorf("SupportErrorBound(1000, 0.3) = %g", b)
+	}
+	if b := ConfidenceErrorBound(1000, 0.3); b <= 0 || b > 0.01 {
+		t.Errorf("ConfidenceErrorBound(1000, 0.3) = %g", b)
+	}
+	if m := MinBucketsForError(0.3, 0.01); m != 667 {
+		t.Errorf("MinBucketsForError = %d", m)
+	}
+	if s := RecommendedSampleSize(1000); s != 40000 {
+		t.Errorf("RecommendedSampleSize = %d", s)
+	}
+	if p := BucketDeviationProbability(40000, 1000, 0.5); p > 0.003 {
+		t.Errorf("deviation probability at the operating point = %g", p)
+	}
+}
+
+func TestPublicReadCSVFileAndSchemaRead(t *testing.T) {
+	rel, err := SampleBankData(500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bank.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(f, rel); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTuples() != 500 {
+		t.Errorf("NumTuples = %d", back.NumTuples())
+	}
+	if _, err := ReadCSVFile(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Errorf("missing file accepted")
+	}
+	// Explicit-schema read through the public wrapper.
+	f2, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	got, err := ReadCSV(f2, rel.Schema())
+	if err != nil || got.NumTuples() != 500 {
+		t.Errorf("ReadCSV with schema failed: %v", err)
+	}
+}
+
+func TestPublicMineConjunctive(t *testing.T) {
+	rel, err := SampleBankData(20000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, _, err := MineConjunctive(rel, "Balance",
+		[]Condition{{Attr: "CardLoan", Value: true}, {Attr: "AutoWithdraw", Value: true}},
+		nil, Config{MinConfidence: 0.2, Buckets: 150, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup == nil {
+		t.Fatal("no conjunctive rule")
+	}
+	if !strings.Contains(sup.String(), "AutoWithdraw=yes") {
+		t.Errorf("conjunction missing from rendering: %s", sup)
+	}
+}
+
+func TestPublicRegionRules(t *testing.T) {
+	rel, err := SampleBankData(30000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{MinConfidence: 0.5, Seed: 7}
+	xm, err := MineXMonotone(rel, "Age", "Balance", "CardLoan", true, 16, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := MineRectilinearConvex(rel, "Age", "Balance", "CardLoan", true, 16, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xm == nil || rc == nil {
+		t.Fatal("region rules missing on planted data")
+	}
+	if xm.Gain < rc.Gain-1e-9 {
+		t.Errorf("class hierarchy violated: xmonotone %g < rectconvex %g", xm.Gain, rc.Gain)
+	}
+}
+
+func TestPublicSchemaBuilding(t *testing.T) {
+	rel, err := NewMemoryRelation(Schema{
+		{Name: "X", Kind: Numeric},
+		{Name: "B", Kind: Boolean},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		rel.MustAppend([]float64{float64(i)}, []bool{i >= 100})
+	}
+	sup, _, err := Mine(rel, "X", "B", true, nil, Config{Buckets: 20, MinConfidence: 0.9, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup == nil {
+		t.Fatal("no rule on a perfectly separable attribute")
+	}
+	if sup.Low < 90 {
+		t.Errorf("rule range [%g, %g] should start near 100", sup.Low, sup.High)
+	}
+}
