@@ -126,6 +126,20 @@ func runRegions(full bool, seed int64) error {
 	return nil
 }
 
+func runFused(full bool, seed int64) error {
+	n := 200000
+	if full {
+		n = 2000000
+	}
+	res, err := experiments.Fused(n, []int{1, 2, 4, 8}, seed)
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
 func runParallel(full bool, seed int64) error {
 	n := 1000000
 	if full {

@@ -8,7 +8,8 @@
 // Experiments: fig1 (sample-size analysis), table1 (approximation error
 // bounds and measurements), fig9 (bucketing performance), fig10
 // (optimized-confidence rules vs naive), fig11 (optimized-support rules
-// vs naive), par (parallel bucketing, Section 3.3).
+// vs naive), par (parallel bucketing, Section 3.3), fused (one-scan
+// multi-attribute counting engine vs per-attribute passes).
 package main
 
 import (
@@ -27,7 +28,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("optbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, or all")
+	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, fused, or all")
 	full := fs.Bool("full", false, "paper-scale sizes (slow; needs several GB of RAM for fig9)")
 	seed := fs.Int64("seed", 1, "random seed")
 	if err := fs.Parse(args); err != nil {
@@ -91,6 +92,12 @@ func run(args []string) error {
 	if all || want["regions"] {
 		ran = true
 		if err := runRegions(*full, *seed); err != nil {
+			return err
+		}
+	}
+	if all || want["fused"] {
+		ran = true
+		if err := runFused(*full, *seed); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,3 @@
+module optrule
+
+go 1.24

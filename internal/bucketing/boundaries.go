@@ -24,17 +24,82 @@ import (
 // assigns tuple value x to the bucket with p_{i−1} < x <= p_i.
 type Boundaries struct {
 	cuts []float64
+	// Locate acceleration: an equi-width slot table over the cut span.
+	// slotBase[s] is the first cut index whose slot is >= s, so a lookup
+	// narrows the binary search to the (usually empty or single-cut)
+	// range of one slot. Nil when the span is degenerate or tiny; Locate
+	// then falls back to the plain binary search.
+	slotBase  []int32
+	slotLo    float64
+	slotScale float64
 }
 
+// locateIndexMinCuts is the cut count below which the slot table is not
+// worth its footprint.
+const locateIndexMinCuts = 16
+
 // NewBoundaries wraps interior cut points. The cuts must be
-// non-decreasing; M buckets need M−1 cuts.
+// non-decreasing and NaN-free (NaN defeats any ordering, so it can
+// never be a meaningful cut); M buckets need M−1 cuts.
 func NewBoundaries(cuts []float64) (Boundaries, error) {
-	for i := 1; i < len(cuts); i++ {
-		if cuts[i] < cuts[i-1] {
-			return Boundaries{}, fmt.Errorf("bucketing: cuts not sorted at %d: %g < %g", i, cuts[i], cuts[i-1])
+	for i, c := range cuts {
+		if math.IsNaN(c) {
+			return Boundaries{}, fmt.Errorf("bucketing: cut %d is NaN", i)
+		}
+		if i > 0 && c < cuts[i-1] {
+			return Boundaries{}, fmt.Errorf("bucketing: cuts not sorted at %d: %g < %g", i, c, cuts[i-1])
 		}
 	}
-	return Boundaries{cuts: cuts}, nil
+	b := Boundaries{cuts: cuts}
+	b.buildLocateIndex()
+	return b, nil
+}
+
+// buildLocateIndex precomputes the slot table. Counting spends most of
+// its CPU in Locate (one lookup per tuple per driver), so an O(1)
+// average-case locate is what lets the scan itself dominate the
+// counting pass, as the paper's out-of-core cost model assumes.
+func (b *Boundaries) buildLocateIndex() {
+	cuts := b.cuts
+	if len(cuts) < locateIndexMinCuts {
+		return
+	}
+	lo, hi := cuts[0], cuts[len(cuts)-1]
+	span := hi - lo
+	// Degenerate spans (all cuts equal, infinities) keep binary search.
+	if !(span > 0) || math.IsInf(span, 0) {
+		return
+	}
+	k := 4 * len(cuts)
+	scale := float64(k) / span
+	if math.IsInf(scale, 0) || scale <= 0 {
+		return
+	}
+	b.slotLo, b.slotScale = lo, scale
+	// slotOf is monotone in x, so cut slots are non-decreasing; fill
+	// base[s] = first cut index whose slot is >= s.
+	base := make([]int32, k+1)
+	i := 0
+	for s := 0; s <= k; s++ {
+		for i < len(cuts) && b.slotOf(cuts[i], k) < s {
+			i++
+		}
+		base[s] = int32(i)
+	}
+	b.slotBase = base
+}
+
+// slotOf maps x (with x > cuts[0]) to its slot in [0, k-1]. Monotone
+// non-decreasing in x, which is what makes the narrowed search exact.
+func (b *Boundaries) slotOf(x float64, k int) int {
+	s := int((x - b.slotLo) * b.slotScale)
+	if s < 0 {
+		s = 0
+	}
+	if s >= k {
+		s = k - 1
+	}
+	return s
 }
 
 // NumBuckets returns M.
@@ -45,13 +110,45 @@ func (b Boundaries) NumBuckets() int { return len(b.cuts) + 1 }
 func (b Boundaries) Cuts() []float64 { return b.cuts }
 
 // Locate returns the bucket index of value x: the smallest i with
-// x <= cuts[i], or M−1 if x exceeds every cut. O(log M) binary search,
-// as in step 4 of Algorithm 3.1.
+// x <= cuts[i], or M−1 if x exceeds every cut, as in step 4 of
+// Algorithm 3.1. With the slot table this is O(1) on average (a table
+// lookup narrows the binary search to one slot's cuts); without it,
+// O(log M) binary search. Both paths return identical indices.
 func (b Boundaries) Locate(x float64) int {
-	lo, hi := 0, len(b.cuts)
+	cuts := b.cuts
+	if b.slotBase != nil {
+		if x <= cuts[0] {
+			return 0
+		}
+		last := len(cuts) - 1
+		if x > cuts[last] || math.IsNaN(x) {
+			// NaN compares false everywhere, which the binary search
+			// resolves to len(cuts); preserve that exactly.
+			return len(cuts)
+		}
+		k := len(b.slotBase) - 1
+		s := b.slotOf(x, k)
+		// Cuts below base[s] are < x; the first cut at slot >= s+1 is
+		// > x, so the answer lies in [base[s], base[s+1]] (the latter
+		// clamped onto the last cut, which we know satisfies x <= cut).
+		lo, hi := int(b.slotBase[s]), int(b.slotBase[s+1])
+		if hi > last {
+			hi = last
+		}
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if x <= cuts[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
+	}
+	lo, hi := 0, len(cuts)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if x <= b.cuts[mid] {
+		if x <= cuts[mid] {
 			hi = mid
 		} else {
 			lo = mid + 1
@@ -124,7 +221,7 @@ func SampledBoundaries(rel relation.Relation, attr, m, sampleFactor int, rng *ra
 	if len(clean) == 0 {
 		return Boundaries{}, fmt.Errorf("bucketing: attribute %d sampled only NaN values", attr)
 	}
-	sort.Float64s(clean)
+	stats.SortFloat64s(clean)
 	return FromSortedSample(clean, m)
 }
 
@@ -194,6 +291,13 @@ func DistinctValueBoundaries(rel relation.Relation, attr, maxDistinct int) (Boun
 	seen := make(map[float64]struct{})
 	err := rel.Scan(relation.ColumnSet{Numeric: []int{attr}}, func(b *relation.Batch) error {
 		for _, v := range b.Numeric[0][:b.Len] {
+			if math.IsNaN(v) {
+				// NaN is never equal to itself, so it can neither be a
+				// distinct "value" nor a well-ordered cut point; finest
+				// buckets don't apply (callers fall back to sampling,
+				// exactly as the fused MultiSampledBoundaries does).
+				return fmt.Errorf("bucketing: attribute %d contains NaN; use equi-depth buckets instead", attr)
+			}
 			if _, ok := seen[v]; !ok {
 				seen[v] = struct{}{}
 				if len(seen) > maxDistinct {

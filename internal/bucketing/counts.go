@@ -198,50 +198,30 @@ func validateOptions(s relation.Schema, driver int, opts Options) error {
 
 // scanColumns assembles the column set one counting scan needs:
 // driver + targets (numeric) and objective + filter attributes (bool).
-// It returns the set plus the position of each logical column within it.
+// It returns the set plus the position of each logical column within
+// it. The single-driver layout is the one-element case of the fused
+// scan's multiScanColumns.
 func scanColumns(driver int, opts Options) (cols relation.ColumnSet, targetPos []int, boolPos []int, filterPos []int) {
-	cols.Numeric = []int{driver}
-	targetPos = make([]int, len(opts.Targets))
-	for k, a := range opts.Targets {
-		targetPos[k] = len(cols.Numeric)
-		cols.Numeric = append(cols.Numeric, a)
-	}
-	// Boolean columns may repeat between Bools and Filter; deduplicate.
-	boolAt := map[int]int{}
-	add := func(attr int) int {
-		if p, ok := boolAt[attr]; ok {
-			return p
-		}
-		p := len(cols.Bool)
-		boolAt[attr] = p
-		cols.Bool = append(cols.Bool, attr)
-		return p
-	}
-	boolPos = make([]int, len(opts.Bools))
-	for k, bc := range opts.Bools {
-		boolPos[k] = add(bc.Attr)
-	}
-	filterPos = make([]int, len(opts.Filter))
-	for k, bc := range opts.Filter {
-		filterPos[k] = add(bc.Attr)
-	}
-	return cols, targetPos, boolPos, filterPos
+	return multiScanColumns([]int{driver}, opts)
 }
 
 // countBatch tallies one batch into c.
 func countBatch(c *Counts, b *relation.Batch, bounds Boundaries, opts Options, targetPos, boolPos, filterPos []int) {
 	driver := b.Numeric[0]
+	c.Total += b.Len
+	filtered := len(opts.Filter) > 0
 	for row := 0; row < b.Len; row++ {
-		c.Total++
-		pass := true
-		for k, bc := range opts.Filter {
-			if b.Bool[filterPos[k]][row] != bc.Want {
-				pass = false
-				break
+		if filtered {
+			pass := true
+			for k, bc := range opts.Filter {
+				if b.Bool[filterPos[k]][row] != bc.Want {
+					pass = false
+					break
+				}
 			}
-		}
-		if !pass {
-			continue
+			if !pass {
+				continue
+			}
 		}
 		x := driver[row]
 		if math.IsNaN(x) {

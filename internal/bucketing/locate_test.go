@@ -1,0 +1,108 @@
+package bucketing
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// referenceLocate is the plain binary search the slot-table fast path
+// must agree with exactly.
+func referenceLocate(cuts []float64, x float64) int {
+	lo, hi := 0, len(cuts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if x <= cuts[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func TestLocateIndexMatchesBinarySearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	shapes := []func() float64{
+		func() float64 { return rng.Float64() * 1000 },        // uniform
+		func() float64 { return rng.NormFloat64() * 50 },      // gaussian
+		func() float64 { return math.Exp(rng.NormFloat64()) }, // lognormal, heavy skew
+		func() float64 { return float64(rng.Intn(40)) },       // heavy duplicates
+		func() float64 { return rng.Float64()*1e-9 + 1e9 },    // tiny span at offset
+	}
+	for si, gen := range shapes {
+		for _, m := range []int{1, 2, 15, 16, 17, 100, 1000} {
+			cuts := make([]float64, m)
+			for i := range cuts {
+				cuts[i] = gen()
+			}
+			sort.Float64s(cuts)
+			b, err := NewBoundaries(cuts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Probe the exact cut values, their neighborhoods, extremes,
+			// and random draws.
+			probes := []float64{math.Inf(-1), math.Inf(1), math.NaN(), cuts[0], cuts[m-1]}
+			for _, c := range cuts {
+				probes = append(probes, c, math.Nextafter(c, math.Inf(-1)), math.Nextafter(c, math.Inf(1)))
+			}
+			for i := 0; i < 2000; i++ {
+				probes = append(probes, gen())
+			}
+			for _, x := range probes {
+				got := b.Locate(x)
+				want := referenceLocate(cuts, x)
+				if got != want {
+					t.Fatalf("shape %d m=%d: Locate(%v) = %d, want %d", si, m, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestNewBoundariesRejectsNaNCuts(t *testing.T) {
+	cuts := make([]float64, 20)
+	for i := range cuts {
+		cuts[i] = float64(i)
+	}
+	cuts[10] = math.NaN()
+	// NaN slips past a pure sortedness check (all its comparisons are
+	// false) and would poison the slot table; it must be rejected.
+	if _, err := NewBoundaries(cuts); err == nil {
+		t.Error("NaN cut accepted")
+	}
+}
+
+func TestLocateDegenerateSpans(t *testing.T) {
+	// All-equal cuts and infinite spans must fall back to binary search.
+	equal := make([]float64, 64)
+	for i := range equal {
+		equal[i] = 42
+	}
+	b, err := NewBoundaries(equal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{41, 42, 43, math.NaN()} {
+		if got, want := b.Locate(x), referenceLocate(equal, x); got != want {
+			t.Errorf("equal cuts: Locate(%v) = %d, want %d", x, got, want)
+		}
+	}
+	inf := make([]float64, 64)
+	for i := range inf {
+		inf[i] = float64(i)
+	}
+	inf[0] = math.Inf(-1)
+	inf[63] = math.Inf(1)
+	b, err = NewBoundaries(inf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1e300, 0, 31.5, 1e300, math.Inf(1)} {
+		if got, want := b.Locate(x), referenceLocate(inf, x); got != want {
+			t.Errorf("inf cuts: Locate(%v) = %d, want %d", x, got, want)
+		}
+	}
+}

@@ -1,0 +1,461 @@
+package bucketing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"optrule/internal/relation"
+	"optrule/internal/sampling"
+	"optrule/internal/stats"
+)
+
+// Fused multi-driver counting. The paper's premise is that the database
+// is far larger than main memory, so the sequential-scan count is the
+// currency of performance: counting d numeric attributes with d
+// independent Count calls reads the relation d times end to end. The
+// MultiCount family below produces a Counts per driver from ONE
+// sequential scan, which is what lets the miner's whole MineAll
+// pipeline cost one sampling scan plus one counting scan regardless of
+// how many numeric attributes the relation has.
+
+// validateMulti checks drivers/bounds shapes and every referenced
+// attribute against the schema.
+func validateMulti(s relation.Schema, drivers []int, bounds []Boundaries, opts Options) error {
+	if len(drivers) == 0 {
+		return fmt.Errorf("bucketing: no driver attributes")
+	}
+	if len(bounds) != len(drivers) {
+		return fmt.Errorf("bucketing: %d drivers but %d boundary sets", len(drivers), len(bounds))
+	}
+	for _, d := range drivers {
+		if err := validateOptions(s, d, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// multiScanColumns assembles the column set of the fused counting scan:
+// all drivers, then targets (numeric), then objective + filter
+// attributes (bool, deduplicated).
+func multiScanColumns(drivers []int, opts Options) (cols relation.ColumnSet, targetPos []int, boolPos []int, filterPos []int) {
+	cols.Numeric = append(cols.Numeric, drivers...)
+	targetPos = make([]int, len(opts.Targets))
+	for k, a := range opts.Targets {
+		targetPos[k] = len(cols.Numeric)
+		cols.Numeric = append(cols.Numeric, a)
+	}
+	boolAt := map[int]int{}
+	add := func(attr int) int {
+		if p, ok := boolAt[attr]; ok {
+			return p
+		}
+		p := len(cols.Bool)
+		boolAt[attr] = p
+		cols.Bool = append(cols.Bool, attr)
+		return p
+	}
+	boolPos = make([]int, len(opts.Bools))
+	for k, bc := range opts.Bools {
+		boolPos[k] = add(bc.Attr)
+	}
+	filterPos = make([]int, len(opts.Filter))
+	for k, bc := range opts.Filter {
+		filterPos[k] = add(bc.Attr)
+	}
+	return cols, targetPos, boolPos, filterPos
+}
+
+// driverWork is one driver's tally state during the fused scan.
+// Excluded rows — filter rejects and NaN drivers — never reach the
+// tally code, and N is derived from the bucket populations at finalize
+// time so the hot loop maintains no extra counter.
+type driverWork struct {
+	m     int // bucket count
+	total int
+	nans  int
+	u     []int
+	v     [][]int
+	sum   [][]float64
+	minv  []float64 // nil unless TrackExtremes
+	maxv  []float64
+}
+
+func newDriverWork(m int, opts Options) *driverWork {
+	w := &driverWork{
+		m:   m,
+		u:   make([]int, m),
+		v:   make([][]int, len(opts.Bools)),
+		sum: make([][]float64, len(opts.Targets)),
+	}
+	for k := range w.v {
+		w.v[k] = make([]int, m)
+	}
+	for k := range w.sum {
+		w.sum[k] = make([]float64, m)
+	}
+	if opts.TrackExtremes {
+		w.minv = make([]float64, m)
+		w.maxv = make([]float64, m)
+		for i := range w.minv {
+			w.minv[i] = math.Inf(1)
+			w.maxv[i] = math.Inf(-1)
+		}
+	}
+	return w
+}
+
+// finalize converts the work state into Counts.
+func (w *driverWork) finalize(opts Options) *Counts {
+	c := newCounts(w.m, opts)
+	c.Total = w.total
+	c.NaNs = w.nans
+	copy(c.U, w.u)
+	for i := 0; i < w.m; i++ {
+		c.N += w.u[i]
+	}
+	for k := range c.V {
+		copy(c.V[k], w.v[k])
+	}
+	for k := range c.Sum {
+		copy(c.Sum[k], w.sum[k])
+	}
+	if c.MinVal != nil {
+		copy(c.MinVal, w.minv)
+		copy(c.MaxVal, w.maxv)
+	}
+	return c
+}
+
+// multiScratch holds per-scan scratch buffers reused across batches so
+// the hot loops allocate nothing.
+type multiScratch struct {
+	mask []bool // filter verdict per row; nil when there is no filter
+}
+
+// multiCountBatch tallies one batch into every driver's work state. The
+// inner loops are batch-optimized: the filter mask is computed once per
+// batch (not once per driver per row), Total is hoisted out of the row
+// loops, and each driver runs ONE tight loop over its column slice in
+// which the bucket index is located with the slot-table lookup of
+// Boundaries.Locate inlined (the call is too large for the compiler to
+// inline and runs once per tuple per driver) and every tally —
+// population, extremes, objective counts, target sums — happens while
+// the value and bucket index are still in registers. The objective
+// tallies are unrolled for the common low objective counts (the switch
+// predicts perfectly, and the comparisons compile to flagless
+// increments), so the loop body stays branch-light.
+func multiCountBatch(works []*driverWork, b *relation.Batch, bounds []Boundaries, opts Options,
+	targetPos, boolPos, filterPos []int, scratch *multiScratch) {
+	n := b.Len
+	// Filter mask: one pass per filter condition over its column.
+	var mask []bool
+	if len(opts.Filter) > 0 {
+		if cap(scratch.mask) < n {
+			scratch.mask = make([]bool, n)
+		}
+		mask = scratch.mask[:n]
+		for row := range mask {
+			mask[row] = true
+		}
+		for k, bc := range opts.Filter {
+			col := b.Bool[filterPos[k]]
+			want := bc.Want
+			for row := 0; row < n; row++ {
+				if col[row] != want {
+					mask[row] = false
+				}
+			}
+		}
+	}
+	nb := len(opts.Bools)
+	var b0, b1, b2 []bool
+	var w0, w1, w2 bool
+	if nb > 0 {
+		b0, w0 = b.Bool[boolPos[0]], opts.Bools[0].Want
+	}
+	if nb > 1 {
+		b1, w1 = b.Bool[boolPos[1]], opts.Bools[1].Want
+	}
+	if nb > 2 {
+		b2, w2 = b.Bool[boolPos[2]], opts.Bools[2].Want
+	}
+	nt := len(opts.Targets)
+
+	for d, w := range works {
+		col := b.Numeric[d]
+		bd := bounds[d]
+		w.total += n
+		cuts, base := bd.cuts, bd.slotBase
+		slo, sscale := bd.slotLo, bd.slotScale
+		nc := len(cuts)
+		kslots := len(base) - 1
+		u := w.u
+		minv, maxv := w.minv, w.maxv
+		var v0, v1, v2 []int
+		if nb > 0 {
+			v0 = w.v[0]
+		}
+		if nb > 1 {
+			v1 = w.v[1]
+		}
+		if nb > 2 {
+			v2 = w.v[2]
+		}
+		for row := 0; row < n; row++ {
+			if mask != nil && !mask[row] {
+				continue
+			}
+			x := col[row]
+			if x != x { // NaN
+				w.nans++
+				continue
+			}
+			var i int
+			switch {
+			case base == nil:
+				i = bd.Locate(x)
+			case x <= cuts[0]:
+				i = 0
+			case x > cuts[nc-1]:
+				i = nc
+			default:
+				s := int((x - slo) * sscale) // x > cuts[0] ⇒ s >= 0
+				if s >= kslots {
+					s = kslots - 1
+				}
+				lo, hi := int(base[s]), int(base[s+1])
+				if hi >= nc {
+					hi = nc - 1
+				}
+				for lo < hi {
+					mid := int(uint(lo+hi) >> 1)
+					if x <= cuts[mid] {
+						hi = mid
+					} else {
+						lo = mid + 1
+					}
+				}
+				i = lo
+			}
+			u[i]++
+			if minv != nil {
+				if x < minv[i] {
+					minv[i] = x
+				}
+				if x > maxv[i] {
+					maxv[i] = x
+				}
+			}
+			switch nb {
+			case 0:
+			case 1:
+				e0 := 0
+				if b0[row] == w0 {
+					e0 = 1
+				}
+				v0[i] += e0
+			case 2:
+				e0, e1 := 0, 0
+				if b0[row] == w0 {
+					e0 = 1
+				}
+				if b1[row] == w1 {
+					e1 = 1
+				}
+				v0[i] += e0
+				v1[i] += e1
+			case 3:
+				e0, e1, e2 := 0, 0, 0
+				if b0[row] == w0 {
+					e0 = 1
+				}
+				if b1[row] == w1 {
+					e1 = 1
+				}
+				if b2[row] == w2 {
+					e2 = 1
+				}
+				v0[i] += e0
+				v1[i] += e1
+				v2[i] += e2
+			default:
+				for k, bc := range opts.Bools {
+					e := 0
+					if b.Bool[boolPos[k]][row] == bc.Want {
+						e = 1
+					}
+					w.v[k][i] += e
+				}
+			}
+			for k := 0; k < nt; k++ {
+				w.sum[k][i] += b.Numeric[targetPos[k]][row]
+			}
+		}
+	}
+}
+
+// MultiCount is the fused counting scan: given boundaries for every
+// driver attribute, it produces a Counts per driver — each identical to
+// what Count(rel, drivers[d], bounds[d], opts) would return — from ONE
+// sequential scan of the relation. opts (objectives, targets, filter,
+// extremes) applies to every driver.
+func MultiCount(rel relation.Relation, drivers []int, bounds []Boundaries, opts Options) ([]*Counts, error) {
+	if err := validateMulti(rel.Schema(), drivers, bounds, opts); err != nil {
+		return nil, err
+	}
+	cols, targetPos, boolPos, filterPos := multiScanColumns(drivers, opts)
+	works := make([]*driverWork, len(drivers))
+	for d := range works {
+		works[d] = newDriverWork(bounds[d].NumBuckets(), opts)
+	}
+	scratch := &multiScratch{}
+	err := rel.Scan(cols, func(b *relation.Batch) error {
+		multiCountBatch(works, b, bounds, opts, targetPos, boolPos, filterPos, scratch)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cs := make([]*Counts, len(drivers))
+	for d, w := range works {
+		cs[d] = w.finalize(opts)
+	}
+	return cs, nil
+}
+
+// ParallelMultiCount generalizes Algorithm 3.2 to the fused scan: the
+// relation's rows are split into pes contiguous segments, each counted
+// for ALL drivers by its own goroutine, and the coordinator sums the
+// per-segment partials. All integer statistics and extremes are
+// identical to MultiCount; target Sums accumulate in per-segment order
+// and so may differ from the sequential scan in the last float64 bits.
+func ParallelMultiCount(rel relation.RangeScanner, drivers []int, bounds []Boundaries, opts Options, pes int) ([]*Counts, error) {
+	if pes < 1 {
+		return nil, fmt.Errorf("bucketing: processing element count %d must be positive", pes)
+	}
+	if err := validateMulti(rel.Schema(), drivers, bounds, opts); err != nil {
+		return nil, err
+	}
+	n := rel.NumTuples()
+	if pes > n {
+		pes = n
+	}
+	if pes <= 1 {
+		return MultiCount(rel, drivers, bounds, opts)
+	}
+	cols, targetPos, boolPos, filterPos := multiScanColumns(drivers, opts)
+	partials := make([][]*driverWork, pes)
+	errs := make(chan error, pes)
+	for p := 0; p < pes; p++ {
+		go func(p int) {
+			start := p * n / pes
+			end := (p + 1) * n / pes
+			local := make([]*driverWork, len(drivers))
+			for d := range local {
+				local[d] = newDriverWork(bounds[d].NumBuckets(), opts)
+			}
+			partials[p] = local
+			scratch := &multiScratch{}
+			errs <- rel.ScanRange(start, end, cols, func(b *relation.Batch) error {
+				multiCountBatch(local, b, bounds, opts, targetPos, boolPos, filterPos, scratch)
+				return nil
+			})
+		}(p)
+	}
+	var firstErr error
+	for p := 0; p < pes; p++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	total := make([]*Counts, len(drivers))
+	for d := range total {
+		total[d] = newCounts(bounds[d].NumBuckets(), opts)
+	}
+	for _, part := range partials {
+		for d := range total {
+			total[d].merge(part[d].finalize(opts))
+		}
+	}
+	return total, nil
+}
+
+// MultiSampledBoundaries fuses steps 1–3 of Algorithm 3.1 for several
+// numeric attributes into ONE sampling scan: each attrs[k] gets an
+// independent with-replacement sample of m·sampleFactor values driven by
+// rngs[k] (the same stream SampledBoundaries would consume), and its
+// equi-depth cut points are read off the sorted sample. Per-attribute
+// results are identical to SampledBoundaries(rel, attrs[k], m,
+// sampleFactor, rngs[k]).
+//
+// If exactDomainLimit > 0, the same scan also tracks each attribute's
+// distinct value set; attributes with at most exactDomainLimit distinct
+// finite values (and no NaNs) get finest buckets (Definition 2.5) —
+// one bucket per distinct value — exactly as DistinctValueBoundaries
+// would build, while the rest fall back to the sampled cut points.
+func MultiSampledBoundaries(rel relation.Relation, attrs []int, m, sampleFactor, exactDomainLimit int, rngs []*rand.Rand) ([]Boundaries, error) {
+	if sampleFactor < 1 {
+		return nil, fmt.Errorf("bucketing: sample factor %d must be positive", sampleFactor)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("bucketing: bucket count %d must be positive", m)
+	}
+	if len(attrs) != len(rngs) {
+		return nil, fmt.Errorf("bucketing: %d attributes but %d rngs", len(attrs), len(rngs))
+	}
+	out := make([]Boundaries, len(attrs))
+	if m == 1 && exactDomainLimit <= 0 {
+		// One bucket per attribute needs no cut points, hence no scan.
+		return out, nil
+	}
+	s := m * sampleFactor
+	if m == 1 {
+		s = 0 // finest-bucket detection still needs the scan; sampling does not
+	}
+	samples, err := sampling.MultiColumnWithReplacement(rel, attrs, s, rngs, exactDomainLimit)
+	if err != nil {
+		return nil, err
+	}
+	for k := range attrs {
+		if exactDomainLimit > 0 && samples[k].Distinct != nil {
+			// Finest buckets: cut at every distinct value except the
+			// largest, so bucket i is exactly [v_i, v_i].
+			distinct := samples[k].Distinct
+			bounds, err := NewBoundaries(distinct[:len(distinct)-1])
+			if err != nil {
+				return nil, err
+			}
+			out[k] = bounds
+			continue
+		}
+		if m == 1 {
+			out[k] = Boundaries{}
+			continue
+		}
+		// Missing values (NaN) carry no order information; drop them from
+		// the sample so cut points stay well defined, matching
+		// SampledBoundaries.
+		sample := samples[k].Sample
+		clean := sample[:0]
+		for _, x := range sample {
+			if !math.IsNaN(x) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return nil, fmt.Errorf("bucketing: attribute %d sampled only NaN values", attrs[k])
+		}
+		stats.SortFloat64s(clean)
+		bounds, err := FromSortedSample(clean, m)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = bounds
+	}
+	return out, nil
+}

@@ -122,14 +122,54 @@ func TestFig9DiskShapeSmall(t *testing.T) {
 		if row.Alg31Seconds <= 0 || row.ExternalSeconds <= 0 {
 			t.Errorf("non-positive timing: %+v", row)
 		}
-		if row.ExternalSeconds < row.Alg31Seconds {
-			t.Errorf("N=%d: external sort (%gs) should cost more than sampling (%gs)",
-				row.Tuples, row.ExternalSeconds, row.Alg31Seconds)
+		// The who-wins claim is asserted on counted I/O, which is
+		// deterministic, rather than wall-clock, which on a fast machine
+		// ties at these small sizes. The external sort must move every
+		// tuple through its spill files on top of the scans both sides
+		// share, so its counted work strictly dominates.
+		n := int64(row.Tuples)
+		if row.Alg31Work <= 0 || row.Alg31Work > 2*n {
+			t.Errorf("N=%d: alg3.1 work %d outside (0, 2N]", row.Tuples, row.Alg31Work)
+		}
+		if row.ExternalWork != 4*n {
+			t.Errorf("N=%d: external work %d, want 4N=%d (two scans + spill write/read)",
+				row.Tuples, row.ExternalWork, 4*n)
+		}
+		if row.ExternalWork <= row.Alg31Work {
+			t.Errorf("N=%d: external sort work (%d) should exceed sampling work (%d)",
+				row.Tuples, row.ExternalWork, row.Alg31Work)
 		}
 	}
 	var buf bytes.Buffer
 	res.Print(&buf)
 	if !strings.Contains(buf.String(), "out-of-core") {
+		t.Errorf("print malformed")
+	}
+}
+
+func TestFusedExperimentShape(t *testing.T) {
+	res, err := Fused(20000, []int{1, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.FusedScans != 2 {
+			t.Errorf("attrs=%d: fused pipeline issued %d scans, want 2", row.Attrs, row.FusedScans)
+		}
+		if want := 2 * row.Attrs; row.LegacyScans != want {
+			t.Errorf("attrs=%d: legacy pipeline issued %d scans, want %d", row.Attrs, row.LegacyScans, want)
+		}
+		if row.Attrs > 1 && row.FusedRows >= row.LegacyRows {
+			t.Errorf("attrs=%d: fused streamed %d rows, legacy %d; fused should read less",
+				row.Attrs, row.FusedRows, row.LegacyRows)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Fused counting engine") {
 		t.Errorf("print malformed")
 	}
 }

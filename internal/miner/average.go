@@ -2,7 +2,6 @@ package miner
 
 import (
 	"fmt"
-	"math/rand"
 
 	"optrule/internal/bucketing"
 	"optrule/internal/core"
@@ -48,7 +47,7 @@ func averageSetup(rel relation.Relation, driver, target string, cfg Config) (*bu
 	if rel.NumTuples() == 0 {
 		return nil, fmt.Errorf("miner: empty relation")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(dAttr)*1e6 + 17))
+	rng := attrRNG(cfg.Seed, dAttr)
 	bounds, err := bucketing.SampledBoundaries(rel, dAttr, cfg.Buckets, cfg.SampleFactor, rng)
 	if err != nil {
 		return nil, err

@@ -2,7 +2,6 @@ package miner
 
 import (
 	"fmt"
-	"math/rand"
 
 	"optrule/internal/bucketing"
 	"optrule/internal/core"
@@ -57,7 +56,7 @@ func MineConjunctive(rel relation.Relation, numeric string, objectives []Conditi
 		return nil, nil, fmt.Errorf("miner: empty relation")
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(numAttr)*1e6 + 17))
+	rng := attrRNG(cfg.Seed, numAttr)
 	bounds, err := attrBoundaries(rel, numAttr, cfg, rng)
 	if err != nil {
 		return nil, nil, err

@@ -28,9 +28,9 @@ func (f *faultyRelation) Scan(cols relation.ColumnSet, fn func(*relation.Batch) 
 
 func TestMineAllSurfacesScanErrors(t *testing.T) {
 	base, _ := bankRelation(t, 2000)
-	// Each attribute does a sampling scan then a counting scan; fail
-	// several different positions.
-	for failOn := 1; failOn <= 4; failOn++ {
+	// The fused pipeline performs exactly two scans: the sampling scan
+	// and the counting scan. Fail each.
+	for failOn := 1; failOn <= 2; failOn++ {
 		rel := &faultyRelation{Relation: base, failOn: int64(failOn)}
 		_, err := MineAll(rel, Config{Buckets: 50, Seed: 1, Workers: 1})
 		if err == nil {
@@ -40,15 +40,36 @@ func TestMineAllSurfacesScanErrors(t *testing.T) {
 			t.Fatalf("failOn=%d: unexpected error: %v", failOn, err)
 		}
 	}
+	// The legacy per-attribute path scans once per attribute per phase;
+	// fail deeper positions there.
+	for failOn := 1; failOn <= 4; failOn++ {
+		rel := &faultyRelation{Relation: base, failOn: int64(failOn)}
+		_, err := mineAllPerAttribute(rel, Config{Buckets: 50, Seed: 1, Workers: 1})
+		if err == nil {
+			t.Fatalf("legacy failOn=%d: injected fault swallowed", failOn)
+		}
+		if !strings.Contains(err.Error(), "injected fault") {
+			t.Fatalf("legacy failOn=%d: unexpected error: %v", failOn, err)
+		}
+	}
 }
 
 func TestMineAllSurfacesErrorsUnderConcurrency(t *testing.T) {
 	base, _ := bankRelation(t, 2000)
+	// Fused path: fail each of its two scans with workers racing in
+	// phase 3 — the error must still surface and the call must return
+	// (no goroutine leak / deadlock).
+	for failOn := 1; failOn <= 2; failOn++ {
+		rel := &faultyRelation{Relation: base, failOn: int64(failOn)}
+		if _, err := MineAll(rel, Config{Buckets: 50, Seed: 1, Workers: 8}); err == nil {
+			t.Fatal("injected fault swallowed with concurrent workers")
+		}
+	}
+	// Legacy path: workers scan concurrently, so a mid-stream fault
+	// races against healthy scans.
 	rel := &faultyRelation{Relation: base, failOn: 3}
-	// Multiple workers racing: the error must still surface and the
-	// call must return (no goroutine leak / deadlock).
-	if _, err := MineAll(rel, Config{Buckets: 50, Seed: 1, Workers: 8}); err == nil {
-		t.Fatal("injected fault swallowed with concurrent workers")
+	if _, err := mineAllPerAttribute(rel, Config{Buckets: 50, Seed: 1, Workers: 8}); err == nil {
+		t.Fatal("injected fault swallowed with concurrent workers (legacy)")
 	}
 }
 

@@ -1,11 +1,25 @@
-// Package miner orchestrates end-to-end rule mining: given a relation,
-// it buckets every numeric attribute with the randomized Algorithm 3.1,
-// runs one counting scan per numeric attribute covering all Boolean
-// attributes at once, and applies the optimized-rule algorithms of
-// Section 4 to every (numeric, Boolean) combination — the "complete set
+// Package miner orchestrates end-to-end rule mining: the "complete set
 // of optimized rules for all combinations of hundreds of numeric and
 // Boolean attributes" workload the paper's introduction targets.
-// Numeric attributes are processed by a worker pool.
+//
+// MineAll runs in three phases over exactly TWO sequential scans of the
+// relation, regardless of how many numeric attributes it has:
+//
+//  1. one fused sampling scan draws every numeric attribute's
+//     Algorithm 3.1 sample at once and builds per-attribute equi-depth
+//     boundaries (bucketing.MultiSampledBoundaries);
+//  2. one fused counting scan tallies per-bucket statistics for every
+//     (numeric, Boolean) combination at once (bucketing.MultiCount, or
+//     the segment-parallel ParallelMultiCount when Config.PEs > 1);
+//  3. the Section 4 hull/Kadane/top-k algorithms run on the in-memory
+//     counts, fanned out over a worker pool (Config.Workers).
+//
+// The paper's premise is that the database is far larger than main
+// memory, so sequential passes are the currency of performance: the
+// fused pipeline reads a d-numeric-attribute relation twice end to end
+// where a per-attribute pipeline would read it d+1 times. Targeted
+// queries (Mine, MineConjunctive, …) keep the per-attribute path, which
+// scans only the columns they need.
 package miner
 
 import (
@@ -233,6 +247,15 @@ func condString(s relation.Schema, conds []bucketing.BoolCond) string {
 	return strings.Join(parts, " and ")
 }
 
+// attrRNG derives the deterministic random stream for one numeric
+// attribute. EVERY entry point that buckets an attribute must use this
+// — the fused MineAll, the legacy per-attribute pipeline, and the
+// targeted queries stay boundary-identical (and therefore
+// rule-identical) only because they all draw from the same stream.
+func attrRNG(seed int64, attr int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(attr)*1e6 + 17))
+}
+
 // attrBoundaries picks the bucketing for one numeric attribute: finest
 // buckets when the domain is small enough and exact mining is enabled,
 // otherwise the randomized equi-depth buckets of Algorithm 3.1.
@@ -276,6 +299,15 @@ func attrRules(rel relation.Relation, numAttr int, objectives []bucketing.BoolCo
 	if err != nil {
 		return nil, fmt.Errorf("miner: counting %s: %w", s[numAttr].Name, err)
 	}
+	return rulesFromCounts(s, numAttr, objectives, filter, cfg, counts)
+}
+
+// rulesFromCounts applies the Section 4 optimized-rule algorithms to
+// one attribute's per-bucket counts. Pure CPU on in-memory counts: this
+// is phase 3 of the fused pipeline and the tail of the per-attribute
+// path, so both produce rule-for-rule identical output.
+func rulesFromCounts(s relation.Schema, numAttr int, objectives []bucketing.BoolCond,
+	filter []bucketing.BoolCond, cfg Config, counts *bucketing.Counts) ([]Rule, error) {
 	if counts.N == 0 {
 		return nil, nil // filter excluded everything; no rules
 	}
@@ -358,21 +390,21 @@ type Result struct {
 	Config Config
 }
 
-// MineAll mines optimized-support and optimized-confidence rules for
-// every (numeric attribute, Boolean attribute) combination of the
-// relation, using cfg. Rules are sorted by descending lift.
-func MineAll(rel relation.Relation, cfg Config) (*Result, error) {
+// mineAllSetup validates cfg and the relation and derives the shared
+// inputs of both MineAll pipelines: the numeric attribute positions and
+// the Boolean objective conditions.
+func mineAllSetup(rel relation.Relation, cfg Config) (Config, []int, []bucketing.BoolCond, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return cfg, nil, nil, err
 	}
 	s := rel.Schema()
 	if rel.NumTuples() == 0 {
-		return nil, fmt.Errorf("miner: empty relation")
+		return cfg, nil, nil, fmt.Errorf("miner: empty relation")
 	}
 	numIdx := s.NumericIndices()
 	if len(numIdx) == 0 {
-		return nil, fmt.Errorf("miner: no numeric attributes")
+		return cfg, nil, nil, fmt.Errorf("miner: no numeric attributes")
 	}
 	var objectives []bucketing.BoolCond
 	for _, b := range s.BooleanIndices() {
@@ -382,9 +414,120 @@ func MineAll(rel relation.Relation, cfg Config) (*Result, error) {
 		}
 	}
 	if len(objectives) == 0 {
-		return nil, fmt.Errorf("miner: no Boolean attributes to use as objectives")
+		return cfg, nil, nil, fmt.Errorf("miner: no Boolean attributes to use as objectives")
+	}
+	return cfg, numIdx, objectives, nil
+}
+
+// assembleResult orders per-attribute rule sets by schema position and
+// sorts the merged set by descending lift.
+func assembleResult(rel relation.Relation, cfg Config, byPos [][]Rule) *Result {
+	res := &Result{Tuples: rel.NumTuples(), Config: cfg}
+	for _, rs := range byPos {
+		res.Rules = append(res.Rules, rs...)
+	}
+	sort.SliceStable(res.Rules, func(i, j int) bool {
+		return res.Rules[i].Lift() > res.Rules[j].Lift()
+	})
+	return res
+}
+
+// MineAll mines optimized-support and optimized-confidence rules for
+// every (numeric attribute, Boolean attribute) combination of the
+// relation, using cfg. Rules are sorted by descending lift.
+//
+// It runs the fused three-phase pipeline — one sampling scan building
+// boundaries for every numeric attribute, one counting scan producing
+// per-bucket counts for every attribute, then the Section 4 algorithms
+// over the in-memory counts on a worker pool — so the relation is read
+// exactly twice end to end no matter how many numeric attributes it
+// has. Output is rule-for-rule identical to mining each attribute
+// independently.
+func MineAll(rel relation.Relation, cfg Config) (*Result, error) {
+	cfg, numIdx, objectives, err := mineAllSetup(rel, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := rel.Schema()
+
+	// Phase 1: one fused sampling scan -> boundaries per attribute.
+	// Each attribute keeps its own deterministic stream, so boundaries
+	// are identical to what the per-attribute path would build.
+	rngs := make([]*rand.Rand, len(numIdx))
+	for i, attr := range numIdx {
+		rngs[i] = attrRNG(cfg.Seed, attr)
+	}
+	bounds, err := bucketing.MultiSampledBoundaries(rel, numIdx,
+		cfg.Buckets, cfg.SampleFactor, cfg.ExactDomainLimit, rngs)
+	if err != nil {
+		return nil, fmt.Errorf("miner: bucketing: %w", err)
 	}
 
+	// Phase 2: one fused counting scan -> Counts per attribute.
+	opts := bucketing.Options{Bools: objectives, TrackExtremes: true}
+	var counts []*bucketing.Counts
+	if cfg.PEs > 1 {
+		if rs, ok := rel.(relation.RangeScanner); ok {
+			counts, err = bucketing.ParallelMultiCount(rs, numIdx, bounds, opts, cfg.PEs)
+		}
+	}
+	if counts == nil && err == nil {
+		counts, err = bucketing.MultiCount(rel, numIdx, bounds, opts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("miner: counting: %w", err)
+	}
+
+	// Phase 3: Section 4 algorithms on the in-memory counts, fanned out
+	// over the worker pool.
+	type out struct {
+		pos   int
+		rules []Rule
+		err   error
+	}
+	jobs := make(chan int)
+	outs := make(chan out, len(numIdx))
+	workers := cfg.Workers
+	if workers > len(numIdx) {
+		workers = len(numIdx)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pos := range jobs {
+				rules, err := rulesFromCounts(s, numIdx[pos], objectives, nil, cfg, counts[pos])
+				outs <- out{pos: pos, rules: rules, err: err}
+			}
+		}()
+	}
+	for pos := range numIdx {
+		jobs <- pos
+	}
+	close(jobs)
+	wg.Wait()
+	close(outs)
+
+	byPos := make([][]Rule, len(numIdx))
+	for o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		byPos[o.pos] = o.rules
+	}
+	return assembleResult(rel, cfg, byPos), nil
+}
+
+// mineAllPerAttribute is the legacy unfused pipeline: one sampling pass
+// plus one counting scan per numeric attribute (d+1 relation reads for
+// d attributes). Kept as the differential-testing reference for the
+// fused MineAll, which must produce rule-for-rule identical output.
+func mineAllPerAttribute(rel relation.Relation, cfg Config) (*Result, error) {
+	cfg, numIdx, objectives, err := mineAllSetup(rel, cfg)
+	if err != nil {
+		return nil, err
+	}
 	type job struct {
 		pos  int
 		attr int
@@ -407,7 +550,7 @@ func MineAll(rel relation.Relation, cfg Config) (*Result, error) {
 			defer wg.Done()
 			for j := range jobs {
 				// Independent deterministic stream per attribute.
-				rng := rand.New(rand.NewSource(cfg.Seed + int64(j.attr)*1e6 + 17))
+				rng := attrRNG(cfg.Seed, j.attr)
 				rules, err := attrRules(rel, j.attr, objectives, nil, cfg, rng)
 				outs <- out{pos: j.pos, rules: rules, err: err}
 			}
@@ -427,14 +570,7 @@ func MineAll(rel relation.Relation, cfg Config) (*Result, error) {
 		}
 		byPos[o.pos] = o.rules
 	}
-	res := &Result{Tuples: rel.NumTuples(), Config: cfg}
-	for _, rs := range byPos {
-		res.Rules = append(res.Rules, rs...)
-	}
-	sort.SliceStable(res.Rules, func(i, j int) bool {
-		return res.Rules[i].Lift() > res.Rules[j].Lift()
-	})
-	return res, nil
+	return assembleResult(rel, cfg, byPos), nil
 }
 
 // Mine computes the two optimized rules for a single numeric attribute
@@ -466,7 +602,7 @@ func Mine(rel relation.Relation, numeric, objective string, objectiveValue bool,
 		}
 		filter = append(filter, bucketing.BoolCond{Attr: a, Want: c.Value})
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(numAttr)*1e6 + 17))
+	rng := attrRNG(cfg.Seed, numAttr)
 	rules, err := attrRules(rel, numAttr,
 		[]bucketing.BoolCond{{Attr: objAttr, Want: objectiveValue}}, filter, cfg, rng)
 	if err != nil {

@@ -3,7 +3,6 @@ package miner
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"strings"
 
 	"optrule/internal/bucketing"
@@ -54,7 +53,7 @@ func BuildProfile(rel relation.Relation, numeric, objective string, objectiveVal
 	if rel.NumTuples() == 0 {
 		return nil, fmt.Errorf("miner: empty relation")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(numAttr)*1e6 + 17))
+	rng := attrRNG(cfg.Seed, numAttr)
 	bounds, err := bucketing.SampledBoundaries(rel, numAttr, buckets, cfg.SampleFactor, rng)
 	if err != nil {
 		return nil, err

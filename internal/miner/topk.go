@@ -2,7 +2,6 @@ package miner
 
 import (
 	"fmt"
-	"math/rand"
 
 	"optrule/internal/bucketing"
 	"optrule/internal/core"
@@ -38,7 +37,7 @@ func MineTopK(rel relation.Relation, numeric, objective string, objectiveValue b
 	if rel.NumTuples() == 0 {
 		return nil, fmt.Errorf("miner: empty relation")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(numAttr)*1e6 + 17))
+	rng := attrRNG(cfg.Seed, numAttr)
 	bounds, err := bucketing.SampledBoundaries(rel, numAttr, cfg.Buckets, cfg.SampleFactor, rng)
 	if err != nil {
 		return nil, err

@@ -3,7 +3,6 @@ package miner
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"optrule/internal/bucketing"
 	"optrule/internal/region"
@@ -90,12 +89,12 @@ func Mine2D(rel relation.Relation, numericA, numericB, objective string, objecti
 		return nil, fmt.Errorf("miner: empty relation")
 	}
 
-	rngA := rand.New(rand.NewSource(cfg.Seed + int64(aAttr)*1e6 + 17))
+	rngA := attrRNG(cfg.Seed, aAttr)
 	boundsA, err := bucketing.SampledBoundaries(rel, aAttr, gridSide, cfg.SampleFactor, rngA)
 	if err != nil {
 		return nil, err
 	}
-	rngB := rand.New(rand.NewSource(cfg.Seed + int64(bAttr)*1e6 + 17))
+	rngB := attrRNG(cfg.Seed, bAttr)
 	boundsB, err := bucketing.SampledBoundaries(rel, bAttr, gridSide, cfg.SampleFactor, rngB)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,30 @@
+package relation
+
+// CountingRelation wraps a Relation and counts the scans issued against
+// it. The paper's cost model is sequential passes over the database, so
+// tests and experiments assert on this counter — "MineAll costs one
+// sampling scan plus one counting scan" — instead of wall-clock time,
+// which is hardware dependent and flaky.
+type CountingRelation struct {
+	R Relation
+	// Scans is the number of Scan calls issued.
+	Scans int
+	// Rows is the total number of tuples delivered to scan callbacks
+	// (a partial scan that aborts early contributes only what it read).
+	Rows int64
+}
+
+// Schema implements Relation.
+func (c *CountingRelation) Schema() Schema { return c.R.Schema() }
+
+// NumTuples implements Relation.
+func (c *CountingRelation) NumTuples() int { return c.R.NumTuples() }
+
+// Scan implements Relation, counting the pass and the rows it delivers.
+func (c *CountingRelation) Scan(cols ColumnSet, fn func(*Batch) error) error {
+	c.Scans++
+	return c.R.Scan(cols, func(b *Batch) error {
+		c.Rows += int64(b.Len)
+		return fn(b)
+	})
+}

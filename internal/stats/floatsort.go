@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// radixSortMin is the length below which comparison sort wins (radix
+// has fixed histogram costs).
+const radixSortMin = 512
+
+// SortFloat64s sorts xs ascending in O(n) with an LSD radix sort on the
+// IEEE-754 total order, falling back to sort.Float64s for short slices.
+// Algorithm 3.1 sorts a 40·M-point sample per numeric attribute, and
+// that sort dominated the sampling phase's CPU profile; radix removes
+// the log factor. For NaN-free input the result is numerically
+// identical to sort.Float64s (NaNs, if present, sort deterministically
+// to the extremes by their bit patterns rather than to arbitrary
+// positions, which no caller relies on).
+func SortFloat64s(xs []float64) {
+	if len(xs) < radixSortMin {
+		sort.Float64s(xs)
+		return
+	}
+	// Map each float to a uint64 key that orders like the float: flip
+	// all bits of negatives, flip only the sign bit of non-negatives.
+	keys := make([]uint64, len(xs))
+	for i, x := range xs {
+		b := math.Float64bits(x)
+		if b&(1<<63) != 0 {
+			b = ^b
+		} else {
+			b |= 1 << 63
+		}
+		keys[i] = b
+	}
+	buf := make([]uint64, len(keys))
+	var counts [256]int
+	for shift := uint(0); shift < 64; shift += 8 {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, k := range keys {
+			counts[(k>>shift)&0xff]++
+		}
+		// Skip passes where every key shares the byte.
+		if counts[(keys[0]>>shift)&0xff] == len(keys) {
+			continue
+		}
+		pos := 0
+		for i, c := range counts {
+			counts[i] = pos
+			pos += c
+		}
+		for _, k := range keys {
+			b := (k >> shift) & 0xff
+			buf[counts[b]] = k
+			counts[b]++
+		}
+		keys, buf = buf, keys
+	}
+	for i, k := range keys {
+		if k&(1<<63) != 0 {
+			k &^= 1 << 63
+		} else {
+			k = ^k
+		}
+		xs[i] = math.Float64frombits(k)
+	}
+}

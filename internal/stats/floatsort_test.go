@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSortFloat64sMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	gens := []func() float64{
+		func() float64 { return rng.Float64()*2e6 - 1e6 },
+		func() float64 { return rng.NormFloat64() * 1e-9 },
+		func() float64 { return float64(rng.Intn(10)) },
+		func() float64 { return math.Exp(rng.NormFloat64() * 20) }, // huge dynamic range
+	}
+	sizes := []int{0, 1, 100, 511, 512, 513, 40000}
+	for gi, gen := range gens {
+		for _, n := range sizes {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = gen()
+			}
+			if n > 2 {
+				xs[0], xs[1], xs[2] = math.Inf(-1), math.Inf(1), math.Copysign(0, -1)
+			}
+			want := append([]float64(nil), xs...)
+			sort.Float64s(want)
+			SortFloat64s(xs)
+			for i := range xs {
+				if xs[i] != want[i] && !(xs[i] == 0 && want[i] == 0) {
+					t.Fatalf("gen %d n=%d: [%d] = %v, want %v", gi, n, i, xs[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSortFloat64sRadix(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float64, 40000)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	xs := make([]float64, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(xs, src)
+		SortFloat64s(xs)
+	}
+}
+
+func BenchmarkSortFloat64sStdlib(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float64, 40000)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	xs := make([]float64, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(xs, src)
+		sort.Float64s(xs)
+	}
+}

@@ -16,6 +16,19 @@
 // and effective-index algorithms, after an out-of-core-friendly
 // randomized equi-depth bucketing pass that never sorts the database.
 //
+// # Two-pass architecture
+//
+// The paper's premise is that the database is far larger than main
+// memory, making sequential scans the currency of performance. MineAll
+// therefore reads the relation exactly TWICE, no matter how many
+// numeric attributes it has: a fused sampling scan draws every
+// attribute's Algorithm 3.1 sample and builds all bucket boundaries in
+// one pass, a fused counting scan tallies per-bucket statistics for
+// every (numeric, Boolean) attribute combination in a second pass, and
+// the Section 4 rule optimizations then run on the in-memory counts
+// across a worker pool. Targeted queries (Mine, MineConjunctive,
+// MineTopK, …) instead scan only the columns they touch.
+//
 // # Quick start
 //
 //	rel, err := optrule.ReadCSVFile("customers.csv")
