@@ -1,5 +1,8 @@
 package main
 
+// Each runner prints its experiment in the paper's format and returns
+// the structured result for the -json report.
+
 import (
 	"fmt"
 	"os"
@@ -7,49 +10,49 @@ import (
 	"optrule/internal/experiments"
 )
 
-func runFig1() error {
+func runFig1(bool, int64) (any, error) {
 	res := experiments.Fig1(100)
 	res.Print(os.Stdout)
 	fmt.Println()
-	return nil
+	return res, nil
 }
 
-func runTable1() error {
+func runTable1(bool, int64) (any, error) {
 	res := experiments.Table1(100000)
 	res.Print(os.Stdout)
 	fmt.Println()
-	return nil
+	return res, nil
 }
 
-func runFig9(full bool, seed int64) error {
+func runFig9(full bool, seed int64) (any, error) {
 	sizes := []int{50000, 100000, 200000, 400000, 800000}
 	if full {
 		sizes = []int{500000, 1000000, 2000000, 5000000}
 	}
 	res, err := experiments.Fig9(sizes, seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
 	fmt.Println()
-	return nil
+	return res, nil
 }
 
-func runFig9Disk(full bool, seed int64) error {
+func runFig9Disk(full bool, seed int64) (any, error) {
 	sizes := []int{100000, 200000, 400000, 800000}
 	if full {
 		sizes = []int{500000, 1000000, 2000000, 5000000}
 	}
 	res, err := experiments.Fig9Disk(sizes, 1<<16, seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
 	fmt.Println()
-	return nil
+	return res, nil
 }
 
-func runFig10(full bool, seed int64) error {
+func runFig10(full bool, seed int64) (any, error) {
 	ms := []int{100, 500, 1000, 5000, 10000, 100000, 1000000}
 	naiveCap := 20000
 	if full {
@@ -58,10 +61,10 @@ func runFig10(full bool, seed int64) error {
 	res := experiments.Fig10(ms, naiveCap, seed)
 	res.Print(os.Stdout)
 	fmt.Println()
-	return nil
+	return res, nil
 }
 
-func runFig11(full bool, seed int64) error {
+func runFig11(full bool, seed int64) (any, error) {
 	ms := []int{100, 500, 1000, 5000, 10000, 100000, 1000000}
 	naiveCap := 20000
 	if full {
@@ -70,20 +73,22 @@ func runFig11(full bool, seed int64) error {
 	res := experiments.Fig11(ms, naiveCap, seed)
 	res.Print(os.Stdout)
 	fmt.Println()
-	return nil
+	return res, nil
 }
 
-func runAblations(full bool, seed int64) error {
+func runAblations(full bool, seed int64) (any, error) {
+	out := map[string]any{}
 	n := 500000
 	if full {
 		n = 5000000
 	}
 	sf, err := experiments.AblateSampleFactor(n, 1000, nil, seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sf.Print(os.Stdout)
 	fmt.Println()
+	out["sampleFactor"] = sf
 
 	ms := []int{100, 1000, 10000, 50000}
 	if full {
@@ -91,65 +96,82 @@ func runAblations(full bool, seed int64) error {
 	}
 	ht, err := experiments.AblateHullTree(ms, seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ht.Print(os.Stdout)
 	fmt.Println()
+	out["hullTree"] = ht
 
 	bc, err := experiments.AblateBucketCount(n/2, nil, seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	bc.Print(os.Stdout)
 	fmt.Println()
+	out["bucketCount"] = bc
 
 	sc, err := experiments.AblateBucketingScheme(n/2, nil, seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sc.Print(os.Stdout)
 	fmt.Println()
-	return nil
+	out["bucketingScheme"] = sc
+	return out, nil
 }
 
-func runRegions(full bool, seed int64) error {
+func runRegions(full bool, seed int64) (any, error) {
 	side := 32
 	if full {
 		side = 64
 	}
 	res, err := experiments.Regions(side, 50, seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
 	fmt.Println()
-	return nil
+	return res, nil
 }
 
-func runFused(full bool, seed int64) error {
+func runFused(full bool, seed int64) (any, error) {
 	n := 200000
 	if full {
 		n = 2000000
 	}
 	res, err := experiments.Fused(n, []int{1, 2, 4, 8}, seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
 	fmt.Println()
-	return nil
+	return res, nil
 }
 
-func runParallel(full bool, seed int64) error {
+func runColScan(full bool, seed int64) (any, error) {
+	n := 300000
+	if full {
+		n = 3000000
+	}
+	res, err := experiments.ColScan(n, 8, []int{1, 2, 4, 8}, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Print(os.Stdout)
+	fmt.Println()
+	return res, nil
+}
+
+func runParallel(full bool, seed int64) (any, error) {
 	n := 1000000
 	if full {
 		n = 10000000
 	}
 	res, err := experiments.Parallel(n, 16, seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
 	fmt.Println()
-	return nil
+	return res, nil
 }

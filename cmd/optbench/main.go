@@ -4,15 +4,22 @@
 //	optbench -exp all          # everything at scaled-down sizes
 //	optbench -exp fig9 -full   # Figure 9 at paper scale (5·10⁵…5·10⁶ tuples)
 //	optbench -exp fig10        # optimized-confidence rule timings
+//	optbench -exp colscan -json BENCH_colscan.json
 //
 // Experiments: fig1 (sample-size analysis), table1 (approximation error
 // bounds and measurements), fig9 (bucketing performance), fig10
 // (optimized-confidence rules vs naive), fig11 (optimized-support rules
 // vs naive), par (parallel bucketing, Section 3.3), fused (one-scan
-// multi-attribute counting engine vs per-attribute passes).
+// multi-attribute counting engine vs per-attribute passes), colscan
+// (column-major v2 disk format vs row-major v1, counted bytes).
+//
+// -json FILE additionally writes every experiment's structured result
+// to FILE as a single JSON document, so the perf trajectory can be
+// tracked across commits by archiving BENCH_*.json files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,83 +33,88 @@ func main() {
 	}
 }
 
+// report is the -json document: experiment name -> structured result.
+type report struct {
+	Seed    int64          `json:"seed"`
+	Full    bool           `json:"full"`
+	Results map[string]any `json:"results"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("optbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, fused, or all")
+	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, fused, colscan, or all")
 	full := fs.Bool("full", false, "paper-scale sizes (slow; needs several GB of RAM for fig9)")
 	seed := fs.Int64("seed", 1, "random seed")
+	jsonPath := fs.String("json", "", "also write structured results as JSON to this file (e.g. BENCH_optbench.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
-		want[strings.TrimSpace(e)] = true
+		if name := strings.TrimSpace(e); name != "" {
+			want[name] = true
+		}
+	}
+	if len(want) == 0 {
+		return fmt.Errorf("no experiment selected")
 	}
 	all := want["all"]
-	ran := false
+	rep := report{Seed: *seed, Full: *full, Results: map[string]any{}}
 
-	if all || want["fig1"] {
-		ran = true
-		if err := runFig1(); err != nil {
-			return err
+	runners := []struct {
+		name string
+		run  func(full bool, seed int64) (any, error)
+	}{
+		{"fig1", runFig1},
+		{"table1", runTable1},
+		{"fig9", runFig9},
+		{"fig9disk", runFig9Disk},
+		{"fig10", runFig10},
+		{"fig11", runFig11},
+		{"par", runParallel},
+		{"ablate", runAblations},
+		{"regions", runRegions},
+		{"fused", runFused},
+		{"colscan", runColScan},
+	}
+	known := map[string]bool{"all": true}
+	for _, r := range runners {
+		known[r.name] = true
+	}
+	for name := range want {
+		if !known[name] {
+			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
-	if all || want["table1"] {
-		ran = true
-		if err := runTable1(); err != nil {
-			return err
+	var runErr error
+	for _, r := range runners {
+		if !all && !want[r.name] {
+			continue
+		}
+		res, err := r.run(*full, *seed)
+		if err != nil {
+			runErr = fmt.Errorf("%s: %w", r.name, err)
+			break
+		}
+		rep.Results[r.name] = res
+	}
+	// Write whatever completed even when a runner failed: hours of
+	// paper-scale results should not vanish because the last experiment
+	// hit a transient error.
+	if *jsonPath != "" && len(rep.Results) > 0 {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			data = append(data, '\n')
+			err = os.WriteFile(*jsonPath, data, 0o644)
+		}
+		if err != nil {
+			if runErr == nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "optbench: writing %s: %v\n", *jsonPath, err)
+		} else {
+			fmt.Printf("wrote %d experiment results to %s\n", len(rep.Results), *jsonPath)
 		}
 	}
-	if all || want["fig9"] {
-		ran = true
-		if err := runFig9(*full, *seed); err != nil {
-			return err
-		}
-	}
-	if all || want["fig9disk"] {
-		ran = true
-		if err := runFig9Disk(*full, *seed); err != nil {
-			return err
-		}
-	}
-	if all || want["fig10"] {
-		ran = true
-		if err := runFig10(*full, *seed); err != nil {
-			return err
-		}
-	}
-	if all || want["fig11"] {
-		ran = true
-		if err := runFig11(*full, *seed); err != nil {
-			return err
-		}
-	}
-	if all || want["par"] {
-		ran = true
-		if err := runParallel(*full, *seed); err != nil {
-			return err
-		}
-	}
-	if all || want["ablate"] {
-		ran = true
-		if err := runAblations(*full, *seed); err != nil {
-			return err
-		}
-	}
-	if all || want["regions"] {
-		ran = true
-		if err := runRegions(*full, *seed); err != nil {
-			return err
-		}
-	}
-	if all || want["fused"] {
-		ran = true
-		if err := runFused(*full, *seed); err != nil {
-			return err
-		}
-	}
-	if !ran {
-		return fmt.Errorf("unknown experiment %q", *exp)
-	}
-	return nil
+	return runErr
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSelectsExperiments(t *testing.T) {
 	// fig1 and table1 are cheap and deterministic; run them for real.
@@ -15,8 +20,43 @@ func TestRunSelectsExperiments(t *testing.T) {
 	}
 }
 
+func TestRunJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := run([]string{"-exp", "fig1,table1", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Results) != 2 {
+		t.Errorf("report holds %d results, want 2", len(rep.Results))
+	}
+	for _, name := range []string{"fig1", "table1"} {
+		if _, ok := rep.Results[name]; !ok {
+			t.Errorf("report missing %q", name)
+		}
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-exp", "fig99"}); err == nil {
 		t.Errorf("unknown experiment accepted")
+	}
+	// A typo must be rejected even when other requested names are valid,
+	// not silently skipped.
+	if err := run([]string{"-exp", "fig1,colsan"}); err == nil {
+		t.Errorf("unknown experiment amid valid ones accepted")
+	}
+	// A trailing comma is harmless; an all-empty selector is an error.
+	if err := run([]string{"-exp", "fig1,"}); err != nil {
+		t.Errorf("trailing comma rejected: %v", err)
+	}
+	if err := run([]string{"-exp", ","}); err == nil {
+		t.Errorf("empty selector accepted")
 	}
 }

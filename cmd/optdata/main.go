@@ -1,18 +1,29 @@
 // Command optdata generates the synthetic data sets used by the
 // examples and experiments, as CSV (for interchange) or the binary
-// .opr format (for out-of-core mining).
+// .opr format (for out-of-core mining), and converts .opr files
+// between format versions.
 //
 // Usage:
 //
 //	optdata -kind bank   -n 1000000 -seed 1 -out bank.csv
 //	optdata -kind retail -n 500000  -out baskets.opr
 //	optdata -kind perf   -n 5000000 -numeric 8 -bool 8 -out perf.opr
+//	optdata -kind bank   -n 1000000 -format v1 -out legacy.opr
+//	optdata convert -in legacy.opr -out columnar.opr
+//	optdata convert -in columnar.opr -out legacy.opr -format v1
 //
 // The bank data plants the paper's headline association
 // (Balance ∈ [3000, 20000]) ⇒ (CardLoan=yes); retail plants item
 // correlations and a premium-amount association; perf reproduces the
 // 8-numeric + 8-Boolean random shape of the paper's Section 6.1
 // performance evaluation.
+//
+// .opr files default to the v2 column-major block-group format, whose
+// selective column scans read only the attributes a query touches;
+// -format v1 writes the legacy row-major format. The convert
+// subcommand migrates existing files either way (the reader accepts
+// both versions, so conversion is only needed to change a file's scan
+// cost profile, not to keep it readable).
 package main
 
 import (
@@ -32,12 +43,28 @@ func main() {
 	}
 }
 
+// parseFormat maps a -format flag value to a relation disk version.
+func parseFormat(s string) (int, error) {
+	switch s {
+	case "v1", "1":
+		return relation.DiskFormatV1, nil
+	case "v2", "2":
+		return relation.DiskFormatV2, nil
+	default:
+		return 0, fmt.Errorf("unknown format %q (want v1 or v2)", s)
+	}
+}
+
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "convert" {
+		return runConvert(args[1:])
+	}
 	fs := flag.NewFlagSet("optdata", flag.ContinueOnError)
 	kind := fs.String("kind", "bank", "data set kind: bank, retail, or perf")
 	n := fs.Int("n", 100000, "number of tuples")
 	seed := fs.Int64("seed", 1, "random seed (deterministic output)")
 	out := fs.String("out", "", "output path; .csv or .opr decides the format (required)")
+	format := fs.String("format", "v2", ".opr format version: v2 (column-major block groups) or v1 (row-major)")
 	numNumeric := fs.Int("numeric", 8, "perf only: numeric attribute count")
 	numBool := fs.Int("bool", 8, "perf only: Boolean attribute count")
 	if err := fs.Parse(args); err != nil {
@@ -45,6 +72,10 @@ func run(args []string) error {
 	}
 	if *out == "" {
 		return fmt.Errorf("-out is required")
+	}
+	version, err := parseFormat(*format)
+	if err != nil {
+		return err
 	}
 	var src datagen.RowSource
 	switch *kind {
@@ -72,7 +103,7 @@ func run(args []string) error {
 
 	switch {
 	case strings.HasSuffix(*out, ".opr"):
-		if err := datagen.WriteDisk(*out, src, *n, *seed); err != nil {
+		if err := datagen.WriteDiskFormat(*out, src, *n, *seed, version); err != nil {
 			return err
 		}
 	case strings.HasSuffix(*out, ".csv"):
@@ -92,5 +123,32 @@ func run(args []string) error {
 		return fmt.Errorf("output path must end in .csv or .opr")
 	}
 	fmt.Printf("wrote %d %s tuples to %s\n", *n, *kind, *out)
+	return nil
+}
+
+// runConvert migrates a .opr file between format versions.
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("optdata convert", flag.ContinueOnError)
+	in := fs.String("in", "", "source .opr path (required)")
+	out := fs.String("out", "", "destination .opr path (required)")
+	format := fs.String("format", "v2", "target format version: v2 or v1")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("convert needs -in and -out")
+	}
+	version, err := parseFormat(*format)
+	if err != nil {
+		return err
+	}
+	src, err := relation.OpenDisk(*in)
+	if err != nil {
+		return err
+	}
+	if err := relation.ConvertDiskFrom(src, *out, version); err != nil {
+		return err
+	}
+	fmt.Printf("converted %s (v%d, %d tuples) to %s (%s)\n", *in, src.Version(), src.NumTuples(), *out, *format)
 	return nil
 }

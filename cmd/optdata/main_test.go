@@ -43,6 +43,96 @@ func TestRunPerfShapeFlags(t *testing.T) {
 	}
 }
 
+func TestRunFormatFlag(t *testing.T) {
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "v1.opr")
+	v2 := filepath.Join(dir, "v2.opr")
+	if err := run([]string{"-kind", "bank", "-n", "300", "-format", "v1", "-out", v1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "bank", "-n", "300", "-out", v2}); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := relation.OpenDisk(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := relation.OpenDisk(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Version() != relation.DiskFormatV1 {
+		t.Errorf("-format v1 wrote version %d", d1.Version())
+	}
+	if d2.Version() != relation.DiskFormatV2 {
+		t.Errorf("default format wrote version %d, want v2", d2.Version())
+	}
+	// Same kind, n, and seed must yield the same tuples in both formats.
+	var b1, b2 []float64
+	for _, pair := range []struct {
+		dr  *relation.DiskRelation
+		dst *[]float64
+	}{{d1, &b1}, {d2, &b2}} {
+		p := pair
+		err := p.dr.Scan(relation.ColumnSet{Numeric: []int{0}}, func(b *relation.Batch) error {
+			*p.dst = append(*p.dst, b.Numeric[0][:b.Len]...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(b1) != len(b2) {
+		t.Fatalf("formats hold %d vs %d rows", len(b1), len(b2))
+	}
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatalf("row %d differs between formats", i)
+		}
+	}
+}
+
+func TestRunConvert(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.opr")
+	if err := run([]string{"-kind", "retail", "-n", "400", "-format", "v1", "-out", src}); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "dst.opr")
+	if err := run([]string{"convert", "-in", src, "-out", dst}); err != nil {
+		t.Fatal(err)
+	}
+	dr, err := relation.OpenDisk(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Version() != relation.DiskFormatV2 || dr.NumTuples() != 400 {
+		t.Errorf("converted file: version %d, %d tuples; want v2, 400", dr.Version(), dr.NumTuples())
+	}
+	back := filepath.Join(dir, "back.opr")
+	if err := run([]string{"convert", "-in", dst, "-out", back, "-format", "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := relation.OpenDisk(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Version() != relation.DiskFormatV1 || db.NumTuples() != 400 {
+		t.Errorf("round-trip file: version %d, %d tuples; want v1, 400", db.Version(), db.NumTuples())
+	}
+	// Error cases: missing flags, bad format, missing input.
+	for i, args := range [][]string{
+		{"convert", "-in", src},
+		{"convert", "-out", dst},
+		{"convert", "-in", src, "-out", dst, "-format", "v9"},
+		{"convert", "-in", filepath.Join(dir, "missing.opr"), "-out", dst},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("convert case %d (%v): expected error", i, args)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	cases := [][]string{
@@ -50,6 +140,7 @@ func TestRunErrors(t *testing.T) {
 		{"-kind", "nope", "-out", filepath.Join(dir, "x.csv")},                  // bad kind
 		{"-kind", "bank", "-out", filepath.Join(dir, "x.txt")},                  // bad extension
 		{"-kind", "perf", "-numeric", "0", "-out", filepath.Join(dir, "x.csv")}, // invalid shape
+		{"-kind", "bank", "-format", "v3", "-out", filepath.Join(dir, "x.opr")}, // bad format
 	}
 	for i, args := range cases {
 		if err := run(args); err == nil {

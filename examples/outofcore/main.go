@@ -5,6 +5,17 @@
 // ever sorted is the 40·M-tuple sample, and memory stays O(M + S)
 // regardless of the relation's size.
 //
+// The file is written in the v2 column-major format: tuples are packed
+// into 64Ki-row block groups with each column contiguous inside its
+// group, so the targeted Mine query below reads only the Amount and
+// Premium columns (~8 of the ~16 bytes each tuple occupies; the Items
+// column and the Returned bitmap are never fetched), and the
+// scan overlaps disk reads of the next block group with decoding and
+// counting of the current one. Legacy row-major files written with
+// optrule.NewDiskWriter stay readable — OpenDisk negotiates the
+// version — and can be migrated either way with optrule.ConvertDisk or
+// `optdata convert -in old.opr -out new.opr`.
+//
 //	go run ./examples/outofcore
 package main
 
@@ -38,14 +49,15 @@ func main() {
 	}
 	fmt.Printf("wrote %d tuples (%.1f MB) to %s\n", n, float64(st.Size())/1e6, path)
 
-	// Open the relation; only metadata is read here.
+	// Open the relation; only the header and block directory are read
+	// here.
 	rel, err := optrule.OpenDisk(path)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Mine straight off the file: one sampling scan + one counting scan
-	// per numeric attribute.
+	// Mine straight off the file: one sampling scan + one counting scan,
+	// each touching only the columns the query needs.
 	sup, conf, err := optrule.Mine(rel, "Amount", "Premium", true, nil, optrule.Config{
 		MinSupport:    0.05,
 		MinConfidence: 0.60,
@@ -64,16 +76,16 @@ func main() {
 	}
 }
 
-// writeTransactions streams synthetic transactions to path: Amount is
-// lognormal; transactions with Amount in [150, 600] are premium with
-// probability 0.8, others with 0.1.
+// writeTransactions streams synthetic transactions to path in the v2
+// column-major format: Amount is lognormal; transactions with Amount
+// in [150, 600] are premium with probability 0.8, others with 0.1.
 func writeTransactions(path string, n int) error {
-	w, err := optrule.NewDiskWriter(path, optrule.Schema{
+	w, err := optrule.NewDiskWriterV2(path, optrule.Schema{
 		{Name: "Amount", Kind: optrule.Numeric},
 		{Name: "Items", Kind: optrule.Numeric},
 		{Name: "Premium", Kind: optrule.Boolean},
 		{Name: "Returned", Kind: optrule.Boolean},
-	})
+	}, 0)
 	if err != nil {
 		return err
 	}

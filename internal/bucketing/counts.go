@@ -269,8 +269,42 @@ func Count(rel relation.Relation, driver int, bounds Boundaries, opts Options) (
 	return c, nil
 }
 
+// segmentBounds splits [0, n) into pes contiguous segments for the
+// parallel counting scan, honoring the relation's preferred scan
+// alignment (relation.ScanAligner): interior boundaries are rounded to
+// the nearest alignment multiple so that workers never split a v2
+// block group — each worker then issues whole-block sequential reads
+// instead of two workers seeking into the same group. Alignment is
+// only honored when every worker can still get at least one full
+// alignment unit (n >= pes·align); on smaller relations an aligned
+// split would empty some segments and shrink effective parallelism,
+// which costs far more than split groups do. Rounding keeps the
+// boundaries monotone.
+func segmentBounds(rel relation.Relation, n, pes int) []int {
+	align := 1
+	if a, ok := rel.(relation.ScanAligner); ok {
+		if g := a.ScanAlignment(); g > 1 && n >= pes*g {
+			align = g
+		}
+	}
+	cuts := make([]int, pes+1)
+	for p := 1; p < pes; p++ {
+		cut := p * n / pes
+		if align > 1 {
+			cut = (cut + align/2) / align * align
+			if cut > n {
+				cut = n
+			}
+		}
+		cuts[p] = cut
+	}
+	cuts[pes] = n
+	return cuts
+}
+
 // ParallelCount is Algorithm 3.2: the relation's rows are split into
-// pes contiguous segments, each counted by its own goroutine
+// pes contiguous segments (aligned to the storage layer's block groups
+// when it declares them), each counted by its own goroutine
 // ("processing element") with no shared state, and the coordinator sums
 // the partial counts. Results are identical to Count.
 func ParallelCount(rel relation.RangeScanner, driver int, bounds Boundaries, opts Options, pes int) (*Counts, error) {
@@ -288,12 +322,12 @@ func ParallelCount(rel relation.RangeScanner, driver int, bounds Boundaries, opt
 		return Count(rel, driver, bounds, opts)
 	}
 	cols, targetPos, boolPos, filterPos := scanColumns(driver, opts)
+	segs := segmentBounds(rel, n, pes)
 	partials := make([]*Counts, pes)
 	errs := make(chan error, pes)
 	for p := 0; p < pes; p++ {
 		go func(p int) {
-			start := p * n / pes
-			end := (p + 1) * n / pes
+			start, end := segs[p], segs[p+1]
 			local := newCounts(bounds.NumBuckets(), opts)
 			partials[p] = local
 			errs <- rel.ScanRange(start, end, cols, func(b *relation.Batch) error {

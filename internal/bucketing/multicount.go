@@ -326,11 +326,13 @@ func MultiCount(rel relation.Relation, drivers []int, bounds []Boundaries, opts 
 }
 
 // ParallelMultiCount generalizes Algorithm 3.2 to the fused scan: the
-// relation's rows are split into pes contiguous segments, each counted
-// for ALL drivers by its own goroutine, and the coordinator sums the
-// per-segment partials. All integer statistics and extremes are
-// identical to MultiCount; target Sums accumulate in per-segment order
-// and so may differ from the sequential scan in the last float64 bits.
+// relation's rows are split into pes contiguous segments (aligned to
+// the storage layer's block groups when it declares them, so workers
+// never split a v2 column block group), each counted for ALL drivers
+// by its own goroutine, and the coordinator sums the per-segment
+// partials. All integer statistics and extremes are identical to
+// MultiCount; target Sums accumulate in per-segment order and so may
+// differ from the sequential scan in the last float64 bits.
 func ParallelMultiCount(rel relation.RangeScanner, drivers []int, bounds []Boundaries, opts Options, pes int) ([]*Counts, error) {
 	if pes < 1 {
 		return nil, fmt.Errorf("bucketing: processing element count %d must be positive", pes)
@@ -346,12 +348,12 @@ func ParallelMultiCount(rel relation.RangeScanner, drivers []int, bounds []Bound
 		return MultiCount(rel, drivers, bounds, opts)
 	}
 	cols, targetPos, boolPos, filterPos := multiScanColumns(drivers, opts)
+	segs := segmentBounds(rel, n, pes)
 	partials := make([][]*driverWork, pes)
 	errs := make(chan error, pes)
 	for p := 0; p < pes; p++ {
 		go func(p int) {
-			start := p * n / pes
-			end := (p + 1) * n / pes
+			start, end := segs[p], segs[p+1]
 			local := make([]*driverWork, len(drivers))
 			for d := range local {
 				local[d] = newDriverWork(bounds[d].NumBuckets(), opts)

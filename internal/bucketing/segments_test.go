@@ -1,0 +1,110 @@
+package bucketing
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"optrule/internal/relation"
+)
+
+// alignedMem wraps a MemoryRelation with a declared scan alignment, to
+// exercise segmentBounds without a disk file.
+type alignedMem struct {
+	*relation.MemoryRelation
+	align int
+}
+
+func (a alignedMem) ScanAlignment() int { return a.align }
+
+func TestSegmentBoundsAlignment(t *testing.T) {
+	rel := relation.MustNewMemoryRelation(relation.Schema{{Name: "X", Kind: relation.Numeric}})
+	for i := 0; i < 10; i++ {
+		rel.MustAppend([]float64{float64(i)}, nil)
+	}
+	// Unaligned relation: plain proportional split.
+	if got := segmentBounds(rel, 10, 4); !reflect.DeepEqual(got, []int{0, 2, 5, 7, 10}) {
+		t.Errorf("unaligned bounds = %v", got)
+	}
+	// Aligned relation with enough rows for every worker: interior cuts
+	// snap to multiples of the group and no segment is empty.
+	got := segmentBounds(alignedMem{rel, 4}, 32, 3)
+	if got[0] != 0 || got[len(got)-1] != 32 {
+		t.Fatalf("bounds %v must span [0, 32]", got)
+	}
+	for p := 1; p < len(got)-1; p++ {
+		if got[p]%4 != 0 {
+			t.Errorf("interior cut %d not aligned to 4 in %v", got[p], got)
+		}
+	}
+	for p := 1; p < len(got); p++ {
+		if got[p] <= got[p-1] {
+			t.Errorf("bounds %v collapsed a segment despite n >= pes*align", got)
+		}
+	}
+	// Relation smaller than pes*align: alignment must be abandoned
+	// rather than collapsing parallelism — the plain proportional split
+	// keeps every worker busy.
+	if got := segmentBounds(alignedMem{rel, 8}, 10, 5); !reflect.DeepEqual(got, []int{0, 2, 4, 6, 8, 10}) {
+		t.Errorf("small-relation bounds = %v, want plain proportional split", got)
+	}
+}
+
+// TestParallelMultiCountV2Aligned pins that the group-aligned parallel
+// scan over a v2 disk relation produces counts identical to the
+// sequential fused scan.
+func TestParallelMultiCountV2Aligned(t *testing.T) {
+	schema := relation.Schema{
+		{Name: "A", Kind: relation.Numeric},
+		{Name: "B", Kind: relation.Numeric},
+		{Name: "C", Kind: relation.Boolean},
+	}
+	path := filepath.Join(t.TempDir(), "par_v2.opr")
+	dw, err := relation.NewDiskWriterV2(path, schema, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	n := 12345 // 12 full groups + a 345-row tail
+	for i := 0; i < n; i++ {
+		if err := dw.Append([]float64{rng.NormFloat64(), rng.Float64() * 100}, []bool{rng.Intn(3) == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := relation.OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drivers := []int{0, 1}
+	rngs := []*rand.Rand{rand.New(rand.NewSource(5)), rand.New(rand.NewSource(6))}
+	bounds, err := MultiSampledBoundaries(rel, drivers, 50, 40, 0, rngs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Bools: []BoolCond{{Attr: 2, Want: true}}, TrackExtremes: true}
+	seq, err := MultiCount(rel, drivers, bounds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pes := range []int{2, 3, 7, 16} {
+		par, err := ParallelMultiCount(rel, drivers, bounds, opts, pes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := range seq {
+			if par[d].N != seq[d].N || par[d].Total != seq[d].Total {
+				t.Fatalf("pes=%d driver %d: N/Total %d/%d, want %d/%d", pes, d, par[d].N, par[d].Total, seq[d].N, seq[d].Total)
+			}
+			if !reflect.DeepEqual(par[d].U, seq[d].U) || !reflect.DeepEqual(par[d].V, seq[d].V) {
+				t.Fatalf("pes=%d driver %d: per-bucket counts differ from sequential scan", pes, d)
+			}
+			if !reflect.DeepEqual(par[d].MinVal, seq[d].MinVal) || !reflect.DeepEqual(par[d].MaxVal, seq[d].MaxVal) {
+				t.Fatalf("pes=%d driver %d: extremes differ from sequential scan", pes, d)
+			}
+		}
+	}
+}

@@ -52,12 +52,20 @@ func MustMaterialize(src RowSource, n int, seed int64) *relation.MemoryRelation 
 
 // WriteDisk streams n tuples from src into the binary disk format at
 // path, without holding the relation in memory — this is how the
-// larger-than-memory experiment inputs are produced.
+// larger-than-memory experiment inputs are produced. It writes the
+// current default format (v2 column-major block groups); use
+// WriteDiskFormat to pick the version explicitly.
 func WriteDisk(path string, src RowSource, n int, seed int64) error {
+	return WriteDiskFormat(path, src, n, seed, relation.DiskFormatV2)
+}
+
+// WriteDiskFormat is WriteDisk with an explicit on-disk format version
+// (relation.DiskFormatV1 or relation.DiskFormatV2).
+func WriteDiskFormat(path string, src RowSource, n int, seed int64, version int) error {
 	if n < 0 {
 		return fmt.Errorf("datagen: negative tuple count %d", n)
 	}
-	dw, err := relation.NewDiskWriter(path, src.Schema())
+	dw, err := relation.NewDiskWriterFormat(path, src.Schema(), version)
 	if err != nil {
 		return err
 	}

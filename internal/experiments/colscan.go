@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"optrule/internal/datagen"
+	"optrule/internal/relation"
+)
+
+// ColScanRow is one point of the columnar-format sweep: the cost of a
+// counting-style scan that touches k of the relation's d numeric
+// attributes, on the same data in both on-disk formats. Bytes are the
+// deterministic counted-I/O model (relation.DiskRelation.BytesRead):
+// the v1 row-major format pays all 8·d+⌈b/8⌉ bytes per tuple no matter
+// how few columns the scan selects, while the v2 column-major format
+// pays 8·k — so the byte ratio is the layout argument itself, free of
+// page-cache and hardware noise, and the seconds columns show what it
+// buys on this machine.
+type ColScanRow struct {
+	SelectedCols int
+	V1Bytes      int64
+	V2Bytes      int64
+	V1Seconds    float64
+	V2Seconds    float64
+}
+
+// ColScanResult is the columnar disk format experiment: scan cost as a
+// function of selected columns k at fixed attribute count d.
+type ColScanResult struct {
+	Tuples       int
+	NumericAttrs int
+	BoolAttrs    int
+	GroupRows    int
+	Rows         []ColScanRow
+}
+
+// ColScan writes an n-tuple relation with d numeric and 2 Boolean
+// attributes to disk in both formats, then times a summing scan of the
+// first k numeric columns for each k in ks, recording counted bytes
+// and wall-clock seconds per format.
+func ColScan(n, d int, ks []int, seed int64) (ColScanResult, error) {
+	if ks == nil {
+		ks = []int{1, 2, 4, d}
+	}
+	res := ColScanResult{Tuples: n, NumericAttrs: d, BoolAttrs: 2}
+	shape, err := datagen.NewPerfShape(d, res.BoolAttrs, nil)
+	if err != nil {
+		return res, err
+	}
+	dir, err := os.MkdirTemp("", "optrule-colscan")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+
+	v1Path := filepath.Join(dir, "cols_v1.opr")
+	v2Path := filepath.Join(dir, "cols_v2.opr")
+	if err := datagen.WriteDiskFormat(v1Path, shape, n, seed, relation.DiskFormatV1); err != nil {
+		return res, err
+	}
+	if err := datagen.WriteDiskFormat(v2Path, shape, n, seed, relation.DiskFormatV2); err != nil {
+		return res, err
+	}
+	v1, err := relation.OpenDisk(v1Path)
+	if err != nil {
+		return res, err
+	}
+	v2, err := relation.OpenDisk(v2Path)
+	if err != nil {
+		return res, err
+	}
+	res.GroupRows = v2.GroupRows()
+
+	scan := func(dr *relation.DiskRelation, k int) (int64, float64, error) {
+		cols := relation.ColumnSet{Numeric: make([]int, k)}
+		for i := range cols.Numeric {
+			cols.Numeric[i] = i
+		}
+		dr.ResetBytesRead()
+		start := time.Now()
+		sum := 0.0
+		err := dr.Scan(cols, func(b *relation.Batch) error {
+			for _, col := range b.Numeric {
+				for _, v := range col[:b.Len] {
+					sum += v
+				}
+			}
+			return nil
+		})
+		return dr.BytesRead(), time.Since(start).Seconds(), err
+	}
+	for _, k := range ks {
+		if k < 1 || k > d {
+			return res, fmt.Errorf("experiments: selected column count %d out of [1, %d]", k, d)
+		}
+		row := ColScanRow{SelectedCols: k}
+		if row.V1Bytes, row.V1Seconds, err = scan(v1, k); err != nil {
+			return res, err
+		}
+		if row.V2Bytes, row.V2Seconds, err = scan(v2, k); err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Print writes the columnar-format comparison.
+func (r ColScanResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Columnar disk format: %d tuples, %d numeric + %d Boolean attributes, v2 groups of %d rows\n",
+		r.Tuples, r.NumericAttrs, r.BoolAttrs, r.GroupRows)
+	fmt.Fprintf(w, "%6s  %14s  %14s  %8s  %10s  %10s\n",
+		"cols", "v1 bytes", "v2 bytes", "byte rx", "v1 (s)", "v2 (s)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%6d  %14d  %14d  %7.1fx  %10.3f  %10.3f\n",
+			row.SelectedCols, row.V1Bytes, row.V2Bytes,
+			float64(row.V1Bytes)/float64(row.V2Bytes),
+			row.V1Seconds, row.V2Seconds)
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestColScanByteModel pins the counted-I/O model of the columnar
+// format sweep: v1 pays the full row width for every selected-column
+// count, v2 pays exactly the selected columns, and the ratio at k=2 of
+// d=8 is the tentpole's >= 2x.
+func TestColScanByteModel(t *testing.T) {
+	n, d := 20000, 8
+	res, err := ColScan(n, d, []int{1, 2, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	rowBytes := int64(8*d + (res.BoolAttrs+7)/8)
+	for _, row := range res.Rows {
+		if row.V1Bytes != int64(n)*rowBytes {
+			t.Errorf("k=%d: v1 bytes = %d, want %d (full rows regardless of selection)",
+				row.SelectedCols, row.V1Bytes, int64(n)*rowBytes)
+		}
+		if row.V2Bytes != int64(n)*8*int64(row.SelectedCols) {
+			t.Errorf("k=%d: v2 bytes = %d, want %d (selected columns only)",
+				row.SelectedCols, row.V2Bytes, int64(n)*8*int64(row.SelectedCols))
+		}
+	}
+	// The acceptance shape: >= 2x fewer bytes at 2 of 8 columns.
+	k2 := res.Rows[1]
+	if k2.V2Bytes*2 > k2.V1Bytes {
+		t.Errorf("k=2: v2 reads %d bytes vs v1 %d, want >= 2x reduction", k2.V2Bytes, k2.V1Bytes)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Columnar disk format") {
+		t.Errorf("print output malformed: %s", buf.String())
+	}
+}
+
+func TestColScanRejectsBadColumnCounts(t *testing.T) {
+	if _, err := ColScan(1000, 4, []int{0}, 1); err == nil {
+		t.Errorf("k=0 accepted")
+	}
+	if _, err := ColScan(1000, 4, []int{5}, 1); err == nil {
+		t.Errorf("k>d accepted")
+	}
+}

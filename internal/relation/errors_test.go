@@ -71,7 +71,7 @@ func TestOpenDiskImplausibleAttributeCount(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write(diskMagic[:])
 	var u32 [4]byte
-	binary.LittleEndian.PutUint32(u32[:], diskVersion)
+	binary.LittleEndian.PutUint32(u32[:], DiskFormatV1)
 	buf.Write(u32[:])
 	binary.LittleEndian.PutUint32(u32[:], 1<<20) // absurd attribute count
 	buf.Write(u32[:])

@@ -38,10 +38,12 @@ func FuzzReadCSVAutoSchema(f *testing.F) {
 	})
 }
 
-// FuzzOpenDisk feeds arbitrary bytes to the binary reader: it must
-// reject or accept without panicking, and never over-read declared rows.
+// FuzzOpenDisk feeds arbitrary bytes to the binary reader — both the
+// v1 row parser and the v2 header/block-directory parser: it must
+// reject or accept without panicking, and never over-read declared
+// rows.
 func FuzzOpenDisk(f *testing.F) {
-	// Seed with a genuine file.
+	// Seed with a genuine v1 file.
 	dir := os.TempDir()
 	path := filepath.Join(dir, "fuzz-seed.opr")
 	dw, err := NewDiskWriter(path, Schema{{Name: "X", Kind: Numeric}, {Name: "B", Kind: Boolean}})
@@ -61,6 +63,29 @@ func FuzzOpenDisk(f *testing.F) {
 	f.Add([]byte("OPTR garbage"))
 	f.Add([]byte{})
 	f.Add(valid[:len(valid)-3])
+	// Seed with a genuine v2 file: several groups plus a partial tail,
+	// and mutations cutting into the directory and the header tail.
+	pathV2 := filepath.Join(dir, "fuzz-seed-v2.opr")
+	dw2, err := NewDiskWriterV2(pathV2, Schema{{Name: "X", Kind: Numeric}, {Name: "B", Kind: Boolean}}, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 11; i++ {
+		dw2.Append([]float64{float64(i) * 1.5}, []bool{i%2 == 0})
+	}
+	if err := dw2.Close(); err != nil {
+		f.Fatal(err)
+	}
+	validV2, err := os.ReadFile(pathV2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(validV2)
+	f.Add(validV2[:len(validV2)-5])        // cut mid-directory
+	f.Add(validV2[:len(validV2)/2])        // cut mid-data
+	mut := append([]byte(nil), validV2...) // corrupt a directory byte
+	mut[len(mut)-6] ^= 0xff
+	f.Add(mut)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p := filepath.Join(t.TempDir(), "fuzz.opr")
 		if err := os.WriteFile(p, data, 0o644); err != nil {

@@ -58,22 +58,48 @@ func WithReplacementIndices(rng *rand.Rand, n, s int) ([]int, error) {
 	return idx, nil
 }
 
+// boundedScan returns a scan function over rel that stops after the
+// row at index limit-1: when rel supports range scans, the scan is
+// issued as ScanRange(0, limit), so the storage layer never reads the
+// tail at all — on the v2 columnar format the read-ahead pipeline
+// skips every block group past the last sampled index instead of
+// fetching it and aborting afterwards. Otherwise the plain Scan is
+// returned and the caller's early-abort error does the bounding.
+func boundedScan(rel relation.Relation, limit int) func(relation.ColumnSet, func(*relation.Batch) error) error {
+	if rs, ok := rel.(relation.RangeScanner); ok {
+		if limit > rel.NumTuples() {
+			limit = rel.NumTuples()
+		}
+		return func(cols relation.ColumnSet, fn func(*relation.Batch) error) error {
+			return rs.ScanRange(0, limit, cols, fn)
+		}
+	}
+	return rel.Scan
+}
+
 // ColumnWithReplacement draws a uniform with-replacement sample of size
 // s from the numeric attribute at schema position attr, using a single
 // sequential scan of rel. The returned values are in no particular
 // order with respect to the underlying distribution (they follow the
 // sorted index order), which is irrelevant to the bucketing step since
 // the sample is sorted immediately afterwards.
+//
+// The sampled indices are sorted, so the scan is bounded at the largest
+// one: on range-scanning relations rows past it are never read.
 func ColumnWithReplacement(rel relation.Relation, attr int, s int, rng *rand.Rand) ([]float64, error) {
 	n := rel.NumTuples()
 	idx, err := WithReplacementIndices(rng, n, s)
 	if err != nil {
 		return nil, err
 	}
+	limit := 0
+	if s > 0 {
+		limit = idx[s-1] + 1
+	}
 	out := make([]float64, 0, s)
 	next := 0 // next position in idx to satisfy
 	at := 0   // global row number of the batch start
-	err = rel.Scan(relation.ColumnSet{Numeric: []int{attr}}, func(b *relation.Batch) error {
+	err = boundedScan(rel, limit)(relation.ColumnSet{Numeric: []int{attr}}, func(b *relation.Batch) error {
 		if next >= len(idx) {
 			return errDone
 		}
@@ -158,8 +184,21 @@ func MultiColumnWithReplacement(rel relation.Relation, attrs []int, s int, rngs 
 			dist[k].seen = make(map[float64]struct{})
 		}
 	}
+	// Distinct tracking needs every row; pure sampling needs none past
+	// the largest sorted index of any attribute, so the scan is bounded
+	// there (rows past it are never read on range-scanning relations).
+	scan := rel.Scan
+	if dist == nil {
+		limit := 0
+		for k := range idx {
+			if len(idx[k]) > 0 && idx[k][len(idx[k])-1]+1 > limit {
+				limit = idx[k][len(idx[k])-1] + 1
+			}
+		}
+		scan = boundedScan(rel, limit)
+	}
 	at := 0 // global row number of the batch start
-	err := rel.Scan(relation.ColumnSet{Numeric: attrs}, func(b *relation.Batch) error {
+	err := scan(relation.ColumnSet{Numeric: attrs}, func(b *relation.Batch) error {
 		pending := false
 		tracking := false
 		for k := range attrs {
