@@ -15,6 +15,7 @@ import (
 	"optrule/internal/core"
 	"optrule/internal/datagen"
 	"optrule/internal/experiments"
+	"optrule/internal/miner"
 	"optrule/internal/relation"
 	"optrule/internal/stats"
 )
@@ -218,6 +219,75 @@ func BenchmarkExtensionRectConvex(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// bankDisk1M writes the 1M-tuple bank data set to disk (v2 columnar
+// format, the default) and opens it — the shared fixture of the 2-D
+// disk benchmarks.
+func bankDisk1M(b *testing.B) *relation.DiskRelation {
+	b.Helper()
+	bank, err := datagen.NewBank(datagen.BankConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bank.opr")
+	if err := datagen.WriteDisk(path, bank, 1000000, 1); err != nil {
+		b.Fatal(err)
+	}
+	rel, err := OpenDisk(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rel
+}
+
+// BenchmarkMine2D measures the rebuilt single-pair 2-D miner on the
+// 1M-tuple disk bank at grid side 64: one fused sampling scan for both
+// axes, one counting scan, parallel rectangle sweep. Compare against
+// BenchmarkMine2DPerPair, the pre-PR three-scan serial path.
+func BenchmarkMine2D(b *testing.B) {
+	rel := bankDisk1M(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine2D(rel, "Age", "Balance", "CardLoan", true,
+			OptimizedConfidence, 64, Config{MinSupport: 0.05, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rel.BytesRead())/float64(b.N), "diskB/op")
+}
+
+// BenchmarkMine2DPerPair is the legacy per-pair pipeline (two sampling
+// scans, one counting scan, serial kernels) on the same workload — the
+// pre-PR baseline for BenchmarkMine2D.
+func BenchmarkMine2DPerPair(b *testing.B) {
+	rel := bankDisk1M(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := miner.Mine2DPerPair(rel, "Age", "Balance", "CardLoan", true,
+			OptimizedConfidence, 64, Config{MinSupport: 0.05, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rel.BytesRead())/float64(b.N), "diskB/op")
+}
+
+// BenchmarkMineAll2DBank measures the fused all-pairs engine end to
+// end on the disk bank: all three attribute pairs, both paper-standard
+// rectangle kinds, in exactly two relation scans.
+func BenchmarkMineAll2DBank(b *testing.B) {
+	rel := bankDisk1M(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MineAll2D(rel, Options2D{Objective: "CardLoan", ObjectiveValue: true, GridSide: 64},
+			Config{MinSupport: 0.05, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rel.BytesRead())/float64(b.N), "diskB/op")
 }
 
 // BenchmarkMineAllBank measures the end-to-end system: the complete set

@@ -11,7 +11,10 @@
 // (optimized-confidence rules vs naive), fig11 (optimized-support rules
 // vs naive), par (parallel bucketing, Section 3.3), fused (one-scan
 // multi-attribute counting engine vs per-attribute passes), colscan
-// (column-major v2 disk format vs row-major v1, counted bytes).
+// (column-major v2 disk format vs row-major v1, counted bytes), twodim
+// (fused all-pairs 2-D engine vs legacy per-pair pipeline: wall-clock
+// and bytes vs pair count and grid side, plus a single-pair all-kinds
+// deep-grid sweep).
 //
 // -json FILE additionally writes every experiment's structured result
 // to FILE as a single JSON document, so the perf trajectory can be
@@ -42,7 +45,7 @@ type report struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("optbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, fused, colscan, or all")
+	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, fused, colscan, twodim, or all")
 	full := fs.Bool("full", false, "paper-scale sizes (slow; needs several GB of RAM for fig9)")
 	seed := fs.Int64("seed", 1, "random seed")
 	jsonPath := fs.String("json", "", "also write structured results as JSON to this file (e.g. BENCH_optbench.json)")
@@ -76,6 +79,7 @@ func run(args []string) error {
 		{"regions", runRegions},
 		{"fused", runFused},
 		{"colscan", runColScan},
+		{"twodim", runTwoDim},
 	}
 	known := map[string]bool{"all": true}
 	for _, r := range runners {

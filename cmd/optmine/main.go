@@ -14,6 +14,12 @@
 //
 //	optmine -in customers.csv -avg -numeric CheckingAccount \
 //	        -target SavingAccount -minsup 0.10
+//
+// All-pairs 2-D mining (§1.4, fused engine — two relation scans for
+// every attribute pair; see -grid for the per-axis bucket count):
+//
+//	optmine -in customers.csv -all2d -objective CardLoan -grid 32 \
+//	        -region xmonotone -top 10
 package main
 
 import (
@@ -55,6 +61,8 @@ func run(args []string, w *os.File) error {
 	numeric2 := fs.String("numeric2", "", "2-D mining: second numeric attribute (rectangle rules, with -numeric and -objective)")
 	gridSide := fs.Int("grid", 0, "2-D mining: buckets per axis (0 = default)")
 	regionClass := fs.String("region", "", "2-D mining: also mine a gain-optimal region of this class: xmonotone or rectconvex")
+	all2D := fs.Bool("all2d", false, "2-D mining: mine every numeric attribute pair against -objective in two relation scans (fused engine); -numerics restricts the attributes")
+	numerics := fs.String("numerics", "", "all-pairs 2-D mining: comma-separated numeric attributes to pair up (default: all)")
 	avg := fs.Bool("avg", false, "average-operator mode (Section 5); requires -numeric and -target")
 	target := fs.String("target", "", "average mode: target numeric attribute B")
 	minAvg := fs.Float64("minavg", 0, "average mode: minimum average for the max-support range (0 = skip)")
@@ -104,6 +112,64 @@ func run(args []string, w *os.File) error {
 		return nil
 	}
 
+	if *all2D {
+		if *objective == "" {
+			return fmt.Errorf("all-pairs 2-D mining requires -objective")
+		}
+		opt := miner.Options2D{
+			Objective:      *objective,
+			ObjectiveValue: *objValue,
+			GridSide:       *gridSide,
+		}
+		if *numerics != "" {
+			for _, name := range strings.Split(*numerics, ",") {
+				opt.Numerics = append(opt.Numerics, strings.TrimSpace(name))
+			}
+		}
+		switch *regionClass {
+		case "":
+		case "xmonotone":
+			opt.Regions = []miner.RegionClass{miner.XMonotoneClass}
+		case "rectconvex":
+			opt.Regions = []miner.RegionClass{miner.RectilinearConvexClass}
+		default:
+			return fmt.Errorf("unknown region class %q (want xmonotone or rectconvex)", *regionClass)
+		}
+		res, err := miner.MineAll2D(rel, opt, cfg)
+		if err != nil {
+			return err
+		}
+		rules := res.Rules
+		if *top > 0 && len(rules) > *top {
+			rules = rules[:*top]
+		}
+		if *jsonOut {
+			rects := make([]jsonRule2D, len(rules))
+			for i, r := range rules {
+				rects[i] = toJSONRule2D(r)
+			}
+			regions := make([]jsonRegion, len(res.Regions))
+			for i, r := range res.Regions {
+				regions[i] = toJSONRegion(r)
+			}
+			out := struct {
+				Pairs      int
+				Rectangles []jsonRule2D
+				Regions    []jsonRegion `json:",omitempty"`
+			}{Pairs: res.Pairs, Rectangles: rects, Regions: regions}
+			return json.NewEncoder(w).Encode(out)
+		}
+		fmt.Fprintf(w, "%d tuples, %d attribute pairs, %d rectangle rules (showing %d):\n",
+			res.Tuples, res.Pairs, len(res.Rules), len(rules))
+		for _, r := range rules {
+			fmt.Fprintln(w, " ", r)
+		}
+		for _, r := range res.Regions {
+			fmt.Fprint(w, r.Describe())
+		}
+		return nil
+	}
+
 	if *numeric2 != "" {
 		if *numeric == "" || *objective == "" {
 			return fmt.Errorf("2-D mining requires -numeric, -numeric2, and -objective")
@@ -132,10 +198,18 @@ func run(args []string, w *os.File) error {
 			return err
 		}
 		if *jsonOut {
+			rects := make([]jsonRule2D, len(rules))
+			for i, r := range rules {
+				rects[i] = toJSONRule2D(*r)
+			}
 			out := struct {
-				Rectangles []*miner.Rule2D
-				Region     *miner.RegionRule `json:",omitempty"`
-			}{Rectangles: rules, Region: regionRule}
+				Rectangles []jsonRule2D
+				Region     *jsonRegion `json:",omitempty"`
+			}{Rectangles: rects}
+			if regionRule != nil {
+				jr := toJSONRegion(*regionRule)
+				out.Region = &jr
+			}
 			return json.NewEncoder(w).Encode(out)
 		}
 		if len(rules) == 0 {
@@ -227,6 +301,94 @@ func run(args []string, w *os.File) error {
 		fmt.Fprintln(w, " ", r)
 	}
 	return nil
+}
+
+// jsonF is a float64 that encodes non-finite values as null: region
+// bands covering outermost buckets have ±Inf value bounds
+// (Boundaries.BucketRange), and bands over empty buckets have no
+// observed extremes — JSON cannot encode either.
+type jsonF float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonF) MarshalJSON() ([]byte, error) {
+	if math.IsInf(float64(f), 0) || math.IsNaN(float64(f)) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(float64(f))
+}
+
+// jsonBand is RegionBand with null-safe bounds.
+type jsonBand struct {
+	BLo, BHi jsonF
+	ALo, AHi jsonF
+}
+
+// jsonRule2D is Rule2D with null-safe value ranges: columns holding
+// ±Inf values yield rectangles whose observed extremes are infinite.
+type jsonRule2D struct {
+	Kind           miner.RuleKind
+	NumericA       string
+	NumericB       string
+	LowA, HighA    jsonF
+	LowB, HighB    jsonF
+	Objective      string
+	ObjectiveValue bool
+	Support        float64
+	Count          int
+	Confidence     float64
+	Baseline       float64
+	Gain           float64
+	GridRows       int
+	GridCols       int
+}
+
+func toJSONRule2D(r miner.Rule2D) jsonRule2D {
+	return jsonRule2D{
+		Kind:     r.Kind,
+		NumericA: r.NumericA, NumericB: r.NumericB,
+		LowA: jsonF(r.LowA), HighA: jsonF(r.HighA),
+		LowB: jsonF(r.LowB), HighB: jsonF(r.HighB),
+		Objective: r.Objective, ObjectiveValue: r.ObjectiveValue,
+		Support: r.Support, Count: r.Count,
+		Confidence: r.Confidence, Baseline: r.Baseline, Gain: r.Gain,
+		GridRows: r.GridRows, GridCols: r.GridCols,
+	}
+}
+
+// jsonRegion is RegionRule in JSON-safe form.
+type jsonRegion struct {
+	Class          string
+	NumericA       string
+	NumericB       string
+	Objective      string
+	ObjectiveValue bool
+	Bands          []jsonBand
+	Support        float64
+	Count          int
+	Confidence     float64
+	Baseline       float64
+	Gain           float64
+}
+
+func toJSONRegion(r miner.RegionRule) jsonRegion {
+	out := jsonRegion{
+		Class:          r.Class.String(),
+		NumericA:       r.NumericA,
+		NumericB:       r.NumericB,
+		Objective:      r.Objective,
+		ObjectiveValue: r.ObjectiveValue,
+		Support:        r.Support,
+		Count:          r.Count,
+		Confidence:     r.Confidence,
+		Baseline:       r.Baseline,
+		Gain:           r.Gain,
+	}
+	for _, b := range r.Bands {
+		out.Bands = append(out.Bands, jsonBand{
+			BLo: jsonF(b.BLo), BHi: jsonF(b.BHi), ALo: jsonF(b.ALo), AHi: jsonF(b.AHi),
+		})
+	}
+	return out
 }
 
 // jsonRule augments a mined rule with its derived statistics for

@@ -114,6 +114,32 @@ func TestRun2DMode(t *testing.T) {
 	}
 }
 
+func TestRunAll2DMode(t *testing.T) {
+	path := writeBankCSV(t, 3000)
+	// Every pair of the bank's three numeric attributes.
+	if err := run([]string{"-in", path, "-all2d", "-objective", "CardLoan",
+		"-grid", "12", "-top", "4"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	// Restricted attribute list plus a region class, JSON output.
+	if err := run([]string{"-in", path, "-all2d", "-objective", "CardLoan",
+		"-numerics", "Age, Balance", "-grid", "10", "-region", "xmonotone", "-json"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	// Missing objective and bad region class must error.
+	if err := run([]string{"-in", path, "-all2d"}, os.Stdout); err == nil {
+		t.Errorf("all2d without -objective accepted")
+	}
+	if err := run([]string{"-in", path, "-all2d", "-objective", "CardLoan",
+		"-region", "blob"}, os.Stdout); err == nil {
+		t.Errorf("unknown region class accepted")
+	}
+	if err := run([]string{"-in", path, "-all2d", "-objective", "CardLoan",
+		"-numerics", "Age, Nope"}, os.Stdout); err == nil {
+		t.Errorf("unknown numeric attribute accepted")
+	}
+}
+
 func TestRunDescribeMode(t *testing.T) {
 	path := writeBankCSV(t, 500)
 	if err := run([]string{"-in", path, "-describe"}, os.Stdout); err != nil {

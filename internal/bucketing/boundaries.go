@@ -32,6 +32,11 @@ type Boundaries struct {
 	slotBase  []int32
 	slotLo    float64
 	slotScale float64
+	// cutsPad is cuts followed by two +Inf sentinels, so LocateBatch's
+	// final two-candidate refinement can load both candidate cuts
+	// unconditionally (independent loads instead of a dependent chain).
+	// Built with slotBase.
+	cutsPad []float64
 }
 
 // locateIndexMinCuts is the cut count below which the slot table is not
@@ -87,6 +92,10 @@ func (b *Boundaries) buildLocateIndex() {
 		base[s] = int32(i)
 	}
 	b.slotBase = base
+	b.cutsPad = make([]float64, len(cuts)+2)
+	copy(b.cutsPad, cuts)
+	b.cutsPad[len(cuts)] = math.Inf(1)
+	b.cutsPad[len(cuts)+1] = math.Inf(1)
 }
 
 // slotOf maps x (with x > cuts[0]) to its slot in [0, k-1]. Monotone
@@ -155,6 +164,83 @@ func (b Boundaries) Locate(x float64) int {
 		}
 	}
 	return lo
+}
+
+// LocateBatch writes the bucket index of every value in col into out
+// (which must have len(col)), with −1 for NaN values. It is the batch
+// form of Locate with the slot-table lookup inlined and the table
+// fields hoisted out of the loop: the fused 2-D counting scan locates
+// every tuple once per attribute, and at that call rate the per-value
+// method-call overhead of Locate is the dominant counting cost.
+// Indices agree exactly with Locate (NaN aside, which Locate maps to
+// the last bucket and callers filter first).
+func (b Boundaries) LocateBatch(col []float64, out []int32) {
+	out = out[:len(col)] // one bounds proof for both arrays
+	base := b.slotBase
+	if base == nil {
+		for row, x := range col {
+			if x != x { // NaN
+				out[row] = -1
+				continue
+			}
+			out[row] = int32(b.Locate(x))
+		}
+		return
+	}
+	cuts, pad := b.cuts, b.cutsPad
+	slo, sscale := b.slotLo, b.slotScale
+	nc := len(cuts)
+	kslots := len(base) - 1
+	cLast := cuts[nc-1]
+	for row, x := range col {
+		if x != x { // NaN
+			out[row] = -1
+			continue
+		}
+		if x > cLast {
+			// Beyond the last cut (including +Inf, whose slot product
+			// does not convert to a usable int): last bucket.
+			out[row] = int32(nc)
+			continue
+		}
+		// Clamping the slot index replaces Locate's low-side special
+		// case with a conditional move: x <= cuts[0] (including −Inf)
+		// clamps to slot 0, whose search range starts at cut 0. The
+		// searched range and result are exactly Locate's.
+		s := int((x - slo) * sscale)
+		if s < 0 {
+			s = 0
+		}
+		if s >= kslots {
+			s = kslots - 1
+		}
+		lo, hi := int(base[s]), int(base[s+1])
+		// Slots rarely hold more than two cuts (the table has 4 slots
+		// per cut), so after the almost-never-taken narrowing loop the
+		// answer is lo plus how many of the next two cuts x exceeds.
+		// The sentinel padding makes both candidate loads safe and
+		// INDEPENDENT, and the two compares are branch-free — the
+		// data-dependent branch of the plain binary search was this
+		// kernel's dominant mispredict cost.
+		for hi-lo > 2 {
+			mid := int(uint(lo+hi) >> 1)
+			if x <= cuts[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		// x <= cuts[hi] (hi = nc−1 at most here, since x <= cLast) and
+		// sentinels are +Inf, so overshoot past hi is impossible.
+		d0, d1 := 0, 0
+		if x > pad[lo] {
+			d0 = 1
+		}
+		if x > pad[lo+1] {
+			d1 = 1
+		}
+		out[row] = int32(lo + d0 + d1)
+	}
 }
 
 // BucketRange returns the half-open value interval (lo, hi] covered by

@@ -22,6 +22,49 @@ func referenceLocate(cuts []float64, x float64) int {
 	return lo
 }
 
+// TestLocateBatchMatchesLocate pins the batch kernel (clamped-slot
+// variant, used by the fused 2-D counting scan) to Locate exactly,
+// with NaN mapping to −1.
+func TestLocateBatchMatchesLocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	gens := []func() float64{
+		func() float64 { return rng.Float64() * 1000 },
+		func() float64 { return math.Exp(rng.NormFloat64()) },
+		func() float64 { return float64(rng.Intn(30)) },
+	}
+	for gi, gen := range gens {
+		for _, m := range []int{1, 2, 15, 16, 63, 255, 1000} {
+			cuts := make([]float64, m)
+			for i := range cuts {
+				cuts[i] = gen()
+			}
+			sort.Float64s(cuts)
+			b, err := NewBoundaries(cuts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := []float64{math.Inf(-1), math.Inf(1), math.NaN(), cuts[0], cuts[m-1]}
+			for _, c := range cuts {
+				col = append(col, c, math.Nextafter(c, math.Inf(-1)), math.Nextafter(c, math.Inf(1)))
+			}
+			for i := 0; i < 3000; i++ {
+				col = append(col, gen())
+			}
+			out := make([]int32, len(col))
+			b.LocateBatch(col, out)
+			for i, x := range col {
+				want := int32(b.Locate(x))
+				if math.IsNaN(x) {
+					want = -1
+				}
+				if out[i] != want {
+					t.Fatalf("gen %d m=%d: LocateBatch(%v) = %d, want %d", gi, m, x, out[i], want)
+				}
+			}
+		}
+	}
+}
+
 func TestLocateIndexMatchesBinarySearch(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	shapes := []func() float64{

@@ -1,0 +1,34 @@
+package bucketing
+
+import (
+	"math/rand"
+	"testing"
+
+	"optrule/internal/stats"
+)
+
+// BenchmarkLocateBatch measures the fused 2-D counting scan's bucket
+// kernel in isolation: 1Mi lookups against a 64-bucket equi-depth
+// table, the per-attribute cost of one batch of grid counting.
+func BenchmarkLocateBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sample := make([]float64, 2560)
+	for i := range sample {
+		sample[i] = rng.NormFloat64() * 100
+	}
+	stats.SortFloat64s(sample)
+	bd, err := FromSortedSample(sample, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := make([]float64, 1<<20)
+	for i := range col {
+		col[i] = rng.NormFloat64() * 100
+	}
+	out := make([]int32, len(col))
+	b.SetBytes(int64(len(col)) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd.LocateBatch(col, out)
+	}
+}

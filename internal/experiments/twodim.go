@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"optrule/internal/datagen"
+	"optrule/internal/miner"
+	"optrule/internal/relation"
+)
+
+// TwoDimRow compares the fused all-pairs 2-D engine (MineAll2D: one
+// sampling scan + one counting scan TOTAL) against the legacy per-pair
+// pipeline (three scans and a serial sweep PER PAIR PER KIND) at one
+// (attribute count, grid side) point, on a disk-resident relation.
+type TwoDimRow struct {
+	Attrs         int
+	Pairs         int
+	Side          int
+	FusedSeconds  float64
+	LegacySeconds float64
+	FusedMB       float64 // counted disk bytes read by the fused engine
+	LegacyMB      float64 // counted disk bytes read by the per-pair loop
+}
+
+// TwoDimTargetedRow is one point of the targeted deep-grid sweep: a
+// single attribute pair mined at a large grid side with ALL kinds —
+// both paper-standard rectangle kinds, optimized-gain, and both
+// non-rectangular region classes — the workload the parallel region
+// kernels exist for.
+type TwoDimTargetedRow struct {
+	Side       int
+	Seconds    float64
+	Rules      int
+	Regions    int
+	RectGain   float64 // optimized-gain rectangle's gain
+	XMonoGain  float64
+	ConvexGain float64
+}
+
+// TwoDimResult is the 2-D scaling experiment: wall-clock and counted
+// bytes versus the number of attribute pairs and the grid side.
+type TwoDimResult struct {
+	Tuples   int
+	Rows     []TwoDimRow
+	Targeted []TwoDimTargetedRow
+}
+
+// TwoDim writes an n-tuple relation with the largest requested
+// attribute count to disk (v2 columnar format) and, for every
+// (attrCount × side) combination, mines all pairs with the two
+// paper-standard rectangle kinds via the fused engine and via the
+// legacy per-pair loop, recording wall-clock and counted disk bytes.
+// targetedSides (optional) adds the single-pair all-kinds deep-grid
+// sweep.
+func TwoDim(n int, attrCounts, sides, targetedSides []int, seed int64) (TwoDimResult, error) {
+	if n <= 0 {
+		n = 200000
+	}
+	if attrCounts == nil {
+		attrCounts = []int{2, 4, 8}
+	}
+	if sides == nil {
+		sides = []int{16, 32, 64}
+	}
+	res := TwoDimResult{Tuples: n}
+	maxAttrs := 0
+	for _, d := range attrCounts {
+		if d > maxAttrs {
+			maxAttrs = d
+		}
+	}
+	if maxAttrs < 2 {
+		return res, fmt.Errorf("experiments: 2-D mining needs at least 2 attributes")
+	}
+	shape, err := datagen.NewPerfShape(maxAttrs, 2, nil)
+	if err != nil {
+		return res, err
+	}
+	dir, err := os.MkdirTemp("", "optrule-twodim")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/twodim.opr"
+	if err := datagen.WriteDiskFormat(path, shape, n, seed, relation.DiskFormatV2); err != nil {
+		return res, err
+	}
+	rel, err := relation.OpenDisk(path)
+	if err != nil {
+		return res, err
+	}
+	defer rel.Close() // release the point-read mapping with the temp file
+	s := rel.Schema()
+	allNums := s.NumericIndices()
+	objective := s[s.BooleanIndices()[0]].Name
+	kinds := []miner.RuleKind{miner.OptimizedSupport, miner.OptimizedConfidence}
+
+	for _, d := range attrCounts {
+		names := make([]string, d)
+		for k := 0; k < d; k++ {
+			names[k] = s[allNums[k]].Name
+		}
+		for _, side := range sides {
+			cfg := miner.Config{Seed: seed}
+			row := TwoDimRow{Attrs: d, Pairs: d * (d - 1) / 2, Side: side}
+
+			before := rel.BytesRead()
+			start := time.Now()
+			if _, err := miner.MineAll2D(rel, miner.Options2D{
+				Numerics: names, Objective: objective, ObjectiveValue: true,
+				Kinds: kinds, GridSide: side,
+			}, cfg); err != nil {
+				return res, err
+			}
+			row.FusedSeconds = time.Since(start).Seconds()
+			row.FusedMB = float64(rel.BytesRead()-before) / (1 << 20)
+
+			before = rel.BytesRead()
+			start = time.Now()
+			for i := 0; i < d; i++ {
+				for j := i + 1; j < d; j++ {
+					for _, kind := range kinds {
+						if _, err := miner.Mine2DPerPair(rel, names[i], names[j],
+							objective, true, kind, side, cfg); err != nil {
+							return res, err
+						}
+					}
+				}
+			}
+			row.LegacySeconds = time.Since(start).Seconds()
+			row.LegacyMB = float64(rel.BytesRead()-before) / (1 << 20)
+			res.Rows = append(res.Rows, row)
+		}
+	}
+
+	a, b := s[allNums[0]].Name, s[allNums[1]].Name
+	for _, side := range targetedSides {
+		cfg := miner.Config{Seed: seed}
+		start := time.Now()
+		out, err := miner.MineAll2D(rel, miner.Options2D{
+			Numerics: []string{a, b}, Objective: objective, ObjectiveValue: true,
+			Kinds:    []miner.RuleKind{miner.OptimizedSupport, miner.OptimizedConfidence, miner.OptimizedGain},
+			Regions:  []miner.RegionClass{miner.XMonotoneClass, miner.RectilinearConvexClass},
+			GridSide: side,
+		}, cfg)
+		if err != nil {
+			return res, err
+		}
+		trow := TwoDimTargetedRow{
+			Side: side, Seconds: time.Since(start).Seconds(),
+			Rules: len(out.Rules), Regions: len(out.Regions),
+		}
+		for _, r := range out.Rules {
+			if r.Kind == miner.OptimizedGain {
+				trow.RectGain = r.Gain
+			}
+		}
+		for _, r := range out.Regions {
+			switch r.Class {
+			case miner.XMonotoneClass:
+				trow.XMonoGain = r.Gain
+			case miner.RectilinearConvexClass:
+				trow.ConvexGain = r.Gain
+			}
+		}
+		res.Targeted = append(res.Targeted, trow)
+	}
+	return res, nil
+}
+
+// Print writes the scaling rows and the targeted deep-grid sweep.
+func (r TwoDimResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fused 2-D engine: all-pairs mining on a %d-tuple v2 disk relation\n", r.Tuples)
+	fmt.Fprintf(w, "%6s  %6s  %5s  %11s  %12s  %9s  %10s  %8s\n",
+		"attrs", "pairs", "side", "fused (s)", "legacy (s)", "fused MB", "legacy MB", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%6d  %6d  %5d  %11.3f  %12.3f  %9.1f  %10.1f  %7.1fx\n",
+			row.Attrs, row.Pairs, row.Side, row.FusedSeconds, row.LegacySeconds,
+			row.FusedMB, row.LegacyMB, row.LegacySeconds/row.FusedSeconds)
+	}
+	if len(r.Targeted) > 0 {
+		fmt.Fprintf(w, "Targeted pair, all kinds (2 rect kinds + gain + x-monotone + rectilinear-convex):\n")
+		fmt.Fprintf(w, "%5s  %10s  %6s  %8s  %11s  %11s  %11s\n",
+			"side", "secs", "rules", "regions", "rect gain", "xmono gain", "convex gain")
+		for _, row := range r.Targeted {
+			fmt.Fprintf(w, "%5d  %10.3f  %6d  %8d  %11.1f  %11.1f  %11.1f\n",
+				row.Side, row.Seconds, row.Rules, row.Regions,
+				row.RectGain, row.XMonoGain, row.ConvexGain)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTwoDimExperimentShape runs the 2-D scaling experiment at tiny
+// sizes and checks its structural claims: the fused engine reads FEWER
+// counted bytes than the per-pair loop at every point (two scans total
+// versus three per pair per kind), the gap grows with the pair count,
+// and the targeted all-kinds sweep produces every requested rule
+// family.
+func TestTwoDimExperimentShape(t *testing.T) {
+	res, err := TwoDim(4000, []int{2, 4}, []int{8, 16}, []int{16}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.FusedMB >= row.LegacyMB {
+			t.Errorf("attrs=%d side=%d: fused read %.2f MB, legacy %.2f MB — fused must read less",
+				row.Attrs, row.Side, row.FusedMB, row.LegacyMB)
+		}
+		if row.Pairs != row.Attrs*(row.Attrs-1)/2 {
+			t.Errorf("attrs=%d: pairs=%d", row.Attrs, row.Pairs)
+		}
+	}
+	// The byte gap grows with the pair count: legacy bytes scale with
+	// pairs, fused bytes stay ~flat (two scans regardless).
+	var r2, r4 TwoDimRow
+	for _, row := range res.Rows {
+		if row.Side == 16 {
+			if row.Attrs == 2 {
+				r2 = row
+			}
+			if row.Attrs == 4 {
+				r4 = row
+			}
+		}
+	}
+	if r4.LegacyMB/r4.FusedMB <= r2.LegacyMB/r2.FusedMB {
+		t.Errorf("byte-ratio should grow with pairs: d=2 %.1fx, d=4 %.1fx",
+			r2.LegacyMB/r2.FusedMB, r4.LegacyMB/r4.FusedMB)
+	}
+	if len(res.Targeted) != 1 {
+		t.Fatalf("got %d targeted rows, want 1", len(res.Targeted))
+	}
+	tr := res.Targeted[0]
+	if tr.Side != 16 || tr.Seconds <= 0 {
+		t.Errorf("bad targeted row: %+v", tr)
+	}
+
+	var sb strings.Builder
+	res.Print(&sb)
+	for _, want := range []string{"Fused 2-D engine", "pairs", "Targeted pair", "xmono gain"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Print output missing %q", want)
+		}
+	}
+}

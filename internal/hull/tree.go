@@ -31,21 +31,49 @@ type Tree struct {
 // strictly increasing X (cumulative bucket sizes guarantee this). After
 // construction the stack holds U_0.
 func NewTree(pts []Point) (*Tree, error) {
+	t := &Tree{}
+	if err := t.Init(pts); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Init (re)runs the preparatory phase over pts, reusing the tree's
+// backing storage when capacities allow. Callers that solve many small
+// hull problems back to back — the 2-D rectangle sweep runs one per row
+// pair — keep one Tree per worker and Init it per problem instead of
+// paying NewTree's allocations every time. The computation is identical
+// to NewTree's.
+func (t *Tree) Init(pts []Point) error {
 	n := len(pts)
 	if n == 0 {
-		return nil, fmt.Errorf("hull: no points")
+		return fmt.Errorf("hull: no points")
 	}
 	for i := 1; i < n; i++ {
 		if pts[i].X <= pts[i-1].X {
-			return nil, fmt.Errorf("hull: X not strictly increasing at %d (%g after %g)", i, pts[i].X, pts[i-1].X)
+			return fmt.Errorf("hull: X not strictly increasing at %d (%g after %g)", i, pts[i].X, pts[i-1].X)
 		}
 	}
-	t := &Tree{
-		pts:   pts,
-		stack: make([]int, 0, n),
-		d:     make([][]int, n),
-		dBuf:  make([]int, 0, n),
-		pos:   make([]int, n),
+	t.pts = pts
+	if cap(t.stack) < n {
+		t.stack = make([]int, 0, n)
+	} else {
+		t.stack = t.stack[:0]
+	}
+	if cap(t.dBuf) < n {
+		t.dBuf = make([]int, 0, n)
+	} else {
+		t.dBuf = t.dBuf[:0]
+	}
+	if cap(t.d) >= n {
+		t.d = t.d[:n]
+	} else {
+		t.d = make([][]int, n)
+	}
+	if cap(t.pos) >= n {
+		t.pos = t.pos[:n]
+	} else {
+		t.pos = make([]int, n)
 	}
 	for i := range t.pos {
 		t.pos[i] = -1
@@ -67,7 +95,7 @@ func NewTree(pts []Point) (*Tree, error) {
 		t.push(i)
 	}
 	t.cur = 0
-	return t, nil
+	return nil
 }
 
 // push puts node on top of S.

@@ -20,6 +20,9 @@
 // where a per-attribute pipeline would read it d+1 times. Targeted
 // queries (Mine, MineConjunctive, …) keep the per-attribute path, which
 // scans only the columns they need.
+//
+// The two-dimensional layer (§1.4) runs the same two-scan discipline
+// over attribute PAIRS: see MineAll2D in all2d.go.
 package miner
 
 import (

@@ -49,7 +49,9 @@ func (r Rule2D) String() string {
 
 // DefaultGridSide is the per-axis bucket count for 2-D mining: the
 // rectangle sweep is O(side³), so side stays much smaller than the 1-D
-// bucket counts.
+// bucket counts. With the parallel region kernels, sides up to 256 are
+// practical for targeted pairs; DefaultGridSide stays modest because
+// MineAll2D multiplies the kernel cost by d(d−1)/2 pairs.
 const DefaultGridSide = 64
 
 // Mine2D mines the optimized rectangle rule of the given kind over two
@@ -57,7 +59,39 @@ const DefaultGridSide = 64
 // DefaultGridSide). For OptimizedConfidence the constraint is
 // cfg.MinSupport; for OptimizedSupport and OptimizedGain it is
 // cfg.MinConfidence.
+//
+// Mine2D runs on the fused 2-D engine (see MineAll2D): one fused
+// sampling scan derives BOTH axes' bucket boundaries, one counting
+// scan fills the grid, and the rectangle sweep runs on the parallel
+// region kernels — three relation scans in the legacy pipeline, two
+// here. Boundaries come from the same per-attribute random streams the
+// legacy path used, so mined rules are identical.
 func Mine2D(rel relation.Relation, numericA, numericB, objective string, objectiveValue bool,
+	kind RuleKind, gridSide int, cfg Config) (*Rule2D, error) {
+	eng, err := newEngine2D(rel, Options2D{
+		Numerics:       []string{numericA, numericB},
+		Objective:      objective,
+		ObjectiveValue: objectiveValue,
+		Kinds:          []RuleKind{kind},
+		GridSide:       gridSide,
+	}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pr := &eng.pairs[0]
+	if pr.n == 0 {
+		return nil, fmt.Errorf("miner: no tuples with finite (%s, %s) values", numericA, numericB)
+	}
+	return eng.rectRule(pr, kind, eng.cfg.Workers)
+}
+
+// Mine2DPerPair is the legacy single-pair pipeline: two independent
+// sampling passes (one per axis), one grid-counting scan, and the
+// serial rectangle sweep — three relation scans per pair where the
+// fused engine pays two TOTAL for any number of pairs. It is kept as
+// the differential-testing reference and benchmark baseline for
+// Mine2D/MineAll2D, which must produce rule-for-rule identical output.
+func Mine2DPerPair(rel relation.Relation, numericA, numericB, objective string, objectiveValue bool,
 	kind RuleKind, gridSide int, cfg Config) (*Rule2D, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {

@@ -113,8 +113,37 @@ func MineRectilinearConvex(rel relation.Relation, numericA, numericB, objective 
 	return mineRegion(rel, numericA, numericB, objective, objectiveValue, gridSide, cfg, RectilinearConvexClass)
 }
 
-// mineRegion is the shared implementation.
+// mineRegion runs one region class for one pair on the fused 2-D
+// engine: one fused sampling scan for both axes' boundaries, one
+// counting scan, then the parallel gain DP — two relation scans where
+// the legacy path (mineRegionPerPair) pays three. Boundaries come from
+// the same per-attribute random streams, and the parallel DPs are
+// pinned identical to the serial kernels, so mined regions match the
+// legacy path rule for rule.
 func mineRegion(rel relation.Relation, numericA, numericB, objective string,
+	objectiveValue bool, gridSide int, cfg Config, class RegionClass) (*RegionRule, error) {
+	eng, err := newEngine2D(rel, Options2D{
+		Numerics:       []string{numericA, numericB},
+		Objective:      objective,
+		ObjectiveValue: objectiveValue,
+		Kinds:          []RuleKind{},
+		Regions:        []RegionClass{class},
+		GridSide:       gridSide,
+	}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pr := &eng.pairs[0]
+	if pr.n == 0 {
+		return nil, fmt.Errorf("miner: no tuples with finite (%s, %s) values", numericA, numericB)
+	}
+	return eng.regionRule(pr, class, eng.cfg.Workers)
+}
+
+// mineRegionPerPair is the legacy single-pair region pipeline (two
+// sampling passes plus one counting scan, serial DP kernels), kept as
+// the differential-testing reference for the fused path.
+func mineRegionPerPair(rel relation.Relation, numericA, numericB, objective string,
 	objectiveValue bool, gridSide int, cfg Config, class RegionClass) (*RegionRule, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {

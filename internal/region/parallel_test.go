@@ -1,0 +1,210 @@
+package region
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The parallel kernels must be rule-for-rule identical to the serial
+// kernels — not merely close: the miner's differential tests pin the
+// fused 2-D engine (which uses the parallel kernels) against the
+// legacy per-pair path (which used the serial ones), so any divergence
+// here would surface as a mining difference. Grids are random with
+// zero cells allowed, shapes deliberately non-square, and worker
+// counts sweep past the row count to exercise the clamping.
+
+func equalRects(a, b Rect) bool { return a == b }
+
+func TestParallelRectKernelsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		rows := 1 + rng.Intn(24)
+		cols := 1 + rng.Intn(24)
+		g := randomGrid(rng, rows, cols, 6)
+		minSup := float64(rng.Intn(g.Total() + 1))
+		theta := float64(rng.Intn(101)) / 100
+		for _, workers := range []int{2, 3, 8, 33} {
+			sc, okS, err := OptimalRectConfidence(g, minSup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pc, okP, err := OptimalRectConfidenceParallel(g, minSup, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if okS != okP || (okS && !equalRects(sc, pc)) {
+				t.Fatalf("trial %d workers %d: confidence serial=%+v/%v parallel=%+v/%v",
+					trial, workers, sc, okS, pc, okP)
+			}
+
+			ss, okS, err := OptimalRectSupport(g, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, okP, err := OptimalRectSupportParallel(g, theta, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if okS != okP || (okS && !equalRects(ss, ps)) {
+				t.Fatalf("trial %d workers %d: support serial=%+v/%v parallel=%+v/%v",
+					trial, workers, ss, okS, ps, okP)
+			}
+
+			sg, okS, err := MaxGainRect(g, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pg, okP, err := MaxGainRectParallel(g, theta, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if okS != okP || (okS && !equalRects(sg, pg)) {
+				t.Fatalf("trial %d workers %d: gain serial=%+v/%v parallel=%+v/%v",
+					trial, workers, sg, okS, pg, okP)
+			}
+		}
+	}
+}
+
+// TestParallelRectMatchesNaiveOracle closes the loop to the O(M⁴)
+// oracle: parallel sweep == serial sweep == naive enumeration.
+func TestParallelRectMatchesNaiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 100; trial++ {
+		rows := 1 + rng.Intn(6)
+		cols := 1 + rng.Intn(6)
+		g := randomGrid(rng, rows, cols, 5)
+		if g.Total() == 0 {
+			continue
+		}
+		minSup := float64(rng.Intn(g.Total() + 1))
+		par, okP, err := OptimalRectConfidenceParallel(g, minSup, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, okN, err := NaiveOptimalRectConfidence(g, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okP != okN || (okP && (par.Conf != naive.Conf || par.Count != naive.Count)) {
+			t.Fatalf("trial %d: parallel=%+v/%v naive=%+v/%v (U=%v V=%v minSup=%g)",
+				trial, par, okP, naive, okN, g.U, g.V, minSup)
+		}
+		theta := float64(rng.Intn(101)) / 100
+		parS, okP, err := OptimalRectSupportParallel(g, theta, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naiveS, okN, err := NaiveOptimalRectSupport(g, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okP != okN || (okP && parS.Count != naiveS.Count) {
+			t.Fatalf("trial %d: parallel=%+v/%v naive=%+v/%v", trial, parS, okP, naiveS, okN)
+		}
+	}
+}
+
+func TestParallelDPsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		rows := 1 + rng.Intn(20)
+		cols := 1 + rng.Intn(20)
+		g := randomGrid(rng, rows, cols, 6)
+		theta := float64(rng.Intn(101)) / 100
+		for _, workers := range []int{2, 5, 16} {
+			sx, okS, err := MaxGainXMonotone(g, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			px, okP, err := MaxGainXMonotoneParallel(g, theta, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if okS != okP || !reflect.DeepEqual(sx, px) {
+				t.Fatalf("trial %d workers %d: xmonotone serial=%+v parallel=%+v",
+					trial, workers, sx, px)
+			}
+
+			sr, okS, err := MaxGainRectilinearConvex(g, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prc, okP, err := MaxGainRectilinearConvexParallel(g, theta, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if okS != okP || !reflect.DeepEqual(sr, prc) {
+				t.Fatalf("trial %d workers %d: rectconvex serial=%+v parallel=%+v",
+					trial, workers, sr, prc)
+			}
+		}
+	}
+}
+
+// TestGridFlatFallback pins the kernels' behavior on grids whose rows
+// do not alias a contiguous backing: struct-literal grids and grids
+// with rebound rows must yield the same results as packed ones.
+func TestGridFlatFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	g := randomGrid(rng, 5, 7, 5)
+	// A literal grid with copied rows (no backing at all).
+	lit := &Grid{U: make([][]int, 5), V: make([][]float64, 5)}
+	for r := 0; r < 5; r++ {
+		lit.U[r] = append([]int(nil), g.U[r]...)
+		lit.V[r] = append([]float64(nil), g.V[r]...)
+	}
+	minSup := float64(g.Total() / 4)
+	want, okW, err := OptimalRectConfidence(g, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, okG, err := OptimalRectConfidence(lit, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okW != okG || want != got {
+		t.Fatalf("literal grid: %+v/%v, want %+v/%v", got, okG, want, okW)
+	}
+	// A NewGrid grid with one row rebound to a foreign slice.
+	reb := randomGrid(rng, 5, 7, 5)
+	for r := 0; r < 5; r++ {
+		copy(reb.U[r], g.U[r])
+		copy(reb.V[r], g.V[r])
+	}
+	reb.U[2] = append([]int(nil), g.U[2]...)
+	got2, okG2, err := OptimalRectConfidence(reb, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okW != okG2 || want != got2 {
+		t.Fatalf("rebound grid: %+v/%v, want %+v/%v", got2, okG2, want, okW)
+	}
+}
+
+func TestGridTotalCachedAndMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	a := randomGrid(rng, 4, 6, 5)
+	b := randomGrid(rng, 4, 6, 5)
+	wantTotal := a.Total() + b.Total()
+	wantSumV := a.SumV() + b.SumV()
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != wantTotal {
+		t.Errorf("merged Total = %d, want %d", a.Total(), wantTotal)
+	}
+	if a.SumV() != wantSumV {
+		t.Errorf("merged SumV = %g, want %g", a.SumV(), wantSumV)
+	}
+	// Repeated calls stay consistent (cached path).
+	if a.Total() != wantTotal {
+		t.Errorf("cached Total = %d, want %d", a.Total(), wantTotal)
+	}
+	// Shape mismatch must error.
+	c := randomGrid(rng, 3, 6, 5)
+	if err := a.Merge(c); err == nil {
+		t.Error("merging mismatched shapes should error")
+	}
+}

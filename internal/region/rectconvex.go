@@ -17,7 +17,11 @@ package region
 // descending). Predecessor maxima are 2-D box queries answered by
 // per-layer sparse tables, giving O(cols · rows² · log² rows) time —
 // heavier than the companion paper's specialized algorithm but exact,
-// and fast at mining grid sizes.
+// and fast at mining grid sizes. The parallel variant builds the four
+// phase tables concurrently (partitioning each doubling step across
+// workers) and partitions every layer's DP-cell fill; each cell is a
+// pure function of the previous column's tables, so parallel results
+// are exactly the serial ones.
 
 // layer indices: pa=0 a-descending stage, pa=1 a-ascending stage;
 // pb=0 b-ascending stage, pb=1 b-descending stage.
@@ -50,14 +54,18 @@ func newSparse2D(rows int) *sparse2D {
 }
 
 // build loads the base layer from f (flattened rows×rows; caller marks
-// invalid cells with negInfF) and fills the doubling tables.
-func (s *sparse2D) build(f []float64) {
+// invalid cells with negInfF) and fills the doubling tables. Each
+// doubling step's cells depend only on the previous step, so steps are
+// partitioned across workers; cell values and argmaxes are identical
+// for any worker count.
+func (s *sparse2D) build(f []float64, workers int) {
 	rows := s.rows
 	k := s.logs[rows] + 1
 	base := s.val[0]
 	copy(base, f)
+	arg0 := s.arg[0]
 	for i := range f {
-		s.arg[0][i] = int32(i)
+		arg0[i] = int32(i)
 	}
 	// Double along the first (a) dimension.
 	for ka := 1; ka < k; ka++ {
@@ -66,44 +74,50 @@ func (s *sparse2D) build(f []float64) {
 		dst := s.val[ka*k]
 		dstA := s.arg[ka*k]
 		half := 1 << (ka - 1)
-		for a := 0; a+(1<<ka) <= rows; a++ {
-			for b := 0; b < rows; b++ {
-				i1 := a*rows + b
-				i2 := (a+half)*rows + b
-				if src[i1] >= src[i2] {
-					dst[a*rows+b] = src[i1]
-					dstA[a*rows+b] = srcA[i1]
-				} else {
-					dst[a*rows+b] = src[i2]
-					dstA[a*rows+b] = srcA[i2]
+		span := rows - (1 << ka) + 1
+		parallelFor(workers, span, func(lo, hi int) {
+			for a := lo; a < hi; a++ {
+				for b := 0; b < rows; b++ {
+					i1 := a*rows + b
+					i2 := (a+half)*rows + b
+					if src[i1] >= src[i2] {
+						dst[a*rows+b] = src[i1]
+						dstA[a*rows+b] = srcA[i1]
+					} else {
+						dst[a*rows+b] = src[i2]
+						dstA[a*rows+b] = srcA[i2]
+					}
 				}
 			}
-		}
+		})
 	}
 	// Double along the second (b) dimension for every ka.
 	for ka := 0; ka < k; ka++ {
+		aSpan := rows
+		if ka > 0 {
+			aSpan = rows - (1 << ka) + 1
+		}
 		for kb := 1; kb < k; kb++ {
 			src := s.val[ka*k+kb-1]
 			srcA := s.arg[ka*k+kb-1]
 			dst := s.val[ka*k+kb]
 			dstA := s.arg[ka*k+kb]
 			half := 1 << (kb - 1)
-			for a := 0; a < rows; a++ {
-				if ka > 0 && a+(1<<ka) > rows {
-					continue
-				}
-				for b := 0; b+(1<<kb) <= rows; b++ {
-					i1 := a*rows + b
-					i2 := a*rows + b + half
-					if src[i1] >= src[i2] {
-						dst[i1] = src[i1]
-						dstA[i1] = srcA[i1]
-					} else {
-						dst[i1] = src[i2]
-						dstA[i1] = srcA[i2]
+			parallelFor(workers, aSpan, func(lo, hi int) {
+				for a := lo; a < hi; a++ {
+					for b := 0; b+(1<<kb) <= rows; b++ {
+						i1 := a*rows + b
+						i2 := a*rows + b + half
+						if src[i1] >= src[i2] {
+							dst[i1] = src[i1]
+							dstA[i1] = srcA[i1]
+						} else {
+							dst[i1] = src[i2]
+							dstA[i1] = srcA[i2]
+						}
 					}
 				}
-			}
+			})
 		}
 	}
 }
@@ -147,11 +161,14 @@ func (s *sparse2D) query(a1, a2, b1, b2 int) (float64, int32) {
 	return best, arg
 }
 
-// rcState encodes a backtracking step: the predecessor's flattened
-// interval index and phase layer, or -1 when the region starts here.
-type rcState struct {
-	prevIdx   int32
-	prevLayer int8
+// rcBack is one column×layer slab of backtracking state: the
+// predecessor's flattened interval index (−1 when the region starts
+// here) and its phase layer, in parallel arrays to avoid struct
+// padding — at grid side 256 the backtracking state is the DP's
+// dominant memory cost.
+type rcBack struct {
+	idx []int32
+	lay []int8
 }
 
 // MaxGainRectilinearConvex returns the rectilinear-convex region
@@ -160,10 +177,20 @@ type rcState struct {
 // regions are a subclass); Validate plus the unimodality of the
 // endpoints is checked by the tests.
 func MaxGainRectilinearConvex(g *Grid, theta float64) (XMonotoneRegion, bool, error) {
+	return MaxGainRectilinearConvexParallel(g, theta, 1)
+}
+
+// MaxGainRectilinearConvexParallel is MaxGainRectilinearConvex with the
+// phase-table builds and DP-cell fills partitioned across workers
+// goroutines. Results — including the backtracked column intervals —
+// are identical to the serial kernel for any worker count.
+func MaxGainRectilinearConvexParallel(g *Grid, theta float64, workers int) (XMonotoneRegion, bool, error) {
 	if err := g.validate(); err != nil {
 		return XMonotoneRegion{}, false, err
 	}
 	rows, cols := g.Rows(), g.Cols()
+	uf, vf := g.flat()
+	gainT := transposedGain(uf, vf, rows, cols, theta)
 
 	w := make([]float64, rows*rows)
 	// fPrev/fCur[layer][idx]; layer = pa*2+pb.
@@ -177,86 +204,120 @@ func MaxGainRectilinearConvex(g *Grid, theta float64) (XMonotoneRegion, bool, er
 	for l := range tables {
 		tables[l] = newSparse2D(rows)
 	}
-	back := make([][][]rcState, cols)
+	back := make([][4]rcBack, cols)
 
 	bestGain := negInfF
 	bestCol, bestIdx, bestLayer := -1, -1, 0
+	bestPerLA := make([][]cellBest, 4)
+	for l := range bestPerLA {
+		bestPerLA[l] = make([]cellBest, rows)
+	}
 
-	colGain := make([]float64, rows)
+	// The four layers' fills are independent given the tables, so they
+	// run concurrently — but never with more goroutines than the
+	// caller's worker budget: layerPar layers run at once, each with
+	// layerWorkers of the pool. workers=1 stays fully serial.
+	layerPar := workers
+	if layerPar > 4 {
+		layerPar = 4
+	}
+	layerWorkers := workers / layerPar
+	if layerWorkers < 1 {
+		layerWorkers = 1
+	}
+
 	for c := 0; c < cols; c++ {
-		for r := 0; r < rows; r++ {
-			colGain[r] = g.V[r][c] - theta*float64(g.U[r][c])
-		}
-		for a := 0; a < rows; a++ {
-			run := 0.0
-			for b := a; b < rows; b++ {
-				run += colGain[b]
-				w[a*rows+b] = run
-			}
-		}
-		back[c] = make([][]rcState, 4)
-		for l := 0; l < 4; l++ {
-			back[c][l] = make([]rcState, rows*rows)
-		}
-		if c > 0 {
-			for l := 0; l < 4; l++ {
-				tables[l].build(fPrev[l])
-			}
-		}
-		for l := 0; l < 4; l++ {
-			pa, pb := l/2, l%2
-			cur := fCur[l]
-			for a := 0; a < rows; a++ {
+		colGain := gainT[c*rows : (c+1)*rows]
+		parallelFor(workers, rows, func(lo, hi int) {
+			for a := lo; a < hi; a++ {
+				run := 0.0
 				for b := a; b < rows; b++ {
-					idx := a*rows + b
-					// Starting fresh at this column is always allowed
-					// for layer (0, 0) semantics; a region of one column
-					// is in every phase, so seed all layers identically.
-					bestPrev := negInfF
-					var bestArg int32 = -1
-					var bestL int8 = -1
-					if c > 0 {
-						// Predecessor interval ranges by phase:
-						// a' ∈ [a, b] when pa=0 (a non-increasing stage:
-						// a <= a', plus overlap a' <= b);
-						// a' ∈ [0, a] when pa=1 (a >= a').
-						a1, a2 := a, b
-						if pa == 1 {
-							a1, a2 = 0, a
-						}
-						// b' ∈ [a, b] when pb=0 (b >= b', overlap b' >= a);
-						// b' ∈ [b, rows) when pb=1 (b <= b').
-						b1, b2 := a, b
-						if pb == 1 {
-							b1, b2 = b, rows-1
-						}
-						// Allowed predecessor layers: pa'=0 always; pa'=1
-						// only if pa=1. Same for pb.
-						for _, pl := range predLayers(pa, pb) {
-							if v, arg := tables[pl].query(a1, a2, b1, b2); v > bestPrev {
-								bestPrev = v
-								bestArg = arg
-								bestL = int8(pl)
-							}
-						}
-					}
-					if bestPrev > 0 {
-						cur[idx] = w[idx] + bestPrev
-						back[c][l][idx] = rcState{prevIdx: bestArg, prevLayer: bestL}
-					} else {
-						cur[idx] = w[idx]
-						back[c][l][idx] = rcState{prevIdx: -1, prevLayer: -1}
-					}
-					if cur[idx] > bestGain {
-						bestGain = cur[idx]
-						bestCol, bestIdx, bestLayer = c, idx, l
-					}
+					run += colGain[b]
+					w[a*rows+b] = run
 				}
 			}
-			// Invalid (a > b) cells must never win queries.
+		})
+		for l := 0; l < 4; l++ {
+			back[c][l] = rcBack{idx: make([]int32, rows*rows), lay: make([]int8, rows*rows)}
+		}
+		if c > 0 {
+			// The four phase tables are independent; build them
+			// concurrently, each partitioning its doubling steps.
+			parallelFor(layerPar, 4, func(lo, hi int) {
+				for l := lo; l < hi; l++ {
+					tables[l].build(fPrev[l], layerWorkers)
+				}
+			})
+		}
+		parallelFor(layerPar, 4, func(llo, lhi int) {
+			for l := llo; l < lhi; l++ {
+				pa, pb := l/2, l%2
+				cur := fCur[l]
+				bk := back[c][l]
+				perA := bestPerLA[l]
+				parallelFor(layerWorkers, rows, func(lo, hi int) {
+					for a := lo; a < hi; a++ {
+						ab := cellBest{gain: negInfF}
+						for b := a; b < rows; b++ {
+							idx := a*rows + b
+							// Starting fresh at this column is always allowed
+							// for layer (0, 0) semantics; a region of one column
+							// is in every phase, so seed all layers identically.
+							bestPrev := negInfF
+							var bestArg int32 = -1
+							var bestL int8 = -1
+							if c > 0 {
+								// Predecessor interval ranges by phase:
+								// a' ∈ [a, b] when pa=0 (a non-increasing stage:
+								// a <= a', plus overlap a' <= b);
+								// a' ∈ [0, a] when pa=1 (a >= a').
+								a1, a2 := a, b
+								if pa == 1 {
+									a1, a2 = 0, a
+								}
+								// b' ∈ [a, b] when pb=0 (b >= b', overlap b' >= a);
+								// b' ∈ [b, rows) when pb=1 (b <= b').
+								b1, b2 := a, b
+								if pb == 1 {
+									b1, b2 = b, rows-1
+								}
+								// Allowed predecessor layers: pa'=0 always; pa'=1
+								// only if pa=1. Same for pb.
+								for _, pl := range predLayers(pa, pb) {
+									if v, arg := tables[pl].query(a1, a2, b1, b2); v > bestPrev {
+										bestPrev = v
+										bestArg = arg
+										bestL = int8(pl)
+									}
+								}
+							}
+							if bestPrev > 0 {
+								cur[idx] = w[idx] + bestPrev
+								bk.idx[idx], bk.lay[idx] = bestArg, bestL
+							} else {
+								cur[idx] = w[idx]
+								bk.idx[idx], bk.lay[idx] = -1, -1
+							}
+							if !ab.found || cur[idx] > ab.gain {
+								ab = cellBest{gain: cur[idx], idx: idx, found: true}
+							}
+						}
+						perA[a] = ab
+						// Invalid (a > b) cells must never win queries.
+						for b := 0; b < a; b++ {
+							cur[a*rows+b] = negInfF
+						}
+					}
+				})
+			}
+		})
+		// Merge per-layer, per-a bests in (layer, a) order — the fold
+		// order of the serial layer-by-layer, (a, b)-ascending scan.
+		for l := 0; l < 4; l++ {
 			for a := 0; a < rows; a++ {
-				for b := 0; b < a; b++ {
-					cur[a*rows+b] = negInfF
+				if ab := bestPerLA[l][a]; ab.found && ab.gain > bestGain {
+					bestGain = ab.gain
+					bestCol, bestIdx, bestLayer = c, ab.idx, l
 				}
 			}
 		}
@@ -270,12 +331,11 @@ func MaxGainRectilinearConvex(g *Grid, theta float64) (XMonotoneRegion, bool, er
 	c, idx, l := bestCol, bestIdx, bestLayer
 	for {
 		rev = append(rev, ColumnInterval{Col: c, Lo: idx / rows, Hi: idx % rows})
-		st := back[c][l][idx]
-		if st.prevIdx < 0 {
+		bk := back[c][l]
+		if bk.idx[idx] < 0 {
 			break
 		}
-		idx = int(st.prevIdx)
-		l = int(st.prevLayer)
+		idx, l = int(bk.idx[idx]), int(bk.lay[idx])
 		c--
 	}
 	region := XMonotoneRegion{Gain: bestGain}
@@ -285,8 +345,8 @@ func MaxGainRectilinearConvex(g *Grid, theta float64) (XMonotoneRegion, bool, er
 	}
 	for _, ci := range region.Columns {
 		for r := ci.Lo; r <= ci.Hi; r++ {
-			region.Count += g.U[r][ci.Col]
-			region.SumV += g.V[r][ci.Col]
+			region.Count += uf[r*cols+ci.Col]
+			region.SumV += vf[r*cols+ci.Col]
 		}
 	}
 	if region.Count > 0 {
@@ -295,19 +355,19 @@ func MaxGainRectilinearConvex(g *Grid, theta float64) (XMonotoneRegion, bool, er
 	return region, true, nil
 }
 
+// predLayersTab backs predLayers; a package-level table keeps the hot
+// per-cell loop allocation-free.
+var predLayersTab = [numPhases * numPhases][]int{
+	{0},          // (pa=0, pb=0)
+	{0, 1},       // (pa=0, pb=1)
+	{0, 2},       // (pa=1, pb=0)
+	{0, 1, 2, 3}, // (pa=1, pb=1)
+}
+
 // predLayers lists the predecessor phase layers a target (pa, pb) may
 // extend: a phase can only move forward (0 → 1), never back.
 func predLayers(pa, pb int) []int {
-	switch {
-	case pa == 0 && pb == 0:
-		return []int{0} // (0,0)
-	case pa == 0 && pb == 1:
-		return []int{0, 1} // (0,0), (0,1)
-	case pa == 1 && pb == 0:
-		return []int{0, 2} // (0,0), (1,0)
-	default:
-		return []int{0, 1, 2, 3}
-	}
+	return predLayersTab[pa*2+pb]
 }
 
 // IsRectilinearConvex reports whether a region's endpoints satisfy the

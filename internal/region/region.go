@@ -9,14 +9,37 @@
 // defers region classes to follow-up work [7, 20]; the rectangle case
 // reduces cleanly to the 1-D machinery of Section 4: for every pair of
 // row ranges, collapse the grid rows into one bucket sequence over the
-// columns and run the 1-D optimizer. With an M×M grid this costs
-// O(M³) — practical for the display-sized grids 2-D rules make sense
-// at — versus O(M⁴) for naive rectangle enumeration, which is also
-// implemented as the property-test oracle.
+// columns (an incremental prefix-sum collapse: extending the range by
+// one row adds one row of cells) and run the 1-D optimizer. With an
+// M×M grid this costs O(M³) — practical for the display-sized grids
+// 2-D rules make sense at — versus O(M⁴) for naive rectangle
+// enumeration, which is also implemented as the property-test oracle.
+//
+// # Grids and kernels
+//
+// A Grid stores its cells in ONE contiguous row-major backing array
+// (U and V are row views into it), so the kernels stream cache lines
+// instead of chasing row pointers, and a grid costs two allocations
+// regardless of side. The optimization kernels come in two flavors:
+//
+//   - the serial functions (OptimalRectConfidence, MaxGainXMonotone,
+//     …) are the reference implementations, also used as oracles;
+//   - the *Parallel variants split their work across a worker pool —
+//     the rectangle sweep partitions row-pair ranges, the x-monotone
+//     and rectilinear-convex DPs partition each column's interval
+//     table — and are pinned rule-for-rule identical to the serial
+//     kernels by differential tests, so callers may pick purely by
+//     hardware. The parallelism is what raises the practical grid
+//     side from 64 to 256.
+//
+// The miner's fused 2-D engine (miner.MineAll2D) fills many Grids —
+// one per attribute pair — from a single relation scan and runs these
+// kernels on the in-memory grids.
 package region
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"optrule/internal/core"
 )
@@ -25,20 +48,47 @@ import (
 // numeric attributes: U[r][c] tuples fall in row-bucket r of the first
 // attribute and column-bucket c of the second; V[r][c] of those meet
 // the objective condition.
+//
+// Grids built by NewGrid store all cells in one contiguous row-major
+// backing array; U and V are views into it, so element writes through
+// U/V are fine, but rows must not be rebound to other slices (the
+// kernels detect rebinding and fall back to a packed copy of the
+// views, so results stay correct at a copying cost).
 type Grid struct {
 	U [][]int
 	V [][]float64
+
+	// Contiguous backing of U and V for NewGrid-built grids; nil for
+	// grids assembled from struct literals.
+	u []int
+	v []float64
+
+	// Cached Total: the full-grid tuple count is needed once per mined
+	// rule (support thresholds, baselines) and costs O(M²) to compute,
+	// so it is memoized. The atomics make concurrent Total calls on a
+	// shared (no longer mutated) grid safe: racing first calls compute
+	// the same value and the flag is published after it. Callers
+	// writing cells directly through U should finish filling before
+	// the first Total call.
+	total      atomic.Int64
+	totalValid atomic.Bool
 }
 
-// NewGrid allocates a zeroed rows×cols grid.
+// NewGrid allocates a zeroed rows×cols grid backed by one contiguous
+// row-major array per statistic.
 func NewGrid(rows, cols int) (*Grid, error) {
 	if rows < 1 || cols < 1 {
 		return nil, fmt.Errorf("region: grid shape %dx%d must be positive", rows, cols)
 	}
-	g := &Grid{U: make([][]int, rows), V: make([][]float64, rows)}
+	g := &Grid{
+		U: make([][]int, rows),
+		V: make([][]float64, rows),
+		u: make([]int, rows*cols),
+		v: make([]float64, rows*cols),
+	}
 	for r := 0; r < rows; r++ {
-		g.U[r] = make([]int, cols)
-		g.V[r] = make([]float64, cols)
+		g.U[r] = g.u[r*cols : (r+1)*cols : (r+1)*cols]
+		g.V[r] = g.v[r*cols : (r+1)*cols : (r+1)*cols]
 	}
 	return g, nil
 }
@@ -49,15 +99,83 @@ func (g *Grid) Rows() int { return len(g.U) }
 // Cols returns the number of column buckets.
 func (g *Grid) Cols() int { return len(g.U[0]) }
 
-// Total returns the total tuple count.
+// Total returns the total tuple count. The first call computes it in
+// O(M²) and caches it; Merge keeps the cache coherent. Callers filling
+// cells directly through U should do so before the first Total call.
 func (g *Grid) Total() int {
+	if g.totalValid.Load() {
+		return int(g.total.Load())
+	}
 	n := 0
 	for _, row := range g.U {
 		for _, u := range row {
 			n += u
 		}
 	}
+	g.total.Store(int64(n))
+	g.totalValid.Store(true)
 	return n
+}
+
+// SumV returns the total objective count Σ V over all cells — the
+// numerator of the whole-grid baseline confidence.
+func (g *Grid) SumV() float64 {
+	s := 0.0
+	for _, row := range g.V {
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s
+}
+
+// Flat returns the grid's contiguous row-major backing arrays —
+// U[r][c] is Flat's u[r*Cols()+c] — for NewGrid-built grids; ok is
+// false for grids assembled from struct literals or with rebound rows.
+// Writing through the returned slices writes the grid (the counting
+// kernels fill cells this way to avoid the row-header indirection);
+// callers doing so must finish filling before the first Total call,
+// as with writes through U.
+func (g *Grid) Flat() (u []int, v []float64, ok bool) {
+	rows, cols := g.Rows(), g.Cols()
+	if g.u == nil || len(g.u) != rows*cols || len(g.v) != rows*cols {
+		return nil, nil, false
+	}
+	for r := 0; r < rows; r++ {
+		if &g.U[r][0] != &g.u[r*cols] || &g.V[r][0] != &g.v[r*cols] {
+			return nil, nil, false
+		}
+	}
+	return g.u, g.v, true
+}
+
+// Merge adds other's cells into g. Shapes must match. The fused 2-D
+// counting scan fills one grid per worker and merges them afterwards;
+// since all cell values are integer counts, merging is exact and the
+// merged grid is identical regardless of how rows were segmented.
+func (g *Grid) Merge(other *Grid) error {
+	if err := g.validate(); err != nil {
+		return err
+	}
+	if err := other.validate(); err != nil {
+		return err
+	}
+	if g.Rows() != other.Rows() || g.Cols() != other.Cols() {
+		return fmt.Errorf("region: merging %dx%d grid into %dx%d",
+			other.Rows(), other.Cols(), g.Rows(), g.Cols())
+	}
+	for r := range g.U {
+		gu, gv := g.U[r], g.V[r]
+		ou, ov := other.U[r], other.V[r]
+		for c := range gu {
+			gu[c] += ou[c]
+			gv[c] += ov[c]
+		}
+	}
+	if g.totalValid.Load() {
+		g.total.Add(int64(other.Total()))
+	}
+	return nil
 }
 
 // validate checks the grid's shape invariants.
@@ -82,6 +200,25 @@ func (g *Grid) validate() error {
 	return nil
 }
 
+// flat returns the contiguous row-major cell arrays the kernels
+// operate on. For NewGrid-built grids whose rows still alias the
+// backing (the normal case) this is free; otherwise — struct-literal
+// grids, rebound rows — it packs a fresh copy of the U/V views, so the
+// kernels always see exactly what the caller sees. Call after validate.
+func (g *Grid) flat() (u []int, v []float64) {
+	if fu, fv, ok := g.Flat(); ok {
+		return fu, fv
+	}
+	rows, cols := g.Rows(), g.Cols()
+	u = make([]int, rows*cols)
+	v = make([]float64, rows*cols)
+	for r := 0; r < rows; r++ {
+		copy(u[r*cols:(r+1)*cols], g.U[r])
+		copy(v[r*cols:(r+1)*cols], g.V[r])
+	}
+	return u, v
+}
+
 // Rect is an inclusive rectangle of bucket indices with its statistics.
 type Rect struct {
 	R1, R2 int // row-bucket range (first attribute)
@@ -90,15 +227,6 @@ type Rect struct {
 	SumV   float64
 	Conf   float64
 	Gain   float64 // set by MaxGainRect only
-}
-
-// collapse accumulates rows [r1, r2] into column sums. u and v must
-// have length Cols and are overwritten.
-func (g *Grid) collapseInto(u []int, v []float64, r int) {
-	for c := range u {
-		u[c] += g.U[r][c]
-		v[c] += g.V[r][c]
-	}
 }
 
 // compactColumns drops zero-count columns, returning compacted slices
@@ -115,58 +243,96 @@ func compactColumns(u []int, v []float64, cu []int, cv []float64, cmap []int) ([
 	return cu, cv, cmap
 }
 
-// OptimalRectConfidence finds the rectangle maximizing confidence among
-// rectangles with at least minSupCount tuples; ties prefer larger
-// support. ok is false when no rectangle is ample.
-func OptimalRectConfidence(g *Grid, minSupCount float64) (Rect, bool, error) {
-	return optimalRect(g, func(u []int, v []float64) (core.Pair, bool, error) {
-		return core.OptimalSlopePair(u, v, minSupCount)
-	}, func(a, b Rect) bool {
-		la := a.SumV * float64(b.Count)
-		lb := b.SumV * float64(a.Count)
-		if la != lb {
-			return la > lb
+// rectSolve is the 1-D inner optimizer run per collapsed row range. sc
+// pools its working storage across the O(M²) calls of one sweep.
+type rectSolve func(u []int, v []float64, sc *core.Scratch) (core.Pair, bool, error)
+
+// rectPrune reports that NO range of the collapsed columns can
+// STRICTLY beat best under the sweep's objective, so the 1-D solver
+// call may be skipped. Pruning must be conservative — candidates that
+// would tie must not be pruned — because the sweep's fold keeps the
+// first-encountered best on ties; skipping only strictly-worse
+// candidates therefore never changes the result, serial or parallel.
+// All comparisons are exact (integer-valued counts).
+type rectPrune func(u []int, v []float64, best Rect) bool
+
+// pruneConfidence: a range's confidence is a weighted average of its
+// columns' per-column confidences, so it cannot exceed their maximum.
+// If every column's confidence is strictly below best's (compared by
+// cross-multiplication), no range here can win.
+func pruneConfidence(u []int, v []float64, best Rect) bool {
+	bestCount := float64(best.Count)
+	for c := range u {
+		if v[c]*bestCount >= best.SumV*float64(u[c]) {
+			return false
 		}
-		return a.Count > b.Count
-	})
-}
-
-// OptimalRectSupport finds the rectangle maximizing support among
-// rectangles whose confidence is at least theta.
-func OptimalRectSupport(g *Grid, theta float64) (Rect, bool, error) {
-	return optimalRect(g, func(u []int, v []float64) (core.Pair, bool, error) {
-		return core.OptimalSupportPair(u, v, theta)
-	}, func(a, b Rect) bool {
-		return a.Count > b.Count
-	})
-}
-
-// optimalRect runs the row-range sweep with a 1-D solver per collapsed
-// row range: O(Rows² · Cols) plus the solver costs.
-func optimalRect(g *Grid, solve func(u []int, v []float64) (core.Pair, bool, error),
-	better func(a, b Rect) bool) (Rect, bool, error) {
-	if err := g.validate(); err != nil {
-		return Rect{}, false, err
 	}
-	cols := g.Cols()
-	u := make([]int, cols)
-	v := make([]float64, cols)
-	cu := make([]int, 0, cols)
-	cv := make([]float64, 0, cols)
-	cmap := make([]int, 0, cols)
+	return true
+}
+
+// pruneSupport: no sub-range can hold more tuples than the whole
+// collapsed range, so a range whose total is not strictly above best's
+// count cannot win the support objective.
+func pruneSupport(u []int, v []float64, best Rect) bool {
+	total := 0
+	for _, uc := range u {
+		total += uc
+	}
+	return total <= best.Count
+}
+
+// sweepScratch is one worker's pooled state for the rectangle sweep:
+// the collapsed row-range accumulators, the compacted copies, and the
+// 1-D solver's scratch.
+type sweepScratch struct {
+	u    []int
+	v    []float64
+	cu   []int
+	cv   []float64
+	cmap []int
+	core core.Scratch
+}
+
+func newSweepScratch(cols int) *sweepScratch {
+	return &sweepScratch{
+		u:    make([]int, cols),
+		v:    make([]float64, cols),
+		cu:   make([]int, 0, cols),
+		cv:   make([]float64, 0, cols),
+		cmap: make([]int, 0, cols),
+	}
+}
+
+// sweepRowRange folds the 1-D solver over the row pairs r1 ∈
+// [r1lo, r1hi), r2 ∈ [r1, rows): for each r1 the row collapse is
+// incremental (extending the range to r2 adds row r2's cells to the
+// running column sums), so the whole sweep costs O(rows²·cols) plus
+// the solver. Candidates are folded with better in iteration order, so
+// any partition of r1 values merged back in r1 order reproduces the
+// full serial fold exactly.
+func sweepRowRange(uf []int, vf []float64, rows, cols, r1lo, r1hi int,
+	solve rectSolve, better func(a, b Rect) bool, prune rectPrune, sc *sweepScratch) (Rect, bool, error) {
+	u, v := sc.u, sc.v
 	var best Rect
 	found := false
-	for r1 := 0; r1 < g.Rows(); r1++ {
+	for r1 := r1lo; r1 < r1hi; r1++ {
 		for c := range u {
 			u[c], v[c] = 0, 0
 		}
-		for r2 := r1; r2 < g.Rows(); r2++ {
-			g.collapseInto(u, v, r2)
-			cu, cv, cmap = compactColumns(u, v, cu, cv, cmap)
-			if len(cu) == 0 {
+		for r2 := r1; r2 < rows; r2++ {
+			row := r2 * cols
+			for c := 0; c < cols; c++ {
+				u[c] += uf[row+c]
+				v[c] += vf[row+c]
+			}
+			sc.cu, sc.cv, sc.cmap = compactColumns(u, v, sc.cu, sc.cv, sc.cmap)
+			if len(sc.cu) == 0 {
 				continue
 			}
-			p, ok, err := solve(cu, cv)
+			if found && prune != nil && prune(sc.cu, sc.cv, best) {
+				continue
+			}
+			p, ok, err := solve(sc.cu, sc.cv, &sc.core)
 			if err != nil {
 				return Rect{}, false, err
 			}
@@ -175,7 +341,7 @@ func optimalRect(g *Grid, solve func(u []int, v []float64) (core.Pair, bool, err
 			}
 			cand := Rect{
 				R1: r1, R2: r2,
-				C1: cmap[p.S], C2: cmap[p.T],
+				C1: sc.cmap[p.S], C2: sc.cmap[p.T],
 				Count: p.Count, SumV: p.SumV, Conf: p.Conf,
 			}
 			if !found || better(cand, best) {
@@ -187,25 +353,97 @@ func optimalRect(g *Grid, solve func(u []int, v []float64) (core.Pair, bool, err
 	return best, found, nil
 }
 
+// optimalRect runs the row-range sweep with a 1-D solver per collapsed
+// row range: O(Rows²·Cols) plus the solver costs. workers > 1 splits
+// the sweep's r1 values across a worker pool (see optimalRectParallel);
+// the result is identical either way.
+func optimalRect(g *Grid, solve rectSolve, better func(a, b Rect) bool, prune rectPrune, workers int) (Rect, bool, error) {
+	if err := g.validate(); err != nil {
+		return Rect{}, false, err
+	}
+	rows, cols := g.Rows(), g.Cols()
+	uf, vf := g.flat()
+	if workers > rows {
+		workers = rows
+	}
+	if workers > 1 {
+		return optimalRectParallel(uf, vf, rows, cols, solve, better, prune, workers)
+	}
+	return sweepRowRange(uf, vf, rows, cols, 0, rows, solve, better, prune, newSweepScratch(cols))
+}
+
+// OptimalRectConfidence finds the rectangle maximizing confidence among
+// rectangles with at least minSupCount tuples; ties prefer larger
+// support. ok is false when no rectangle is ample.
+func OptimalRectConfidence(g *Grid, minSupCount float64) (Rect, bool, error) {
+	return OptimalRectConfidenceParallel(g, minSupCount, 1)
+}
+
+// OptimalRectConfidenceParallel is OptimalRectConfidence with the
+// row-pair sweep partitioned across workers goroutines. Results are
+// rule-for-rule identical to the serial kernel for any worker count.
+func OptimalRectConfidenceParallel(g *Grid, minSupCount float64, workers int) (Rect, bool, error) {
+	return optimalRect(g, func(u []int, v []float64, sc *core.Scratch) (core.Pair, bool, error) {
+		return core.OptimalSlopePairScratch(u, v, minSupCount, sc)
+	}, betterConfidence, pruneConfidence, workers)
+}
+
+// betterConfidence orders rectangle candidates by confidence (compared
+// by exact cross-multiplication of integer-valued counts), then by
+// support.
+func betterConfidence(a, b Rect) bool {
+	la := a.SumV * float64(b.Count)
+	lb := b.SumV * float64(a.Count)
+	if la != lb {
+		return la > lb
+	}
+	return a.Count > b.Count
+}
+
+// OptimalRectSupport finds the rectangle maximizing support among
+// rectangles whose confidence is at least theta.
+func OptimalRectSupport(g *Grid, theta float64) (Rect, bool, error) {
+	return OptimalRectSupportParallel(g, theta, 1)
+}
+
+// OptimalRectSupportParallel is OptimalRectSupport with the row-pair
+// sweep partitioned across workers goroutines; results are identical
+// to the serial kernel for any worker count.
+func OptimalRectSupportParallel(g *Grid, theta float64, workers int) (Rect, bool, error) {
+	return optimalRect(g, func(u []int, v []float64, sc *core.Scratch) (core.Pair, bool, error) {
+		return core.OptimalSupportPairScratch(u, v, theta, sc)
+	}, betterSupport, pruneSupport, workers)
+}
+
+func betterSupport(a, b Rect) bool {
+	return a.Count > b.Count
+}
+
 // MaxGainRect finds the rectangle maximizing the gain Σ(v − θ·u) —
 // the 2-D optimized-gain region, O(Rows²·Cols) via Kadane per collapsed
 // row range.
 func MaxGainRect(g *Grid, theta float64) (Rect, bool, error) {
-	if err := g.validate(); err != nil {
-		return Rect{}, false, err
-	}
-	cols := g.Cols()
-	u := make([]int, cols)
-	v := make([]float64, cols)
-	f := make([]float64, cols+1)
+	return MaxGainRectParallel(g, theta, 1)
+}
+
+// gainSweepRange runs Kadane over the collapsed row ranges r1 ∈
+// [r1lo, r1hi), reusing the caller's accumulators. Candidates fold in
+// iteration order with a strict comparison, so partitioned runs merged
+// in r1 order match the serial fold exactly.
+func gainSweepRange(uf []int, vf []float64, rows, cols, r1lo, r1hi int, theta float64,
+	u []int, v, f []float64) (Rect, bool) {
 	var best Rect
 	found := false
-	for r1 := 0; r1 < g.Rows(); r1++ {
+	for r1 := r1lo; r1 < r1hi; r1++ {
 		for c := range u {
 			u[c], v[c] = 0, 0
 		}
-		for r2 := r1; r2 < g.Rows(); r2++ {
-			g.collapseInto(u, v, r2)
+		for r2 := r1; r2 < rows; r2++ {
+			row := r2 * cols
+			for c := 0; c < cols; c++ {
+				u[c] += uf[row+c]
+				v[c] += vf[row+c]
+			}
 			// Kadane via the gain-prefix table, as in core.MaxGainRange:
 			// the best range ending at c is f[c+1] − min_{k<=c} f[k].
 			minIdx := 0
@@ -222,15 +460,41 @@ func MaxGainRect(g *Grid, theta float64) (Rect, bool, error) {
 			}
 		}
 	}
+	return best, found
+}
+
+// MaxGainRectParallel is MaxGainRect with the row-pair sweep
+// partitioned across workers goroutines; results are identical to the
+// serial kernel for any worker count.
+func MaxGainRectParallel(g *Grid, theta float64, workers int) (Rect, bool, error) {
+	if err := g.validate(); err != nil {
+		return Rect{}, false, err
+	}
+	rows, cols := g.Rows(), g.Cols()
+	uf, vf := g.flat()
+	var best Rect
+	var found bool
+	if workers > rows {
+		workers = rows
+	}
+	if workers > 1 {
+		best, found = gainSweepParallel(uf, vf, rows, cols, theta, workers)
+	} else {
+		best, found = gainSweepRange(uf, vf, rows, cols, 0, rows, theta,
+			make([]int, cols), make([]float64, cols), make([]float64, cols+1))
+	}
 	if !found {
 		return Rect{}, false, nil
 	}
 	// Fill in the winner's statistics with one more collapse.
-	for c := range u {
-		u[c], v[c] = 0, 0
-	}
+	u := make([]int, cols)
+	v := make([]float64, cols)
 	for r := best.R1; r <= best.R2; r++ {
-		g.collapseInto(u, v, r)
+		row := r * cols
+		for c := 0; c < cols; c++ {
+			u[c] += uf[row+c]
+			v[c] += vf[row+c]
+		}
 	}
 	for c := best.C1; c <= best.C2; c++ {
 		best.Count += u[c]
@@ -249,24 +513,15 @@ func MaxGainRect(g *Grid, theta float64) (Rect, bool, error) {
 // the oracle is bit-for-bit comparable to the sweep even at exact
 // confidence-threshold ties.
 func NaiveOptimalRectConfidence(g *Grid, minSupCount float64) (Rect, bool, error) {
-	return optimalRect(g, func(u []int, v []float64) (core.Pair, bool, error) {
+	return optimalRect(g, func(u []int, v []float64, _ *core.Scratch) (core.Pair, bool, error) {
 		return core.NaiveOptimalSlopePair(u, v, minSupCount)
-	}, func(a, b Rect) bool {
-		la := a.SumV * float64(b.Count)
-		lb := b.SumV * float64(a.Count)
-		if la != lb {
-			return la > lb
-		}
-		return a.Count > b.Count
-	})
+	}, betterConfidence, nil, 1)
 }
 
 // NaiveOptimalRectSupport is the O(M⁴) oracle for the support
 // objective; see NaiveOptimalRectConfidence.
 func NaiveOptimalRectSupport(g *Grid, theta float64) (Rect, bool, error) {
-	return optimalRect(g, func(u []int, v []float64) (core.Pair, bool, error) {
+	return optimalRect(g, func(u []int, v []float64, _ *core.Scratch) (core.Pair, bool, error) {
 		return core.NaiveOptimalSupportPair(u, v, theta)
-	}, func(a, b Rect) bool {
-		return a.Count > b.Count
-	})
+	}, betterSupport, nil, 1)
 }

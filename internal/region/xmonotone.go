@@ -22,6 +22,13 @@ import "fmt"
 // memory — simpler and asymptotically heavier than the companion
 // paper's hand-probing algorithm, but exact, and entirely adequate at
 // the display-scale grids 2-D mining runs at.
+//
+// The parallel variant partitions each column's interval-gain table
+// and DP-cell fill across workers; only the staircase table (whose
+// cells depend on their left and lower neighbors) stays serial. Every
+// DP cell — value AND backtracking choice — is a pure function of the
+// previous column's state, so the parallel kernel is exactly identical
+// to the serial one.
 
 // ColumnInterval is one column's slice of an x-monotone region.
 type ColumnInterval struct {
@@ -42,6 +49,28 @@ type XMonotoneRegion struct {
 // "no region" marker.
 const negInfF = -1e308
 
+// cellBest tracks the best DP cell of one a-row of the interval table,
+// for the deterministic partition-and-merge best scan.
+type cellBest struct {
+	gain  float64
+	idx   int
+	found bool
+}
+
+// transposedGain returns gainT with gainT[c*rows+r] = V[r][c] − θ·U[r][c]:
+// the per-cell gains laid out column-major, so the per-column DP loops
+// stream contiguous memory.
+func transposedGain(uf []int, vf []float64, rows, cols int, theta float64) []float64 {
+	gainT := make([]float64, rows*cols)
+	for r := 0; r < rows; r++ {
+		row := r * cols
+		for c := 0; c < cols; c++ {
+			gainT[c*rows+r] = vf[row+c] - theta*float64(uf[row+c])
+		}
+	}
+	return gainT
+}
+
 // MaxGainXMonotone returns the x-monotone region maximizing the gain
 // Σ(v − θ·u) over the grid. ok is false only for an invalid grid; on
 // any valid grid some single-cell region exists.
@@ -50,10 +79,20 @@ const negInfF = -1e308
 // second numeric attribute), and the per-column interval is a row
 // range, so the region is monotone along the column axis.
 func MaxGainXMonotone(g *Grid, theta float64) (XMonotoneRegion, bool, error) {
+	return MaxGainXMonotoneParallel(g, theta, 1)
+}
+
+// MaxGainXMonotoneParallel is MaxGainXMonotone with each column's
+// interval table partitioned across workers goroutines. Results —
+// including the backtracked column intervals — are identical to the
+// serial kernel for any worker count.
+func MaxGainXMonotoneParallel(g *Grid, theta float64, workers int) (XMonotoneRegion, bool, error) {
 	if err := g.validate(); err != nil {
 		return XMonotoneRegion{}, false, err
 	}
 	rows, cols := g.Rows(), g.Cols()
+	uf, vf := g.flat()
+	gainT := transposedGain(uf, vf, rows, cols, theta)
 
 	// Per-column interval gains via prefix sums: W[a][b] for a <= b.
 	// Layout: w[a*rows+b].
@@ -63,6 +102,7 @@ func MaxGainXMonotone(g *Grid, theta float64) (XMonotoneRegion, bool, error) {
 	fCur := make([]float64, rows*rows)
 	// stair[x*rows+y] = max{ fPrev[a'][b'] : a' <= x, b' >= y }.
 	stair := make([]float64, rows*rows)
+	stairArg := make([]int32, rows*rows)
 
 	// Backtracking: choice[c][a*rows+b] = the previous column's interval
 	// index (a'<<16|b') extended by (a,b), or -1 when the region starts
@@ -71,33 +111,27 @@ func MaxGainXMonotone(g *Grid, theta float64) (XMonotoneRegion, bool, error) {
 
 	bestGain := negInfF
 	bestCol, bestIdx := -1, -1
+	bestPerA := make([]cellBest, rows)
 
-	colGain := make([]float64, rows)
 	for c := 0; c < cols; c++ {
-		for r := 0; r < rows; r++ {
-			colGain[r] = g.V[r][c] - theta*float64(g.U[r][c])
-		}
-		// Interval gains.
-		for a := 0; a < rows; a++ {
-			run := 0.0
-			for b := a; b < rows; b++ {
-				run += colGain[b]
-				w[a*rows+b] = run
-			}
-		}
-		choice[c] = make([]int32, rows*rows)
-		if c == 0 {
-			for a := 0; a < rows; a++ {
+		colGain := gainT[c*rows : (c+1)*rows]
+		// Interval gains, each a-row independent.
+		parallelFor(workers, rows, func(lo, hi int) {
+			for a := lo; a < hi; a++ {
+				run := 0.0
 				for b := a; b < rows; b++ {
-					fCur[a*rows+b] = w[a*rows+b]
-					choice[c][a*rows+b] = -1
+					run += colGain[b]
+					w[a*rows+b] = run
 				}
 			}
-		} else {
+		})
+		choice[c] = make([]int32, rows*rows)
+		cchoice := choice[c]
+		if c > 0 {
 			// Staircase max over fPrev: stair(x, y) = max over a'<=x,
-			// b'>=y of fPrev[a'][b']. Fill y descending, x ascending.
-			// stairArg tracks the argmax for backtracking.
-			stairArg := make([]int32, rows*rows)
+			// b'>=y of fPrev[a'][b']. Fill y descending, x ascending;
+			// each cell depends on its (x−1, y) and (x, y+1) neighbors,
+			// so this stage stays serial. stairArg tracks the argmax.
 			for y := rows - 1; y >= 0; y-- {
 				for x := 0; x < rows; x++ {
 					best := negInfF
@@ -118,29 +152,40 @@ func MaxGainXMonotone(g *Grid, theta float64) (XMonotoneRegion, bool, error) {
 					stairArg[x*rows+y] = arg
 				}
 			}
-			for a := 0; a < rows; a++ {
+		}
+		// DP-cell fill plus per-a best scan; cells only read w, stair
+		// and stairArg, so a-rows partition freely.
+		parallelFor(workers, rows, func(lo, hi int) {
+			for a := lo; a < hi; a++ {
+				ab := cellBest{gain: negInfF}
 				for b := a; b < rows; b++ {
-					// Overlap condition for I'=[a',b'] vs I=[a,b]:
-					// a' <= b and b' >= a.
-					prev := stair[b*rows+a]
-					prevArg := stairArg[b*rows+a]
-					if prev > 0 {
-						fCur[a*rows+b] = w[a*rows+b] + prev
-						choice[c][a*rows+b] = prevArg
-					} else {
-						fCur[a*rows+b] = w[a*rows+b]
-						choice[c][a*rows+b] = -1
+					idx := a*rows + b
+					val := w[idx]
+					var ch int32 = -1
+					if c > 0 {
+						// Overlap condition for I'=[a',b'] vs I=[a,b]:
+						// a' <= b and b' >= a.
+						if prev := stair[b*rows+a]; prev > 0 {
+							val += prev
+							ch = stairArg[b*rows+a]
+						}
+					}
+					fCur[idx] = val
+					cchoice[idx] = ch
+					if !ab.found || val > ab.gain {
+						ab = cellBest{gain: val, idx: idx, found: true}
 					}
 				}
+				bestPerA[a] = ab
 			}
-		}
+		})
+		// Merge per-a bests in a order: the same first-achiever fold the
+		// serial (a, b)-ascending scan performs.
 		for a := 0; a < rows; a++ {
-			for b := a; b < rows; b++ {
-				if fCur[a*rows+b] > bestGain {
-					bestGain = fCur[a*rows+b]
-					bestCol = c
-					bestIdx = a*rows + b
-				}
+			if ab := bestPerA[a]; ab.found && ab.gain > bestGain {
+				bestGain = ab.gain
+				bestCol = c
+				bestIdx = ab.idx
 			}
 		}
 		fPrev, fCur = fCur, fPrev
@@ -169,8 +214,8 @@ func MaxGainXMonotone(g *Grid, theta float64) (XMonotoneRegion, bool, error) {
 	}
 	for _, ci := range region.Columns {
 		for r := ci.Lo; r <= ci.Hi; r++ {
-			region.Count += g.U[r][ci.Col]
-			region.SumV += g.V[r][ci.Col]
+			region.Count += uf[r*cols+ci.Col]
+			region.SumV += vf[r*cols+ci.Col]
 		}
 	}
 	if region.Count > 0 {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 	"sync/atomic"
 )
 
@@ -221,6 +222,14 @@ type DiskRelation struct {
 	// deterministic counted-I/O model experiments and tests compare
 	// formats by (header and directory reads are excluded).
 	bytesRead atomic.Int64
+
+	// Point-read acceleration: the file is memory-mapped lazily on the
+	// first ReadNumericPoints call (unix only; other platforms and mmap
+	// failures fall back to positioned reads). The mapping lives as
+	// long as the relation — read-only, paged in on demand, so it costs
+	// address space, not resident memory.
+	mmapOnce sync.Once
+	mmapData []byte
 }
 
 // OpenDisk opens a file written by DiskWriter, negotiating the format

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package relation
+
+import "os"
+
+// mmapFile is unavailable on this platform; point reads use positioned
+// reads instead.
+func mmapFile(f *os.File) ([]byte, error) {
+	return nil, nil
+}
+
+// munmapFile matches mmap_unix.go; nothing to release here.
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,27 @@
+//go:build unix
+
+package relation
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only. Returns nil (no error) for
+// empty files; callers treat a nil mapping as "use positioned reads".
+func mmapFile(f *os.File) ([]byte, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping produced by mmapFile.
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

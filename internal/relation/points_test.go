@@ -1,0 +1,134 @@
+package relation
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// pointsFixture writes n deterministic tuples (two numeric columns, one
+// Boolean) in the given format and opens the file.
+func pointsFixture(t *testing.T, n, version int) *DiskRelation {
+	t.Helper()
+	schema := Schema{
+		{Name: "A", Kind: Numeric},
+		{Name: "B", Kind: Numeric},
+		{Name: "Flag", Kind: Boolean},
+	}
+	path := filepath.Join(t.TempDir(), "points.opr")
+	var dw *DiskWriter
+	var err error
+	if version == DiskFormatV2 {
+		// A small group size so point reads cross group boundaries.
+		dw, err = NewDiskWriterV2(path, schema, 64)
+	} else {
+		dw, err = NewDiskWriter(path, schema)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v := float64(i)
+		if i%17 == 0 {
+			v = math.NaN()
+		}
+		if err := dw.Append([]float64{v, -2 * float64(i)}, []bool{i%2 == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dr, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dr
+}
+
+func TestReadNumericPointsBothFormats(t *testing.T) {
+	const n = 300
+	for _, version := range []int{DiskFormatV1, DiskFormatV2} {
+		dr := pointsFixture(t, n, version)
+		rows := []int{0, 0, 1, 16, 17, 17, 17, 63, 64, 65, 128, n - 1, n - 1}
+		out := make([]float64, len(rows))
+		before := dr.BytesRead()
+		if err := dr.ReadNumericPoints(0, rows, out); err != nil {
+			t.Fatalf("v%d: %v", version, err)
+		}
+		unique := 0
+		for i, row := range rows {
+			if i == 0 || row != rows[i-1] {
+				unique++
+			}
+			want := float64(row)
+			if row%17 == 0 {
+				if !math.IsNaN(out[i]) {
+					t.Errorf("v%d: row %d = %g, want NaN", version, row, out[i])
+				}
+				continue
+			}
+			if out[i] != want {
+				t.Errorf("v%d: row %d = %g, want %g", version, row, out[i], want)
+			}
+		}
+		// Counted-I/O model: 8 bytes per unique row.
+		if got := dr.BytesRead() - before; got != int64(unique)*8 {
+			t.Errorf("v%d: point reads counted %d bytes, want %d", version, got, unique*8)
+		}
+		// Second column too.
+		if err := dr.ReadNumericPoints(1, []int{5, 100}, out[:2]); err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != -10 || out[1] != -200 {
+			t.Errorf("v%d: column B points = %v", version, out[:2])
+		}
+
+		// Close releases the mapping; reads keep working via the
+		// positioned-read fallback and agree with the mapped path.
+		if err := dr.Close(); err != nil {
+			t.Fatalf("v%d: Close: %v", version, err)
+		}
+		if err := dr.ReadNumericPoints(0, []int{1, 64}, out[:2]); err != nil {
+			t.Fatalf("v%d: post-Close read: %v", version, err)
+		}
+		if out[0] != 1 || out[1] != 64 {
+			t.Errorf("v%d: post-Close points = %v", version, out[:2])
+		}
+		if err := dr.Close(); err != nil {
+			t.Errorf("v%d: second Close: %v", version, err)
+		}
+
+		// Validation errors.
+		if err := dr.ReadNumericPoints(2, []int{0}, out[:1]); err == nil {
+			t.Errorf("v%d: Boolean attribute accepted", version)
+		}
+		if err := dr.ReadNumericPoints(0, []int{n}, out[:1]); err == nil {
+			t.Errorf("v%d: out-of-range row accepted", version)
+		}
+		if err := dr.ReadNumericPoints(0, []int{5, 3}, out[:2]); err == nil {
+			t.Errorf("v%d: unsorted rows accepted", version)
+		}
+		if err := dr.ReadNumericPoints(0, []int{0}, out[:0]); err == nil {
+			t.Errorf("v%d: length mismatch accepted", version)
+		}
+	}
+}
+
+// TestMemoryReadNumericPoints covers the in-memory implementation.
+func TestMemoryReadNumericPoints(t *testing.T) {
+	rel := MustNewMemoryRelation(Schema{{Name: "X", Kind: Numeric}, {Name: "F", Kind: Boolean}})
+	for i := 0; i < 50; i++ {
+		rel.MustAppend([]float64{float64(i) * 3}, []bool{false})
+	}
+	out := make([]float64, 3)
+	if err := rel.ReadNumericPoints(0, []int{0, 7, 49}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 || out[1] != 21 || out[2] != 147 {
+		t.Errorf("points = %v", out)
+	}
+	if err := rel.ReadNumericPoints(0, []int{50}, out[:1]); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package relation
+
+// AlignedSegments splits [0, n) into pes contiguous segments for a
+// parallel scan (Algorithm 3.2 and the fused counting engines), honoring
+// the relation's preferred scan alignment (ScanAligner): interior
+// boundaries are rounded to the nearest alignment multiple so that
+// workers never split a v2 block group — each worker then issues
+// whole-block sequential reads instead of two workers seeking into the
+// same group. Alignment is only honored when every worker can still get
+// at least one full alignment unit (n >= pes·align); on smaller
+// relations an aligned split would empty some segments and shrink
+// effective parallelism, which costs far more than split groups do.
+// Rounding keeps the boundaries monotone. The result has pes+1 entries
+// with AlignedSegments(...)[0] == 0 and [pes] == n.
+func AlignedSegments(rel Relation, n, pes int) []int {
+	align := 1
+	if a, ok := rel.(ScanAligner); ok {
+		if g := a.ScanAlignment(); g > 1 && n >= pes*g {
+			align = g
+		}
+	}
+	cuts := make([]int, pes+1)
+	for p := 1; p < pes; p++ {
+		cut := p * n / pes
+		if align > 1 {
+			cut = (cut + align/2) / align * align
+			if cut > n {
+				cut = n
+			}
+		}
+		cuts[p] = cut
+	}
+	cuts[pes] = n
+	return cuts
+}

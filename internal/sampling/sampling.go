@@ -157,6 +157,15 @@ type MultiSample struct {
 // attribute's Distinct slice is populated only if it has at most
 // trackDistinct distinct finite values and no NaNs; tracking forces a
 // full scan (no early abort once samples are satisfied).
+//
+// When the relation serves point reads (relation.NumericPointReader)
+// and no distinct tracking is requested, the samples are fetched
+// directly at their sorted indices instead of scanning: the largest
+// sample index is within ~n/S rows of the end, so the "bounded" scan
+// reads essentially every row to deliver S of them, where point reads
+// cost 8 bytes per sample. The sampled values — and therefore the
+// bucket boundaries and every downstream rule — are identical either
+// way.
 func MultiColumnWithReplacement(rel relation.Relation, attrs []int, s int, rngs []*rand.Rand, trackDistinct int) ([]MultiSample, error) {
 	if len(attrs) != len(rngs) {
 		return nil, fmt.Errorf("sampling: %d attributes but %d rngs", len(attrs), len(rngs))
@@ -172,6 +181,16 @@ func MultiColumnWithReplacement(rel relation.Relation, attrs []int, s int, rngs 
 		}
 		idx[k] = ix
 		out[k].Sample = make([]float64, 0, s)
+	}
+	if pr, ok := rel.(relation.NumericPointReader); ok && trackDistinct <= 0 {
+		for k := range attrs {
+			sample := make([]float64, len(idx[k]))
+			if err := pr.ReadNumericPoints(attrs[k], idx[k], sample); err != nil {
+				return nil, err
+			}
+			out[k].Sample = sample
+		}
+		return out, nil
 	}
 	type distinct struct {
 		seen     map[float64]struct{}

@@ -29,6 +29,19 @@
 // across a worker pool. Targeted queries (Mine, MineConjunctive,
 // MineTopK, …) instead scan only the columns they touch.
 //
+// The two-dimensional layer (§1.4) follows the same discipline.
+// MineAll2D mines rectangle, x-monotone, and rectilinear-convex rules
+// for EVERY requested attribute pair in exactly two relation scans:
+// the fused sampling scan builds per-attribute grid boundaries, and
+// one fused counting scan locates each tuple's bucket once per
+// attribute and fills all d(d−1)/2 pair grids simultaneously —
+// segmented across workers at storage-block-aligned boundaries, with
+// exact (integer-count) grid merging. The O(side³) rectangle sweep and
+// the region DPs then run on parallel in-memory kernels that are
+// pinned rule-for-rule identical to the serial reference kernels.
+// Mine2D, MineXMonotone, and MineRectilinearConvex are single-pair
+// conveniences on the same engine.
+//
 // # Storage formats
 //
 // Disk relations come in two binary formats, negotiated automatically
@@ -257,6 +270,34 @@ type Rule2D = miner.Rule2D
 func Mine2D(rel Relation, numericA, numericB, objective string, value bool,
 	kind RuleKind, gridSide int, cfg Config) (*Rule2D, error) {
 	return miner.Mine2D(rel, numericA, numericB, objective, value, kind, gridSide, cfg)
+}
+
+// Options2D selects what MineAll2D mines: the numeric attributes to
+// pair up, the Boolean objective, the rectangle-rule kinds, optional
+// non-rectangular region classes, and the per-axis grid side.
+type Options2D = miner.Options2D
+
+// Result2D is the output of MineAll2D: rectangle rules sorted by lift
+// and region rules sorted by gain.
+type Result2D = miner.Result2D
+
+// RegionClass selects a §1.4 region family for 2-D region mining.
+type RegionClass = miner.RegionClass
+
+// Region classes for Options2D.Regions.
+const (
+	XMonotoneClass         = miner.XMonotoneClass
+	RectilinearConvexClass = miner.RectilinearConvexClass
+)
+
+// MineAll2D mines 2-D optimized rules for every unordered pair of the
+// requested numeric attributes in exactly two relation scans: one
+// fused sampling scan building every attribute's grid boundaries and
+// one fused counting scan filling all pair grids simultaneously, with
+// the parallel region kernels running on the in-memory grids. Output
+// is rule-for-rule identical to mining each pair independently.
+func MineAll2D(rel Relation, opt Options2D, cfg Config) (*Result2D, error) {
+	return miner.MineAll2D(rel, opt, cfg)
 }
 
 // RegionRule is a mined x-monotone region rule: a connected region of
