@@ -344,6 +344,44 @@ func BenchmarkMineAllDisk(b *testing.B) { benchMineAllDisk(b, DiskFormatV2) }
 // format, kept as the baseline for the v2 storage win.
 func BenchmarkMineAllDiskV1(b *testing.B) { benchMineAllDisk(b, DiskFormatV1) }
 
+// benchMineAllDiskSharded is the 1M-tuple MineAll workload over the
+// SAME data split across 4 v2 shard files — the sharded backend's
+// overhead/benefit relative to BenchmarkMineAllDisk. concurrent > 1
+// scans that many shards at once, each with its own prefetcher.
+func benchMineAllDiskSharded(b *testing.B, concurrent int) {
+	bank, err := datagen.NewBank(datagen.BankConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	manifest := filepath.Join(b.TempDir(), "bank.oprs")
+	if err := datagen.WriteSharded(manifest, bank, 1000000, 1, 4, relation.DiskFormatV2); err != nil {
+		b.Fatal(err)
+	}
+	rel, err := OpenSharded(manifest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rel.Close()
+	rel.SetConcurrentScans(concurrent)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MineAll(rel, Config{Buckets: 1000, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rel.BytesRead())/float64(b.N), "diskB/op")
+}
+
+// BenchmarkMineAllDiskSharded scans the 4 shards serially — the
+// layout-overhead measurement against BenchmarkMineAllDisk.
+func BenchmarkMineAllDiskSharded(b *testing.B) { benchMineAllDiskSharded(b, 0) }
+
+// BenchmarkMineAllDiskShardedConcurrent runs all 4 shard sub-scans
+// concurrently (in-order delivery); on multi-core, multi-disk hardware
+// this is where sharding beats the single file.
+func BenchmarkMineAllDiskShardedConcurrent(b *testing.B) { benchMineAllDiskSharded(b, 4) }
+
 // benchScanDisk2of8 measures a selective scan — 2 columns of a d=8
 // numeric relation, the shape of a targeted Mine query on a wide
 // relation — in the given format, reporting counted disk bytes. On v1

@@ -162,6 +162,20 @@ func runColScan(full bool, seed int64) (any, error) {
 	return res, nil
 }
 
+func runShards(full bool, seed int64) (any, error) {
+	n := 400000
+	if full {
+		n = 4000000
+	}
+	res, err := experiments.Shards(n, []int{2, 4, 8}, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Print(os.Stdout)
+	fmt.Println()
+	return res, nil
+}
+
 func runTwoDim(full bool, seed int64) (any, error) {
 	n := 200000
 	attrCounts := []int{2, 4, 6}

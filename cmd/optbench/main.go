@@ -14,7 +14,8 @@
 // (column-major v2 disk format vs row-major v1, counted bytes), twodim
 // (fused all-pairs 2-D engine vs legacy per-pair pipeline: wall-clock
 // and bytes vs pair count and grid side, plus a single-pair all-kinds
-// deep-grid sweep).
+// deep-grid sweep), shards (sharded backend: single-file vs 2/4/8-shard
+// MineAll, serial and concurrent sub-scans, counted bytes).
 //
 // -json FILE additionally writes every experiment's structured result
 // to FILE as a single JSON document, so the perf trajectory can be
@@ -45,7 +46,7 @@ type report struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("optbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, fused, colscan, twodim, or all")
+	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, fused, colscan, twodim, shards, or all")
 	full := fs.Bool("full", false, "paper-scale sizes (slow; needs several GB of RAM for fig9)")
 	seed := fs.Int64("seed", 1, "random seed")
 	jsonPath := fs.String("json", "", "also write structured results as JSON to this file (e.g. BENCH_optbench.json)")
@@ -80,6 +81,7 @@ func run(args []string) error {
 		{"fused", runFused},
 		{"colscan", runColScan},
 		{"twodim", runTwoDim},
+		{"shards", runShards},
 	}
 	known := map[string]bool{"all": true}
 	for _, r := range runners {

@@ -1,7 +1,7 @@
 // Command optdata generates the synthetic data sets used by the
 // examples and experiments, as CSV (for interchange) or the binary
-// .opr format (for out-of-core mining), and converts .opr files
-// between format versions.
+// .opr format (for out-of-core mining), and converts relations
+// between format versions and shard layouts.
 //
 // Usage:
 //
@@ -9,8 +9,11 @@
 //	optdata -kind retail -n 500000  -out baskets.opr
 //	optdata -kind perf   -n 5000000 -numeric 8 -bool 8 -out perf.opr
 //	optdata -kind bank   -n 1000000 -format v1 -out legacy.opr
+//	optdata -kind bank   -n 4000000 -shards 4 -out bank.oprs
 //	optdata convert -in legacy.opr -out columnar.opr
 //	optdata convert -in columnar.opr -out legacy.opr -format v1
+//	optdata convert -in bank.opr -out bank.oprs -shards 4
+//	optdata convert -in bank.oprs -out bank.opr
 //
 // The bank data plants the paper's headline association
 // (Balance ∈ [3000, 20000]) ⇒ (CardLoan=yes); retail plants item
@@ -20,10 +23,15 @@
 //
 // .opr files default to the v2 column-major block-group format, whose
 // selective column scans read only the attributes a query touches;
-// -format v1 writes the legacy row-major format. The convert
-// subcommand migrates existing files either way (the reader accepts
-// both versions, so conversion is only needed to change a file's scan
-// cost profile, not to keep it readable).
+// -format v1 writes the legacy row-major format. With -shards N (N >
+// 1) the output is a SHARDED relation: -out names the manifest
+// (conventionally *.oprs) and N shard files are written next to it —
+// the layout whose sub-scans can run on independent disks in parallel.
+// The convert subcommand migrates between any of these: it sniffs
+// whether -in is a single file or a manifest, and -shards picks the
+// output layout (0 or 1 = single file). Conversion is only needed to
+// change a relation's scan cost profile, not to keep it readable —
+// the readers accept every combination.
 package main
 
 import (
@@ -55,6 +63,12 @@ func parseFormat(s string) (int, error) {
 	}
 }
 
+// isOprPath reports whether the path names a binary relation output
+// (single-file .opr or sharded-manifest .oprs).
+func isOprPath(path string) bool {
+	return strings.HasSuffix(path, ".opr") || strings.HasSuffix(path, ".oprs")
+}
+
 func run(args []string) error {
 	if len(args) > 0 && args[0] == "convert" {
 		return runConvert(args[1:])
@@ -63,8 +77,9 @@ func run(args []string) error {
 	kind := fs.String("kind", "bank", "data set kind: bank, retail, or perf")
 	n := fs.Int("n", 100000, "number of tuples")
 	seed := fs.Int64("seed", 1, "random seed (deterministic output)")
-	out := fs.String("out", "", "output path; .csv or .opr decides the format (required)")
+	out := fs.String("out", "", "output path; .csv, .opr, or .oprs decides the format (required)")
 	format := fs.String("format", "v2", ".opr format version: v2 (column-major block groups) or v1 (row-major)")
+	shards := fs.Int("shards", 0, "split the binary output into this many shard files behind a manifest (0 = single file)")
 	numNumeric := fs.Int("numeric", 8, "perf only: numeric attribute count")
 	numBool := fs.Int("bool", 8, "perf only: Boolean attribute count")
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +87,9 @@ func run(args []string) error {
 	}
 	if *out == "" {
 		return fmt.Errorf("-out is required")
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be non-negative")
 	}
 	version, err := parseFormat(*format)
 	if err != nil {
@@ -102,11 +120,21 @@ func run(args []string) error {
 	}
 
 	switch {
-	case strings.HasSuffix(*out, ".opr"):
+	case isOprPath(*out):
+		if *shards > 1 {
+			if err := datagen.WriteSharded(*out, src, *n, *seed, *shards, version); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d %s tuples to %s (%d shards)\n", *n, *kind, *out, *shards)
+			return nil
+		}
 		if err := datagen.WriteDiskFormat(*out, src, *n, *seed, version); err != nil {
 			return err
 		}
 	case strings.HasSuffix(*out, ".csv"):
+		if *shards > 1 {
+			return fmt.Errorf("-shards applies to binary output, not CSV")
+		}
 		rel, err := datagen.Materialize(src, *n, *seed)
 		if err != nil {
 			return err
@@ -120,35 +148,62 @@ func run(args []string) error {
 			return err
 		}
 	default:
-		return fmt.Errorf("output path must end in .csv or .opr")
+		return fmt.Errorf("output path must end in .csv, .opr, or .oprs")
 	}
 	fmt.Printf("wrote %d %s tuples to %s\n", *n, *kind, *out)
 	return nil
 }
 
-// runConvert migrates a .opr file between format versions.
+// describeData renders a relation's layout for the convert report.
+func describeData(rel relation.DataRelation) string {
+	switch r := rel.(type) {
+	case *relation.DiskRelation:
+		return fmt.Sprintf("v%d", r.Version())
+	case *relation.ShardedRelation:
+		return fmt.Sprintf("%d shards", r.NumShards())
+	default:
+		return "unknown"
+	}
+}
+
+// runConvert migrates a relation between format versions and shard
+// layouts: single file to single file, single file to sharded, sharded
+// to single file, or resharding.
 func runConvert(args []string) error {
 	fs := flag.NewFlagSet("optdata convert", flag.ContinueOnError)
-	in := fs.String("in", "", "source .opr path (required)")
-	out := fs.String("out", "", "destination .opr path (required)")
+	in := fs.String("in", "", "source path: .opr file or shard manifest (required)")
+	out := fs.String("out", "", "destination path (required)")
 	format := fs.String("format", "v2", "target format version: v2 or v1")
+	shards := fs.Int("shards", 0, "shard the destination into this many files behind a manifest (0 = single file)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("convert needs -in and -out")
 	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be non-negative")
+	}
 	version, err := parseFormat(*format)
 	if err != nil {
 		return err
 	}
-	src, err := relation.OpenDisk(*in)
+	src, err := relation.OpenData(*in)
 	if err != nil {
 		return err
 	}
-	if err := relation.ConvertDiskFrom(src, *out, version); err != nil {
+	defer src.Close()
+	if *shards > 1 {
+		if err := relation.ConvertToSharded(src, *out, *shards, version); err != nil {
+			return err
+		}
+		fmt.Printf("converted %s (%s, %d tuples) to %s (%s, %d shards)\n",
+			*in, describeData(src), src.NumTuples(), *out, *format, *shards)
+		return nil
+	}
+	if err := relation.ConvertFile(src, *out, version); err != nil {
 		return err
 	}
-	fmt.Printf("converted %s (v%d, %d tuples) to %s (%s)\n", *in, src.Version(), src.NumTuples(), *out, *format)
+	fmt.Printf("converted %s (%s, %d tuples) to %s (%s)\n", *in, describeData(src), src.NumTuples(), *out, *format)
 	return nil
 }

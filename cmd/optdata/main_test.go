@@ -133,6 +133,103 @@ func TestRunConvert(t *testing.T) {
 	}
 }
 
+func TestRunSharded(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "bank.oprs")
+	if err := run([]string{"-kind", "bank", "-n", "1000", "-shards", "4", "-out", manifest}); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := relation.OpenSharded(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if sr.NumShards() != 4 || sr.NumTuples() != 1000 {
+		t.Fatalf("sharded output: %d shards, %d tuples; want 4, 1000", sr.NumShards(), sr.NumTuples())
+	}
+	// Sharded and single-file outputs of the same (kind, n, seed) hold
+	// identical tuples in identical global order.
+	single := filepath.Join(dir, "bank.opr")
+	if err := run([]string{"-kind", "bank", "-n", "1000", "-out", single}); err != nil {
+		t.Fatal(err)
+	}
+	dr, err := relation.OpenDisk(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b []float64
+	collect := func(rel relation.Relation, dst *[]float64) {
+		t.Helper()
+		err := rel.Scan(relation.ColumnSet{Numeric: []int{0}}, func(batch *relation.Batch) error {
+			*dst = append(*dst, batch.Numeric[0][:batch.Len]...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect(sr, &a)
+	collect(dr, &b)
+	if len(a) != len(b) {
+		t.Fatalf("sharded holds %d rows, single file %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs between sharded and single-file output", i)
+		}
+	}
+	// -shards on CSV output is rejected.
+	if err := run([]string{"-kind", "bank", "-n", "10", "-shards", "2", "-out", filepath.Join(dir, "x.csv")}); err == nil {
+		t.Error("-shards with CSV output accepted")
+	}
+}
+
+func TestRunConvertSharded(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.opr")
+	if err := run([]string{"-kind", "retail", "-n", "600", "-out", src}); err != nil {
+		t.Fatal(err)
+	}
+	// Single file -> sharded.
+	manifest := filepath.Join(dir, "sharded.oprs")
+	if err := run([]string{"convert", "-in", src, "-out", manifest, "-shards", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := relation.OpenSharded(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if sr.NumShards() != 3 || sr.NumTuples() != 600 {
+		t.Fatalf("sharded: %d shards, %d tuples", sr.NumShards(), sr.NumTuples())
+	}
+	// Sharded -> single v1 file (convert sniffs the manifest).
+	back := filepath.Join(dir, "back.opr")
+	if err := run([]string{"convert", "-in", manifest, "-out", back, "-format", "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := relation.OpenDisk(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Version() != relation.DiskFormatV1 || db.NumTuples() != 600 {
+		t.Errorf("round-trip file: version %d, %d tuples; want v1, 600", db.Version(), db.NumTuples())
+	}
+	// Resharding.
+	reshard := filepath.Join(dir, "reshard.oprs")
+	if err := run([]string{"convert", "-in", manifest, "-out", reshard, "-shards", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	sr2, err := relation.OpenSharded(reshard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr2.Close()
+	if sr2.NumShards() != 2 || sr2.NumTuples() != 600 {
+		t.Errorf("resharded: %d shards, %d tuples", sr2.NumShards(), sr2.NumTuples())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	cases := [][]string{

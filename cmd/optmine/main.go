@@ -43,7 +43,7 @@ func main() {
 
 func run(args []string, w *os.File) error {
 	fs := flag.NewFlagSet("optmine", flag.ContinueOnError)
-	in := fs.String("in", "", "input .csv or .opr file (required)")
+	in := fs.String("in", "", "input .csv file, .opr file, or .oprs shard manifest (required)")
 	minSup := fs.Float64("minsup", 0.05, "minimum support threshold (fraction)")
 	minConf := fs.Float64("minconf", 0.5, "minimum confidence threshold (fraction)")
 	buckets := fs.Int("buckets", 1000, "number of equi-depth buckets M")
@@ -408,11 +408,12 @@ func toJSONRule(r miner.Rule) jsonRule {
 	return out
 }
 
-// openRelation loads a relation from .csv or .opr.
+// openRelation loads a relation from .csv, .opr, or a .oprs shard
+// manifest (OpenData sniffs which binary backend the path holds).
 func openRelation(path string) (relation.Relation, error) {
 	switch {
-	case strings.HasSuffix(path, ".opr"):
-		return relation.OpenDisk(path)
+	case strings.HasSuffix(path, ".opr"), strings.HasSuffix(path, ".oprs"):
+		return relation.OpenData(path)
 	case strings.HasSuffix(path, ".csv"):
 		f, err := os.Open(path)
 		if err != nil {
@@ -421,7 +422,7 @@ func openRelation(path string) (relation.Relation, error) {
 		defer f.Close()
 		return relation.ReadCSVAutoSchema(f)
 	default:
-		return nil, fmt.Errorf("input must be .csv or .opr, got %q", path)
+		return nil, fmt.Errorf("input must be .csv, .opr, or .oprs, got %q", path)
 	}
 }
 

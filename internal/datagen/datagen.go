@@ -81,3 +81,32 @@ func WriteDiskFormat(path string, src RowSource, n int, seed int64, version int)
 	}
 	return dw.Close()
 }
+
+// WriteSharded streams n tuples from src into a sharded relation
+// rooted at manifestPath, split contiguously across the given shard
+// count with shard files in the given format version (0 selects v2).
+// The tuple stream is identical to WriteDiskFormat with the same
+// (src, n, seed), so a sharded relation and its single-file twin hold
+// the same rows in the same global order — the property the sharded
+// differential tests pin.
+func WriteSharded(manifestPath string, src RowSource, n int, seed int64, shards, version int) error {
+	if n < 0 {
+		return fmt.Errorf("datagen: negative tuple count %d", n)
+	}
+	sw, err := relation.NewShardedWriter(manifestPath, src.Schema(), relation.ShardedWriterOptions{
+		Shards: shards, TotalRows: n, Format: version,
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var nums []float64
+	var bools []bool
+	for i := 0; i < n; i++ {
+		nums, bools = src.Row(rng, nums[:0], bools[:0])
+		if err := sw.Append(nums, bools); err != nil {
+			return err
+		}
+	}
+	return sw.Close()
+}

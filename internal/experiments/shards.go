@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"time"
+
+	"optrule/internal/datagen"
+	"optrule/internal/miner"
+	"optrule/internal/relation"
+)
+
+// ShardsRow is one point of the sharding sweep: the full fused MineAll
+// workload (one sampling + one counting scan) over the same data split
+// into Shards files, scanned serially (shard after shard, the
+// single-file-equivalent discipline) and with concurrent shard
+// sub-scans (each shard running its own double-buffered prefetcher).
+// Bytes are the deterministic counted-I/O model summed across shards;
+// equal bytes at every shard count IS the sharding contract — the
+// layout changes where rows live, never how many are read. (The only
+// slack is boolean bitmap padding: every shard rounds each Boolean
+// column up to whole bytes, at most one byte per Boolean attribute per
+// shard.)
+type ShardsRow struct {
+	Shards            int
+	SerialSeconds     float64
+	ConcurrentSeconds float64
+	SerialBytes       int64
+	ConcurrentBytes   int64
+	Rules             int
+}
+
+// ShardsBaseline is the single-file reference measurement.
+type ShardsBaseline struct {
+	Seconds float64
+	Bytes   int64
+	Rules   int
+}
+
+// ShardsResult is the sharded-backend experiment: single-file baseline
+// against 2/4/8-shard layouts of the same relation. GOMAXPROCS is
+// recorded because concurrent sub-scans overlap work across cores (and
+// disks); on a single-CPU host the concurrent figures measure pipeline
+// overhead, not parallel speedup.
+type ShardsResult struct {
+	Tuples     int
+	GoMaxProcs int
+	SingleFile ShardsBaseline
+	Rows       []ShardsRow
+}
+
+// Shards writes an n-tuple bank relation as one v2 file and as sharded
+// relations of each requested shard count, then times MineAll on every
+// layout, verifying rule-for-rule identity with the single-file result
+// as it goes (a wrong-but-fast sharded scan must fail the experiment,
+// not publish a bogus win).
+func Shards(n int, shardCounts []int, seed int64) (ShardsResult, error) {
+	res := ShardsResult{Tuples: n, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	bank, err := datagen.NewBank(datagen.BankConfig{})
+	if err != nil {
+		return res, err
+	}
+	dir, err := os.MkdirTemp("", "optrule-shards")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := miner.Config{Buckets: 1000, Seed: seed}
+	mineAll := func(rel relation.Relation) (float64, *miner.Result, error) {
+		start := time.Now()
+		r, err := miner.MineAll(rel, cfg)
+		return time.Since(start).Seconds(), r, err
+	}
+
+	singlePath := filepath.Join(dir, "bank.opr")
+	if err := datagen.WriteDiskFormat(singlePath, bank, n, seed, relation.DiskFormatV2); err != nil {
+		return res, err
+	}
+	single, err := relation.OpenDisk(singlePath)
+	if err != nil {
+		return res, err
+	}
+	defer single.Close()
+	secs, want, err := mineAll(single)
+	if err != nil {
+		return res, err
+	}
+	res.SingleFile = ShardsBaseline{Seconds: secs, Bytes: single.BytesRead(), Rules: len(want.Rules)}
+
+	for _, shards := range shardCounts {
+		manifest := filepath.Join(dir, fmt.Sprintf("bank-%d.oprs", shards))
+		if err := datagen.WriteSharded(manifest, bank, n, seed, shards, relation.DiskFormatV2); err != nil {
+			return res, err
+		}
+		sr, err := relation.OpenSharded(manifest)
+		if err != nil {
+			return res, err
+		}
+		row := ShardsRow{Shards: shards}
+		sr.SetConcurrentScans(0)
+		if row.SerialSeconds, row.SerialBytes, err = timedIdentical(sr, mineAll, want); err != nil {
+			sr.Close()
+			return res, fmt.Errorf("%d shards serial: %w", shards, err)
+		}
+		sr.SetConcurrentScans(shards)
+		if row.ConcurrentSeconds, row.ConcurrentBytes, err = timedIdentical(sr, mineAll, want); err != nil {
+			sr.Close()
+			return res, fmt.Errorf("%d shards concurrent: %w", shards, err)
+		}
+		row.Rules = len(want.Rules)
+		res.Rows = append(res.Rows, row)
+		sr.Close()
+	}
+	return res, nil
+}
+
+// timedIdentical runs the workload on a sharded relation and requires
+// its rules to match the single-file reference exactly.
+func timedIdentical(sr *relation.ShardedRelation, mineAll func(relation.Relation) (float64, *miner.Result, error), want *miner.Result) (float64, int64, error) {
+	sr.ResetBytesRead()
+	secs, got, err := mineAll(sr)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !reflect.DeepEqual(got.Rules, want.Rules) {
+		return 0, 0, fmt.Errorf("sharded rules differ from single-file rules")
+	}
+	return secs, sr.BytesRead(), nil
+}
+
+// Print writes the sharding comparison.
+func (r ShardsResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Sharded backend: MineAll over %d bank tuples, GOMAXPROCS=%d\n", r.Tuples, r.GoMaxProcs)
+	fmt.Fprintf(w, "%10s  %12s  %12s  %14s  %14s\n", "layout", "serial (s)", "concur (s)", "serial bytes", "concur bytes")
+	fmt.Fprintf(w, "%10s  %12.3f  %12s  %14d  %14s\n", "1 file", r.SingleFile.Seconds, "-", r.SingleFile.Bytes, "-")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%9dx  %12.3f  %12.3f  %14d  %14d\n",
+			row.Shards, row.SerialSeconds, row.ConcurrentSeconds, row.SerialBytes, row.ConcurrentBytes)
+	}
+}

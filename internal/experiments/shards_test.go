@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestShardsIdenticalBytes pins the sharding contract at experiment
+// scale: every layout — single file, each shard count, serial and
+// concurrent — mines the same rules (the experiment itself fails
+// otherwise) and the counted bytes are equal across layouts up to
+// boolean bitmap padding (each shard rounds every Boolean column up to
+// whole bytes: at most one byte per Boolean attribute per shard),
+// because sharding changes where rows live, never how many are read.
+func TestShardsIdenticalBytes(t *testing.T) {
+	res, err := Shards(20000, []int{2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.SingleFile.Rules == 0 {
+		t.Fatal("degenerate experiment: no rules mined")
+	}
+	const boolAttrs = 3 // the bank schema's Boolean attribute count
+	for _, row := range res.Rows {
+		pad := int64(boolAttrs * row.Shards)
+		if d := row.SerialBytes - res.SingleFile.Bytes; d < 0 || d > pad {
+			t.Errorf("%d shards: serial bytes %d, single-file %d (allowed padding %d)",
+				row.Shards, row.SerialBytes, res.SingleFile.Bytes, pad)
+		}
+		if d := row.ConcurrentBytes - res.SingleFile.Bytes; d < 0 || d > pad {
+			t.Errorf("%d shards: concurrent bytes %d, single-file %d (allowed padding %d)",
+				row.Shards, row.ConcurrentBytes, res.SingleFile.Bytes, pad)
+		}
+		if row.Rules != res.SingleFile.Rules {
+			t.Errorf("%d shards: %d rules, single-file %d", row.Shards, row.Rules, res.SingleFile.Rules)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Sharded backend") {
+		t.Errorf("print output malformed: %s", buf.String())
+	}
+}

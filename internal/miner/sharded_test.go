@@ -1,0 +1,149 @@
+package miner
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"optrule/internal/datagen"
+	"optrule/internal/relation"
+)
+
+// shardedOf materializes the same deterministic tuple stream diskOf
+// and Materialize produce, but split across the given number of shard
+// files, so sharded differential tests compare bit-identical data.
+func shardedOf(t *testing.T, src datagen.RowSource, n int, seed int64, shards int) *relation.ShardedRelation {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "rel.oprs")
+	if err := datagen.WriteSharded(path, src, n, seed, shards, 0); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := relation.OpenSharded(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sr.Close() })
+	return sr
+}
+
+// TestMineAllShardedMatchesSingleFile pins the sharded backend's core
+// contract: MineAll over a sharded relation is rule-for-rule identical
+// to MineAll over the equivalent single-file relation — for bank and
+// retail data, serial and concurrent sub-scans, and with the parallel
+// counting engine planning segments across shard boundaries (PEs > 1).
+func TestMineAllShardedMatchesSingleFile(t *testing.T) {
+	bank, err := datagen.NewBank(datagen.BankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retail, err := datagen.NewRetail(datagen.DefaultRetailConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := []struct {
+		name string
+		gen  datagen.RowSource
+	}{{"bank", bank}, {"retail", retail}}
+	cfgs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"default", Config{Buckets: 120, Seed: 7}},
+		{"negations+gain", Config{Buckets: 80, Seed: 3, MineNegations: true, MineGain: true}},
+		{"exact-domains", Config{Buckets: 60, Seed: 11, ExactDomainLimit: 100}},
+		{"parallel-pes", Config{Buckets: 90, Seed: 5, PEs: 4}},
+	}
+	for _, g := range gens {
+		single := diskOf(t, g.gen, 8000, 42)
+		sharded := shardedOf(t, g.gen, 8000, 42, 3)
+		for _, c := range cfgs {
+			want, err := MineAll(single, c.cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: single-file: %v", g.name, c.name, err)
+			}
+			if len(want.Rules) == 0 {
+				t.Fatalf("%s/%s: degenerate differential test, no rules mined", g.name, c.name)
+			}
+			for _, ahead := range []int{0, 2} {
+				sharded.SetConcurrentScans(ahead)
+				got, err := MineAll(sharded, c.cfg)
+				if err != nil {
+					t.Fatalf("%s/%s/ahead=%d: sharded: %v", g.name, c.name, ahead, err)
+				}
+				sameRules(t, g.name+"/"+c.name, got, want)
+			}
+		}
+	}
+}
+
+// TestMineAll2DShardedMatchesSingleFile is the 2-D counterpart: the
+// fused all-pairs engine (rectangles of every kind plus both region
+// classes) over a sharded relation must reproduce the single-file
+// results exactly, including when its counting scan is segmented
+// across shard boundaries.
+func TestMineAll2DShardedMatchesSingleFile(t *testing.T) {
+	bank, err := datagen.NewBank(datagen.BankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := diskOf(t, bank, 6000, 11)
+	sharded := shardedOf(t, bank, 6000, 11, 4)
+	s := single.Schema()
+	obj := s[s.BooleanIndices()[0]].Name
+	opt := Options2D{
+		Objective: obj, ObjectiveValue: true, GridSide: 16,
+		Kinds:   []RuleKind{OptimizedSupport, OptimizedConfidence, OptimizedGain},
+		Regions: []RegionClass{XMonotoneClass, RectilinearConvexClass},
+	}
+	for _, cfg := range []Config{
+		{MinSupport: 0.02, Seed: 3},
+		{MinSupport: 0.02, Seed: 3, PEs: 4},
+	} {
+		want, err := MineAll2D(single, opt, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Rules) == 0 || len(want.Regions) == 0 {
+			t.Fatalf("degenerate differential test: %d rules, %d regions", len(want.Rules), len(want.Regions))
+		}
+		got, err := MineAll2D(sharded, opt, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Rules, want.Rules) {
+			t.Errorf("PEs=%d: sharded 2-D rectangle rules differ from single-file", cfg.PEs)
+		}
+		if !reflect.DeepEqual(got.Regions, want.Regions) {
+			t.Errorf("PEs=%d: sharded 2-D region rules differ from single-file", cfg.PEs)
+		}
+	}
+}
+
+// TestMineAllShardedTwoScans holds the exactly-two-scans invariant
+// across shards: sharding the storage must not change the pass count
+// the fused pipeline issues against the logical relation.
+func TestMineAllShardedTwoScans(t *testing.T) {
+	shape, err := datagen.NewPerfShape(4, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 5} {
+		sharded := shardedOf(t, shape, 5000, 9, shards)
+		counting := &relation.CountingRelation{R: sharded}
+		res, err := MineAll(counting, Config{Buckets: 100, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rules) == 0 {
+			t.Errorf("shards=%d: no rules mined", shards)
+		}
+		if counting.Scans != 2 {
+			t.Errorf("shards=%d: MineAll issued %d scans, want exactly 2 (sampling + counting)",
+				shards, counting.Scans)
+		}
+		if max := int64(2 * sharded.NumTuples()); counting.Rows > max {
+			t.Errorf("shards=%d: scans delivered %d rows, want <= %d (two full passes)",
+				shards, counting.Rows, max)
+		}
+	}
+}

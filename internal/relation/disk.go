@@ -341,6 +341,11 @@ func (dr *DiskRelation) NumTuples() int { return dr.numRows }
 // DiskFormatV2).
 func (dr *DiskRelation) Version() int { return dr.version }
 
+// StoragePaths returns the single file backing the relation, mirroring
+// ShardedRelation.StoragePaths so conversion helpers can refuse
+// writing a destination onto its own source for either backend.
+func (dr *DiskRelation) StoragePaths() []string { return []string{dr.path} }
+
 // GroupRows returns the rows per block group for v2 files and 0 for v1.
 func (dr *DiskRelation) GroupRows() int {
 	if dr.version == DiskFormatV2 {

@@ -549,41 +549,84 @@ func NewDiskWriterFormat(path string, schema Schema, version int) (*DiskWriter, 
 // ConvertDiskFrom is ConvertDisk over an already-open source relation,
 // so callers that inspected the source first do not parse it twice.
 func ConvertDiskFrom(dr *DiskRelation, dst string, version int) error {
-	// Refuse in-place conversion: creating the writer truncates dst, so
-	// dst aliasing the source would destroy the data before it is read.
-	if sameFile(dr.path, dst) {
-		return fmt.Errorf("relation: cannot convert %s onto itself", dr.path)
+	return ConvertFile(dr, dst, version)
+}
+
+// ConvertFile streams any open relation into a single relation file at
+// dst in the given format version. It refuses a dst aliasing one of
+// the source's own files (in-place conversion would leave the still-
+// open source describing a layout that no longer exists), and it is
+// failure-safe: the output is written to a temp file in dst's
+// directory and renamed over dst only after a successful Close, so an
+// interrupted or failed conversion never leaves a truncated dst — and
+// never clobbers a pre-existing dst.
+func ConvertFile(src Relation, dst string, version int) error {
+	for _, p := range storagePathsOf(src) {
+		if sameFile(p, dst) {
+			return fmt.Errorf("relation: cannot convert %s onto itself", p)
+		}
 	}
-	dw, err := NewDiskWriterFormat(dst, dr.Schema(), version)
+	tf, err := os.CreateTemp(filepath.Dir(dst), filepath.Base(dst)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	s := dr.Schema()
-	cols := ColumnSet{Numeric: s.NumericIndices(), Bool: s.BooleanIndices()}
-	nums := make([]float64, len(cols.Numeric))
-	bools := make([]bool, len(cols.Bool))
-	err = dr.Scan(cols, func(b *Batch) error {
-		for row := 0; row < b.Len; row++ {
-			for k := range nums {
-				nums[k] = b.Numeric[k][row]
-			}
-			for k := range bools {
-				bools[k] = b.Bool[k][row]
-			}
-			if err := dw.Append(nums, bools); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
+	tmp := tf.Name()
+	tf.Close()
+	dw, err := NewDiskWriterFormat(tmp, src.Schema(), version)
 	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := appendAll(src, dw.Append); err != nil {
 		dw.Close()
-		os.Remove(dst)
+		os.Remove(tmp)
 		return err
 	}
 	if err := dw.Close(); err != nil {
-		os.Remove(dst)
+		os.Remove(tmp)
+		return err
+	}
+	// CreateTemp files are 0600; widen the staged output to the mode a
+	// direct write would have produced — the source file's own mode when
+	// it has one (preserving a private 0600 source's privacy), else the
+	// 0644-under-umask of a fresh os.Create.
+	if err := os.Chmod(tmp, outputMode(storagePathsOf(src))); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	return nil
+}
+
+// outputMode returns the permission bits a staged output file should
+// carry: those of the first stat-able sibling/source path, or — when
+// none exists — whatever a plain os.Create yields under the current
+// umask, measured with a throwaway probe file (reading the umask
+// directly would mean temporarily setting it: racy process-wide
+// state).
+func outputMode(siblings []string) os.FileMode {
+	for _, p := range siblings {
+		if st, err := os.Stat(p); err == nil {
+			return st.Mode().Perm()
+		}
+	}
+	dir, err := os.MkdirTemp("", "optrule-mode-*")
+	if err != nil {
+		return 0o600 // conservative fallback
+	}
+	defer os.RemoveAll(dir)
+	probe := filepath.Join(dir, "probe")
+	f, err := os.Create(probe)
+	if err != nil {
+		return 0o600
+	}
+	f.Close()
+	st, err := os.Stat(probe)
+	if err != nil {
+		return 0o600
+	}
+	return st.Mode().Perm()
 }

@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -287,6 +288,29 @@ func TestConvertDisk(t *testing.T) {
 	if err := ConvertDisk(v2Path, backPath, DiskFormatV1); err != nil {
 		t.Fatal(err)
 	}
+	// Converted files must carry the source file's mode, not the 0600 of
+	// the temp file they were staged in (and not a forced 0644, which
+	// would expose a private 0600 source's data).
+	srcSt, err := os.Stat(v1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(v2Path); err != nil || st.Mode().Perm() != srcSt.Mode().Perm() {
+		t.Errorf("converted file mode = %v (err %v), want source's %v", st.Mode().Perm(), err, srcSt.Mode().Perm())
+	}
+	private := filepath.Join(dir, "private.opr")
+	if err := os.Chmod(v1Path, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := ConvertDisk(v1Path, private, DiskFormatV2); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(private); err != nil || st.Mode().Perm() != 0o600 {
+		t.Errorf("conversion of a 0600 source produced mode %v (err %v), want 0600 preserved", st.Mode().Perm(), err)
+	}
+	if err := os.Chmod(v1Path, srcSt.Mode().Perm()); err != nil {
+		t.Fatal(err)
+	}
 	for _, path := range []string{v2Path, backPath} {
 		dr, err := OpenDisk(path)
 		if err != nil {
@@ -327,6 +351,63 @@ func TestConvertDisk(t *testing.T) {
 	}
 	if dr, err := OpenDisk(v1Path); err != nil || dr.NumTuples() != n {
 		t.Fatalf("source damaged by refused self-conversion: %v", err)
+	}
+}
+
+// TestConvertDiskFailureSafe pins the temp-file-and-rename discipline:
+// a conversion that fails MID-COPY (the source turns out to be
+// truncated once the scan reaches its tail) must leave no partial dst
+// behind — and must leave a PRE-EXISTING dst byte-for-byte untouched,
+// since the output only ever reaches dst via rename after a successful
+// Close.
+func TestConvertDiskFailureSafe(t *testing.T) {
+	n := 3 * DefaultBatchSize
+	srcPath, _ := writeTestFile(t, n, 23)
+	src, err := OpenDisk(srcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the already-open source mid-data: the conversion scan
+	// fails partway through the copy, after rows have been written.
+	st, err := os.Stat(srcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(srcPath, st.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// Case 1: dst did not exist — nothing may be left behind.
+	dst := filepath.Join(dir, "out.opr")
+	if err := ConvertDiskFrom(src, dst, DiskFormatV2); err == nil {
+		t.Fatal("conversion from truncated source succeeded")
+	}
+	if _, err := os.Stat(dst); !os.IsNotExist(err) {
+		t.Errorf("failed conversion left dst behind: %v", err)
+	}
+	if left, _ := filepath.Glob(filepath.Join(dir, "*")); len(left) != 0 {
+		t.Errorf("failed conversion left temp files behind: %v", left)
+	}
+
+	// Case 2: dst existed — it must survive unmodified.
+	goodPath, _ := writeTestFileV2(t, 100, 5, 64)
+	want, err := os.ReadFile(goodPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ConvertDiskFrom(src, goodPath, DiskFormatV1); err == nil {
+		t.Fatal("conversion from truncated source succeeded")
+	}
+	got, err := os.ReadFile(goodPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Error("failed conversion modified the pre-existing destination")
+	}
+	if dr, err := OpenDisk(goodPath); err != nil || dr.NumTuples() != 100 {
+		t.Errorf("pre-existing destination unreadable after failed conversion: %v", err)
 	}
 }
 

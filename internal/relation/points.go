@@ -71,6 +71,12 @@ func (dr *DiskRelation) validatePointRead(attr int, rows []int, out []float64) e
 // reads). Close must not be called concurrently with in-flight
 // operations on the relation.
 func (dr *DiskRelation) Close() error {
+	// Fire the map-once latch (a no-op if a point read already fired it)
+	// so the mapping can never re-arm after Close: without this, a Close
+	// that PRECEDES the first point read would leave mmapOnce cocked,
+	// and a later ReadNumericPoints would map the file on a relation the
+	// caller believes closed — a mapping nothing would ever release.
+	dr.mmapOnce.Do(func() {})
 	if dr.mmapData == nil {
 		return nil
 	}

@@ -115,6 +115,77 @@ func TestReadNumericPointsBothFormats(t *testing.T) {
 	}
 }
 
+// TestCloseBeforeFirstPointRead pins the Close + point-read lifecycle:
+// a Close that precedes the FIRST point read must permanently disable
+// the lazy mapping (Close fires the map-once latch), so later reads
+// engage the documented positioned-read fallback instead of re-arming
+// a mapping on a closed relation that nothing would ever release.
+// BytesRead must follow the same 8-bytes-per-unique-row model on the
+// fallback path.
+func TestCloseBeforeFirstPointRead(t *testing.T) {
+	const n = 300
+	for _, version := range []int{DiskFormatV1, DiskFormatV2} {
+		dr := pointsFixture(t, n, version)
+		if err := dr.Close(); err != nil {
+			t.Fatalf("v%d: Close before first read: %v", version, err)
+		}
+		rows := []int{1, 64, 64, n - 1}
+		out := make([]float64, len(rows))
+		before := dr.BytesRead()
+		if err := dr.ReadNumericPoints(0, rows, out); err != nil {
+			t.Fatalf("v%d: post-Close read: %v", version, err)
+		}
+		if out[0] != 1 || out[1] != 64 || out[2] != 64 || out[3] != n-1 {
+			t.Errorf("v%d: post-Close points = %v", version, out)
+		}
+		if got := dr.BytesRead() - before; got != 3*8 {
+			t.Errorf("v%d: fallback reads counted %d bytes, want %d (3 unique rows)", version, got, 3*8)
+		}
+		// The mapping must never have armed: Close already fired the
+		// latch, so a mapped read here would be the leak this test pins.
+		if dr.mmapData != nil {
+			t.Errorf("v%d: mapping re-armed after Close", version)
+		}
+		if err := dr.Close(); err != nil {
+			t.Errorf("v%d: idempotent Close: %v", version, err)
+		}
+	}
+}
+
+// TestConcurrentScanAndPointReads runs full scans concurrently with
+// point reads (including the racy first read that arms the mapping) on
+// both formats; meaningful under -race.
+func TestConcurrentScanAndPointReads(t *testing.T) {
+	const n = 2000
+	for _, version := range []int{DiskFormatV1, DiskFormatV2} {
+		dr := pointsFixture(t, n, version)
+		done := make(chan error, 6)
+		for g := 0; g < 3; g++ {
+			go func() {
+				sum := 0.0
+				done <- dr.Scan(ColumnSet{Numeric: []int{1}}, func(b *Batch) error {
+					for _, v := range b.Numeric[0][:b.Len] {
+						sum += v
+					}
+					return nil
+				})
+			}()
+			go func() {
+				out := make([]float64, 4)
+				done <- dr.ReadNumericPoints(1, []int{3, 500, 500, n - 1}, out)
+			}()
+		}
+		for i := 0; i < 6; i++ {
+			if err := <-done; err != nil {
+				t.Errorf("v%d: %v", version, err)
+			}
+		}
+		if err := dr.Close(); err != nil {
+			t.Errorf("v%d: Close: %v", version, err)
+		}
+	}
+}
+
 // TestMemoryReadNumericPoints covers the in-memory implementation.
 func TestMemoryReadNumericPoints(t *testing.T) {
 	rel := MustNewMemoryRelation(Schema{{Name: "X", Kind: Numeric}, {Name: "F", Kind: Boolean}})

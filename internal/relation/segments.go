@@ -1,32 +1,67 @@
 package relation
 
+// SegmentSnapper is implemented by relations whose preferred segment
+// boundaries are NOT multiples of a single stride, so the modular
+// rounding of ScanAligner cannot express them. The sharded backend is
+// the motivating case: its preferred cuts are shard boundaries (which
+// fall at arbitrary global offsets, since shards may hold different row
+// counts) plus each v2 shard's internal block-group boundaries (whose
+// phase is relative to the shard's own first row, not to global row 0).
+// No single alignment modulus — not even an lcm — describes that set.
+//
+// SnapSegment returns the preferred boundary nearest to the proposed
+// cut. Implementations must be monotone (cut1 <= cut2 implies
+// SnapSegment(cut1) <= SnapSegment(cut2)) and must return a value in
+// [0, NumTuples()]. Callers treat the result as a hint — any range is
+// still valid to scan.
+type SegmentSnapper interface {
+	SnapSegment(cut int) int
+}
+
 // AlignedSegments splits [0, n) into pes contiguous segments for a
 // parallel scan (Algorithm 3.2 and the fused counting engines), honoring
-// the relation's preferred scan alignment (ScanAligner): interior
-// boundaries are rounded to the nearest alignment multiple so that
-// workers never split a v2 block group — each worker then issues
-// whole-block sequential reads instead of two workers seeking into the
-// same group. Alignment is only honored when every worker can still get
-// at least one full alignment unit (n >= pes·align); on smaller
+// the relation's preferred scan alignment: interior boundaries are
+// snapped to storage-preferred cuts so that workers never split a v2
+// block group — each worker then issues whole-block sequential reads
+// instead of two workers seeking into the same group.
+//
+// Relations declare their preference through one of two interfaces:
+// SegmentSnapper (consulted first) places each boundary exactly — the
+// sharded backend uses it to keep cuts on shard and per-shard group
+// boundaries; ScanAligner declares a single stride and boundaries are
+// rounded to its nearest multiple. Alignment is only honored when every
+// worker can still get at least one full alignment unit (n >= pes·g,
+// where g is ScanAlignment, the coarsest storage unit); on smaller
 // relations an aligned split would empty some segments and shrink
 // effective parallelism, which costs far more than split groups do.
-// Rounding keeps the boundaries monotone. The result has pes+1 entries
-// with AlignedSegments(...)[0] == 0 and [pes] == n.
+// The result is monotone with pes+1 entries, AlignedSegments(...)[0]
+// == 0 and [pes] == n.
 func AlignedSegments(rel Relation, n, pes int) []int {
-	align := 1
+	snap := func(cut int) int { return cut }
+	coarsest := 1
 	if a, ok := rel.(ScanAligner); ok {
-		if g := a.ScanAlignment(); g > 1 && n >= pes*g {
-			align = g
+		if g := a.ScanAlignment(); g > coarsest {
+			coarsest = g
+		}
+	}
+	if sn, ok := rel.(SegmentSnapper); ok {
+		if n >= pes*coarsest {
+			snap = sn.SnapSegment
+		}
+	} else if g := coarsest; g > 1 && n >= pes*g {
+		snap = func(cut int) int {
+			cut = (cut + g/2) / g * g
+			if cut > n {
+				cut = n
+			}
+			return cut
 		}
 	}
 	cuts := make([]int, pes+1)
 	for p := 1; p < pes; p++ {
-		cut := p * n / pes
-		if align > 1 {
-			cut = (cut + align/2) / align * align
-			if cut > n {
-				cut = n
-			}
+		cut := snap(p * n / pes)
+		if cut < cuts[p-1] {
+			cut = cuts[p-1]
 		}
 		cuts[p] = cut
 	}

@@ -1,0 +1,940 @@
+package relation
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sharded relations: one LOGICAL relation backed by an ordered list of
+// shard files (each a self-contained v1 or v2 relation file) plus a
+// small versioned manifest. The global row order is the concatenation
+// of the shards in manifest order, so a sharded relation holding the
+// same tuple stream as a single file is indistinguishable to the miner
+// — samples, boundaries, counts, and therefore rules are identical.
+//
+// Sharding is the horizontal decomposition that breaks the single-file
+// / single-spindle ceiling: each shard can live on its own disk (or
+// eventually its own node), each shard sub-scan runs its own
+// double-buffered read-ahead pipeline, and the parallel counting
+// engines split work at shard boundaries so workers never contend for
+// one file. Per-shard state stays bounded no matter how large the
+// logical relation grows.
+//
+// Manifest format (text, line-oriented, version negotiated):
+//
+//	OPTSHARD 1
+//	shard <rows> <path>
+//	shard <rows> <path>
+//	...
+//
+// Paths are resolved relative to the manifest's directory unless
+// absolute; <rows> is the shard's declared tuple count and is
+// cross-checked against the shard file's own header on open, so a
+// manifest that drifted from its shards fails loudly instead of
+// serving misaligned global row numbers. Blank lines and lines
+// starting with '#' are ignored. All shards must share one schema
+// (same attribute names and kinds, in the same order); shards may mix
+// on-disk format versions freely — a relation can be grown with v2
+// shards while old v1 shards stay in place.
+
+const (
+	// ShardManifestVersion is the current manifest format version.
+	ShardManifestVersion = 1
+	// shardManifestMagic is the first token of every manifest.
+	shardManifestMagic = "OPTSHARD"
+	// maxManifestBytes bounds manifest reads so a hostile file cannot
+	// demand an absurd allocation.
+	maxManifestBytes = 1 << 20
+	// maxManifestShards bounds the declared shard count.
+	maxManifestShards = 1 << 16
+	// shardScanDepth is the number of copied batches in flight per shard
+	// prefetcher during a concurrent scan (double buffering: the
+	// consumer's current batch plus one being filled).
+	shardScanDepth = 2
+)
+
+// errShardStop aborts shard sub-scans when a concurrent scan is torn
+// down early (consumer error or early abort).
+var errShardStop = errors.New("relation: shard scan stopped")
+
+// DataRelation is the full storage surface shared by the disk-backed
+// backends — the single-file DiskRelation and the ShardedRelation —
+// so callers (cmd/optdata, experiments) can treat either uniformly:
+// range scans, point reads, segment-alignment hints, the counted
+// BytesRead cost model, and resource release.
+type DataRelation interface {
+	RangeScanner
+	NumericPointReader
+	ScanAligner
+	BytesRead() int64
+	ResetBytesRead()
+	Close() error
+}
+
+var (
+	_ DataRelation = (*DiskRelation)(nil)
+	_ DataRelation = (*ShardedRelation)(nil)
+)
+
+// ShardedRelation is a Relation backed by an ordered list of shard
+// files; see the package comment above for the manifest format and the
+// global row-order contract. Open one with OpenSharded.
+type ShardedRelation struct {
+	manifestPath string
+	schema       Schema
+	shards       []*DiskRelation
+	paths        []string // resolved shard paths, manifest order
+	starts       []int    // starts[i] = global row of shard i's first tuple; len(shards)+1 entries
+	numRows      int
+	// scanAhead > 1 enables concurrent sub-scans: Scan/ScanRange runs up
+	// to scanAhead shards' scans at once, each with its own prefetcher,
+	// delivering batches in global row order. See SetConcurrentScans.
+	scanAhead int
+}
+
+// shardManifestEntry is one parsed manifest line.
+type shardManifestEntry struct {
+	rows int
+	path string
+}
+
+// parseShardManifest parses and validates manifest text (not the shard
+// files themselves). dir is the manifest's directory, against which
+// relative shard paths are resolved.
+func parseShardManifest(name string, data []byte, dir string) ([]shardManifestEntry, error) {
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	if !sc.Scan() {
+		return nil, fmt.Errorf("relation: %s: empty shard manifest", name)
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 2 || header[0] != shardManifestMagic {
+		return nil, fmt.Errorf("relation: %s is not a shard manifest", name)
+	}
+	version, err := strconv.Atoi(header[1])
+	if err != nil || version != ShardManifestVersion {
+		return nil, fmt.Errorf("relation: %s: unsupported shard manifest version %q", name, header[1])
+	}
+	var entries []shardManifestEntry
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		// "shard <rows> <path>"; the path is the remainder of the line, so
+		// it may contain spaces.
+		fields := strings.SplitN(text, " ", 3)
+		if len(fields) != 3 || fields[0] != "shard" {
+			return nil, fmt.Errorf("relation: %s:%d: malformed manifest line %q", name, line, text)
+		}
+		rows, err := strconv.Atoi(fields[1])
+		if err != nil || rows < 0 {
+			return nil, fmt.Errorf("relation: %s:%d: bad shard row count %q", name, line, fields[1])
+		}
+		path := strings.TrimSpace(fields[2])
+		if path == "" {
+			return nil, fmt.Errorf("relation: %s:%d: empty shard path", name, line)
+		}
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, path)
+		}
+		entries = append(entries, shardManifestEntry{rows: rows, path: path})
+		if len(entries) > maxManifestShards {
+			return nil, fmt.Errorf("relation: %s: more than %d shards", name, maxManifestShards)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("relation: %s: reading manifest: %w", name, err)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("relation: %s: shard manifest lists no shards", name)
+	}
+	return entries, nil
+}
+
+// sameSchema reports whether two schemas are identical (names and kinds
+// in the same order).
+func sameSchema(a, b Schema) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OpenSharded opens a sharded relation from its manifest: every listed
+// shard file is opened (format version negotiated per shard) and
+// cross-checked — declared row counts against the shard headers,
+// schemas for exact equality across shards — before any row is served,
+// so a corrupt or drifted manifest fails at open, not mid-scan.
+func OpenSharded(manifestPath string) (*ShardedRelation, error) {
+	st, err := os.Stat(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() > maxManifestBytes {
+		return nil, fmt.Errorf("relation: %s: implausible %d-byte shard manifest", manifestPath, st.Size())
+	}
+	data, err := os.ReadFile(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := parseShardManifest(manifestPath, data, filepath.Dir(manifestPath))
+	if err != nil {
+		return nil, err
+	}
+	sr := &ShardedRelation{
+		manifestPath: manifestPath,
+		shards:       make([]*DiskRelation, 0, len(entries)),
+		paths:        make([]string, 0, len(entries)),
+		starts:       make([]int, 1, len(entries)+1),
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			sr.Close()
+		}
+	}()
+	for i, e := range entries {
+		dr, err := OpenDisk(e.path)
+		if err != nil {
+			return nil, fmt.Errorf("relation: %s: shard %d: %w", manifestPath, i, err)
+		}
+		sr.shards = append(sr.shards, dr)
+		sr.paths = append(sr.paths, e.path)
+		if dr.NumTuples() != e.rows {
+			return nil, fmt.Errorf("relation: %s: shard %d (%s) holds %d rows, manifest declares %d",
+				manifestPath, i, e.path, dr.NumTuples(), e.rows)
+		}
+		if i == 0 {
+			sr.schema = dr.Schema()
+		} else if !sameSchema(sr.schema, dr.Schema()) {
+			return nil, fmt.Errorf("relation: %s: shard %d (%s) schema %v differs from shard 0 schema %v",
+				manifestPath, i, e.path, dr.Schema().Names(), sr.schema.Names())
+		}
+		sr.numRows += e.rows
+		sr.starts = append(sr.starts, sr.numRows)
+	}
+	ok = true
+	return sr, nil
+}
+
+// Schema implements Relation.
+func (sr *ShardedRelation) Schema() Schema { return sr.schema }
+
+// NumTuples implements Relation.
+func (sr *ShardedRelation) NumTuples() int { return sr.numRows }
+
+// NumShards returns the number of shard files backing the relation.
+func (sr *ShardedRelation) NumShards() int { return len(sr.shards) }
+
+// ManifestPath returns the path the relation was opened from.
+func (sr *ShardedRelation) ManifestPath() string { return sr.manifestPath }
+
+// StoragePaths returns every file backing the relation: the manifest,
+// then the shard files in manifest order. Conversion helpers use it to
+// refuse writing a destination onto one of its own sources.
+func (sr *ShardedRelation) StoragePaths() []string {
+	out := make([]string, 0, len(sr.paths)+1)
+	out = append(out, sr.manifestPath)
+	return append(out, sr.paths...)
+}
+
+// SetConcurrentScans configures how many shard sub-scans a single
+// Scan/ScanRange call may run at once. ahead <= 1 (the default) scans
+// shards serially in manifest order — fully deterministic, including
+// the counted BytesRead of early-aborted scans. ahead > 1 runs up to
+// that many shards' scans concurrently in a sliding window, each with
+// its own double-buffered prefetcher, delivering batches to the
+// callback in global row order; tuple delivery is identical to the
+// serial scan, but a scan the callback aborts early may have read (and
+// counted) up to the window's read-ahead beyond the abort point.
+// Not safe to call concurrently with in-flight scans.
+func (sr *ShardedRelation) SetConcurrentScans(ahead int) {
+	sr.scanAhead = ahead
+}
+
+// BytesRead sums the counted payload bytes delivered from disk across
+// all shards since open (or the last ResetBytesRead). Safe for
+// concurrent use.
+func (sr *ShardedRelation) BytesRead() int64 {
+	var total int64
+	for _, sh := range sr.shards {
+		total += sh.BytesRead()
+	}
+	return total
+}
+
+// ResetBytesRead zeroes every shard's BytesRead counter.
+func (sr *ShardedRelation) ResetBytesRead() {
+	for _, sh := range sr.shards {
+		sh.ResetBytesRead()
+	}
+}
+
+// Close releases every shard's resources (point-read mappings). Shards
+// stay usable afterwards via positioned reads, like DiskRelation.Close.
+// Close must not be called concurrently with in-flight operations.
+func (sr *ShardedRelation) Close() error {
+	var first error
+	for _, sh := range sr.shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ScanAlignment implements ScanAligner with the coarsest storage unit
+// of any shard (a v2 shard's block-group size, 1 for all-v1 shards).
+// For sharded relations the value is a granularity hint only —
+// AlignedSegments places the actual cuts through SnapSegment, because
+// shard boundaries fall at arbitrary global offsets and each shard's
+// group grid is phased to the shard's own first row.
+func (sr *ShardedRelation) ScanAlignment() int {
+	g := 1
+	for _, sh := range sr.shards {
+		if a := sh.ScanAlignment(); a > g {
+			g = a
+		}
+	}
+	return g
+}
+
+// shardAt returns the index of the shard containing global row, for
+// row in [0, numRows). Empty shards never contain a row and are
+// skipped naturally.
+func (sr *ShardedRelation) shardAt(row int) int {
+	// First i with starts[i] >= row+1, minus one: starts[i] <= row < starts[i+1].
+	return sort.SearchInts(sr.starts, row+1) - 1
+}
+
+// SnapSegment implements SegmentSnapper: the proposed cut is rounded to
+// the nearest preferred boundary — a multiple of the containing shard's
+// block-group size measured from that shard's first row, clamped to the
+// shard's own bounds (shard boundaries are themselves always preferred
+// cuts, since every shard starts a fresh group grid). Workers given
+// AlignedSegments built from these cuts therefore never split a
+// shard's block group.
+func (sr *ShardedRelation) SnapSegment(cut int) int {
+	if cut <= 0 {
+		return 0
+	}
+	if cut >= sr.numRows {
+		return sr.numRows
+	}
+	i := sr.shardAt(cut)
+	align := sr.shards[i].ScanAlignment()
+	if align <= 1 {
+		return cut
+	}
+	local := cut - sr.starts[i]
+	snapped := (local + align/2) / align * align
+	if max := sr.starts[i+1] - sr.starts[i]; snapped > max {
+		snapped = max
+	}
+	return sr.starts[i] + snapped
+}
+
+// Scan implements Relation by streaming every shard in manifest order.
+func (sr *ShardedRelation) Scan(cols ColumnSet, fn func(*Batch) error) error {
+	return sr.ScanRange(0, sr.numRows, cols, fn)
+}
+
+// ScanRange implements RangeScanner: the global row range [start, end)
+// is translated into per-shard sub-ranges and streamed shard by shard
+// in global row order. With SetConcurrentScans(n > 1), up to n shards'
+// sub-scans run at once (each with its own read-ahead pipeline) while
+// batches are still delivered to fn in row order. Bounds semantics are
+// identical to the other backends: start/end outside [0, NumTuples()]
+// or start > end error; start == end scans nothing.
+func (sr *ShardedRelation) ScanRange(start, end int, cols ColumnSet, fn func(*Batch) error) error {
+	if err := cols.Validate(sr.schema); err != nil {
+		return err
+	}
+	if start < 0 || end > sr.numRows || start > end {
+		return fmt.Errorf("relation: scan range [%d,%d) out of [0,%d)", start, end, sr.numRows)
+	}
+	if start == end {
+		return nil
+	}
+	first, last := sr.shardAt(start), sr.shardAt(end-1)
+	if sr.scanAhead > 1 && first < last {
+		return sr.scanRangeConcurrent(start, end, first, last, cols, fn)
+	}
+	for i := first; i <= last; i++ {
+		lo, hi := sr.shardRange(i, start, end)
+		if lo >= hi {
+			continue // empty shard inside the window
+		}
+		if err := sr.shards[i].ScanRange(lo, hi, cols, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardRange clips the global range [start, end) to shard i's rows and
+// translates it to shard-local coordinates.
+func (sr *ShardedRelation) shardRange(i, start, end int) (lo, hi int) {
+	lo, hi = 0, sr.starts[i+1]-sr.starts[i]
+	if s := start - sr.starts[i]; s > lo {
+		lo = s
+	}
+	if e := end - sr.starts[i]; e < hi {
+		hi = e
+	}
+	return lo, hi
+}
+
+// shardBatch carries one copied batch from a shard prefetcher to the
+// in-order consumer of a concurrent scan. Slices are owned by the
+// batch and recycled through the stream's free list.
+type shardBatch struct {
+	len     int
+	numeric [][]float64
+	bools   [][]bool
+	err     error
+}
+
+// shardStream is one shard's asynchronous sub-scan: out delivers
+// filled batches in shard row order; free returns consumed batches to
+// the producer for reuse, bounding the stream at shardScanDepth
+// buffers regardless of shard size.
+type shardStream struct {
+	out  chan *shardBatch
+	free chan *shardBatch
+}
+
+// startShardStream launches shard i's sub-scan of local rows [lo, hi)
+// as a producer goroutine. The producer copies each scan batch into an
+// owned buffer (the underlying scan reuses its batches) and blocks on
+// the free list, so at most shardScanDepth copies exist per shard. A
+// closed stop channel tears the producer down on any consumer exit
+// path.
+func (sr *ShardedRelation) startShardStream(i, lo, hi int, cols ColumnSet, stop <-chan struct{}) *shardStream {
+	st := &shardStream{
+		out:  make(chan *shardBatch, shardScanDepth),
+		free: make(chan *shardBatch, shardScanDepth),
+	}
+	for j := 0; j < shardScanDepth; j++ {
+		st.free <- nil // allocated lazily by the producer
+	}
+	sh := sr.shards[i]
+	go func() {
+		defer close(st.out)
+		err := sh.ScanRange(lo, hi, cols, func(b *Batch) error {
+			var sb *shardBatch
+			select {
+			case sb = <-st.free:
+			case <-stop:
+				return errShardStop
+			}
+			if sb == nil {
+				sb = &shardBatch{
+					numeric: make([][]float64, len(cols.Numeric)),
+					bools:   make([][]bool, len(cols.Bool)),
+				}
+			}
+			sb.len = b.Len
+			for k := range b.Numeric {
+				sb.numeric[k] = append(sb.numeric[k][:0], b.Numeric[k][:b.Len]...)
+			}
+			for k := range b.Bool {
+				sb.bools[k] = append(sb.bools[k][:0], b.Bool[k][:b.Len]...)
+			}
+			select {
+			case st.out <- sb:
+			case <-stop:
+				return errShardStop
+			}
+			return nil
+		})
+		if err != nil && err != errShardStop {
+			select {
+			case st.out <- &shardBatch{err: err}:
+			case <-stop:
+			}
+		}
+	}()
+	return st
+}
+
+// scanRangeConcurrent is ScanRange's multi-shard pipeline: a sliding
+// window of scanAhead shard sub-scans runs concurrently — shard i is
+// consumed in order while shards i+1..i+scanAhead-1 prefetch — so the
+// next shard's disk reads overlap the current shard's decode-and-count
+// work, and on multi-disk layouts the spindles stream in parallel.
+// Memory stays bounded at scanAhead × shardScanDepth copied batches.
+func (sr *ShardedRelation) scanRangeConcurrent(start, end, first, last int, cols ColumnSet, fn func(*Batch) error) error {
+	stop := make(chan struct{})
+	defer close(stop) // tears down every launched producer on any exit
+	streams := make([]*shardStream, last-first+1)
+	launch := func(i int) {
+		if i > last {
+			return
+		}
+		lo, hi := sr.shardRange(i, start, end)
+		streams[i-first] = sr.startShardStream(i, lo, hi, cols, stop)
+	}
+	for i := first; i < first+sr.scanAhead && i <= last; i++ {
+		launch(i)
+	}
+	batch := &Batch{
+		Numeric: make([][]float64, len(cols.Numeric)),
+		Bool:    make([][]bool, len(cols.Bool)),
+	}
+	for i := first; i <= last; i++ {
+		for sb := range streams[i-first].out {
+			if sb.err != nil {
+				return sb.err
+			}
+			batch.Len = sb.len
+			copy(batch.Numeric, sb.numeric)
+			copy(batch.Bool, sb.bools)
+			if err := fn(batch); err != nil {
+				return err
+			}
+			select {
+			case streams[i-first].free <- sb:
+			default:
+			}
+		}
+		launch(i + sr.scanAhead)
+	}
+	return nil
+}
+
+// ReadNumericPoints implements NumericPointReader across shards: the
+// sorted global rows are split into per-shard runs and each run is
+// served by that shard's own point reader (mmap-backed where
+// available), preserving the 8-bytes-per-unique-row counted cost.
+func (sr *ShardedRelation) ReadNumericPoints(attr int, rows []int, out []float64) error {
+	if attr < 0 || attr >= len(sr.schema) || sr.schema[attr].Kind != Numeric {
+		return fmt.Errorf("relation: point read attribute %d is not a numeric column", attr)
+	}
+	if len(out) != len(rows) {
+		return fmt.Errorf("relation: %d rows but %d outputs", len(rows), len(out))
+	}
+	for i, row := range rows {
+		if row < 0 || row >= sr.numRows {
+			return fmt.Errorf("relation: point read row %d out of [0,%d)", row, sr.numRows)
+		}
+		if i > 0 && row < rows[i-1] {
+			return fmt.Errorf("relation: point read rows not sorted at %d", i)
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	local := make([]int, 0, len(rows))
+	for j := 0; j < len(rows); {
+		i := sr.shardAt(rows[j])
+		hi := sr.starts[i+1]
+		k := j
+		local = local[:0]
+		for k < len(rows) && rows[k] < hi {
+			local = append(local, rows[k]-sr.starts[i])
+			k++
+		}
+		if err := sr.shards[i].ReadNumericPoints(attr, local, out[j:k]); err != nil {
+			return err
+		}
+		j = k
+	}
+	return nil
+}
+
+// IsShardManifest reports whether the file at path begins with the
+// shard-manifest magic — the cheap sniff OpenData uses to dispatch
+// between the single-file and sharded backends.
+func IsShardManifest(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	buf := make([]byte, len(shardManifestMagic))
+	n, _ := f.Read(buf)
+	return string(buf[:n]) == shardManifestMagic, nil
+}
+
+// OpenData opens either disk backend at path, sniffing the file's
+// magic: a shard manifest opens as a ShardedRelation, anything else is
+// handed to OpenDisk.
+func OpenData(path string) (DataRelation, error) {
+	isManifest, err := IsShardManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	if isManifest {
+		return OpenSharded(path)
+	}
+	return OpenDisk(path)
+}
+
+// ShardedWriterOptions configures NewShardedWriter. Exactly one
+// splitting policy must be chosen; both split the append stream into
+// CONTIGUOUS runs (shard 0 holds the first rows, shard 1 the next, …)
+// because global row order is the mining contract — a sharded relation
+// must be tuple-for-tuple identical to the same stream written to one
+// file, or samples, boundaries, and rules would silently change.
+type ShardedWriterOptions struct {
+	// RowsPerShard, when positive, starts a new shard every RowsPerShard
+	// rows (size-based splitting, for streams of unknown length).
+	RowsPerShard int
+	// Shards, when positive, targets that many shards for an expected
+	// TotalRows tuples (count-based splitting): rows per shard is
+	// ceil(TotalRows/Shards). Appending beyond TotalRows keeps splitting
+	// at the same size, growing extra shards.
+	Shards int
+	// TotalRows is the expected tuple count for count-based splitting.
+	TotalRows int
+	// Format is the shard file format version (DiskFormatV1 or
+	// DiskFormatV2); 0 selects the v2 default.
+	Format int
+	// GroupRows is the v2 block-group size; 0 selects the default.
+	GroupRows int
+}
+
+// rowsPerShard resolves the splitting policy.
+func (o ShardedWriterOptions) rowsPerShard() (int, error) {
+	switch {
+	case o.RowsPerShard > 0 && o.Shards > 0:
+		return 0, fmt.Errorf("relation: sharded writer: set RowsPerShard or Shards, not both")
+	case o.RowsPerShard > 0:
+		return o.RowsPerShard, nil
+	case o.Shards > 0:
+		if o.TotalRows < 0 {
+			return 0, fmt.Errorf("relation: sharded writer: negative TotalRows %d", o.TotalRows)
+		}
+		rps := (o.TotalRows + o.Shards - 1) / o.Shards
+		if rps < 1 {
+			rps = 1
+		}
+		return rps, nil
+	default:
+		return 0, fmt.Errorf("relation: sharded writer needs RowsPerShard or Shards")
+	}
+}
+
+// ShardedWriter streams tuples into a sharded relation: shard files are
+// written next to the manifest path (named <base>-s00000.opr,
+// <base>-s00001.opr, …), a new shard starting whenever the splitting
+// policy says so, and the manifest itself is written last — to a temp
+// file renamed into place on Close, so a crashed or failed write never
+// leaves a manifest pointing at missing or short shards.
+type ShardedWriter struct {
+	manifestPath string
+	dir          string
+	base         string
+	schema       Schema
+	format       int
+	groupRows    int
+	rowsPerShard int
+	cur          *DiskWriter
+	curRows      int
+	rows         int
+	entries      []shardManifestEntry // closed shards, base-named paths
+	created      []string             // every file this writer created
+	closed       bool
+	closeErr     error // sticky result of the first Close
+	// writeErr latches a failed shard rollover: the writer has lost rows
+	// (a shard closed but its successor was never created), so every
+	// later Append and the final Close must fail rather than commit a
+	// manifest that silently drops the tail of the stream.
+	writeErr error
+}
+
+// NewShardedWriter creates a sharded relation rooted at manifestPath
+// (conventionally *.oprs). The first shard file is created eagerly so
+// an immediately-Closed writer still yields a valid empty relation.
+func NewShardedWriter(manifestPath string, schema Schema, opts ShardedWriterOptions) (*ShardedWriter, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	rps, err := opts.rowsPerShard()
+	if err != nil {
+		return nil, err
+	}
+	format := opts.Format
+	if format == 0 {
+		format = DiskFormatV2
+	}
+	if format != DiskFormatV1 && format != DiskFormatV2 {
+		return nil, fmt.Errorf("relation: unknown disk format version %d", format)
+	}
+	sw := &ShardedWriter{
+		manifestPath: manifestPath,
+		dir:          filepath.Dir(manifestPath),
+		base:         shardBaseName(manifestPath),
+		schema:       schema,
+		format:       format,
+		groupRows:    opts.GroupRows,
+		rowsPerShard: rps,
+	}
+	if err := sw.startShard(); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// shardBaseName derives the shard files' name stem from the manifest
+// path (its base with the extension stripped).
+func shardBaseName(manifestPath string) string {
+	base := filepath.Base(manifestPath)
+	if ext := filepath.Ext(base); ext != "" {
+		base = base[:len(base)-len(ext)]
+	}
+	return base
+}
+
+// shardFileName returns the base name of shard i for the given stem —
+// the ONE place the naming scheme lives; the writer and the
+// ConvertToSharded freshness pre-check both use it, so the check can
+// never drift from the names the writer actually creates.
+func shardFileName(base string, i int) string {
+	return fmt.Sprintf("%s-s%05d.opr", base, i)
+}
+
+// shardName returns the base name of shard i.
+func (sw *ShardedWriter) shardName(i int) string {
+	return shardFileName(sw.base, i)
+}
+
+// startShard opens the next shard file.
+func (sw *ShardedWriter) startShard() error {
+	name := sw.shardName(len(sw.entries))
+	path := filepath.Join(sw.dir, name)
+	var dw *DiskWriter
+	var err error
+	if sw.format == DiskFormatV2 {
+		gr := sw.groupRows
+		if gr == 0 {
+			gr = DefaultGroupRows
+		}
+		dw, err = NewDiskWriterV2(path, sw.schema, gr)
+	} else {
+		dw, err = NewDiskWriter(path, sw.schema)
+	}
+	if err != nil {
+		return err
+	}
+	sw.cur = dw
+	sw.curRows = 0
+	sw.created = append(sw.created, path)
+	return nil
+}
+
+// finishShard closes the current shard and records its manifest entry.
+func (sw *ShardedWriter) finishShard() error {
+	if err := sw.cur.Close(); err != nil {
+		return err
+	}
+	sw.entries = append(sw.entries, shardManifestEntry{rows: sw.curRows, path: sw.shardName(len(sw.entries))})
+	sw.cur = nil
+	return nil
+}
+
+// Append writes one tuple (same contract as DiskWriter.Append),
+// rolling over to a new shard file when the splitting policy fills the
+// current one. A failed rollover is sticky: the writer has already
+// lost its place in the stream, so later Appends and Close keep
+// failing instead of committing a manifest with a silent gap.
+func (sw *ShardedWriter) Append(nums []float64, bools []bool) error {
+	if sw.closed {
+		return fmt.Errorf("relation: append to closed ShardedWriter")
+	}
+	if sw.writeErr != nil {
+		return sw.writeErr
+	}
+	if sw.curRows == sw.rowsPerShard {
+		if err := sw.finishShard(); err != nil {
+			sw.writeErr = err
+			return err
+		}
+		if err := sw.startShard(); err != nil {
+			sw.writeErr = err
+			return err
+		}
+	}
+	if err := sw.cur.Append(nums, bools); err != nil {
+		return err
+	}
+	sw.curRows++
+	sw.rows++
+	return nil
+}
+
+// Close finalizes the last shard and writes the manifest (temp file in
+// the manifest's directory, renamed into place), so readers only ever
+// see a manifest whose shards are complete. A failed Close is sticky:
+// repeated calls return the first error instead of a false success.
+func (sw *ShardedWriter) Close() error {
+	if sw.closed {
+		return sw.closeErr
+	}
+	sw.closed = true
+	sw.closeErr = sw.commit()
+	return sw.closeErr
+}
+
+// commit is Close's one-shot body.
+func (sw *ShardedWriter) commit() error {
+	if sw.writeErr != nil {
+		// A rollover already failed: refuse to commit a manifest missing
+		// part of the stream, and release the current shard's handle.
+		if sw.cur != nil {
+			sw.cur.Close()
+			sw.cur = nil
+		}
+		return fmt.Errorf("relation: sharded writer failed before Close: %w", sw.writeErr)
+	}
+	if err := sw.finishShard(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %d\n", shardManifestMagic, ShardManifestVersion)
+	for _, e := range sw.entries {
+		fmt.Fprintf(&b, "shard %d %s\n", e.rows, e.path)
+	}
+	tf, err := os.CreateTemp(sw.dir, filepath.Base(sw.manifestPath)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := tf.Name()
+	shardPaths := append([]string(nil), sw.created...)
+	sw.created = append(sw.created, tmp)
+	if _, err := tf.WriteString(b.String()); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// CreateTemp files are 0600; the manifest is data, not a secret, and
+	// must carry exactly the mode of the shard files it points at (which
+	// os.Create gave the user's umask-derived permissions).
+	if err := os.Chmod(tmp, outputMode(shardPaths)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, sw.manifestPath); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	sw.created = append(sw.created, sw.manifestPath)
+	return nil
+}
+
+// CreatedPaths returns every file the writer has created so far —
+// shard files, the manifest, and any leftover temp file — so failed
+// conversions can clean up after themselves.
+func (sw *ShardedWriter) CreatedPaths() []string { return sw.created }
+
+// ConvertToSharded streams an open relation into a sharded relation at
+// manifestPath with the given shard count and shard format version
+// (0 selects v2). The destination must be FRESH: any pre-existing file
+// among the planned outputs (the manifest or a shard name) is refused
+// — a multi-file relation cannot be overwritten atomically the way
+// ConvertFile's single temp-and-rename can, and creating the writer
+// would truncate files in place (catastrophic when they alias the
+// source being read, destructive even when they belong to an unrelated
+// relation). A failed conversion removes everything it created — which
+// the freshness check guarantees is only ever its own files — so no
+// partial shard set is left behind.
+func ConvertToSharded(src Relation, manifestPath string, shards, version int) error {
+	if shards < 1 {
+		return fmt.Errorf("relation: shard count %d must be positive", shards)
+	}
+	opts := ShardedWriterOptions{Shards: shards, TotalRows: src.NumTuples(), Format: version}
+	if opts.Format == 0 {
+		opts.Format = DiskFormatV2
+	}
+	rps, err := opts.rowsPerShard()
+	if err != nil {
+		return err
+	}
+	planned := []string{manifestPath}
+	base := shardBaseName(manifestPath)
+	numShards := 1
+	if rps > 0 && src.NumTuples() > 0 {
+		numShards = (src.NumTuples() + rps - 1) / rps
+	}
+	for i := 0; i < numShards; i++ {
+		planned = append(planned, filepath.Join(filepath.Dir(manifestPath), shardFileName(base, i)))
+	}
+	for _, p := range planned {
+		if _, err := os.Stat(p); err == nil {
+			return fmt.Errorf("relation: sharded conversion destination %s already exists; remove it or choose a fresh path", p)
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	sw, err := NewShardedWriter(manifestPath, src.Schema(), opts)
+	if err != nil {
+		return err
+	}
+	if err := appendAll(src, sw.Append); err != nil {
+		if sw.cur != nil {
+			sw.cur.Close()
+		}
+		removeAll(sw.CreatedPaths())
+		return err
+	}
+	if err := sw.Close(); err != nil {
+		removeAll(sw.CreatedPaths())
+		return err
+	}
+	return nil
+}
+
+// storagePathsOf returns the files backing rel, when it declares them.
+func storagePathsOf(rel Relation) []string {
+	if fb, ok := rel.(interface{ StoragePaths() []string }); ok {
+		return fb.StoragePaths()
+	}
+	return nil
+}
+
+// removeAll best-effort removes the given paths.
+func removeAll(paths []string) {
+	for _, p := range paths {
+		os.Remove(p)
+	}
+}
+
+// appendAll streams every tuple of src into emit, in storage order.
+func appendAll(src Relation, emit func(nums []float64, bools []bool) error) error {
+	s := src.Schema()
+	cols := ColumnSet{Numeric: s.NumericIndices(), Bool: s.BooleanIndices()}
+	nums := make([]float64, len(cols.Numeric))
+	bools := make([]bool, len(cols.Bool))
+	return src.Scan(cols, func(b *Batch) error {
+		for row := 0; row < b.Len; row++ {
+			for k := range nums {
+				nums[k] = b.Numeric[k][row]
+			}
+			for k := range bools {
+				bools[k] = b.Bool[k][row]
+			}
+			if err := emit(nums, bools); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

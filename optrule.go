@@ -69,6 +69,49 @@
 // differential tests pin that both formats yield rule-for-rule
 // identical mining output.
 //
+// # Sharded relations
+//
+// Above a single file sits the sharded backend: one LOGICAL relation
+// backed by an ordered list of shard files (each a self-contained v1
+// or v2 relation file, freely mixed) plus a small versioned manifest
+// (conventionally *.oprs) listing them. The global row order is the
+// concatenation of the shards in manifest order, so a sharded relation
+// holding the same tuple stream as a single file mines rule-for-rule
+// identically — the differential tests pin this, along with the
+// exactly-two-scans cost of MineAll across shards.
+//
+// Sharding is the horizontal decomposition that breaks the
+// single-file / single-spindle ceiling:
+//
+//   - each shard can live on its own disk, and
+//     ShardedRelation.SetConcurrentScans(n) runs up to n shard
+//     sub-scans at once — each with its own double-buffered read-ahead
+//     pipeline — while still delivering tuples in global row order;
+//   - the parallel counting engines (Config.PEs, MineAll2D) plan their
+//     segments across shard boundaries: AlignedSegments snaps cuts to
+//     shard and per-shard block-group boundaries, so workers never
+//     split a shard's block group and never contend for one file;
+//   - per-shard state (group directories, prefetch buffers, point-read
+//     mappings) stays bounded no matter how large the logical relation
+//     grows — the same decomposition that later extends to multi-node
+//     scans.
+//
+// Create sharded relations with NewShardedWriter (splitting an append
+// stream every RowsPerShard rows, or into a target shard count),
+// `optdata -shards N`, or ConvertToSharded over an existing relation;
+// open them with OpenSharded, or OpenData to sniff either backend from
+// a path. When to shard: a relation that fits comfortably on one disk
+// and mines in one scan pipeline gains nothing from sharding — prefer
+// a single v2 file. Shard when the relation outgrows one device (or
+// one file-size/backup boundary), when shards can sit on independent
+// disks so concurrent sub-scans multiply sequential bandwidth, or
+// when data arrives in natural batches (per day, per region) that
+// should remain individually replaceable. Keep shards large — many
+// block groups each, i.e. tens of MB at least — so per-shard pipeline
+// startup stays negligible; choose the shard count from the hardware
+// (≈ one shard, or a few, per independent disk), not from CPU count,
+// which Config.PEs and Workers already cover.
+//
 // # Quick start
 //
 //	rel, err := optrule.ReadCSVFile("customers.csv")
@@ -229,9 +272,57 @@ func NewDiskWriterV2(path string, schema Schema, groupRows int) (*DiskWriter, er
 
 // ConvertDisk rewrites the relation file at src into the given format
 // version (DiskFormatV1 or DiskFormatV2) at dst, streaming batch by
-// batch so relations larger than memory convert in bounded space.
+// batch so relations larger than memory convert in bounded space. It
+// is failure-safe: output goes to a temp file renamed over dst only on
+// success, so a failed conversion never leaves a truncated dst behind.
 func ConvertDisk(src, dst string, version int) error {
 	return relation.ConvertDisk(src, dst, version)
+}
+
+// ShardedRelation is the disk-backed relation spanning many shard
+// files behind one manifest; open one with OpenSharded. See the
+// package documentation's Sharded relations section.
+type ShardedRelation = relation.ShardedRelation
+
+// ShardedWriter streams tuples into a sharded relation; create one
+// with NewShardedWriter.
+type ShardedWriter = relation.ShardedWriter
+
+// ShardedWriterOptions configures NewShardedWriter: the splitting
+// policy (RowsPerShard, or Shards+TotalRows), shard file format, and
+// v2 block-group size.
+type ShardedWriterOptions = relation.ShardedWriterOptions
+
+// DataRelation is the storage surface shared by DiskRelation and
+// ShardedRelation: range scans, point reads, alignment hints, counted
+// BytesRead, Close.
+type DataRelation = relation.DataRelation
+
+// OpenSharded opens a sharded relation from its manifest file, opening
+// and cross-checking every shard before any row is served.
+func OpenSharded(manifestPath string) (*ShardedRelation, error) {
+	return relation.OpenSharded(manifestPath)
+}
+
+// OpenData opens either disk backend at path by sniffing the file's
+// magic: shard manifests open as ShardedRelation, relation files as
+// DiskRelation.
+func OpenData(path string) (DataRelation, error) {
+	return relation.OpenData(path)
+}
+
+// NewShardedWriter creates a sharded relation rooted at manifestPath
+// (conventionally *.oprs); shard files are written next to it and the
+// manifest itself is committed atomically on Close.
+func NewShardedWriter(manifestPath string, schema Schema, opts ShardedWriterOptions) (*ShardedWriter, error) {
+	return relation.NewShardedWriter(manifestPath, schema, opts)
+}
+
+// ConvertToSharded streams an open relation into a sharded relation at
+// manifestPath with the given shard count and shard format version
+// (0 selects v2), cleaning up everything it created on error.
+func ConvertToSharded(src Relation, manifestPath string, shards, version int) error {
+	return relation.ConvertToSharded(src, manifestPath, shards, version)
 }
 
 // MineAll mines both optimized rules for every (numeric, Boolean)
