@@ -176,6 +176,20 @@ func runShards(full bool, seed int64) (any, error) {
 	return res, nil
 }
 
+func runBatch(full bool, seed int64) (any, error) {
+	n := 500000
+	if full {
+		n = 4000000
+	}
+	res, err := experiments.Batch(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Print(os.Stdout)
+	fmt.Println()
+	return res, nil
+}
+
 func runTwoDim(full bool, seed int64) (any, error) {
 	n := 200000
 	attrCounts := []int{2, 4, 6}

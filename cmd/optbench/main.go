@@ -15,7 +15,9 @@
 // (fused all-pairs 2-D engine vs legacy per-pair pipeline: wall-clock
 // and bytes vs pair count and grid side, plus a single-pair all-kinds
 // deep-grid sweep), shards (sharded backend: single-file vs 2/4/8-shard
-// MineAll, serial and concurrent sub-scans, counted bytes).
+// MineAll, serial and concurrent sub-scans, counted bytes), batch
+// (plan/execute session: a mixed B-query workload per-query vs batched
+// vs session-cached re-query, wall-clock and counted bytes).
 //
 // -json FILE additionally writes every experiment's structured result
 // to FILE as a single JSON document, so the perf trajectory can be
@@ -46,7 +48,7 @@ type report struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("optbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, fused, colscan, twodim, shards, or all")
+	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, fused, colscan, twodim, shards, batch, or all")
 	full := fs.Bool("full", false, "paper-scale sizes (slow; needs several GB of RAM for fig9)")
 	seed := fs.Int64("seed", 1, "random seed")
 	jsonPath := fs.String("json", "", "also write structured results as JSON to this file (e.g. BENCH_optbench.json)")
@@ -82,6 +84,7 @@ func run(args []string) error {
 		{"colscan", runColScan},
 		{"twodim", runTwoDim},
 		{"shards", runShards},
+		{"batch", runBatch},
 	}
 	known := map[string]bool{"all": true}
 	for _, r := range runners {

@@ -20,6 +20,12 @@
 //
 //	optmine -in customers.csv -all2d -objective CardLoan -grid 32 \
 //	        -region xmonotone -top 10
+//
+// Batch mode: answer a whole JSON file of heterogeneous queries from
+// ONE plan/execute session — the entire batch costs exactly two
+// relation scans (see batch.go for the query format):
+//
+//	optmine -in customers.csv -batch queries.json -json
 package main
 
 import (
@@ -63,6 +69,7 @@ func run(args []string, w *os.File) error {
 	regionClass := fs.String("region", "", "2-D mining: also mine a gain-optimal region of this class: xmonotone or rectconvex")
 	all2D := fs.Bool("all2d", false, "2-D mining: mine every numeric attribute pair against -objective in two relation scans (fused engine); -numerics restricts the attributes")
 	numerics := fs.String("numerics", "", "all-pairs 2-D mining: comma-separated numeric attributes to pair up (default: all)")
+	batch := fs.String("batch", "", "batch mode: path to a queries JSON file, answered by one session in two relation scans (see cmd/optmine/batch.go for the format)")
 	avg := fs.Bool("avg", false, "average-operator mode (Section 5); requires -numeric and -target")
 	target := fs.String("target", "", "average mode: target numeric attribute B")
 	minAvg := fs.Float64("minavg", 0, "average mode: minimum average for the max-support range (0 = skip)")
@@ -91,6 +98,10 @@ func run(args []string, w *os.File) error {
 		}
 		sum.Print(w)
 		return nil
+	}
+
+	if *batch != "" {
+		return runBatch(rel, *batch, cfg, *jsonOut, w)
 	}
 
 	if *avg {

@@ -1,0 +1,194 @@
+// Serving mining traffic from a session: the plan/execute walkthrough.
+//
+// A mining service answers many queries over one relation. The paper's
+// bucketed counts are sufficient statistics — any threshold, rule
+// kind, or region class derives from the count grids alone — so a
+// long-lived optrule.Session splits the work into a data plane (two
+// fused scans filling a statistics cache) and a query plane (pure-CPU
+// rule extraction). This example walks the three serving moments:
+//
+//  1. a cold HETEROGENEOUS batch (1-D rules, a 2-D region, ranked
+//     ranges, an average query) answered in exactly two relation
+//     scans;
+//
+//  2. an analyst turning the threshold knobs — the re-query batch is
+//     answered from cache with ZERO relation reads;
+//
+//  3. cache telemetry (hits, bytes, evictions) a serving layer would
+//     export.
+//
+//     go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"optrule"
+)
+
+func main() {
+	// A disk-backed relation stands in for the production table; the
+	// counted-bytes model (BytesRead) makes every scan visible.
+	rel, cleanup, err := buildRelation(500000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+
+	// One session outlives every request. Safe for concurrent callers:
+	// a real service would share this handle across its request
+	// handlers.
+	session, err := optrule.NewSession(rel, optrule.Config{
+		MinSupport:    0.05,
+		MinConfidence: 0.55,
+		Seed:          7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Moment 1: the cold mixed batch. Five queries, four operation
+	// types, 1-D and 2-D — the planner dedupes their statistics and
+	// the executor pays ONE sampling scan plus ONE counting scan for
+	// the union.
+	batch := []optrule.Query{
+		{Op: optrule.OpRules}, // every (numeric, Boolean) combination
+		{Op: optrule.OpRules, Numeric: "Balance", Objective: "CardLoan",
+			ObjectiveValue: true,
+			Conditions:     []optrule.Condition{{Attr: "AutoWithdraw", Value: true}}},
+		{Op: optrule.OpRules2D, Numeric: "Age", NumericB: "Balance",
+			Objective: "CardLoan", ObjectiveValue: true, GridSide: 32,
+			Regions: []optrule.RegionClass{optrule.XMonotoneClass}},
+		{Op: optrule.OpTopK, Numeric: "Balance", Objective: "CardLoan",
+			ObjectiveValue: true, K: 3},
+		{Op: optrule.OpAverage, Numeric: "Age", Target: "Balance", MinSupport: 0.10},
+	}
+	rel.ResetBytesRead()
+	answers, err := session.ExecuteBatch(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold batch: %d queries, %.1f MB read (two scans total)\n",
+		len(answers), float64(rel.BytesRead())/(1<<20))
+	printHighlights(answers)
+
+	// Moment 2: threshold re-query. Different support/confidence
+	// floors, a different region class, a deeper top-k — the knobs an
+	// analyst turns. All statistics are cached, so the relation is not
+	// touched at all.
+	requery := []optrule.Query{
+		{Op: optrule.OpRules, MinSupport: 0.15, MinConfidence: 0.70},
+		{Op: optrule.OpRules2D, Numeric: "Age", NumericB: "Balance",
+			Objective: "CardLoan", ObjectiveValue: true, GridSide: 32,
+			Regions: []optrule.RegionClass{optrule.RectilinearConvexClass}},
+		{Op: optrule.OpTopK, Numeric: "Balance", Objective: "CardLoan",
+			ObjectiveValue: true, K: 5, MinSupport: 0.02},
+	}
+	rel.ResetBytesRead()
+	answers, err = session.ExecuteBatch(requery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nthreshold re-query: %d queries, %d bytes read (served from cache)\n",
+		len(answers), rel.BytesRead())
+	printHighlights(answers)
+
+	// Moment 3: telemetry. A serving layer exports these counters; the
+	// hit rate is the fraction of statistics lookups the two scans'
+	// worth of cached state absorbed. SetCacheLimit rebounds the
+	// budget; InvalidateCache drops everything after the relation is
+	// rewritten.
+	st := session.CacheStats()
+	fmt.Printf("\ncache: %d statistics, %.1f MB of %.0f MB budget, %d hits / %d misses, %d evictions\n",
+		st.Entries, float64(st.Bytes)/(1<<20), float64(st.MaxBytes)/(1<<20),
+		st.Hits, st.Misses, st.Evictions)
+
+	// The session-bound convenience methods share the same cache: this
+	// Mine call re-uses the Balance statistics the batch built.
+	sup, conf, err := session.Mine("Balance", "CardLoan", true, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsession-bound Mine (cache-warm):")
+	for _, r := range []*optrule.Rule{sup, conf} {
+		if r != nil {
+			fmt.Println(" ", r)
+		}
+	}
+}
+
+// buildRelation streams n bank-style customers to a v2 (columnar) disk
+// file: middle-aged customers with mid-range balances are planted as
+// the card-loan hot segment, and auto-withdraw users skew positive.
+func buildRelation(n int) (*optrule.DiskRelation, func(), error) {
+	dir, err := os.MkdirTemp("", "optrule-serving")
+	if err != nil {
+		return nil, nil, err
+	}
+	path := filepath.Join(dir, "customers.opr")
+	w, err := optrule.NewDiskWriterV2(path, optrule.Schema{
+		{Name: "Balance", Kind: optrule.Numeric},
+		{Name: "Age", Kind: optrule.Numeric},
+		{Name: "CardLoan", Kind: optrule.Boolean},
+		{Name: "AutoWithdraw", Kind: optrule.Boolean},
+	}, 0)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < n; i++ {
+		balance := 3000 * rng.ExpFloat64()
+		age := 18 + 60*rng.Float64()
+		auto := rng.Float64() < 0.4
+		p := 0.15
+		if balance >= 2000 && balance <= 8000 && age >= 30 && age < 45 {
+			p = 0.75
+		}
+		if auto {
+			p += 0.05
+		}
+		err := w.Append([]float64{balance, age}, []bool{rng.Float64() < p, auto})
+		if err != nil {
+			w.Close()
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	rel, err := optrule.OpenDisk(path)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	return rel, func() { rel.Close(); os.RemoveAll(dir) }, nil
+}
+
+// printHighlights shows the first result of each answer.
+func printHighlights(answers []optrule.Answer) {
+	for i, a := range answers {
+		if a.Err != nil {
+			fmt.Printf("  q%d error: %v\n", i, a.Err)
+			continue
+		}
+		switch {
+		case len(a.Rules) > 0:
+			fmt.Printf("  q%d (%s, %d rules): %s\n", i, a.Query.Op, len(a.Rules), a.Rules[0])
+		case len(a.Regions) > 0:
+			fmt.Printf("  q%d (%s): %s\n", i, a.Query.Op, a.Regions[0].String())
+		case len(a.Rules2D) > 0:
+			fmt.Printf("  q%d (%s): %s\n", i, a.Query.Op, a.Rules2D[0].String())
+		case a.Range != nil:
+			fmt.Printf("  q%d (%s): %s\n", i, a.Query.Op, a.Range)
+		default:
+			fmt.Printf("  q%d (%s): no rule meets the thresholds\n", i, a.Query.Op)
+		}
+	}
+}

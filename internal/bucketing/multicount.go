@@ -401,30 +401,64 @@ func ParallelMultiCount(rel relation.RangeScanner, drivers []int, bounds []Bound
 // one bucket per distinct value — exactly as DistinctValueBoundaries
 // would build, while the rest fall back to the sampled cut points.
 func MultiSampledBoundaries(rel relation.Relation, attrs []int, m, sampleFactor, exactDomainLimit int, rngs []*rand.Rand) ([]Boundaries, error) {
-	if sampleFactor < 1 {
-		return nil, fmt.Errorf("bucketing: sample factor %d must be positive", sampleFactor)
-	}
 	if m < 1 {
 		return nil, fmt.Errorf("bucketing: bucket count %d must be positive", m)
 	}
 	if len(attrs) != len(rngs) {
 		return nil, fmt.Errorf("bucketing: %d attributes but %d rngs", len(attrs), len(rngs))
 	}
-	out := make([]Boundaries, len(attrs))
-	if m == 1 && exactDomainLimit <= 0 {
-		// One bucket per attribute needs no cut points, hence no scan.
-		return out, nil
+	specs := make([]BoundarySpec, len(attrs))
+	for k, attr := range attrs {
+		specs[k] = BoundarySpec{Attr: attr, M: m, SampleFactor: sampleFactor,
+			ExactDomainLimit: exactDomainLimit}
 	}
-	s := m * sampleFactor
-	if m == 1 {
-		s = 0 // finest-bucket detection still needs the scan; sampling does not
+	return MultiSampledBoundarySpecs(rel, specs, rngs)
+}
+
+// BoundarySpec is one attribute's boundary request in a fused sampling
+// scan: M almost equi-depth buckets from a sample of M·SampleFactor
+// values, with the finest-bucket promotion (Definition 2.5) when
+// ExactDomainLimit > 0. Specs are independent: the same scan can build
+// a 1000-bucket 1-D bucketing and a 64-bucket 2-D grid axis, each from
+// its own random stream.
+type BoundarySpec struct {
+	Attr             int
+	M                int
+	SampleFactor     int
+	ExactDomainLimit int // 0 = no finest-bucket promotion
+}
+
+// MultiSampledBoundarySpecs generalizes MultiSampledBoundaries to
+// heterogeneous per-attribute resolutions: every spec's result is
+// identical to SampledBoundaries (or the finest-bucket path) run alone
+// with rngs[k], while the relation is scanned at most once for the
+// whole set.
+func MultiSampledBoundarySpecs(rel relation.Relation, specs []BoundarySpec, rngs []*rand.Rand) ([]Boundaries, error) {
+	if len(specs) != len(rngs) {
+		return nil, fmt.Errorf("bucketing: %d specs but %d rngs", len(specs), len(rngs))
 	}
-	samples, err := sampling.MultiColumnWithReplacement(rel, attrs, s, rngs, exactDomainLimit)
+	reqs := make([]sampling.ColumnRequest, len(specs))
+	for k, spec := range specs {
+		if spec.SampleFactor < 1 {
+			return nil, fmt.Errorf("bucketing: sample factor %d must be positive", spec.SampleFactor)
+		}
+		if spec.M < 1 {
+			return nil, fmt.Errorf("bucketing: bucket count %d must be positive", spec.M)
+		}
+		s := spec.M * spec.SampleFactor
+		if spec.M == 1 {
+			s = 0 // finest-bucket detection may still need the scan; sampling does not
+		}
+		reqs[k] = sampling.ColumnRequest{Attr: spec.Attr, S: s, Rng: rngs[k],
+			TrackDistinct: spec.ExactDomainLimit}
+	}
+	out := make([]Boundaries, len(specs))
+	samples, err := sampling.MultiColumnRequests(rel, reqs)
 	if err != nil {
 		return nil, err
 	}
-	for k := range attrs {
-		if exactDomainLimit > 0 && samples[k].Distinct != nil {
+	for k, spec := range specs {
+		if spec.ExactDomainLimit > 0 && samples[k].Distinct != nil {
 			// Finest buckets: cut at every distinct value except the
 			// largest, so bucket i is exactly [v_i, v_i].
 			distinct := samples[k].Distinct
@@ -435,7 +469,7 @@ func MultiSampledBoundaries(rel relation.Relation, attrs []int, m, sampleFactor,
 			out[k] = bounds
 			continue
 		}
-		if m == 1 {
+		if spec.M == 1 {
 			out[k] = Boundaries{}
 			continue
 		}
@@ -450,10 +484,10 @@ func MultiSampledBoundaries(rel relation.Relation, attrs []int, m, sampleFactor,
 			}
 		}
 		if len(clean) == 0 {
-			return nil, fmt.Errorf("bucketing: attribute %d sampled only NaN values", attrs[k])
+			return nil, fmt.Errorf("bucketing: attribute %d sampled only NaN values", spec.Attr)
 		}
 		stats.SortFloat64s(clean)
-		bounds, err := FromSortedSample(clean, m)
+		bounds, err := FromSortedSample(clean, spec.M)
 		if err != nil {
 			return nil, err
 		}

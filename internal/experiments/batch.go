@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"time"
+
+	"optrule/internal/datagen"
+	"optrule/internal/miner"
+	"optrule/internal/relation"
+)
+
+// The batch/serving experiment: what does the plan/execute session buy
+// over per-query mining? A mixed workload of B queries costs B×2 scans
+// when each query plans alone (the pre-session architecture) but
+// exactly 2 scans when planned together, and 0 scans when a session
+// re-answers threshold variants from its statistics cache. Wall-clock
+// and the deterministic counted-bytes model both record the win.
+
+// BatchResult is the batch experiment's structured result.
+type BatchResult struct {
+	Tuples     int
+	Queries    int
+	GoMaxProcs int
+	// PerQuery runs every query in its own throwaway session: B
+	// sampling scans + B counting scans.
+	PerQuerySeconds float64
+	PerQueryBytes   int64
+	// Batch answers all queries from one ExecuteBatch: 2 scans.
+	BatchSeconds float64
+	BatchBytes   int64
+	// Cached re-answers threshold/kind variants on the warm session:
+	// 0 scans.
+	CachedSeconds float64
+	CachedBytes   int64
+}
+
+// batchQueries builds the experiment's heterogeneous workload over the
+// bank schema: all-attribute rules, two targeted queries, a 2-D pair
+// with a region class, ranked ranges, an average-operator query, and a
+// conjunctive query.
+func batchQueries() []miner.Query {
+	return []miner.Query{
+		{Op: miner.OpRules},
+		{Op: miner.OpRules, Numeric: "Balance", Objective: "CardLoan", ObjectiveValue: true},
+		{Op: miner.OpRules, Numeric: "Age", Objective: "Mortgage", ObjectiveValue: true,
+			Conditions: []miner.Condition{{Attr: "AutoWithdraw", Value: true}}},
+		{Op: miner.OpRules2D, Numeric: "Balance", NumericB: "Age", Objective: "CardLoan",
+			ObjectiveValue: true, GridSide: 32, Regions: []miner.RegionClass{miner.XMonotoneClass}},
+		{Op: miner.OpTopK, Numeric: "Balance", Objective: "CardLoan", ObjectiveValue: true, K: 3},
+		{Op: miner.OpAverage, Numeric: "Balance", Target: "Age", MinSupport: 0.1},
+		{Op: miner.OpConjunctive, Numeric: "Age",
+			Objectives: []miner.Condition{{Attr: "CardLoan", Value: true}},
+			Conditions: []miner.Condition{{Attr: "Mortgage", Value: true}}},
+	}
+}
+
+// rethresholded derives the cache-hit workload: same statistics,
+// different thresholds, kinds, K, and region classes.
+func rethresholded(queries []miner.Query) []miner.Query {
+	out := make([]miner.Query, len(queries))
+	for i, q := range queries {
+		if q.Op == miner.OpAverage || q.Op == miner.OpSupportRange {
+			// The average ops take their floors literally and use no
+			// confidence threshold.
+			q.MinSupport = 0.25
+		} else {
+			q.MinSupport, q.MinConfidence = 0.12, 0.65
+		}
+		if q.Op == miner.OpTopK {
+			q.K = 5
+		}
+		if q.Op == miner.OpRules2D {
+			q.Regions = []miner.RegionClass{miner.RectilinearConvexClass}
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// answersEqual compares two answer sets field-for-field (queries
+// aside); the experiment hard-fails on any divergence — a
+// wrong-but-fast batch must not publish a bogus win.
+func answersEqual(a, b []miner.Answer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if (a[i].Err == nil) != (b[i].Err == nil) {
+			return false
+		}
+		if !reflect.DeepEqual(a[i].Rules, b[i].Rules) ||
+			!reflect.DeepEqual(a[i].Rules2D, b[i].Rules2D) ||
+			!reflect.DeepEqual(a[i].Regions, b[i].Regions) ||
+			!reflect.DeepEqual(a[i].Range, b[i].Range) {
+			return false
+		}
+	}
+	return true
+}
+
+// Batch measures the mixed workload on an n-tuple v2 disk bank
+// relation: per-query sessions vs one batched session vs cached
+// re-query.
+func Batch(n int, seed int64) (BatchResult, error) {
+	res := BatchResult{Tuples: n, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	bank, err := datagen.NewBank(datagen.BankConfig{})
+	if err != nil {
+		return res, err
+	}
+	dir, err := os.MkdirTemp("", "optrule-batch")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bank.opr")
+	if err := datagen.WriteDiskFormat(path, bank, n, seed, relation.DiskFormatV2); err != nil {
+		return res, err
+	}
+	rel, err := relation.OpenDisk(path)
+	if err != nil {
+		return res, err
+	}
+	defer rel.Close()
+
+	cfg := miner.Config{Buckets: 1000, Seed: seed}
+	queries := batchQueries()
+	res.Queries = len(queries)
+
+	// Per-query baseline: every query pays its own two scans.
+	rel.ResetBytesRead()
+	start := time.Now()
+	var perQuery []miner.Answer
+	for _, q := range queries {
+		s, err := miner.NewSession(rel, cfg)
+		if err != nil {
+			return res, err
+		}
+		answers, err := s.ExecuteBatch([]miner.Query{q})
+		if err != nil {
+			return res, err
+		}
+		if answers[0].Err != nil {
+			return res, fmt.Errorf("per-query %s: %w", q.Op, answers[0].Err)
+		}
+		perQuery = append(perQuery, answers[0])
+	}
+	res.PerQuerySeconds = time.Since(start).Seconds()
+	res.PerQueryBytes = rel.BytesRead()
+
+	// Batched: one session, one plan, two scans for everything.
+	session, err := miner.NewSession(rel, cfg)
+	if err != nil {
+		return res, err
+	}
+	rel.ResetBytesRead()
+	start = time.Now()
+	batched, err := session.ExecuteBatch(queries)
+	if err != nil {
+		return res, err
+	}
+	res.BatchSeconds = time.Since(start).Seconds()
+	res.BatchBytes = rel.BytesRead()
+	if !answersEqual(perQuery, batched) {
+		return res, fmt.Errorf("batched answers deviate from per-query answers")
+	}
+
+	// Cached: different thresholds/kinds on the warm session; every
+	// statistic is already cached, so the relation is not read at all.
+	rel.ResetBytesRead()
+	start = time.Now()
+	cached, err := session.ExecuteBatch(rethresholded(queries))
+	if err != nil {
+		return res, err
+	}
+	res.CachedSeconds = time.Since(start).Seconds()
+	res.CachedBytes = rel.BytesRead()
+	for i, a := range cached {
+		if a.Err != nil {
+			return res, fmt.Errorf("cached re-query %d: %w", i, a.Err)
+		}
+	}
+	if res.CachedBytes != 0 {
+		return res, fmt.Errorf("cached re-query read %d bytes, want 0", res.CachedBytes)
+	}
+	return res, nil
+}
+
+// Print writes the comparison.
+func (r BatchResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Batch serving: %d mixed queries over %d tuples (GOMAXPROCS=%d)\n",
+		r.Queries, r.Tuples, r.GoMaxProcs)
+	fmt.Fprintf(w, "%16s  %12s  %14s\n", "mode", "seconds", "bytes read")
+	fmt.Fprintf(w, "%16s  %12.3f  %14d\n", "per-query", r.PerQuerySeconds, r.PerQueryBytes)
+	fmt.Fprintf(w, "%16s  %12.3f  %14d\n", "batched", r.BatchSeconds, r.BatchBytes)
+	fmt.Fprintf(w, "%16s  %12.3f  %14d\n", "cached re-query", r.CachedSeconds, r.CachedBytes)
+	if r.BatchSeconds > 0 {
+		fmt.Fprintf(w, "batch vs per-query: %.2fx wall-clock, %.2fx bytes\n",
+			r.PerQuerySeconds/r.BatchSeconds, float64(r.PerQueryBytes)/float64(r.BatchBytes))
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBatchExperiment pins the serving contract at experiment scale:
+// the batched session answers the whole mixed workload identically to
+// per-query sessions (the experiment fails internally otherwise),
+// reads strictly fewer bytes doing it, and the cached re-query reads
+// nothing at all.
+func TestBatchExperiment(t *testing.T) {
+	res, err := Batch(20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries < 5 {
+		t.Fatalf("degenerate workload: %d queries", res.Queries)
+	}
+	if res.BatchBytes <= 0 {
+		t.Fatalf("batched run read no bytes")
+	}
+	if res.BatchBytes >= res.PerQueryBytes {
+		t.Errorf("batched run read %d bytes, per-query %d — no sharing happened",
+			res.BatchBytes, res.PerQueryBytes)
+	}
+	if res.CachedBytes != 0 {
+		t.Errorf("cached re-query read %d bytes, want 0", res.CachedBytes)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "cached re-query") {
+		t.Errorf("print output missing the cached row:\n%s", buf.String())
+	}
+}

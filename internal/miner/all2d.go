@@ -3,8 +3,6 @@ package miner
 import (
 	"fmt"
 	"math"
-	"math/rand"
-	"runtime"
 	"sort"
 	"sync"
 
@@ -19,10 +17,14 @@ import (
 // "complete set of optimized rules" workload, and the same premise
 // applies: the database is far larger than main memory, so sequential
 // passes are the currency of performance. MineAll2D reads the relation
-// exactly TWICE no matter how many pairs it mines:
+// exactly TWICE no matter how many pairs it mines.
 //
-//  1. one fused sampling scan (sampling.MultiColumnWithReplacement via
-//     bucketing.MultiSampledBoundaries) draws every attribute's
+// The scans themselves now live in the plan layer (internal/plan),
+// which serves 2-D pair grids and 1-D count groups from the SAME two
+// scans and caches them across session queries:
+//
+//  1. one fused sampling scan (sampling.MultiColumnRequests via
+//     bucketing.MultiSampledBoundarySpecs) draws every attribute's
 //     Algorithm 3.1 sample and builds per-attribute grid boundaries —
 //     the same per-attribute random streams the 1-D pipeline and the
 //     legacy per-pair path consume, so boundaries are bit-identical;
@@ -37,10 +39,11 @@ import (
 //     participating columns, so the v2 columnar format reads just
 //     those column blocks.
 //
-// The region kernels (rectangle sweep, x-monotone and rectilinear-
-// convex DPs) then run on the in-memory grids, fanned out over a
-// worker pool across (pair, kind) tasks, each task using the parallel
-// region kernels for whatever share of the pool it gets.
+// What remains here is extraction: the region kernels (rectangle
+// sweep, x-monotone and rectilinear-convex DPs) run on the in-memory
+// grids, fanned out over a worker pool across (pair, kind) tasks, each
+// task using the parallel region kernels for whatever share of the
+// pool it gets.
 
 // Options2D selects what MineAll2D mines.
 type Options2D struct {
@@ -84,16 +87,17 @@ type Result2D struct {
 
 // MineAll2D mines 2-D optimized rules for every unordered pair of the
 // requested numeric attributes in exactly two relation scans (one
-// fused sampling scan, one fused counting scan — see the package notes
-// above). Pairs with no tuple where both attributes are finite are
-// skipped. Output is rule-for-rule identical to running the legacy
-// per-pair pipeline (Mine2DPerPair) for each pair and kind.
+// fused sampling scan, one fused counting scan — run by the plan
+// executor of a throwaway Session). Pairs with no tuple where both
+// attributes are finite are skipped. Output is rule-for-rule identical
+// to running the legacy per-pair pipeline (Mine2DPerPair) for each
+// pair and kind.
 func MineAll2D(rel relation.Relation, opt Options2D, cfg Config) (*Result2D, error) {
-	eng, err := newEngine2D(rel, opt, cfg)
+	s, err := NewSession(rel, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return eng.mineAll()
+	return s.MineAll2D(opt)
 }
 
 // pair2D is one attribute pair's grid and statistics: rows bucket the
@@ -101,344 +105,32 @@ func MineAll2D(rel relation.Relation, opt Options2D, cfg Config) (*Result2D, err
 // value extremes translate bucket ranges back to closed value ranges.
 // A tuple counts toward a pair iff BOTH its values are finite, so the
 // extremes are tracked per pair, not per attribute — exactly the
-// legacy per-pair semantics. The counting kernel writes cells through
-// the grid's flat backing (gu/gv); n and hits are derived from the
-// merged grid afterwards so the hot loop maintains no extra counters.
+// legacy per-pair semantics. The grids and extremes are produced (and
+// cached) by the plan executor's fused counting scan.
 type pair2D struct {
 	ai, bi int // indices into the engine's attribute list
 	grid   *region.Grid
-	gu     []int     // grid.Flat() backing, row-major
-	gv     []float64 //
-	cols   int
 	minA   []float64
 	maxA   []float64
 	minB   []float64
 	maxB   []float64
-	n      int // tuples with both values finite (set after the scan)
-	hits   int // of those, tuples meeting the objective (set after the scan)
+	n      int // tuples with both values finite
+	hits   int // of those, tuples meeting the objective
 }
 
-// engine2D carries the fused pipeline's state from the two scans to
-// the kernel phase.
+// engine2D carries the extraction phase's state: the statistics the
+// plan layer produced plus the query's thresholds and kernel
+// selection. Session.extract2D assembles it.
 type engine2D struct {
-	rel     relation.Relation
 	cfg     Config
 	opt     Options2D
 	attrs   []int    // schema positions of opt.Numerics
 	names   []string // resolved attribute names
 	objAttr int
 	side    int
+	tuples  int
 	bounds  []bucketing.Boundaries
 	pairs   []pair2D
-}
-
-// newEngine2D validates the request and runs both fused scans.
-func newEngine2D(rel relation.Relation, opt Options2D, cfg Config) (*engine2D, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	side := opt.GridSide
-	if side == 0 {
-		side = DefaultGridSide
-	}
-	if side < 1 {
-		return nil, fmt.Errorf("miner: grid side %d must be positive", opt.GridSide)
-	}
-	s := rel.Schema()
-	names := opt.Numerics
-	if names == nil {
-		for _, i := range s.NumericIndices() {
-			names = append(names, s[i].Name)
-		}
-	}
-	if len(names) < 2 {
-		return nil, fmt.Errorf("miner: 2-D mining needs at least two numeric attributes, got %d", len(names))
-	}
-	attrs := make([]int, len(names))
-	seen := make(map[int]bool, len(names))
-	for k, name := range names {
-		a := s.Index(name)
-		if a < 0 || s[a].Kind != relation.Numeric {
-			return nil, fmt.Errorf("miner: %q is not a numeric attribute", name)
-		}
-		if seen[a] {
-			return nil, fmt.Errorf("miner: the two numeric attributes must differ")
-		}
-		seen[a] = true
-		attrs[k] = a
-	}
-	objAttr := s.Index(opt.Objective)
-	if objAttr < 0 || s[objAttr].Kind != relation.Boolean {
-		return nil, fmt.Errorf("miner: %q is not a Boolean attribute", opt.Objective)
-	}
-	if opt.Kinds == nil {
-		opt.Kinds = []RuleKind{OptimizedSupport, OptimizedConfidence}
-	}
-	for _, kind := range opt.Kinds {
-		switch kind {
-		case OptimizedSupport, OptimizedConfidence, OptimizedGain:
-		default:
-			return nil, fmt.Errorf("miner: unknown rule kind %v", kind)
-		}
-	}
-	for _, class := range opt.Regions {
-		switch class {
-		case XMonotoneClass, RectilinearConvexClass:
-		case RectangleClass:
-			return nil, fmt.Errorf("miner: rectangles are mined via Kinds, not Regions")
-		default:
-			return nil, fmt.Errorf("miner: unknown region class %v", class)
-		}
-	}
-	if rel.NumTuples() == 0 {
-		return nil, fmt.Errorf("miner: empty relation")
-	}
-
-	eng := &engine2D{
-		rel: rel, cfg: cfg, opt: opt,
-		attrs: attrs, names: names, objAttr: objAttr, side: side,
-	}
-	if err := eng.sampleBoundaries(); err != nil {
-		return nil, err
-	}
-	if err := eng.countGrids(); err != nil {
-		return nil, err
-	}
-	return eng, nil
-}
-
-// sampleBoundaries is scan 1: every attribute's equi-depth grid
-// boundaries from one fused sampling pass, on the per-attribute
-// streams the legacy path used.
-func (e *engine2D) sampleBoundaries() error {
-	rngs := make([]*rand.Rand, len(e.attrs))
-	for k, attr := range e.attrs {
-		rngs[k] = attrRNG(e.cfg.Seed, attr)
-	}
-	bounds, err := bucketing.MultiSampledBoundaries(e.rel, e.attrs, e.side, e.cfg.SampleFactor, 0, rngs)
-	if err != nil {
-		return err
-	}
-	e.bounds = bounds
-	return nil
-}
-
-// gridWork is one counting worker's private tally state: a grid and
-// extreme arrays per pair, plus the per-batch bucket-index scratch.
-type gridWork struct {
-	pairs []pair2D
-	idx   [][]int32 // per attribute: bucket index per batch row, −1 for NaN
-}
-
-func (e *engine2D) newGridWork() (*gridWork, error) {
-	w := &gridWork{
-		pairs: make([]pair2D, 0, len(e.attrs)*(len(e.attrs)-1)/2),
-		idx:   make([][]int32, len(e.attrs)),
-	}
-	for i := 0; i < len(e.attrs); i++ {
-		for j := i + 1; j < len(e.attrs); j++ {
-			g, err := region.NewGrid(e.bounds[i].NumBuckets(), e.bounds[j].NumBuckets())
-			if err != nil {
-				return nil, err
-			}
-			gu, gv, ok := g.Flat()
-			if !ok {
-				return nil, fmt.Errorf("miner: grid misses its flat backing")
-			}
-			p := pair2D{
-				ai: i, bi: j, grid: g,
-				gu: gu, gv: gv, cols: g.Cols(),
-				minA: make([]float64, e.bounds[i].NumBuckets()),
-				maxA: make([]float64, e.bounds[i].NumBuckets()),
-				minB: make([]float64, e.bounds[j].NumBuckets()),
-				maxB: make([]float64, e.bounds[j].NumBuckets()),
-			}
-			for r := range p.minA {
-				p.minA[r], p.maxA[r] = math.Inf(1), math.Inf(-1)
-			}
-			for c := range p.minB {
-				p.minB[c], p.maxB[c] = math.Inf(1), math.Inf(-1)
-			}
-			w.pairs = append(w.pairs, p)
-		}
-	}
-	return w, nil
-}
-
-// countBatch tallies one batch into every pair's grid. Each tuple's
-// bucket is located ONCE per attribute (not once per pair); the pair
-// loops then run tight index arithmetic over the precomputed bucket
-// rows, which is what makes all-pairs counting cost d locates plus
-// d(d−1)/2 cell increments per tuple instead of d(d−1) locates.
-func (w *gridWork) countBatch(b *relation.Batch, bounds []bucketing.Boundaries, want bool) {
-	n := b.Len
-	obj := b.Bool[0]
-	for k := range bounds {
-		if cap(w.idx[k]) < n {
-			w.idx[k] = make([]int32, n)
-		}
-		// NaN values locate to −1: the tuple joins no pair using
-		// attribute k.
-		bounds[k].LocateBatch(b.Numeric[k][:n], w.idx[k][:n])
-	}
-	for p := range w.pairs {
-		pr := &w.pairs[p]
-		ia := w.idx[pr.ai][:n]
-		ib := w.idx[pr.bi][:n]
-		colA := b.Numeric[pr.ai]
-		colB := b.Numeric[pr.bi]
-		gu, gv, cols := pr.gu, pr.gv, pr.cols
-		minA, maxA := pr.minA, pr.maxA
-		minB, maxB := pr.minB, pr.maxB
-		for row := 0; row < n; row++ {
-			ri := int(ia[row])
-			if ri < 0 {
-				continue
-			}
-			rj := int(ib[row])
-			if rj < 0 {
-				continue
-			}
-			idx := ri*cols + rj
-			gu[idx]++
-			// Flagless objective tally (as in the 1-D counting kernel):
-			// the objective bit is ~50% either way, so a conditional
-			// increment would mispredict constantly.
-			e := 0.0
-			if obj[row] == want {
-				e = 1
-			}
-			gv[idx] += e
-			a := colA[row]
-			if a < minA[ri] {
-				minA[ri] = a
-			}
-			if a > maxA[ri] {
-				maxA[ri] = a
-			}
-			bv := colB[row]
-			if bv < minB[rj] {
-				minB[rj] = bv
-			}
-			if bv > maxB[rj] {
-				maxB[rj] = bv
-			}
-		}
-	}
-}
-
-// merge folds other's tallies into w. All statistics are integer
-// counts or min/max extremes, so the merged state is exactly the
-// serial scan's regardless of how rows were segmented.
-func (w *gridWork) merge(other *gridWork) error {
-	for p := range w.pairs {
-		pr, op := &w.pairs[p], &other.pairs[p]
-		if err := pr.grid.Merge(op.grid); err != nil {
-			return err
-		}
-		for i := range pr.minA {
-			if op.minA[i] < pr.minA[i] {
-				pr.minA[i] = op.minA[i]
-			}
-			if op.maxA[i] > pr.maxA[i] {
-				pr.maxA[i] = op.maxA[i]
-			}
-		}
-		for i := range pr.minB {
-			if op.minB[i] < pr.minB[i] {
-				pr.minB[i] = op.minB[i]
-			}
-			if op.maxB[i] > pr.maxB[i] {
-				pr.maxB[i] = op.maxB[i]
-			}
-		}
-	}
-	return nil
-}
-
-// countGrids is scan 2: fill all pair grids in one pass over the
-// participating columns only. On range-scanning relations the pass is
-// segmented across workers at block-group-aligned boundaries; private
-// worker grids are merged afterwards (exactly — integer counts), so
-// segmentation never changes results.
-func (e *engine2D) countGrids() error {
-	cols := relation.ColumnSet{Numeric: e.attrs, Bool: []int{e.objAttr}}
-	want := e.opt.ObjectiveValue
-	pes := e.cfg.PEs
-	if pes == 0 {
-		// Unlike the 1-D counting scan (whose float target sums reorder
-		// under segmentation), 2-D grid merging is exact, so the fused
-		// counting scan parallelizes by default.
-		pes = runtime.GOMAXPROCS(0)
-	}
-	n := e.rel.NumTuples()
-	if pes > n {
-		pes = n
-	}
-	rs, canRange := e.rel.(relation.RangeScanner)
-	if !canRange || pes <= 1 {
-		w, err := e.newGridWork()
-		if err != nil {
-			return err
-		}
-		if err := e.rel.Scan(cols, func(b *relation.Batch) error {
-			w.countBatch(b, e.bounds, want)
-			return nil
-		}); err != nil {
-			return err
-		}
-		e.pairs = w.pairs
-		e.finalizePairs()
-		return nil
-	}
-	segs := relation.AlignedSegments(e.rel, n, pes)
-	works := make([]*gridWork, pes)
-	errs := make(chan error, pes)
-	for p := 0; p < pes; p++ {
-		go func(p int) {
-			local, err := e.newGridWork()
-			if err != nil {
-				errs <- err
-				return
-			}
-			works[p] = local
-			errs <- rs.ScanRange(segs[p], segs[p+1], cols, func(b *relation.Batch) error {
-				local.countBatch(b, e.bounds, want)
-				return nil
-			})
-		}(p)
-	}
-	var firstErr error
-	for p := 0; p < pes; p++ {
-		if err := <-errs; err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	if firstErr != nil {
-		return firstErr
-	}
-	total := works[0]
-	for _, part := range works[1:] {
-		if err := total.merge(part); err != nil {
-			return err
-		}
-	}
-	e.pairs = total.pairs
-	e.finalizePairs()
-	return nil
-}
-
-// finalizePairs derives each pair's tuple and objective-hit counts
-// from its (merged) grid: n = Σ U, hits = Σ V. Both are exact — V
-// cells are integer counts — so this matches per-row counters without
-// the hot loop maintaining any.
-func (e *engine2D) finalizePairs() {
-	for p := range e.pairs {
-		pr := &e.pairs[p]
-		pr.n = pr.grid.Total()
-		pr.hits = int(pr.grid.SumV())
-	}
 }
 
 // rectRule runs one rectangle kernel on one pair's grid with the given
@@ -578,7 +270,7 @@ func (e *engine2D) mineAll() (*Result2D, error) {
 			tasks = append(tasks, task{pair: p, class: class, isRegion: true})
 		}
 	}
-	res := &Result2D{Pairs: mined, Tuples: e.rel.NumTuples(), Config: e.cfg}
+	res := &Result2D{Pairs: mined, Tuples: e.tuples, Config: e.cfg}
 	if len(tasks) == 0 {
 		return res, nil
 	}

@@ -86,6 +86,16 @@ func fillAvg(driver, target string, p core.Pair, c *bucketing.Counts) AvgRange {
 // minSupport (a fraction) of the tuples — Definition 5.2, solved with
 // the optimal-slope-pair algorithm.
 func MaxAverageRange(rel relation.Relation, driver, target string, minSupport float64, cfg Config) (AvgRange, error) {
+	s, err := NewSession(rel, cfg)
+	if err != nil {
+		return AvgRange{}, err
+	}
+	return s.MaxAverageRange(driver, target, minSupport)
+}
+
+// legacyMaxAverageRange is the pre-session pipeline, kept as the
+// differential-testing reference for the session-backed MaxAverageRange.
+func legacyMaxAverageRange(rel relation.Relation, driver, target string, minSupport float64, cfg Config) (AvgRange, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return AvgRange{}, err
@@ -114,6 +124,16 @@ func MaxAverageRange(rel relation.Relation, driver, target string, minSupport fl
 // trivially satisfied by the whole domain; that result is returned, not
 // an error.
 func MaxSupportRange(rel relation.Relation, driver, target string, minAverage float64, cfg Config) (AvgRange, error) {
+	s, err := NewSession(rel, cfg)
+	if err != nil {
+		return AvgRange{}, err
+	}
+	return s.MaxSupportRange(driver, target, minAverage)
+}
+
+// legacyMaxSupportRange is the pre-session pipeline, kept as the
+// differential-testing reference for the session-backed MaxSupportRange.
+func legacyMaxSupportRange(rel relation.Relation, driver, target string, minAverage float64, cfg Config) (AvgRange, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return AvgRange{}, err

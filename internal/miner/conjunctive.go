@@ -21,6 +21,18 @@ import (
 // may be nil).
 func MineConjunctive(rel relation.Relation, numeric string, objectives []Condition,
 	conditions []Condition, cfg Config) (supportRule, confidenceRule *Rule, err error) {
+	s, err := NewSession(rel, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.MineConjunctive(numeric, objectives, conditions)
+}
+
+// legacyMineConjunctive is the pre-session pipeline (two counting
+// scans sharing one boundary set), kept as the differential-testing
+// reference for the session-backed MineConjunctive.
+func legacyMineConjunctive(rel relation.Relation, numeric string, objectives []Condition,
+	conditions []Condition, cfg Config) (supportRule, confidenceRule *Rule, err error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, nil, err

@@ -2,27 +2,26 @@
 // of optimized rules for all combinations of hundreds of numeric and
 // Boolean attributes" workload the paper's introduction targets.
 //
-// MineAll runs in three phases over exactly TWO sequential scans of the
-// relation, regardless of how many numeric attributes it has:
-//
-//  1. one fused sampling scan draws every numeric attribute's
-//     Algorithm 3.1 sample at once and builds per-attribute equi-depth
-//     boundaries (bucketing.MultiSampledBoundaries);
-//  2. one fused counting scan tallies per-bucket statistics for every
-//     (numeric, Boolean) combination at once (bucketing.MultiCount, or
-//     the segment-parallel ParallelMultiCount when Config.PEs > 1);
-//  3. the Section 4 hull/Kadane/top-k algorithms run on the in-memory
-//     counts, fanned out over a worker pool (Config.Workers).
+// The engine is a plan→execute→extract SESSION (session.go): every
+// query — 1-D rules, §4.3 conjunctive forms, ranked ranges, Section 5
+// average-operator queries, and the §1.4 two-dimensional layer — is
+// resolved by internal/plan into the sufficient statistics it needs,
+// a batch's deduplicated misses are materialized in at most TWO
+// sequential scans of the relation (one fused sampling scan building
+// every bucket boundary, one fused counting scan filling every count
+// group and pair grid), and the Section 4 hull/Kadane/top-k kernels
+// then run on the in-memory statistics over a worker pool
+// (Config.Workers). A Session's LRU statistics cache answers repeat
+// queries with different thresholds or kinds in ZERO scans.
 //
 // The paper's premise is that the database is far larger than main
 // memory, so sequential passes are the currency of performance: the
 // fused pipeline reads a d-numeric-attribute relation twice end to end
-// where a per-attribute pipeline would read it d+1 times. Targeted
-// queries (Mine, MineConjunctive, …) keep the per-attribute path, which
-// scans only the columns they need.
-//
-// The two-dimensional layer (§1.4) runs the same two-scan discipline
-// over attribute PAIRS: see MineAll2D in all2d.go.
+// where a per-attribute pipeline would read it d+1 times — and a
+// session batch reads it twice for ANY number of queries. The one-shot
+// functions (MineAll, Mine, MineTopK, …) wrap a throwaway session; the
+// pre-session pipelines survive as differential-test references
+// (mineAllPerAttribute, legacyMine, Mine2DPerPair, …).
 package miner
 
 import (
@@ -36,47 +35,31 @@ import (
 
 	"optrule/internal/bucketing"
 	"optrule/internal/core"
+	"optrule/internal/plan"
 	"optrule/internal/relation"
 	"optrule/internal/stats"
 )
 
-// RuleKind says which optimization produced a rule.
-type RuleKind int
+// RuleKind says which optimization produced a rule. It is defined in
+// the plan layer (the session query IR names kinds too) and
+// re-exported here; the constants alias plan's.
+type RuleKind = plan.RuleKind
 
 const (
 	// OptimizedSupport rules maximize support subject to a minimum
 	// confidence (Algorithms 4.3 + 4.4).
-	OptimizedSupport RuleKind = iota
+	OptimizedSupport = plan.OptimizedSupport
 	// OptimizedConfidence rules maximize confidence subject to a
 	// minimum support (Algorithms 4.1 + 4.2).
-	OptimizedConfidence
+	OptimizedConfidence = plan.OptimizedConfidence
 	// OptimizedGain rules maximize the gain Σ(v_i − θ·u_i): the excess
 	// number of hits over what the confidence threshold θ requires.
 	// Discussed at the end of the paper's §4.2 (Bentley/Kadane) and
 	// developed as a rule class in the authors' follow-up work; found in
 	// O(M) with Kadane's algorithm. Unlike the other two kinds, gain
 	// balances support and confidence in a single objective.
-	OptimizedGain
+	OptimizedGain = plan.OptimizedGain
 )
-
-// MarshalJSON encodes the kind as its name.
-func (k RuleKind) MarshalJSON() ([]byte, error) {
-	return []byte(fmt.Sprintf("%q", k.String())), nil
-}
-
-// String returns the kind name.
-func (k RuleKind) String() string {
-	switch k {
-	case OptimizedSupport:
-		return "optimized-support"
-	case OptimizedConfidence:
-		return "optimized-confidence"
-	case OptimizedGain:
-		return "optimized-gain"
-	default:
-		return fmt.Sprintf("RuleKind(%d)", int(k))
-	}
-}
 
 // Rule is one mined optimized association rule
 // (A ∈ [Low, High]) ⇒ (Objective = ObjectiveValue), possibly under a
@@ -252,11 +235,12 @@ func condString(s relation.Schema, conds []bucketing.BoolCond) string {
 
 // attrRNG derives the deterministic random stream for one numeric
 // attribute. EVERY entry point that buckets an attribute must use this
-// — the fused MineAll, the legacy per-attribute pipeline, and the
+// — the session engine, the legacy per-attribute pipeline, and the
 // targeted queries stay boundary-identical (and therefore
-// rule-identical) only because they all draw from the same stream.
+// rule-identical) only because they all draw from the same stream. The
+// formula lives in plan.AttrRNG, next to the executor that consumes it.
 func attrRNG(seed int64, attr int) *rand.Rand {
-	return rand.New(rand.NewSource(seed + int64(attr)*1e6 + 17))
+	return plan.AttrRNG(seed, attr)
 }
 
 // attrBoundaries picks the bucketing for one numeric attribute: finest
@@ -306,11 +290,28 @@ func attrRules(rel relation.Relation, numAttr int, objectives []bucketing.BoolCo
 }
 
 // rulesFromCounts applies the Section 4 optimized-rule algorithms to
-// one attribute's per-bucket counts. Pure CPU on in-memory counts: this
-// is phase 3 of the fused pipeline and the tail of the per-attribute
-// path, so both produce rule-for-rule identical output.
+// one attribute's per-bucket counts with the config's kind selection.
+// Pure CPU on in-memory counts: this is the tail of the legacy
+// per-attribute path and delegates to the session engine's extraction,
+// so both produce rule-for-rule identical output.
 func rulesFromCounts(s relation.Schema, numAttr int, objectives []bucketing.BoolCond,
 	filter []bucketing.BoolCond, cfg Config, counts *bucketing.Counts) ([]Rule, error) {
+	kinds := []RuleKind{OptimizedSupport, OptimizedConfidence}
+	if cfg.MineGain {
+		kinds = append(kinds, OptimizedGain)
+	}
+	return extractRulesFromCounts(s, numAttr, objectives, filter, kinds,
+		cfg.MinSupport, cfg.MinConfidence, counts)
+}
+
+// extractRulesFromCounts is the kind-selectable rule extraction every
+// 1-D path funnels through. For each objective it emits the requested
+// kinds in the fixed order support, confidence, gain (whatever subset
+// kinds names), which keeps the lift-sorted assembly stable across the
+// session and legacy pipelines.
+func extractRulesFromCounts(s relation.Schema, numAttr int, objectives []bucketing.BoolCond,
+	filter []bucketing.BoolCond, kinds []RuleKind, minSupport, minConfidence float64,
+	counts *bucketing.Counts) ([]Rule, error) {
 	if counts.N == 0 {
 		return nil, nil // filter excluded everything; no rules
 	}
@@ -318,6 +319,7 @@ func rulesFromCounts(s relation.Schema, numAttr int, objectives []bucketing.Bool
 	cond := condString(s, filter)
 
 	var rules []Rule
+	var err error
 	for k, obj := range objectives {
 		v := make([]float64, compact.M)
 		hits := 0
@@ -334,7 +336,31 @@ func rulesFromCounts(s relation.Schema, numAttr int, objectives []bucketing.Bool
 			Baseline:       baseline,
 			Buckets:        compact.M,
 		}
-		if p, ok, err := core.OptimalSupportPair(compact.U, v, cfg.MinConfidence); err != nil {
+		rules, err = appendKindRules(rules, base, compact, v, kinds, minSupport, minConfidence)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rules, nil
+}
+
+// wantKind reports whether kinds names kind.
+func wantKind(kinds []RuleKind, kind RuleKind) bool {
+	for _, k := range kinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// appendKindRules runs the requested Section 4 optimizations over one
+// (u, v) bucket sequence and appends the found rules to rules, always
+// in the order support, confidence, gain.
+func appendKindRules(rules []Rule, base Rule, compact *bucketing.Counts, v []float64,
+	kinds []RuleKind, minSupport, minConfidence float64) ([]Rule, error) {
+	if wantKind(kinds, OptimizedSupport) {
+		if p, ok, err := core.OptimalSupportPair(compact.U, v, minConfidence); err != nil {
 			return nil, err
 		} else if ok {
 			r := base
@@ -342,7 +368,9 @@ func rulesFromCounts(s relation.Schema, numAttr int, objectives []bucketing.Bool
 			fillPair(&r, p, compact)
 			rules = append(rules, r)
 		}
-		minSupCount := cfg.MinSupport * float64(compact.N)
+	}
+	if wantKind(kinds, OptimizedConfidence) {
+		minSupCount := minSupport * float64(compact.N)
 		if p, ok, err := core.OptimalSlopePair(compact.U, v, minSupCount); err != nil {
 			return nil, err
 		} else if ok {
@@ -351,27 +379,27 @@ func rulesFromCounts(s relation.Schema, numAttr int, objectives []bucketing.Bool
 			fillPair(&r, p, compact)
 			rules = append(rules, r)
 		}
-		if cfg.MineGain {
-			gs, gt, gain, err := core.MaxGainRange(compact.U, v, cfg.MinConfidence)
-			if err != nil {
-				return nil, err
+	}
+	if wantKind(kinds, OptimizedGain) {
+		gs, gt, gain, err := core.MaxGainRange(compact.U, v, minConfidence)
+		if err != nil {
+			return nil, err
+		}
+		if gain > 0 {
+			r := base
+			r.Kind = OptimizedGain
+			r.Gain = gain
+			count, sumV := 0, 0.0
+			for i := gs; i <= gt; i++ {
+				count += compact.U[i]
+				sumV += v[i]
 			}
-			if gain > 0 {
-				r := base
-				r.Kind = OptimizedGain
-				r.Gain = gain
-				count, sumV := 0, 0.0
-				for i := gs; i <= gt; i++ {
-					count += compact.U[i]
-					sumV += v[i]
-				}
-				r.Low = compact.MinVal[gs]
-				r.High = compact.MaxVal[gt]
-				r.Count = count
-				r.Support = float64(count) / float64(compact.N)
-				r.Confidence = sumV / float64(count)
-				rules = append(rules, r)
-			}
+			r.Low = compact.MinVal[gs]
+			r.High = compact.MaxVal[gt]
+			r.Count = count
+			r.Support = float64(count) / float64(compact.N)
+			r.Confidence = sumV / float64(count)
+			rules = append(rules, r)
 		}
 	}
 	return rules, nil
@@ -439,87 +467,20 @@ func assembleResult(rel relation.Relation, cfg Config, byPos [][]Rule) *Result {
 // every (numeric attribute, Boolean attribute) combination of the
 // relation, using cfg. Rules are sorted by descending lift.
 //
-// It runs the fused three-phase pipeline — one sampling scan building
-// boundaries for every numeric attribute, one counting scan producing
-// per-bucket counts for every attribute, then the Section 4 algorithms
-// over the in-memory counts on a worker pool — so the relation is read
+// It is a thin wrapper over a throwaway Session running the
+// plan→execute engine: one fused sampling scan builds boundaries for
+// every numeric attribute, one fused counting scan produces per-bucket
+// counts for every attribute, and the Section 4 algorithms run over
+// the in-memory counts on a worker pool — so the relation is read
 // exactly twice end to end no matter how many numeric attributes it
 // has. Output is rule-for-rule identical to mining each attribute
 // independently.
 func MineAll(rel relation.Relation, cfg Config) (*Result, error) {
-	cfg, numIdx, objectives, err := mineAllSetup(rel, cfg)
+	s, err := NewSession(rel, cfg)
 	if err != nil {
 		return nil, err
 	}
-	s := rel.Schema()
-
-	// Phase 1: one fused sampling scan -> boundaries per attribute.
-	// Each attribute keeps its own deterministic stream, so boundaries
-	// are identical to what the per-attribute path would build.
-	rngs := make([]*rand.Rand, len(numIdx))
-	for i, attr := range numIdx {
-		rngs[i] = attrRNG(cfg.Seed, attr)
-	}
-	bounds, err := bucketing.MultiSampledBoundaries(rel, numIdx,
-		cfg.Buckets, cfg.SampleFactor, cfg.ExactDomainLimit, rngs)
-	if err != nil {
-		return nil, fmt.Errorf("miner: bucketing: %w", err)
-	}
-
-	// Phase 2: one fused counting scan -> Counts per attribute.
-	opts := bucketing.Options{Bools: objectives, TrackExtremes: true}
-	var counts []*bucketing.Counts
-	if cfg.PEs > 1 {
-		if rs, ok := rel.(relation.RangeScanner); ok {
-			counts, err = bucketing.ParallelMultiCount(rs, numIdx, bounds, opts, cfg.PEs)
-		}
-	}
-	if counts == nil && err == nil {
-		counts, err = bucketing.MultiCount(rel, numIdx, bounds, opts)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("miner: counting: %w", err)
-	}
-
-	// Phase 3: Section 4 algorithms on the in-memory counts, fanned out
-	// over the worker pool.
-	type out struct {
-		pos   int
-		rules []Rule
-		err   error
-	}
-	jobs := make(chan int)
-	outs := make(chan out, len(numIdx))
-	workers := cfg.Workers
-	if workers > len(numIdx) {
-		workers = len(numIdx)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for pos := range jobs {
-				rules, err := rulesFromCounts(s, numIdx[pos], objectives, nil, cfg, counts[pos])
-				outs <- out{pos: pos, rules: rules, err: err}
-			}
-		}()
-	}
-	for pos := range numIdx {
-		jobs <- pos
-	}
-	close(jobs)
-	wg.Wait()
-	close(outs)
-
-	byPos := make([][]Rule, len(numIdx))
-	for o := range outs {
-		if o.err != nil {
-			return nil, o.err
-		}
-		byPos[o.pos] = o.rules
-	}
-	return assembleResult(rel, cfg, byPos), nil
+	return s.MineAll()
 }
 
 // mineAllPerAttribute is the legacy unfused pipeline: one sampling pass
@@ -581,8 +542,21 @@ func mineAllPerAttribute(rel relation.Relation, cfg Config) (*Result, error) {
 // Boolean conditions (the generalized rules of Section 4.3:
 // (A ∈ [v1,v2]) ∧ C1 ⇒ C2). Attribute names are resolved against the
 // schema. Returned in order: optimized-support rule (or nil), then
-// optimized-confidence rule (or nil).
+// optimized-confidence rule (or nil). Thin wrapper over a throwaway
+// Session.
 func Mine(rel relation.Relation, numeric, objective string, objectiveValue bool,
+	conditions []Condition, cfg Config) (supportRule, confidenceRule *Rule, err error) {
+	s, err := NewSession(rel, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.Mine(numeric, objective, objectiveValue, conditions)
+}
+
+// legacyMine is the pre-session targeted pipeline (its own sampling
+// pass + counting scan via attrRules), kept as the differential-testing
+// reference for the session-backed Mine.
+func legacyMine(rel relation.Relation, numeric, objective string, objectiveValue bool,
 	conditions []Condition, cfg Config) (supportRule, confidenceRule *Rule, err error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -622,8 +596,6 @@ func Mine(rel relation.Relation, numeric, objective string, objectiveValue bool,
 	return supportRule, confidenceRule, nil
 }
 
-// Condition is a named primitive Boolean condition for Mine.
-type Condition struct {
-	Attr  string
-	Value bool
-}
+// Condition is a named primitive Boolean condition for Mine; it is
+// shared with the session query IR (plan.Condition).
+type Condition = plan.Condition

@@ -1,0 +1,589 @@
+package miner
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"optrule/internal/bucketing"
+	"optrule/internal/core"
+	"optrule/internal/plan"
+	"optrule/internal/relation"
+)
+
+// The session engine: plan → execute → extract.
+//
+// A Session is a long-lived handle over one relation that answers
+// mining queries from cached sufficient statistics. Every query is
+// first RESOLVED into the statistics it needs (internal/plan's Query
+// IR), the batch's union of needs is EXECUTED in at most two relation
+// scans (one fused sampling scan, one fused counting scan — cache hits
+// scan nothing), and the Section 4 / §1.4 rule optimizations then
+// EXTRACT answers from the in-memory statistics. The one-shot package
+// functions (MineAll, Mine, MineTopK, …) are thin wrappers over a
+// throwaway session, pinned rule-for-rule identical to the
+// pre-session pipelines by differential tests.
+
+// Query is the session IR: one mining request. See the plan package
+// for field semantics; the zero value of each optional field selects
+// the session default.
+type Query = plan.Query
+
+// Query operations.
+const (
+	OpRules        = plan.OpRules
+	OpConjunctive  = plan.OpConjunctive
+	OpTopK         = plan.OpTopK
+	OpAverage      = plan.OpAverage
+	OpSupportRange = plan.OpSupportRange
+	OpRules2D      = plan.OpRules2D
+)
+
+// CacheStats reports the session cache's occupancy and traffic.
+type CacheStats = plan.CacheStats
+
+// Answer is one query's result. Exactly one result group is populated,
+// matching the query's op: Rules (OpRules, OpConjunctive, OpTopK),
+// Rules2D/Regions (OpRules2D), or Range (OpAverage, OpSupportRange).
+// Err carries per-query failures (unknown attributes, invalid
+// thresholds) so one bad query does not sink its batch.
+type Answer struct {
+	Query Query
+	Err   error
+	// Rules holds 1-D rules: lift-sorted for rule queries, rank-ordered
+	// for top-k queries.
+	Rules []Rule
+	// Rules2D and Regions hold 2-D results (lift- and gain-sorted).
+	Rules2D []Rule2D
+	Regions []RegionRule
+	// Pairs is the number of attribute pairs actually mined (OpRules2D).
+	Pairs int
+	// Range is the average-operator result.
+	Range *AvgRange
+	// Tuples is the relation size at answer time.
+	Tuples int
+}
+
+// rule returns the first rule of the given kind, or nil.
+func (a *Answer) rule(kind RuleKind) *Rule {
+	for i := range a.Rules {
+		if a.Rules[i].Kind == kind {
+			return &a.Rules[i]
+		}
+	}
+	return nil
+}
+
+// Session is a long-lived mining handle over one relation: it owns an
+// LRU-bounded, size-accounted cache of sufficient statistics (bucket
+// boundaries, 1-D count groups, 2-D pair grids) keyed by (attributes,
+// resolution, conditions), so queries that differ only in thresholds,
+// rule kinds, or region classes rescan nothing. Sessions are safe for
+// concurrent use; the underlying relation must support concurrent
+// scans (all storage backends in this module do).
+type Session struct {
+	rel relation.Relation
+	cfg Config
+	d   plan.Defaults
+	c   *plan.LRUCache
+}
+
+// NewSession validates cfg and creates a session over rel. The
+// relation's contents must not change for the session's lifetime (the
+// cache has no invalidation hook yet — see InvalidateCache).
+func NewSession(rel relation.Relation, cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Session{
+		rel: rel,
+		cfg: cfg,
+		d: plan.Defaults{
+			MinSupport:       cfg.MinSupport,
+			MinConfidence:    cfg.MinConfidence,
+			Buckets:          cfg.Buckets,
+			GridSide:         DefaultGridSide,
+			SampleFactor:     cfg.SampleFactor,
+			ExactDomainLimit: cfg.ExactDomainLimit,
+			Seed:             cfg.Seed,
+			PEs:              cfg.PEs,
+		},
+		c: plan.NewCache(0),
+	}, nil
+}
+
+// SetCacheLimit rebounds the statistics cache to maxBytes (0 restores
+// the default budget, negative removes the bound), evicting
+// least-recently-used statistics if the new budget is exceeded.
+func (s *Session) SetCacheLimit(maxBytes int64) { s.c.SetMaxBytes(maxBytes) }
+
+// CacheStats returns the statistics cache's occupancy and traffic.
+func (s *Session) CacheStats() CacheStats { return s.c.Stats() }
+
+// InvalidateCache drops every cached statistic, e.g. after the
+// underlying relation was rewritten in place.
+func (s *Session) InvalidateCache() { s.c.Invalidate() }
+
+// ExecuteBatch answers a batch of queries together: the planner
+// dedupes the sufficient statistics the whole batch needs, the
+// executor materializes the cache misses in at most TWO relation scans
+// (zero when everything is cached), and extraction runs per query on
+// the in-memory statistics. The returned slice is parallel to queries;
+// per-query failures land in Answer.Err while a scan failure fails the
+// batch.
+func (s *Session) ExecuteBatch(queries []Query) ([]Answer, error) {
+	answers := make([]Answer, len(queries))
+	resolved := make([]*plan.Resolved, len(queries))
+	req := plan.NewRequirements()
+	for i, q := range queries {
+		answers[i].Query = q
+		r, err := plan.Resolve(s.rel, s.d, q)
+		if err != nil {
+			answers[i].Err = err
+			continue
+		}
+		resolved[i] = r
+		req.Add(r)
+	}
+	set, err := plan.Run(s.rel, s.d, s.c, req)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range resolved {
+		if r == nil {
+			continue
+		}
+		s.extract(&answers[i], r, set)
+	}
+	return answers, nil
+}
+
+// extract answers one resolved query from the batch's working set.
+func (s *Session) extract(a *Answer, r *plan.Resolved, set *plan.StatsSet) {
+	a.Tuples = s.rel.NumTuples()
+	var err error
+	switch r.Op {
+	case plan.OpRules:
+		a.Rules, err = s.extractRules(r, set)
+	case plan.OpConjunctive:
+		a.Rules, err = s.extractConjunctive(r, set)
+	case plan.OpTopK:
+		a.Rules, err = s.extractTopK(r, set)
+	case plan.OpAverage, plan.OpSupportRange:
+		a.Range, err = s.extractAverage(r, set)
+	case plan.OpRules2D:
+		var res *Result2D
+		res, err = s.extract2D(r, set)
+		if err == nil {
+			a.Rules2D, a.Regions, a.Pairs = res.Rules, res.Regions, res.Pairs
+		}
+	default:
+		err = fmt.Errorf("miner: unknown op %v", r.Op)
+	}
+	a.Err = err
+}
+
+// extractRules runs the Section 4 algorithms for every driver of a
+// 1-D rule query on the worker pool and merges the per-driver rule
+// sets in schema order, sorted by descending lift — exactly the
+// MineAll assembly.
+func (s *Session) extractRules(r *plan.Resolved, set *plan.StatsSet) ([]Rule, error) {
+	schema := s.rel.Schema()
+	type out struct {
+		pos   int
+		rules []Rule
+		err   error
+	}
+	jobs := make(chan int)
+	outs := make(chan out, len(r.Drivers))
+	workers := s.cfg.Workers
+	if workers > len(r.Drivers) {
+		workers = len(r.Drivers)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pos := range jobs {
+				st, ok := set.Groups[r.Keys[pos]]
+				if !ok {
+					outs <- out{pos: pos, err: fmt.Errorf("miner: group %+v missing from working set", r.Keys[pos])}
+					continue
+				}
+				counts, err := st.Counts(r.Objs, nil, true)
+				if err != nil {
+					outs <- out{pos: pos, err: err}
+					continue
+				}
+				rules, err := extractRulesFromCounts(schema, r.Drivers[pos], r.Objs, r.Filter,
+					r.Kinds, r.MinSupport, r.MinConfidence, counts)
+				outs <- out{pos: pos, rules: rules, err: err}
+			}
+		}()
+	}
+	for pos := range r.Drivers {
+		jobs <- pos
+	}
+	close(jobs)
+	wg.Wait()
+	close(outs)
+	byPos := make([][]Rule, len(r.Drivers))
+	for o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		byPos[o.pos] = o.rules
+	}
+	var rules []Rule
+	for _, rs := range byPos {
+		rules = append(rules, rs...)
+	}
+	sort.SliceStable(rules, func(i, j int) bool {
+		return rules[i].Lift() > rules[j].Lift()
+	})
+	return rules, nil
+}
+
+// extractConjunctive reruns the §4.3 recipe on the two cached groups:
+// u_i over C1 and v_i over C1 ∧ C2 share one set of boundaries.
+func (s *Session) extractConjunctive(r *plan.Resolved, set *plan.StatsSet) ([]Rule, error) {
+	schema := s.rel.Schema()
+	uStats, ok := set.Groups[r.UKey]
+	if !ok {
+		return nil, fmt.Errorf("miner: group %+v missing from working set", r.UKey)
+	}
+	vStats, ok := set.Groups[r.VKey]
+	if !ok {
+		return nil, fmt.Errorf("miner: group %+v missing from working set", r.VKey)
+	}
+	uCounts, err := uStats.Counts(nil, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	if uCounts.N == 0 {
+		return nil, nil // C1 excludes everything
+	}
+	// Compact on u (v is bounded by u bucketwise).
+	compact, keep := uCounts.Compact()
+	v := make([]float64, compact.M)
+	hits := 0
+	for j, i := range keep {
+		v[j] = float64(vStats.U[i])
+		hits += vStats.U[i]
+	}
+	cond := condString(schema, r.C1)
+	objNames := condString(schema, r.C2)
+	base := Rule{
+		Numeric:   schema[r.Drivers[0]].Name,
+		Objective: objNames,
+		// ObjectiveValue is absorbed into the rendered conjunction.
+		ObjectiveValue: true,
+		Condition:      cond,
+		Baseline:       float64(hits) / float64(compact.N),
+		Buckets:        compact.M,
+	}
+	return appendKindRules(nil, base, compact, v, r.Kinds, r.MinSupport, r.MinConfidence)
+}
+
+// extractTopK mines the ranked disjoint ranges from the cached group.
+func (s *Session) extractTopK(r *plan.Resolved, set *plan.StatsSet) ([]Rule, error) {
+	schema := s.rel.Schema()
+	st, ok := set.Groups[r.Keys[0]]
+	if !ok {
+		return nil, fmt.Errorf("miner: group %+v missing from working set", r.Keys[0])
+	}
+	counts, err := st.Counts(r.Objs, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	compact, _ := counts.Compact()
+	v := make([]float64, compact.M)
+	hits := 0
+	for i, c := range compact.V[0] {
+		v[i] = float64(c)
+		hits += c
+	}
+	var pairs []core.Pair
+	switch r.Kinds[0] {
+	case OptimizedConfidence:
+		pairs, err = core.TopKSlopePairs(compact.U, v, r.MinSupport*float64(compact.N), r.K)
+	case OptimizedSupport:
+		pairs, err = core.TopKSupportPairs(compact.U, v, r.MinConfidence, r.K)
+	default:
+		return nil, fmt.Errorf("miner: unknown rule kind %v", r.Kinds[0])
+	}
+	if err != nil {
+		return nil, err
+	}
+	rules := make([]Rule, 0, len(pairs))
+	for _, p := range pairs {
+		rule := Rule{
+			Kind:           r.Kinds[0],
+			Numeric:        schema[r.Drivers[0]].Name,
+			Objective:      schema[r.Objs[0].Attr].Name,
+			ObjectiveValue: r.Objs[0].Want,
+			Baseline:       float64(hits) / float64(compact.N),
+			Buckets:        compact.M,
+		}
+		fillPair(&rule, p, compact)
+		rules = append(rules, rule)
+	}
+	return rules, nil
+}
+
+// extractAverage answers the Section 5 decision-support queries from
+// the cached group's per-bucket target sums.
+func (s *Session) extractAverage(r *plan.Resolved, set *plan.StatsSet) (*AvgRange, error) {
+	schema := s.rel.Schema()
+	st, ok := set.Groups[r.Keys[0]]
+	if !ok {
+		return nil, fmt.Errorf("miner: group %+v missing from working set", r.Keys[0])
+	}
+	counts, err := st.Counts(nil, []int{r.Target}, true)
+	if err != nil {
+		return nil, err
+	}
+	compact, _ := counts.Compact()
+	driver := schema[r.Drivers[0]].Name
+	target := schema[r.Target].Name
+	var p core.Pair
+	var found bool
+	if r.Op == plan.OpAverage {
+		p, found, err = core.OptimalSlopePair(compact.U, compact.Sum[0], r.MinSupport*float64(compact.N))
+		if err == nil && !found {
+			err = fmt.Errorf("miner: no range reaches support %g", r.MinSupport)
+		}
+	} else {
+		p, found, err = core.OptimalSupportPair(compact.U, compact.Sum[0], r.MinAverage)
+		if err == nil && !found {
+			err = fmt.Errorf("miner: no range reaches average %g", r.MinAverage)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := fillAvg(driver, target, p, compact)
+	return &out, nil
+}
+
+// extract2D assembles the 2-D engine over the batch's cached pair
+// grids and runs the region kernels (all2d.go).
+func (s *Session) extract2D(r *plan.Resolved, set *plan.StatsSet) (*Result2D, error) {
+	schema := s.rel.Schema()
+	cfg := s.cfg
+	cfg.MinSupport, cfg.MinConfidence = r.MinSupport, r.MinConfidence
+	eng := &engine2D{
+		cfg: cfg,
+		opt: Options2D{
+			Numerics:       r.Names,
+			Objective:      schema[r.ObjAttr].Name,
+			ObjectiveValue: r.ObjWant,
+			Kinds:          r.Kinds,
+			Regions:        r.Regions,
+			GridSide:       r.Side,
+		},
+		attrs:   r.Attrs,
+		names:   r.Names,
+		objAttr: r.ObjAttr,
+		side:    r.Side,
+		tuples:  s.rel.NumTuples(),
+		bounds:  make([]bucketing.Boundaries, len(r.Attrs)),
+	}
+	for k, attr := range r.Attrs {
+		b, ok := set.Bounds[plan.BoundKey{Attr: attr, M: r.Side}]
+		if !ok {
+			return nil, fmt.Errorf("miner: boundaries for attribute %d missing from working set", attr)
+		}
+		eng.bounds[k] = b
+	}
+	pk := 0
+	for i := 0; i < len(r.Attrs); i++ {
+		for j := i + 1; j < len(r.Attrs); j++ {
+			st, ok := set.Pairs[r.PairKys[pk]]
+			pk++
+			if !ok {
+				return nil, fmt.Errorf("miner: pair grid (%s, %s) missing from working set", r.Names[i], r.Names[j])
+			}
+			eng.pairs = append(eng.pairs, pair2D{
+				ai: i, bi: j, grid: st.Grid,
+				minA: st.MinA, maxA: st.MaxA,
+				minB: st.MinB, maxB: st.MaxB,
+				n: st.N, hits: st.Hits,
+			})
+		}
+	}
+	return eng.mineAll()
+}
+
+// --- Session-bound variants of the one-shot entry points. Each builds
+// the corresponding Query, so repeated calls share the session cache:
+// re-querying with different thresholds, kinds, or region classes
+// rescans nothing.
+
+// MineAll mines both optimized rules for every (numeric, Boolean)
+// attribute combination under the session config. See the package
+// function MineAll.
+func (s *Session) MineAll() (*Result, error) {
+	kinds := []RuleKind{OptimizedSupport, OptimizedConfidence}
+	if s.cfg.MineGain {
+		kinds = append(kinds, OptimizedGain)
+	}
+	a, err := s.one(Query{Op: OpRules, Kinds: kinds, Negations: s.cfg.MineNegations})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rules: a.Rules, Tuples: a.Tuples, Config: s.cfg}, nil
+}
+
+// Mine computes the optimized-support and optimized-confidence rules
+// for one (numeric, Boolean) attribute pair, optionally under
+// presumptive conditions. See the package function Mine.
+func (s *Session) Mine(numeric, objective string, objectiveValue bool,
+	conditions []Condition) (supportRule, confidenceRule *Rule, err error) {
+	a, err := s.one(Query{
+		Op: OpRules, Numeric: numeric, Objective: objective,
+		ObjectiveValue: objectiveValue, Conditions: conditions,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return a.rule(OptimizedSupport), a.rule(OptimizedConfidence), nil
+}
+
+// MineConjunctive mines the fully general §4.3 rule form. See the
+// package function MineConjunctive.
+func (s *Session) MineConjunctive(numeric string, objectives, conditions []Condition) (supportRule, confidenceRule *Rule, err error) {
+	a, err := s.one(Query{
+		Op: OpConjunctive, Numeric: numeric,
+		Objectives: objectives, Conditions: conditions,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return a.rule(OptimizedSupport), a.rule(OptimizedConfidence), nil
+}
+
+// MineTopK mines up to k pairwise-disjoint optimized ranges. See the
+// package function MineTopK.
+func (s *Session) MineTopK(numeric, objective string, objectiveValue bool,
+	kind RuleKind, k int) ([]Rule, error) {
+	a, err := s.one(Query{
+		Op: OpTopK, Numeric: numeric, Objective: objective,
+		ObjectiveValue: objectiveValue, Kinds: []RuleKind{kind}, K: k,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a.Rules, nil
+}
+
+// MaxAverageRange finds the driver range maximizing the target average
+// among ranges with support at least minSupport. See the package
+// function MaxAverageRange.
+func (s *Session) MaxAverageRange(driver, target string, minSupport float64) (AvgRange, error) {
+	a, err := s.one(Query{Op: OpAverage, Numeric: driver, Target: target, MinSupport: minSupport})
+	if err != nil {
+		return AvgRange{}, err
+	}
+	return *a.Range, nil
+}
+
+// MaxSupportRange finds the driver range maximizing support among
+// ranges with target average at least minAverage. See the package
+// function MaxSupportRange.
+func (s *Session) MaxSupportRange(driver, target string, minAverage float64) (AvgRange, error) {
+	a, err := s.one(Query{Op: OpSupportRange, Numeric: driver, Target: target, MinAverage: minAverage})
+	if err != nil {
+		return AvgRange{}, err
+	}
+	return *a.Range, nil
+}
+
+// MineAll2D mines 2-D optimized rules for every requested attribute
+// pair. See the package function MineAll2D.
+func (s *Session) MineAll2D(opt Options2D) (*Result2D, error) {
+	q := Query{
+		Op: OpRules2D, Numerics: opt.Numerics,
+		Objective: opt.Objective, ObjectiveValue: opt.ObjectiveValue,
+		Kinds: opt.Kinds, Regions: opt.Regions, GridSide: opt.GridSide,
+	}
+	a, err := s.one(q)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.cfg
+	return &Result2D{Rules: a.Rules2D, Regions: a.Regions, Pairs: a.Pairs,
+		Tuples: a.Tuples, Config: cfg}, nil
+}
+
+// Mine2D mines the optimized rectangle rule of one kind over one
+// attribute pair. See the package function Mine2D.
+func (s *Session) Mine2D(numericA, numericB, objective string, objectiveValue bool,
+	kind RuleKind, gridSide int) (*Rule2D, error) {
+	a, err := s.one(Query{
+		Op: OpRules2D, Numeric: numericA, NumericB: numericB,
+		Objective: objective, ObjectiveValue: objectiveValue,
+		Kinds: []RuleKind{kind}, GridSide: gridSide,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if a.Pairs == 0 {
+		return nil, fmt.Errorf("miner: no tuples with finite (%s, %s) values", numericA, numericB)
+	}
+	if len(a.Rules2D) == 0 {
+		return nil, nil
+	}
+	return &a.Rules2D[0], nil
+}
+
+// MineXMonotone mines the gain-optimal x-monotone region over one
+// attribute pair. See the package function MineXMonotone.
+func (s *Session) MineXMonotone(numericA, numericB, objective string, objectiveValue bool,
+	gridSide int) (*RegionRule, error) {
+	return s.mineRegion(numericA, numericB, objective, objectiveValue, gridSide, XMonotoneClass)
+}
+
+// MineRectilinearConvex mines the gain-optimal rectilinear-convex
+// region over one attribute pair. See the package function
+// MineRectilinearConvex.
+func (s *Session) MineRectilinearConvex(numericA, numericB, objective string, objectiveValue bool,
+	gridSide int) (*RegionRule, error) {
+	return s.mineRegion(numericA, numericB, objective, objectiveValue, gridSide, RectilinearConvexClass)
+}
+
+func (s *Session) mineRegion(numericA, numericB, objective string, objectiveValue bool,
+	gridSide int, class RegionClass) (*RegionRule, error) {
+	a, err := s.one(Query{
+		Op: OpRules2D, Numeric: numericA, NumericB: numericB,
+		Objective: objective, ObjectiveValue: objectiveValue,
+		Kinds: []RuleKind{}, Regions: []RegionClass{class}, GridSide: gridSide,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if a.Pairs == 0 {
+		return nil, fmt.Errorf("miner: no tuples with finite (%s, %s) values", numericA, numericB)
+	}
+	if len(a.Regions) == 0 {
+		return nil, nil
+	}
+	return &a.Regions[0], nil
+}
+
+// one executes a single-query batch and unwraps its answer.
+func (s *Session) one(q Query) (*Answer, error) {
+	answers, err := s.ExecuteBatch([]Query{q})
+	if err != nil {
+		return nil, err
+	}
+	if answers[0].Err != nil {
+		return nil, answers[0].Err
+	}
+	return &answers[0], nil
+}

@@ -18,6 +18,18 @@ import (
 // segment left after removing the better ranges.
 func MineTopK(rel relation.Relation, numeric, objective string, objectiveValue bool,
 	kind RuleKind, k int, cfg Config) ([]Rule, error) {
+	s, err := NewSession(rel, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.MineTopK(numeric, objective, objectiveValue, kind, k)
+}
+
+// legacyMineTopK is the pre-session pipeline (its own sampling pass +
+// counting scan), kept as the differential-testing reference for the
+// session-backed MineTopK.
+func legacyMineTopK(rel relation.Relation, numeric, objective string, objectiveValue bool,
+	kind RuleKind, k int, cfg Config) ([]Rule, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err

@@ -60,7 +60,7 @@ const DefaultGridSide = 64
 // cfg.MinSupport; for OptimizedSupport and OptimizedGain it is
 // cfg.MinConfidence.
 //
-// Mine2D runs on the fused 2-D engine (see MineAll2D): one fused
+// Mine2D runs on the session 2-D engine (see MineAll2D): one fused
 // sampling scan derives BOTH axes' bucket boundaries, one counting
 // scan fills the grid, and the rectangle sweep runs on the parallel
 // region kernels — three relation scans in the legacy pipeline, two
@@ -68,21 +68,11 @@ const DefaultGridSide = 64
 // legacy path used, so mined rules are identical.
 func Mine2D(rel relation.Relation, numericA, numericB, objective string, objectiveValue bool,
 	kind RuleKind, gridSide int, cfg Config) (*Rule2D, error) {
-	eng, err := newEngine2D(rel, Options2D{
-		Numerics:       []string{numericA, numericB},
-		Objective:      objective,
-		ObjectiveValue: objectiveValue,
-		Kinds:          []RuleKind{kind},
-		GridSide:       gridSide,
-	}, cfg)
+	s, err := NewSession(rel, cfg)
 	if err != nil {
 		return nil, err
 	}
-	pr := &eng.pairs[0]
-	if pr.n == 0 {
-		return nil, fmt.Errorf("miner: no tuples with finite (%s, %s) values", numericA, numericB)
-	}
-	return eng.rectRule(pr, kind, eng.cfg.Workers)
+	return s.Mine2D(numericA, numericB, objective, objectiveValue, kind, gridSide)
 }
 
 // Mine2DPerPair is the legacy single-pair pipeline: two independent

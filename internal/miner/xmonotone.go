@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"optrule/internal/bucketing"
+	"optrule/internal/plan"
 	"optrule/internal/region"
 	"optrule/internal/relation"
 )
@@ -66,33 +67,21 @@ func (r RegionRule) Describe() string {
 }
 
 // RegionClass selects the 2-D region family for region mining — the
-// three classes named in the paper's §1.4 in increasing generality.
-type RegionClass int
+// three classes named in the paper's §1.4 in increasing generality. It
+// is defined in the plan layer (the session query IR names classes
+// too) and re-exported here; the constants alias plan's.
+type RegionClass = plan.RegionClass
 
 const (
 	// RectangleClass is handled by Mine2D; listed for completeness.
-	RectangleClass RegionClass = iota
+	RectangleClass = plan.RectangleClass
 	// RectilinearConvexClass regions intersect every row AND column in
 	// one interval (KDD'97 companion [20]).
-	RectilinearConvexClass
+	RectilinearConvexClass = plan.RectilinearConvexClass
 	// XMonotoneClass regions intersect every column in one interval
 	// (SIGMOD'96 companion [7]).
-	XMonotoneClass
+	XMonotoneClass = plan.XMonotoneClass
 )
-
-// String returns the class name.
-func (c RegionClass) String() string {
-	switch c {
-	case RectangleClass:
-		return "rectangle"
-	case RectilinearConvexClass:
-		return "rectilinear-convex"
-	case XMonotoneClass:
-		return "x-monotone"
-	default:
-		return fmt.Sprintf("RegionClass(%d)", int(c))
-	}
-}
 
 // MineXMonotone mines the x-monotone region maximizing the gain
 // Σ(v − MinConfidence·u) over the (numericA, numericB) plane — the
@@ -113,7 +102,7 @@ func MineRectilinearConvex(rel relation.Relation, numericA, numericB, objective 
 	return mineRegion(rel, numericA, numericB, objective, objectiveValue, gridSide, cfg, RectilinearConvexClass)
 }
 
-// mineRegion runs one region class for one pair on the fused 2-D
+// mineRegion runs one region class for one pair on the session 2-D
 // engine: one fused sampling scan for both axes' boundaries, one
 // counting scan, then the parallel gain DP — two relation scans where
 // the legacy path (mineRegionPerPair) pays three. Boundaries come from
@@ -122,22 +111,11 @@ func MineRectilinearConvex(rel relation.Relation, numericA, numericB, objective 
 // legacy path rule for rule.
 func mineRegion(rel relation.Relation, numericA, numericB, objective string,
 	objectiveValue bool, gridSide int, cfg Config, class RegionClass) (*RegionRule, error) {
-	eng, err := newEngine2D(rel, Options2D{
-		Numerics:       []string{numericA, numericB},
-		Objective:      objective,
-		ObjectiveValue: objectiveValue,
-		Kinds:          []RuleKind{},
-		Regions:        []RegionClass{class},
-		GridSide:       gridSide,
-	}, cfg)
+	s, err := NewSession(rel, cfg)
 	if err != nil {
 		return nil, err
 	}
-	pr := &eng.pairs[0]
-	if pr.n == 0 {
-		return nil, fmt.Errorf("miner: no tuples with finite (%s, %s) values", numericA, numericB)
-	}
-	return eng.regionRule(pr, class, eng.cfg.Workers)
+	return s.mineRegion(numericA, numericB, objective, objectiveValue, gridSide, class)
 }
 
 // mineRegionPerPair is the legacy single-pair region pipeline (two

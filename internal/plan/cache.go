@@ -1,0 +1,234 @@
+package plan
+
+import (
+	"container/list"
+	"sync"
+
+	"optrule/internal/bucketing"
+)
+
+// Cache stores sufficient statistics across batches. Implementations
+// must be safe for concurrent use; Put1D must MERGE into an existing
+// entry (statistics for one key only ever grow rows, never change
+// them), and values handed out are shared read-only.
+type Cache interface {
+	GetBounds(BoundKey) (bucketing.Boundaries, bool)
+	PutBounds(BoundKey, bucketing.Boundaries)
+	Get1D(GroupKey) (*Stats1D, bool)
+	Put1D(GroupKey, *Stats1D) *Stats1D // returns the merged entry
+	Get2D(PairKey) (*Stats2D, bool)
+	Put2D(PairKey, *Stats2D) *Stats2D
+}
+
+// CacheStats reports a cache's occupancy and traffic.
+type CacheStats struct {
+	Entries   int
+	Bytes     int64
+	MaxBytes  int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// LRUCache is the session statistics cache: size-accounted, bounded,
+// least-recently-used eviction, safe for concurrent sessions. Bucket
+// boundaries, 1-D count groups, and 2-D pair grids share one budget —
+// a grid at side 256 costs ~1 MB while a 1000-bucket count group costs
+// ~24 KB, so accounting by bytes (not entries) is what keeps a mixed
+// workload's working set honest.
+type LRUCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[any]*list.Element
+	order    *list.List // front = most recently used
+	hits     int64
+	misses   int64
+	evicts   int64
+}
+
+// DefaultCacheBytes is the default session cache budget.
+const DefaultCacheBytes = 256 << 20
+
+// NewCache creates an LRU statistics cache bounded at maxBytes
+// (DefaultCacheBytes when maxBytes is 0; unbounded when negative).
+func NewCache(maxBytes int64) *LRUCache {
+	if maxBytes == 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &LRUCache{
+		maxBytes: maxBytes,
+		entries:  map[any]*list.Element{},
+		order:    list.New(),
+	}
+}
+
+// entry is one cached statistic with its accounted size.
+type entry struct {
+	key   any
+	value any
+	bytes int64
+}
+
+// get returns the entry for key, marking it most recently used.
+func (c *LRUCache) get(key any) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).value, true
+}
+
+// put inserts or replaces the entry for key and evicts LRU entries
+// until the cache is within budget.
+func (c *LRUCache) put(key any, value any, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(key, value, bytes)
+}
+
+// putLocked is put with c.mu already held. The just-inserted entry is
+// never evicted, so a statistic larger than the whole budget still
+// serves the batch that computed it (it simply will not survive the
+// next insertion).
+func (c *LRUCache) putLocked(key any, value any, bytes int64) {
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += bytes - e.bytes
+		e.value, e.bytes = value, bytes
+		c.order.MoveToFront(el)
+	} else {
+		el := c.order.PushFront(&entry{key: key, value: value, bytes: bytes})
+		c.entries[key] = el
+		c.bytes += bytes
+	}
+	if c.maxBytes < 0 {
+		return
+	}
+	for c.bytes > c.maxBytes && c.order.Len() > 1 {
+		el := c.order.Back()
+		e := el.Value.(*entry)
+		c.order.Remove(el)
+		delete(c.entries, e.key)
+		c.bytes -= e.bytes
+		c.evicts++
+	}
+}
+
+// GetBounds implements Cache.
+func (c *LRUCache) GetBounds(k BoundKey) (bucketing.Boundaries, bool) {
+	v, ok := c.get(k)
+	if !ok {
+		return bucketing.Boundaries{}, false
+	}
+	return v.(bucketing.Boundaries), true
+}
+
+// PutBounds implements Cache.
+func (c *LRUCache) PutBounds(k BoundKey, b bucketing.Boundaries) {
+	// A Boundaries value is dominated by its cut array; the slot table
+	// adds ~4 int32 slots per cut.
+	c.put(k, b, int64(b.NumBuckets())*28+64)
+}
+
+// Get1D implements Cache.
+func (c *LRUCache) Get1D(k GroupKey) (*Stats1D, bool) {
+	v, ok := c.get(k)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Stats1D), true
+}
+
+// Put1D implements Cache: if an entry already exists, a NEW statistic
+// holding the union of its rows and the fresh rows replaces it
+// (copy-on-write — published Stats1D values are immutable, so batches
+// still reading the old entry race with nothing), and the merged
+// entry is returned. The whole check-merge-insert runs in one
+// critical section, so concurrent first-time publishers compose
+// instead of clobbering each other.
+func (c *LRUCache) Put1D(k GroupKey, s *Stats1D) *Stats1D {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		s = el.Value.(*entry).value.(*Stats1D).mergedWith(s)
+	}
+	c.putLocked(k, s, s.sizeBytes())
+	return s
+}
+
+// Get2D implements Cache.
+func (c *LRUCache) Get2D(k PairKey) (*Stats2D, bool) {
+	v, ok := c.get(k)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Stats2D), true
+}
+
+// Put2D implements Cache. Pair grids carry a fixed statistic set, so a
+// racing duplicate insert keeps the first entry (both hold identical
+// counts); check and insert share one critical section.
+func (c *LRUCache) Put2D(k PairKey, s *Stats2D) *Stats2D {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		have := el.Value.(*entry).value.(*Stats2D)
+		c.order.MoveToFront(el)
+		return have
+	}
+	c.putLocked(k, s, s.sizeBytes())
+	return s
+}
+
+// SetMaxBytes rebounds the cache (0 restores DefaultCacheBytes,
+// negative removes the bound) and evicts least-recently-used entries
+// until the new budget holds.
+func (c *LRUCache) SetMaxBytes(maxBytes int64) {
+	if maxBytes == 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxBytes = maxBytes
+	if maxBytes < 0 {
+		return
+	}
+	for c.bytes > c.maxBytes && c.order.Len() > 0 {
+		el := c.order.Back()
+		e := el.Value.(*entry)
+		c.order.Remove(el)
+		delete(c.entries, e.key)
+		c.bytes -= e.bytes
+		c.evicts++
+	}
+}
+
+// Stats returns the cache's current occupancy and traffic counters.
+func (c *LRUCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.order.Len(),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evicts,
+	}
+}
+
+// Invalidate empties the cache (e.g. after the underlying relation
+// changed); traffic counters are preserved.
+func (c *LRUCache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[any]*list.Element{}
+	c.order.Init()
+	c.bytes = 0
+}

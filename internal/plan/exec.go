@@ -1,0 +1,724 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+
+	"optrule/internal/bucketing"
+	"optrule/internal/region"
+	"optrule/internal/relation"
+)
+
+// AttrRNG derives the deterministic random stream for one numeric
+// attribute's sampling pass. EVERY boundary build — fused, cached, or
+// legacy per-attribute — must draw from this stream: sessions, one-shot
+// wrappers, and the pre-refactor pipelines stay boundary-identical
+// (and therefore rule-identical) only because they all do.
+func AttrRNG(seed int64, attr int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(attr)*1e6 + 17))
+}
+
+// Run materializes every statistic in req, reading the relation at
+// most twice: one fused sampling scan builds every missing boundary
+// set, one fused counting scan fills every missing count group and
+// pair grid. Statistics already covered by cache cost nothing. The
+// returned StatsSet is the batch's private working set — extraction
+// reads it without touching the cache again, so concurrent eviction
+// cannot invalidate an in-flight batch.
+func Run(rel relation.Relation, d Defaults, cache Cache, req *Requirements) (*StatsSet, error) {
+	set := newStatsSet()
+
+	// Phase 1: coverage. Split the requirements into cache hits and
+	// misses; only the misses will scan.
+	var groups []*GroupNeed
+	for _, gk := range req.GroupOrder {
+		need := req.Groups[gk]
+		if have, ok := cache.Get1D(gk); ok && have.Covers(need) {
+			set.Groups[gk] = have
+			continue
+		}
+		groups = append(groups, need)
+	}
+	var pairs []*PairNeed
+	for _, pk := range req.PairOrder {
+		if have, ok := cache.Get2D(pk); ok {
+			set.Pairs[pk] = have
+			continue
+		}
+		pairs = append(pairs, req.Pairs[pk])
+	}
+
+	// Phase 2: boundaries. Scheduled groups need theirs to count with;
+	// pairs need BOTH axes' boundaries even on a grid cache hit, because
+	// 2-D extraction translates column buckets back to value ranges. A
+	// covered 1-D group, by contrast, needs no boundaries at all — its
+	// extraction runs on counts alone — so an evicted boundary entry
+	// must not cost a cache-served query a sampling scan.
+	var boundOrder []BoundKey
+	wantBound := func(k BoundKey) {
+		if _, ok := set.Bounds[k]; ok {
+			return
+		}
+		if b, ok := cache.GetBounds(k); ok {
+			set.Bounds[k] = b
+			return
+		}
+		set.Bounds[k] = bucketing.Boundaries{} // placeholder: scheduled
+		boundOrder = append(boundOrder, k)
+	}
+	for _, need := range groups {
+		wantBound(BoundKey{Attr: need.Driver, M: need.Key.M, Exact: need.Key.Exact})
+	}
+	for _, pk := range req.PairOrder {
+		wantBound(BoundKey{Attr: pk.A, M: pk.Side})
+		wantBound(BoundKey{Attr: pk.B, M: pk.Side})
+	}
+	if len(boundOrder) > 0 {
+		specs := make([]bucketing.BoundarySpec, len(boundOrder))
+		rngs := make([]*rand.Rand, len(boundOrder))
+		for i, bk := range boundOrder {
+			exact := 0
+			if bk.Exact {
+				exact = d.ExactDomainLimit
+			}
+			specs[i] = bucketing.BoundarySpec{Attr: bk.Attr, M: bk.M,
+				SampleFactor: d.SampleFactor, ExactDomainLimit: exact}
+			rngs[i] = AttrRNG(d.Seed, bk.Attr)
+		}
+		bounds, err := bucketing.MultiSampledBoundarySpecs(rel, specs, rngs)
+		if err != nil {
+			return nil, fmt.Errorf("plan: bucketing: %w", err)
+		}
+		for i, bk := range boundOrder {
+			set.Bounds[bk] = bounds[i]
+			cache.PutBounds(bk, bounds[i])
+		}
+	}
+
+	// Phase 3: one fused counting scan for every miss.
+	if len(groups) == 0 && len(pairs) == 0 {
+		return set, nil // fully served from cache: zero scans
+	}
+	if err := countScan(rel, d, set, groups, pairs); err != nil {
+		return nil, err
+	}
+	// Publish through the cache, which merges fresh rows into any
+	// concurrently created entries; the merged entry is what the batch
+	// binds to.
+	for _, need := range groups {
+		set.Groups[need.Key] = cache.Put1D(need.Key, set.Groups[need.Key])
+	}
+	for _, need := range pairs {
+		set.Pairs[need.Key] = cache.Put2D(need.Key, set.Pairs[need.Key])
+	}
+	return set, nil
+}
+
+// scanParallelism picks the counting scan's segment count. 1-D counting
+// parallelism stays opt-in (Config.PEs), matching the one-shot
+// pipelines; a pure pair-grid scan parallelizes by default because its
+// merge is exact. Groups accumulating float target sums force a serial
+// scan so totals are bit-reproducible regardless of segmentation (the
+// average-operator queries have always accumulated serially).
+func scanParallelism(rel relation.Relation, d Defaults, groups []*GroupNeed, pairs []*PairNeed) int {
+	for _, g := range groups {
+		if len(g.Targets) > 0 {
+			return 1
+		}
+	}
+	pes := d.PEs
+	if pes == 0 && len(groups) == 0 {
+		pes = runtime.GOMAXPROCS(0)
+	}
+	if pes <= 1 {
+		return 1
+	}
+	if _, ok := rel.(relation.RangeScanner); !ok {
+		return 1
+	}
+	if n := rel.NumTuples(); pes > n {
+		pes = n
+	}
+	return pes
+}
+
+// countScan runs the fused counting scan for the scheduled groups and
+// pairs and stores the results in set.
+func countScan(rel relation.Relation, d Defaults, set *StatsSet, groups []*GroupNeed, pairs []*PairNeed) error {
+	pes := scanParallelism(rel, d, groups, pairs)
+
+	// Fast path: a homogeneous all-1-D schedule (same filter, rows, and
+	// extremes for every group — the MineAll shape, and any single-group
+	// batch) runs on the register-optimized fused kernel.
+	if len(pairs) == 0 && homogeneous(groups) {
+		return countGroupsFused(rel, set, groups, pes)
+	}
+	return countGeneral(rel, set, groups, pairs, pes)
+}
+
+// homogeneous reports whether every group wants the same tally shape,
+// over distinct drivers, so bucketing.MultiCount can serve them all.
+func homogeneous(groups []*GroupNeed) bool {
+	if len(groups) == 0 {
+		return false
+	}
+	first := groups[0]
+	seen := map[int]bool{}
+	for _, g := range groups {
+		if seen[g.Driver] {
+			return false
+		}
+		seen[g.Driver] = true
+		if g.Key.Filter != first.Key.Filter || g.TrackExtremes != first.TrackExtremes {
+			return false
+		}
+		if !sameBools(g.Bools, first.Bools) || !sameInts(g.Targets, first.Targets) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameBools(a, b []bucketing.BoolCond) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// boundsOf fetches a group's boundaries from the working set.
+func (s *StatsSet) boundsOf(k BoundKey) (bucketing.Boundaries, error) {
+	b, ok := s.Bounds[k]
+	if !ok {
+		return b, fmt.Errorf("plan: boundaries %+v missing from working set", k)
+	}
+	return b, nil
+}
+
+// countGroupsFused is the homogeneous fast path over
+// bucketing.MultiCount / ParallelMultiCount.
+func countGroupsFused(rel relation.Relation, set *StatsSet, groups []*GroupNeed, pes int) error {
+	drivers := make([]int, len(groups))
+	bounds := make([]bucketing.Boundaries, len(groups))
+	for i, g := range groups {
+		drivers[i] = g.Driver
+		b, err := set.boundsOf(BoundKey{Attr: g.Driver, M: g.Key.M, Exact: g.Key.Exact})
+		if err != nil {
+			return err
+		}
+		bounds[i] = b
+	}
+	opts := bucketing.Options{
+		Bools:         groups[0].Bools,
+		Targets:       groups[0].Targets,
+		Filter:        groups[0].Filter,
+		TrackExtremes: groups[0].TrackExtremes,
+	}
+	var cs []*bucketing.Counts
+	var err error
+	if pes > 1 {
+		rs := rel.(relation.RangeScanner) // guaranteed by scanParallelism
+		cs, err = bucketing.ParallelMultiCount(rs, drivers, bounds, opts, pes)
+	} else {
+		cs, err = bucketing.MultiCount(rel, drivers, bounds, opts)
+	}
+	if err != nil {
+		return fmt.Errorf("plan: counting: %w", err)
+	}
+	for i, g := range groups {
+		set.Groups[g.Key] = statsFromCounts(cs[i], g)
+	}
+	return nil
+}
+
+// statsFromCounts reshapes a Counts into the cached Stats1D form.
+func statsFromCounts(c *bucketing.Counts, g *GroupNeed) *Stats1D {
+	s := &Stats1D{
+		M: c.M, N: c.N, Total: c.Total, NaNs: c.NaNs,
+		U:      c.U,
+		MinVal: c.MinVal, MaxVal: c.MaxVal,
+		V:   map[bucketing.BoolCond][]int{},
+		Sum: map[int][]float64{},
+	}
+	for k, bc := range g.Bools {
+		s.V[bc] = c.V[k]
+	}
+	for k, t := range g.Targets {
+		s.Sum[t] = c.Sum[k]
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// General fused kernel: heterogeneous 1-D groups and 2-D pair grids in
+// one scan. Each tuple's bucket is located ONCE per distinct
+// (attribute, resolution) and shared by every consumer; per-filter row
+// masks are computed once per batch.
+
+// execState is one worker's private tally state.
+type execState struct {
+	numPos  map[int]int // attr -> position in cols.Numeric
+	boolPos map[int]int // attr -> position in cols.Bool
+
+	locKeys []BoundKey
+	locCol  []int // column position per locate task
+	locB    []bucketing.Boundaries
+	idx     [][]int32 // per locate task, per batch row
+
+	filters [][]bucketing.BoolCond // distinct filters (canonical key order)
+	masks   [][]bool
+
+	groups []*groupState
+	pairs  []*pairState
+}
+
+type groupState struct {
+	need    *GroupNeed
+	col     int // driver column position
+	loc     int // locate task index
+	maskIdx int // distinct filter index, -1 when unfiltered
+	m       int
+
+	total, nans int
+	u           []int
+	v           [][]int     // need.Bools order
+	sum         [][]float64 // need.Targets order
+	minv, maxv  []float64
+	boolCol     []int
+	boolWant    []bool
+	targetCol   []int
+}
+
+type pairState struct {
+	need       *PairNeed
+	locA, locB int
+	colA, colB int
+	objCol     int
+	want       bool
+
+	grid       *region.Grid
+	gu         []int
+	gv         []float64
+	cols       int
+	minA, maxA []float64
+	minB, maxB []float64
+}
+
+// layout computes the union column set and position maps.
+func execLayout(groups []*GroupNeed, pairs []*PairNeed) (relation.ColumnSet, map[int]int, map[int]int) {
+	var cols relation.ColumnSet
+	numPos := map[int]int{}
+	boolPos := map[int]int{}
+	num := func(attr int) {
+		if _, ok := numPos[attr]; !ok {
+			numPos[attr] = len(cols.Numeric)
+			cols.Numeric = append(cols.Numeric, attr)
+		}
+	}
+	boo := func(attr int) {
+		if _, ok := boolPos[attr]; !ok {
+			boolPos[attr] = len(cols.Bool)
+			cols.Bool = append(cols.Bool, attr)
+		}
+	}
+	for _, g := range groups {
+		num(g.Driver)
+		for _, t := range g.Targets {
+			num(t)
+		}
+		for _, bc := range g.Bools {
+			boo(bc.Attr)
+		}
+		for _, bc := range g.Filter {
+			boo(bc.Attr)
+		}
+	}
+	for _, p := range pairs {
+		num(p.A)
+		num(p.B)
+		boo(p.Obj.Attr)
+	}
+	return cols, numPos, boolPos
+}
+
+// newExecState builds one worker's tally state.
+func newExecState(set *StatsSet, groups []*GroupNeed, pairs []*PairNeed,
+	numPos, boolPos map[int]int) (*execState, error) {
+	st := &execState{numPos: numPos, boolPos: boolPos}
+	locOf := map[BoundKey]int{}
+	locate := func(k BoundKey) (int, error) {
+		if i, ok := locOf[k]; ok {
+			return i, nil
+		}
+		b, err := set.boundsOf(k)
+		if err != nil {
+			return 0, err
+		}
+		i := len(st.locKeys)
+		locOf[k] = i
+		st.locKeys = append(st.locKeys, k)
+		st.locCol = append(st.locCol, numPos[k.Attr])
+		st.locB = append(st.locB, b)
+		st.idx = append(st.idx, nil)
+		return i, nil
+	}
+	maskOf := map[string]int{}
+	maskIdx := func(filter []bucketing.BoolCond, key string) int {
+		if key == "" {
+			return -1
+		}
+		if i, ok := maskOf[key]; ok {
+			return i
+		}
+		i := len(st.filters)
+		maskOf[key] = i
+		st.filters = append(st.filters, filter)
+		st.masks = append(st.masks, nil)
+		return i
+	}
+	for _, g := range groups {
+		loc, err := locate(BoundKey{Attr: g.Driver, M: g.Key.M, Exact: g.Key.Exact})
+		if err != nil {
+			return nil, err
+		}
+		m := st.locB[loc].NumBuckets()
+		gs := &groupState{
+			need: g, col: numPos[g.Driver], loc: loc,
+			maskIdx: maskIdx(g.Filter, g.Key.Filter), m: m,
+			u: make([]int, m),
+		}
+		for _, bc := range g.Bools {
+			gs.v = append(gs.v, make([]int, m))
+			gs.boolCol = append(gs.boolCol, boolPos[bc.Attr])
+			gs.boolWant = append(gs.boolWant, bc.Want)
+		}
+		for _, t := range g.Targets {
+			gs.sum = append(gs.sum, make([]float64, m))
+			gs.targetCol = append(gs.targetCol, numPos[t])
+		}
+		if g.TrackExtremes {
+			gs.minv = make([]float64, m)
+			gs.maxv = make([]float64, m)
+			for i := range gs.minv {
+				gs.minv[i] = math.Inf(1)
+				gs.maxv[i] = math.Inf(-1)
+			}
+		}
+		st.groups = append(st.groups, gs)
+	}
+	for _, p := range pairs {
+		locA, err := locate(BoundKey{Attr: p.A, M: p.Side})
+		if err != nil {
+			return nil, err
+		}
+		locB, err := locate(BoundKey{Attr: p.B, M: p.Side})
+		if err != nil {
+			return nil, err
+		}
+		rows := st.locB[locA].NumBuckets()
+		colsN := st.locB[locB].NumBuckets()
+		g, err := region.NewGrid(rows, colsN)
+		if err != nil {
+			return nil, err
+		}
+		gu, gv, ok := g.Flat()
+		if !ok {
+			return nil, fmt.Errorf("plan: grid misses its flat backing")
+		}
+		ps := &pairState{
+			need: p, locA: locA, locB: locB,
+			colA: numPos[p.A], colB: numPos[p.B],
+			objCol: boolPos[p.Obj.Attr], want: p.Obj.Want,
+			grid: g, gu: gu, gv: gv, cols: g.Cols(),
+			minA: make([]float64, rows), maxA: make([]float64, rows),
+			minB: make([]float64, colsN), maxB: make([]float64, colsN),
+		}
+		for i := range ps.minA {
+			ps.minA[i], ps.maxA[i] = math.Inf(1), math.Inf(-1)
+		}
+		for i := range ps.minB {
+			ps.minB[i], ps.maxB[i] = math.Inf(1), math.Inf(-1)
+		}
+		st.pairs = append(st.pairs, ps)
+	}
+	return st, nil
+}
+
+// countBatch tallies one batch into every group and pair.
+func (st *execState) countBatch(b *relation.Batch) {
+	n := b.Len
+	// Bucket indices once per (attribute, resolution): every group and
+	// pair sharing the boundary set shares the locate pass.
+	for t := range st.locKeys {
+		if cap(st.idx[t]) < n {
+			st.idx[t] = make([]int32, n)
+		}
+		st.locB[t].LocateBatch(b.Numeric[st.locCol[t]][:n], st.idx[t][:n])
+	}
+	// Row masks once per distinct filter.
+	for f := range st.filters {
+		if cap(st.masks[f]) < n {
+			st.masks[f] = make([]bool, n)
+		}
+		mask := st.masks[f][:n]
+		for row := range mask {
+			mask[row] = true
+		}
+		for _, bc := range st.filters[f] {
+			col := b.Bool[st.boolPos[bc.Attr]]
+			want := bc.Want
+			for row := 0; row < n; row++ {
+				if col[row] != want {
+					mask[row] = false
+				}
+			}
+		}
+	}
+	for _, gs := range st.groups {
+		gs.total += n
+		idx := st.idx[gs.loc][:n]
+		col := b.Numeric[gs.col]
+		var mask []bool
+		if gs.maskIdx >= 0 {
+			mask = st.masks[gs.maskIdx][:n]
+		}
+		for row := 0; row < n; row++ {
+			if mask != nil && !mask[row] {
+				continue
+			}
+			i := int(idx[row])
+			if i < 0 { // NaN driver: belongs to no bucket
+				gs.nans++
+				continue
+			}
+			gs.u[i]++
+			if gs.minv != nil {
+				x := col[row]
+				if x < gs.minv[i] {
+					gs.minv[i] = x
+				}
+				if x > gs.maxv[i] {
+					gs.maxv[i] = x
+				}
+			}
+			for k := range gs.v {
+				e := 0
+				if b.Bool[gs.boolCol[k]][row] == gs.boolWant[k] {
+					e = 1
+				}
+				gs.v[k][i] += e
+			}
+			for k := range gs.sum {
+				gs.sum[k][i] += b.Numeric[gs.targetCol[k]][row]
+			}
+		}
+	}
+	for _, ps := range st.pairs {
+		ia := st.idx[ps.locA][:n]
+		ib := st.idx[ps.locB][:n]
+		colA := b.Numeric[ps.colA]
+		colB := b.Numeric[ps.colB]
+		obj := b.Bool[ps.objCol]
+		gu, gv, cols := ps.gu, ps.gv, ps.cols
+		minA, maxA := ps.minA, ps.maxA
+		minB, maxB := ps.minB, ps.maxB
+		want := ps.want
+		for row := 0; row < n; row++ {
+			ri := int(ia[row])
+			if ri < 0 {
+				continue
+			}
+			rj := int(ib[row])
+			if rj < 0 {
+				continue
+			}
+			idx := ri*cols + rj
+			gu[idx]++
+			// Flagless objective tally (as in the 1-D counting kernel):
+			// the objective bit is ~50% either way, so a conditional
+			// increment would mispredict constantly.
+			e := 0.0
+			if obj[row] == want {
+				e = 1
+			}
+			gv[idx] += e
+			a := colA[row]
+			if a < minA[ri] {
+				minA[ri] = a
+			}
+			if a > maxA[ri] {
+				maxA[ri] = a
+			}
+			bv := colB[row]
+			if bv < minB[rj] {
+				minB[rj] = bv
+			}
+			if bv > maxB[rj] {
+				maxB[rj] = bv
+			}
+		}
+	}
+}
+
+// merge folds other's tallies into st. All statistics are integer
+// counts or extremes (float sums force a serial scan), so the merged
+// state matches a serial scan exactly regardless of segmentation.
+func (st *execState) merge(other *execState) error {
+	for i, gs := range st.groups {
+		og := other.groups[i]
+		gs.total += og.total
+		gs.nans += og.nans
+		for j := range gs.u {
+			gs.u[j] += og.u[j]
+		}
+		for k := range gs.v {
+			for j := range gs.v[k] {
+				gs.v[k][j] += og.v[k][j]
+			}
+		}
+		for k := range gs.sum {
+			for j := range gs.sum[k] {
+				gs.sum[k][j] += og.sum[k][j]
+			}
+		}
+		if gs.minv != nil {
+			for j := range gs.minv {
+				if og.minv[j] < gs.minv[j] {
+					gs.minv[j] = og.minv[j]
+				}
+				if og.maxv[j] > gs.maxv[j] {
+					gs.maxv[j] = og.maxv[j]
+				}
+			}
+		}
+	}
+	for i, ps := range st.pairs {
+		op := other.pairs[i]
+		if err := ps.grid.Merge(op.grid); err != nil {
+			return err
+		}
+		for j := range ps.minA {
+			if op.minA[j] < ps.minA[j] {
+				ps.minA[j] = op.minA[j]
+			}
+			if op.maxA[j] > ps.maxA[j] {
+				ps.maxA[j] = op.maxA[j]
+			}
+		}
+		for j := range ps.minB {
+			if op.minB[j] < ps.minB[j] {
+				ps.minB[j] = op.minB[j]
+			}
+			if op.maxB[j] > ps.maxB[j] {
+				ps.maxB[j] = op.maxB[j]
+			}
+		}
+	}
+	return nil
+}
+
+// publish converts the final tally state into cached statistics.
+func (st *execState) publish(set *StatsSet) {
+	for _, gs := range st.groups {
+		s := &Stats1D{
+			M: gs.m, Total: gs.total, NaNs: gs.nans,
+			U:      gs.u,
+			MinVal: gs.minv, MaxVal: gs.maxv,
+			V:   map[bucketing.BoolCond][]int{},
+			Sum: map[int][]float64{},
+		}
+		for _, u := range gs.u {
+			s.N += u
+		}
+		for k, bc := range gs.need.Bools {
+			s.V[bc] = gs.v[k]
+		}
+		for k, t := range gs.need.Targets {
+			s.Sum[t] = gs.sum[k]
+		}
+		set.Groups[gs.need.Key] = s
+	}
+	for _, ps := range st.pairs {
+		set.Pairs[ps.need.Key] = &Stats2D{
+			Grid: ps.grid,
+			MinA: ps.minA, MaxA: ps.maxA,
+			MinB: ps.minB, MaxB: ps.maxB,
+			N:    ps.grid.Total(),
+			Hits: int(ps.grid.SumV()),
+		}
+	}
+}
+
+// countGeneral runs the general fused counting scan, serial or
+// segmented at storage-aligned boundaries.
+func countGeneral(rel relation.Relation, set *StatsSet, groups []*GroupNeed, pairs []*PairNeed, pes int) error {
+	cols, numPos, boolPos := execLayout(groups, pairs)
+	if pes <= 1 {
+		st, err := newExecState(set, groups, pairs, numPos, boolPos)
+		if err != nil {
+			return err
+		}
+		if err := rel.Scan(cols, func(b *relation.Batch) error {
+			st.countBatch(b)
+			return nil
+		}); err != nil {
+			return fmt.Errorf("plan: counting: %w", err)
+		}
+		st.publish(set)
+		return nil
+	}
+	rs := rel.(relation.RangeScanner) // guaranteed by scanParallelism
+	segs := relation.AlignedSegments(rel, rel.NumTuples(), pes)
+	states := make([]*execState, pes)
+	errs := make(chan error, pes)
+	for p := 0; p < pes; p++ {
+		go func(p int) {
+			local, err := newExecState(set, groups, pairs, numPos, boolPos)
+			if err != nil {
+				errs <- err
+				return
+			}
+			states[p] = local
+			errs <- rs.ScanRange(segs[p], segs[p+1], cols, func(b *relation.Batch) error {
+				local.countBatch(b)
+				return nil
+			})
+		}(p)
+	}
+	var firstErr error
+	for p := 0; p < pes; p++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return fmt.Errorf("plan: counting: %w", firstErr)
+	}
+	total := states[0]
+	for _, part := range states[1:] {
+		if err := total.merge(part); err != nil {
+			return err
+		}
+	}
+	total.publish(set)
+	return nil
+}

@@ -1,0 +1,298 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"optrule/internal/bucketing"
+	"optrule/internal/region"
+)
+
+// Sufficient-statistic keys. Everything a scan produces is addressed by
+// one of the three key types below; thresholds, rule kinds, and region
+// classes never appear in a key because they do not change what the
+// scans compute.
+
+// BoundKey identifies one attribute's bucket boundaries: the attribute,
+// the bucket count, and whether the finest-bucket (exact small domain)
+// path was enabled when they were built. Within one session the random
+// seed, sample factor, and exact-domain limit are fixed, so they are
+// not part of the key.
+type BoundKey struct {
+	Attr  int
+	M     int
+	Exact bool
+}
+
+// GroupKey identifies one driver attribute's per-bucket count group:
+// the driver, its boundary resolution, and the canonical presumptive
+// filter. The objectives and targets tallied within the group are NOT
+// part of the key — a cached group grows monotonically as queries ask
+// for more objective rows over the same buckets.
+type GroupKey struct {
+	Driver int
+	M      int
+	Exact  bool
+	Filter string // canonical filter rendering, "" when unfiltered
+}
+
+// PairKey identifies one 2-D pair grid: both axis attributes (in grid
+// orientation: A buckets rows, B buckets columns), the per-axis side,
+// and the objective condition.
+type PairKey struct {
+	A, B    int
+	Side    int
+	ObjAttr int
+	ObjWant bool
+}
+
+// canonicalFilter renders a conjunction of Boolean conditions as a
+// deterministic key component: sorted by attribute then value, with
+// duplicates removed (a conjunction is a set). Counting semantics are
+// order- and duplicate-insensitive, so queries spelling the same
+// conjunction differently share one statistic.
+func canonicalFilter(conds []bucketing.BoolCond) (string, []bucketing.BoolCond) {
+	if len(conds) == 0 {
+		return "", nil
+	}
+	canon := append([]bucketing.BoolCond(nil), conds...)
+	sort.Slice(canon, func(i, j int) bool {
+		if canon[i].Attr != canon[j].Attr {
+			return canon[i].Attr < canon[j].Attr
+		}
+		return !canon[i].Want && canon[j].Want
+	})
+	uniq := canon[:0]
+	for _, c := range canon {
+		if len(uniq) == 0 || uniq[len(uniq)-1] != c {
+			uniq = append(uniq, c)
+		}
+	}
+	var b strings.Builder
+	for i, c := range uniq {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := 0
+		if c.Want {
+			v = 1
+		}
+		fmt.Fprintf(&b, "%d=%d", c.Attr, v)
+	}
+	return b.String(), uniq
+}
+
+// Stats1D is one driver group's cached sufficient statistics: the
+// bucket populations plus whatever objective rows, target sums, and
+// extremes have been tallied for it so far. All slices are read-only
+// once published to a cache — extraction layers must not mutate them.
+type Stats1D struct {
+	M     int
+	N     int // tuples passing the filter and landing in a bucket
+	Total int // tuples scanned (before the filter)
+	NaNs  int // filter-passing tuples whose driver value was NaN
+	U     []int
+	// MinVal/MaxVal are observed per-bucket driver extremes; nil when
+	// never tracked for this group.
+	MinVal, MaxVal []float64
+	// V holds one per-bucket objective count row per tallied condition.
+	V map[bucketing.BoolCond][]int
+	// Sum holds one per-bucket value-sum row per tallied target.
+	Sum map[int][]float64
+}
+
+// Covers reports whether the statistic already holds everything need
+// asks for, i.e. the need can be answered without any scan.
+func (s *Stats1D) Covers(need *GroupNeed) bool {
+	if s == nil {
+		return false
+	}
+	if need.TrackExtremes && s.MinVal == nil {
+		return false
+	}
+	for _, bc := range need.Bools {
+		if _, ok := s.V[bc]; !ok {
+			return false
+		}
+	}
+	for _, t := range need.Targets {
+		if _, ok := s.Sum[t]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// mergedWith returns a NEW statistic holding the union of s's and
+// fresh's rows, leaving both inputs untouched: published Stats1D
+// values are read concurrently without locks, so the cache merges by
+// copy-on-write rather than mutation. The bucket populations of both
+// sides were counted over identical boundaries and rows, so
+// U/N/extremes are interchangeable; s's rows win on overlap.
+func (s *Stats1D) mergedWith(fresh *Stats1D) *Stats1D {
+	out := &Stats1D{
+		M: s.M, N: s.N, Total: s.Total, NaNs: s.NaNs,
+		U:      s.U,
+		MinVal: s.MinVal, MaxVal: s.MaxVal,
+		V:   make(map[bucketing.BoolCond][]int, len(s.V)+len(fresh.V)),
+		Sum: make(map[int][]float64, len(s.Sum)+len(fresh.Sum)),
+	}
+	if out.MinVal == nil {
+		out.MinVal, out.MaxVal = fresh.MinVal, fresh.MaxVal
+	}
+	for bc, row := range s.V {
+		out.V[bc] = row
+	}
+	for bc, row := range fresh.V {
+		if _, ok := out.V[bc]; !ok {
+			out.V[bc] = row
+		}
+	}
+	for t, row := range s.Sum {
+		out.Sum[t] = row
+	}
+	for t, row := range fresh.Sum {
+		if _, ok := out.Sum[t]; !ok {
+			out.Sum[t] = row
+		}
+	}
+	return out
+}
+
+// sizeBytes estimates the statistic's memory footprint for cache
+// accounting.
+func (s *Stats1D) sizeBytes() int64 {
+	b := int64(64) // struct + map overhead, roughly
+	b += int64(len(s.U)) * 8
+	b += int64(len(s.MinVal)+len(s.MaxVal)) * 8
+	for _, row := range s.V {
+		b += int64(len(row))*8 + 32
+	}
+	for _, row := range s.Sum {
+		b += int64(len(row))*8 + 32
+	}
+	return b
+}
+
+// Counts assembles a bucketing.Counts view over the statistic for the
+// requested objective conditions and targets, in the given order. The
+// returned Counts aliases the cached slices; callers treat it as
+// read-only (Compact allocates fresh storage when it drops buckets).
+func (s *Stats1D) Counts(bools []bucketing.BoolCond, targets []int, extremes bool) (*bucketing.Counts, error) {
+	c := &bucketing.Counts{
+		M:     s.M,
+		N:     s.N,
+		Total: s.Total,
+		NaNs:  s.NaNs,
+		U:     s.U,
+	}
+	for _, bc := range bools {
+		row, ok := s.V[bc]
+		if !ok {
+			return nil, fmt.Errorf("plan: objective row %+v missing from cached group", bc)
+		}
+		c.V = append(c.V, row)
+	}
+	for _, t := range targets {
+		row, ok := s.Sum[t]
+		if !ok {
+			return nil, fmt.Errorf("plan: target row %d missing from cached group", t)
+		}
+		c.Sum = append(c.Sum, row)
+	}
+	if extremes {
+		if s.MinVal == nil {
+			return nil, fmt.Errorf("plan: extremes missing from cached group")
+		}
+		c.MinVal, c.MaxVal = s.MinVal, s.MaxVal
+	}
+	return c, nil
+}
+
+// Stats2D is one attribute pair's cached grid plus the per-bucket value
+// extremes that translate bucket ranges back to closed value ranges. A
+// tuple counts toward a pair iff BOTH its values are finite, so the
+// extremes are tracked per pair, not per attribute. Read-only once
+// published.
+type Stats2D struct {
+	Grid       *region.Grid
+	MinA, MaxA []float64
+	MinB, MaxB []float64
+	N, Hits    int
+}
+
+// sizeBytes estimates the grid's memory footprint for cache accounting.
+func (s *Stats2D) sizeBytes() int64 {
+	cells := int64(s.Grid.Rows()) * int64(s.Grid.Cols())
+	return cells*16 + int64(len(s.MinA)+len(s.MaxA)+len(s.MinB)+len(s.MaxB))*8 + 64
+}
+
+// GroupNeed is a planner-aggregated 1-D requirement: one count group
+// and the union of objective rows, target rows, and extremes every
+// query in the batch wants from it.
+type GroupNeed struct {
+	Key           GroupKey
+	Driver        int
+	Filter        []bucketing.BoolCond // canonical order
+	Bools         []bucketing.BoolCond // union, first-seen order
+	Targets       []int                // union, first-seen order
+	TrackExtremes bool
+}
+
+// addBools unions conditions into the need.
+func (n *GroupNeed) addBools(conds []bucketing.BoolCond) {
+	for _, bc := range conds {
+		seen := false
+		for _, have := range n.Bools {
+			if have == bc {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			n.Bools = append(n.Bools, bc)
+		}
+	}
+}
+
+// addTargets unions target attributes into the need.
+func (n *GroupNeed) addTargets(targets []int) {
+	for _, t := range targets {
+		seen := false
+		for _, have := range n.Targets {
+			if have == t {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			n.Targets = append(n.Targets, t)
+		}
+	}
+}
+
+// PairNeed is a planner-aggregated 2-D requirement.
+type PairNeed struct {
+	Key  PairKey
+	A, B int
+	Side int
+	Obj  bucketing.BoolCond
+}
+
+// StatsSet is the working set one batch execution assembles: every
+// boundary, group, and pair statistic the batch's queries bind to. It
+// is private to the batch, so extraction never races cache eviction.
+type StatsSet struct {
+	Bounds map[BoundKey]bucketing.Boundaries
+	Groups map[GroupKey]*Stats1D
+	Pairs  map[PairKey]*Stats2D
+}
+
+func newStatsSet() *StatsSet {
+	return &StatsSet{
+		Bounds: map[BoundKey]bucketing.Boundaries{},
+		Groups: map[GroupKey]*Stats1D{},
+		Pairs:  map[PairKey]*Stats2D{},
+	}
+}

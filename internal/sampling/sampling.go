@@ -170,22 +170,75 @@ func MultiColumnWithReplacement(rel relation.Relation, attrs []int, s int, rngs 
 	if len(attrs) != len(rngs) {
 		return nil, fmt.Errorf("sampling: %d attributes but %d rngs", len(attrs), len(rngs))
 	}
-	n := rel.NumTuples()
-	out := make([]MultiSample, len(attrs))
-	idx := make([][]int, len(attrs))
-	next := make([]int, len(attrs))
+	reqs := make([]ColumnRequest, len(attrs))
 	for k := range attrs {
-		ix, err := WithReplacementIndices(rngs[k], n, s)
+		reqs[k] = ColumnRequest{Attr: attrs[k], S: s, Rng: rngs[k], TrackDistinct: trackDistinct}
+	}
+	return MultiColumnRequests(rel, reqs)
+}
+
+// ColumnRequest is one attribute's share of a fused sampling scan: a
+// with-replacement sample of size S driven by Rng, plus optional
+// distinct-value tracking for the finest-bucket path. Requests are
+// independent — different attributes may sample at different sizes in
+// the same scan, and the same attribute may appear more than once
+// (e.g. a 1000-bucket 1-D sample and a 64-bucket 2-D grid sample, each
+// consuming its own fresh stream).
+type ColumnRequest struct {
+	Attr          int
+	S             int
+	Rng           *rand.Rand
+	TrackDistinct int // 0 = off
+}
+
+// MultiColumnRequests generalizes MultiColumnWithReplacement to
+// heterogeneous per-request sample sizes: every request draws exactly
+// the stream ColumnWithReplacement(rel, req.Attr, req.S, req.Rng)
+// would, so per-request results stay bit-identical to the unfused
+// path, while the relation is scanned at most ONCE for the whole set.
+// Requests needing no rows at all (S = 0, no tracking) trigger no scan.
+func MultiColumnRequests(rel relation.Relation, reqs []ColumnRequest) ([]MultiSample, error) {
+	n := rel.NumTuples()
+	out := make([]MultiSample, len(reqs))
+	idx := make([][]int, len(reqs))
+	next := make([]int, len(reqs))
+	limit := 0
+	anyTracking := false
+	for k, req := range reqs {
+		ix, err := WithReplacementIndices(req.Rng, n, req.S)
 		if err != nil {
 			return nil, err
 		}
 		idx[k] = ix
-		out[k].Sample = make([]float64, 0, s)
+		out[k].Sample = make([]float64, 0, req.S)
+		if len(ix) > 0 && ix[len(ix)-1]+1 > limit {
+			limit = ix[len(ix)-1] + 1
+		}
+		if req.TrackDistinct > 0 {
+			anyTracking = true
+		}
 	}
-	if pr, ok := rel.(relation.NumericPointReader); ok && trackDistinct <= 0 {
-		for k := range attrs {
+	if limit == 0 && !anyTracking {
+		return out, nil // nothing needs any row
+	}
+	// The scan reads each requested column once even when several
+	// requests share an attribute.
+	uniq := make([]int, 0, len(reqs))
+	colOf := make([]int, len(reqs))
+	pos := map[int]int{}
+	for k, req := range reqs {
+		p, ok := pos[req.Attr]
+		if !ok {
+			p = len(uniq)
+			pos[req.Attr] = p
+			uniq = append(uniq, req.Attr)
+		}
+		colOf[k] = p
+	}
+	if pr, ok := rel.(relation.NumericPointReader); ok && !anyTracking {
+		for k := range reqs {
 			sample := make([]float64, len(idx[k]))
-			if err := pr.ReadNumericPoints(attrs[k], idx[k], sample); err != nil {
+			if err := pr.ReadNumericPoints(reqs[k].Attr, idx[k], sample); err != nil {
 				return nil, err
 			}
 			out[k].Sample = sample
@@ -196,32 +249,25 @@ func MultiColumnWithReplacement(rel relation.Relation, attrs []int, s int, rngs 
 		seen     map[float64]struct{}
 		overflow bool
 	}
-	var dist []distinct
-	if trackDistinct > 0 {
-		dist = make([]distinct, len(attrs))
-		for k := range dist {
+	dist := make([]distinct, len(reqs))
+	for k, req := range reqs {
+		if req.TrackDistinct > 0 {
 			dist[k].seen = make(map[float64]struct{})
 		}
 	}
 	// Distinct tracking needs every row; pure sampling needs none past
-	// the largest sorted index of any attribute, so the scan is bounded
+	// the largest sorted index of any request, so the scan is bounded
 	// there (rows past it are never read on range-scanning relations).
 	scan := rel.Scan
-	if dist == nil {
-		limit := 0
-		for k := range idx {
-			if len(idx[k]) > 0 && idx[k][len(idx[k])-1]+1 > limit {
-				limit = idx[k][len(idx[k])-1] + 1
-			}
-		}
+	if !anyTracking {
 		scan = boundedScan(rel, limit)
 	}
 	at := 0 // global row number of the batch start
-	err := scan(relation.ColumnSet{Numeric: attrs}, func(b *relation.Batch) error {
+	err := scan(relation.ColumnSet{Numeric: uniq}, func(b *relation.Batch) error {
 		pending := false
 		tracking := false
-		for k := range attrs {
-			col := b.Numeric[k]
+		for k := range reqs {
+			col := b.Numeric[colOf[k]]
 			ix, nx := idx[k], next[k]
 			hi := at + b.Len
 			// Duplicated indices (with-replacement draws) each contribute
@@ -234,7 +280,7 @@ func MultiColumnWithReplacement(rel relation.Relation, attrs []int, s int, rngs 
 			if nx < len(ix) {
 				pending = true
 			}
-			if dist != nil && !dist[k].overflow {
+			if dist[k].seen != nil && !dist[k].overflow {
 				tracking = true
 				d := &dist[k]
 				for _, v := range col[:b.Len] {
@@ -247,7 +293,7 @@ func MultiColumnWithReplacement(rel relation.Relation, attrs []int, s int, rngs 
 					}
 					if _, ok := d.seen[v]; !ok {
 						d.seen[v] = struct{}{}
-						if len(d.seen) > trackDistinct {
+						if len(d.seen) > reqs[k].TrackDistinct {
 							d.overflow = true
 							break
 						}
@@ -256,8 +302,8 @@ func MultiColumnWithReplacement(rel relation.Relation, attrs []int, s int, rngs 
 			}
 		}
 		at += b.Len
-		// Abort once every sample is satisfied and no attribute still
-		// tracks distinct values (an attribute whose tracker overflowed
+		// Abort once every sample is satisfied and no request still
+		// tracks distinct values (a request whose tracker overflowed
 		// — or that started the batch overflowed — needs no more rows).
 		if !pending && !tracking {
 			return errDone
@@ -267,11 +313,11 @@ func MultiColumnWithReplacement(rel relation.Relation, attrs []int, s int, rngs 
 	if err != nil && err != errDone {
 		return nil, err
 	}
-	for k := range attrs {
-		if len(out[k].Sample) != s {
-			return nil, fmt.Errorf("sampling: attribute %d: drew %d of %d requested samples", attrs[k], len(out[k].Sample), s)
+	for k, req := range reqs {
+		if len(out[k].Sample) != req.S {
+			return nil, fmt.Errorf("sampling: attribute %d: drew %d of %d requested samples", req.Attr, len(out[k].Sample), req.S)
 		}
-		if dist != nil && !dist[k].overflow && len(dist[k].seen) > 0 {
+		if dist[k].seen != nil && !dist[k].overflow && len(dist[k].seen) > 0 {
 			values := make([]float64, 0, len(dist[k].seen))
 			for v := range dist[k].seen {
 				values = append(values, v)

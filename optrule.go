@@ -112,6 +112,54 @@
 // (≈ one shard, or a few, per independent disk), not from CPU count,
 // which Config.PEs and Workers already cover.
 //
+// # Plan/execute sessions
+//
+// The miner runs on a plan→execute architecture. The paper's bucketed
+// counts are SUFFICIENT STATISTICS: once an attribute's (or attribute
+// pair's) count grid exists, the optimized rule for any threshold,
+// rule kind, or region class derives from the grid alone, without
+// touching the relation again. The engine therefore splits every query
+// into a data plane and a query plane:
+//
+//  1. PLAN — each query is resolved into the statistics it needs:
+//     per-attribute bucket boundaries, 1-D per-bucket count groups
+//     (keyed by attribute, resolution, and presumptive conditions),
+//     and 2-D pair grids. A batch's needs are deduplicated: ten
+//     queries touching the same attribute plan one statistic.
+//  2. EXECUTE — the statistics missing from the session cache are
+//     materialized in at most TWO relation scans regardless of batch
+//     size or mix: one fused sampling scan builds every missing
+//     boundary set, one fused counting scan fills every missing count
+//     group and pair grid (segmented across processing elements on
+//     range-scanning storage).
+//  3. EXTRACT — the Section 4 / §1.4 optimization kernels run per
+//     query on the in-memory statistics, fanned out over a worker
+//     pool. Pure CPU; no I/O.
+//
+// NewSession is the long-lived entry point for serving mining traffic:
+//
+//	s, err := optrule.NewSession(rel, optrule.Config{MinConfidence: 0.6})
+//	answers, err := s.ExecuteBatch([]optrule.Query{
+//		{Op: optrule.OpRules},                               // all 1-D rules
+//		{Op: optrule.OpRules2D, Objective: "CardLoan"},      // all 2-D pairs
+//		{Op: optrule.OpTopK, Numeric: "Balance", Objective: "CardLoan", K: 3},
+//	})
+//
+// That whole heterogeneous batch costs exactly two scans. The session
+// holds an LRU-bounded, size-accounted statistics cache keyed by
+// (attributes, resolution, conditions): a re-query with different
+// thresholds, rule kinds, or region classes — the knobs an analyst
+// actually turns — is answered with ZERO scans, because thresholds
+// live in the query plane. Sessions are safe for concurrent callers,
+// so one session can back a serving layer; Session.CacheStats exposes
+// occupancy and hit rates, SetCacheLimit rebounds the budget, and
+// InvalidateCache drops statistics after the relation is rewritten.
+//
+// The one-shot functions below (MineAll, Mine, MineTopK, …) are thin
+// wrappers over a throwaway session and remain rule-for-rule identical
+// to their pre-session behavior (differential tests pin this across
+// all storage backends).
+//
 // # Quick start
 //
 //	rel, err := optrule.ReadCSVFile("customers.csv")
@@ -323,6 +371,48 @@ func NewShardedWriter(manifestPath string, schema Schema, opts ShardedWriterOpti
 // (0 selects v2), cleaning up everything it created on error.
 func ConvertToSharded(src Relation, manifestPath string, shards, version int) error {
 	return relation.ConvertToSharded(src, manifestPath, shards, version)
+}
+
+// Session is a long-lived mining handle over one relation: queries
+// planned together share scans, and an LRU-bounded statistics cache
+// answers repeat queries with zero scans. See the package
+// documentation's Plan/execute sessions section. Safe for concurrent
+// use.
+type Session = miner.Session
+
+// Query is one mining request in the session IR; the zero value of
+// every optional field selects the session default.
+type Query = miner.Query
+
+// Answer is one query's result; exactly one result group is populated,
+// matching the query's op.
+type Answer = miner.Answer
+
+// CacheStats reports a session cache's occupancy and traffic.
+type CacheStats = miner.CacheStats
+
+// Query operations.
+const (
+	// OpRules mines 1-D optimized rules; empty Numeric/Objective mean
+	// "all" (the MineAll workload).
+	OpRules = miner.OpRules
+	// OpConjunctive mines the §4.3 conjunctive rule form.
+	OpConjunctive = miner.OpConjunctive
+	// OpTopK mines up to K disjoint ranked ranges.
+	OpTopK = miner.OpTopK
+	// OpAverage / OpSupportRange are the Section 5 average-operator
+	// queries.
+	OpAverage      = miner.OpAverage
+	OpSupportRange = miner.OpSupportRange
+	// OpRules2D mines rectangle kinds and region classes over pairs.
+	OpRules2D = miner.OpRules2D
+)
+
+// NewSession validates cfg and creates a session over rel; the
+// relation's contents must not change for the session's lifetime (call
+// Session.InvalidateCache after rewriting it in place).
+func NewSession(rel Relation, cfg Config) (*Session, error) {
+	return miner.NewSession(rel, cfg)
 }
 
 // MineAll mines both optimized rules for every (numeric, Boolean)
