@@ -162,6 +162,34 @@ func runColScan(full bool, seed int64) (any, error) {
 	return res, nil
 }
 
+func runV3Scan(full bool, seed int64) (any, error) {
+	n, groupRows := 300000, 1<<14
+	if full {
+		n, groupRows = 3000000, 1<<16
+	}
+	res, err := experiments.V3Scan(n, groupRows, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Print(os.Stdout)
+	fmt.Println()
+	return res, nil
+}
+
+func runKernel(full bool, seed int64) (any, error) {
+	n := 300000
+	if full {
+		n = 2000000
+	}
+	res, err := experiments.Kernel(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Print(os.Stdout)
+	fmt.Println()
+	return res, nil
+}
+
 func runShards(full bool, seed int64) (any, error) {
 	n := 400000
 	if full {

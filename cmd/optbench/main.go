@@ -11,7 +11,11 @@
 // (optimized-confidence rules vs naive), fig11 (optimized-support rules
 // vs naive), par (parallel bucketing, Section 3.3), fused (one-scan
 // multi-attribute counting engine vs per-attribute passes), colscan
-// (column-major v2 disk format vs row-major v1, counted bytes), twodim
+// (column-major v2 disk format vs row-major v1, counted bytes), v3scan
+// (compressed v3 format vs v2: file size, unfiltered scan cost, and
+// zone-map pruning on a clustered filter, rule-deviation hard-fail),
+// kernel (general counting kernel: batch-vectorized vs reference
+// per-tuple vs the homogeneous MultiCount fast path, ns/row), twodim
 // (fused all-pairs 2-D engine vs legacy per-pair pipeline: wall-clock
 // and bytes vs pair count and grid side, plus a single-pair all-kinds
 // deep-grid sweep), shards (sharded backend: single-file vs 2/4/8-shard
@@ -48,7 +52,7 @@ type report struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("optbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, fused, colscan, twodim, shards, batch, or all")
+	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, fused, colscan, v3scan, kernel, twodim, shards, batch, or all")
 	full := fs.Bool("full", false, "paper-scale sizes (slow; needs several GB of RAM for fig9)")
 	seed := fs.Int64("seed", 1, "random seed")
 	jsonPath := fs.String("json", "", "also write structured results as JSON to this file (e.g. BENCH_optbench.json)")
@@ -82,6 +86,8 @@ func run(args []string) error {
 		{"regions", runRegions},
 		{"fused", runFused},
 		{"colscan", runColScan},
+		{"v3scan", runV3Scan},
+		{"kernel", runKernel},
 		{"twodim", runTwoDim},
 		{"shards", runShards},
 		{"batch", runBatch},

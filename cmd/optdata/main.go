@@ -23,7 +23,9 @@
 //
 // .opr files default to the v2 column-major block-group format, whose
 // selective column scans read only the attributes a query touches;
-// -format v1 writes the legacy row-major format. With -shards N (N >
+// -format v3 adds per-block compression (delta, dictionary, bitmap)
+// and min/max zone maps that let predicated scans skip whole block
+// groups; -format v1 writes the legacy row-major format. With -shards N (N >
 // 1) the output is a SHARDED relation: -out names the manifest
 // (conventionally *.oprs) and N shard files are written next to it —
 // the layout whose sub-scans can run on independent disks in parallel.
@@ -58,8 +60,10 @@ func parseFormat(s string) (int, error) {
 		return relation.DiskFormatV1, nil
 	case "v2", "2":
 		return relation.DiskFormatV2, nil
+	case "v3", "3":
+		return relation.DiskFormatV3, nil
 	default:
-		return 0, fmt.Errorf("unknown format %q (want v1 or v2)", s)
+		return 0, fmt.Errorf("unknown format %q (want v1, v2, or v3)", s)
 	}
 }
 
@@ -78,7 +82,7 @@ func run(args []string) error {
 	n := fs.Int("n", 100000, "number of tuples")
 	seed := fs.Int64("seed", 1, "random seed (deterministic output)")
 	out := fs.String("out", "", "output path; .csv, .opr, or .oprs decides the format (required)")
-	format := fs.String("format", "v2", ".opr format version: v2 (column-major block groups) or v1 (row-major)")
+	format := fs.String("format", "v2", ".opr format version: v2 (column-major block groups), v3 (compressed blocks with zone maps), or v1 (row-major)")
 	shards := fs.Int("shards", 0, "split the binary output into this many shard files behind a manifest (0 = single file)")
 	numNumeric := fs.Int("numeric", 8, "perf only: numeric attribute count")
 	numBool := fs.Int("bool", 8, "perf only: Boolean attribute count")
@@ -173,7 +177,7 @@ func runConvert(args []string) error {
 	fs := flag.NewFlagSet("optdata convert", flag.ContinueOnError)
 	in := fs.String("in", "", "source path: .opr file or shard manifest (required)")
 	out := fs.String("out", "", "destination path (required)")
-	format := fs.String("format", "v2", "target format version: v2 or v1")
+	format := fs.String("format", "v2", "target format version: v2, v3, or v1")
 	shards := fs.Int("shards", 0, "shard the destination into this many files behind a manifest (0 = single file)")
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -237,11 +238,80 @@ func TestRunErrors(t *testing.T) {
 		{"-kind", "nope", "-out", filepath.Join(dir, "x.csv")},                  // bad kind
 		{"-kind", "bank", "-out", filepath.Join(dir, "x.txt")},                  // bad extension
 		{"-kind", "perf", "-numeric", "0", "-out", filepath.Join(dir, "x.csv")}, // invalid shape
-		{"-kind", "bank", "-format", "v3", "-out", filepath.Join(dir, "x.opr")}, // bad format
+		{"-kind", "bank", "-format", "v9", "-out", filepath.Join(dir, "x.opr")}, // bad format
 	}
 	for i, args := range cases {
 		if err := run(args); err == nil {
 			t.Errorf("case %d (%v): expected error", i, args)
 		}
+	}
+}
+
+func TestRunFormatV3(t *testing.T) {
+	dir := t.TempDir()
+	v2 := filepath.Join(dir, "v2.opr")
+	v3 := filepath.Join(dir, "v3.opr")
+	if err := run([]string{"-kind", "bank", "-n", "5000", "-out", v2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "bank", "-n", "5000", "-format", "v3", "-out", v3}); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := relation.OpenDisk(v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Version() != relation.DiskFormatV3 || d3.NumTuples() != 5000 {
+		t.Fatalf("-format v3 wrote version %d, %d tuples", d3.Version(), d3.NumTuples())
+	}
+	// The bank set carries Boolean columns and low-cardinality numerics:
+	// compression must make the v3 file strictly smaller on disk.
+	s2, err := os.Stat(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := os.Stat(v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Size() >= s2.Size() {
+		t.Errorf("v3 file is %d bytes, v2 is %d; compression saved nothing", s3.Size(), s2.Size())
+	}
+	// OpenData sniffs a v3 file like any other single-file relation.
+	od, err := relation.OpenData(v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer od.Close()
+	if od.NumTuples() != 5000 {
+		t.Errorf("OpenData on v3: %d tuples, want 5000", od.NumTuples())
+	}
+	// Full conversion cycle: v3 -> sharded v3 -> single v2 -> v3.
+	manifest := filepath.Join(dir, "sharded.oprs")
+	if err := run([]string{"convert", "-in", v3, "-out", manifest, "-shards", "3", "-format", "v3"}); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := relation.OpenSharded(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if sr.NumShards() != 3 || sr.NumTuples() != 5000 {
+		t.Fatalf("sharded v3: %d shards, %d tuples", sr.NumShards(), sr.NumTuples())
+	}
+	single := filepath.Join(dir, "single.opr")
+	if err := run([]string{"convert", "-in", manifest, "-out", single, "-format", "v2"}); err != nil {
+		t.Fatal(err)
+	}
+	back := filepath.Join(dir, "back.opr")
+	if err := run([]string{"convert", "-in", single, "-out", back, "-format", "v3"}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := relation.OpenDisk(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Version() != relation.DiskFormatV3 || db.NumTuples() != 5000 {
+		t.Errorf("round-trip file: version %d, %d tuples; want v3, 5000", db.Version(), db.NumTuples())
 	}
 }

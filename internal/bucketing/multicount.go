@@ -296,11 +296,56 @@ func multiCountBatch(works []*driverWork, b *relation.Batch, bounds []Boundaries
 	}
 }
 
+// filterPredicate translates a non-empty Options.Filter into the
+// storage layer's pushdown predicate, or returns nil when there is no
+// filter to push. Every filter condition is a Boolean conjunct, which
+// is exactly what the v3 zone maps (per-block true counts) can refute
+// wholesale.
+func filterPredicate(opts Options) *relation.Predicate {
+	if len(opts.Filter) == 0 {
+		return nil
+	}
+	p := &relation.Predicate{}
+	for _, bc := range opts.Filter {
+		p.Bools = append(p.Bools, relation.BoolPredicate{Attr: bc.Attr, Want: bc.Want})
+	}
+	return p
+}
+
+// scanMaybePruned drives the fused counting scan over [start,end):
+// when a filter predicate exists and the relation supports pruned
+// scans, storage block groups the filter provably rejects are skipped
+// without being read or decoded — a skipped row touches only each
+// driver's Total, which the skip callback settles directly. Otherwise
+// the plain (range) scan runs and the batch kernel's mask does all the
+// filtering, as before; the counts are identical either way because
+// pruning only elides rows the mask would reject.
+func scanMaybePruned(rel relation.Relation, rs relation.RangeScanner, start, end int,
+	cols relation.ColumnSet, pred *relation.Predicate, works []*driverWork,
+	fn func(*relation.Batch) error) error {
+	if pred != nil {
+		if prs, ok := rel.(relation.PrunedRangeScanner); ok {
+			return prs.ScanRangePruned(start, end, cols, pred, func(rows int) error {
+				for _, w := range works {
+					w.total += rows
+				}
+				return nil
+			}, fn)
+		}
+	}
+	if rs != nil {
+		return rs.ScanRange(start, end, cols, fn)
+	}
+	return rel.Scan(cols, fn)
+}
+
 // MultiCount is the fused counting scan: given boundaries for every
 // driver attribute, it produces a Counts per driver — each identical to
 // what Count(rel, drivers[d], bounds[d], opts) would return — from ONE
 // sequential scan of the relation. opts (objectives, targets, filter,
-// extremes) applies to every driver.
+// extremes) applies to every driver. A filter is pushed down to the
+// storage layer when the relation supports pruned scans (see
+// scanMaybePruned).
 func MultiCount(rel relation.Relation, drivers []int, bounds []Boundaries, opts Options) ([]*Counts, error) {
 	if err := validateMulti(rel.Schema(), drivers, bounds, opts); err != nil {
 		return nil, err
@@ -311,10 +356,11 @@ func MultiCount(rel relation.Relation, drivers []int, bounds []Boundaries, opts 
 		works[d] = newDriverWork(bounds[d].NumBuckets(), opts)
 	}
 	scratch := &multiScratch{}
-	err := rel.Scan(cols, func(b *relation.Batch) error {
-		multiCountBatch(works, b, bounds, opts, targetPos, boolPos, filterPos, scratch)
-		return nil
-	})
+	err := scanMaybePruned(rel, nil, 0, rel.NumTuples(), cols, filterPredicate(opts), works,
+		func(b *relation.Batch) error {
+			multiCountBatch(works, b, bounds, opts, targetPos, boolPos, filterPos, scratch)
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -348,6 +394,7 @@ func ParallelMultiCount(rel relation.RangeScanner, drivers []int, bounds []Bound
 		return MultiCount(rel, drivers, bounds, opts)
 	}
 	cols, targetPos, boolPos, filterPos := multiScanColumns(drivers, opts)
+	pred := filterPredicate(opts)
 	segs := segmentBounds(rel, n, pes)
 	partials := make([][]*driverWork, pes)
 	errs := make(chan error, pes)
@@ -360,10 +407,11 @@ func ParallelMultiCount(rel relation.RangeScanner, drivers []int, bounds []Bound
 			}
 			partials[p] = local
 			scratch := &multiScratch{}
-			errs <- rel.ScanRange(start, end, cols, func(b *relation.Batch) error {
-				multiCountBatch(local, b, bounds, opts, targetPos, boolPos, filterPos, scratch)
-				return nil
-			})
+			errs <- scanMaybePruned(rel, rel, start, end, cols, pred, local,
+				func(b *relation.Batch) error {
+					multiCountBatch(local, b, bounds, opts, targetPos, boolPos, filterPos, scratch)
+					return nil
+				})
 		}(p)
 	}
 	var firstErr error

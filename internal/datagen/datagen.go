@@ -60,7 +60,7 @@ func WriteDisk(path string, src RowSource, n int, seed int64) error {
 }
 
 // WriteDiskFormat is WriteDisk with an explicit on-disk format version
-// (relation.DiskFormatV1 or relation.DiskFormatV2).
+// (relation.DiskFormatV1, DiskFormatV2, or DiskFormatV3).
 func WriteDiskFormat(path string, src RowSource, n int, seed int64, version int) error {
 	if n < 0 {
 		return fmt.Errorf("datagen: negative tuple count %d", n)

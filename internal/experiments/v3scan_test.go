@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestV3ScanWins runs the compressed-format experiment at a small
+// scale and pins its acceptance shape: v3 must read strictly fewer
+// counted bytes than v2 on both the unfiltered and the filtered scan,
+// and the file itself must be smaller. Rule identity is enforced
+// inside V3Scan (it errors on any deviation).
+func TestV3ScanWins(t *testing.T) {
+	res, err := V3Scan(40000, 1<<12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rules == 0 {
+		t.Fatalf("no rules mined; the experiment is vacuous")
+	}
+	if res.V3FileBytes >= res.V2FileBytes {
+		t.Errorf("v3 file is %d bytes, v2 is %d; compression saved nothing",
+			res.V3FileBytes, res.V2FileBytes)
+	}
+	if res.UnfilteredV3Bytes >= res.UnfilteredV2Bytes {
+		t.Errorf("unfiltered v3 scan read %d bytes, v2 read %d",
+			res.UnfilteredV3Bytes, res.UnfilteredV2Bytes)
+	}
+	if res.FilteredV3Bytes >= res.FilteredV2Bytes {
+		t.Errorf("filtered v3 scan read %d bytes, v2 read %d",
+			res.FilteredV3Bytes, res.FilteredV2Bytes)
+	}
+	// Zone maps should prune far more than compression alone saves: the
+	// filtered byte ratio must beat the unfiltered one.
+	unf := float64(res.UnfilteredV2Bytes) / float64(res.UnfilteredV3Bytes)
+	fil := float64(res.FilteredV2Bytes) / float64(res.FilteredV3Bytes)
+	if fil <= unf {
+		t.Errorf("filtered byte ratio %.2fx does not beat unfiltered %.2fx; zone maps pruned nothing",
+			fil, unf)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Compressed v3 format") {
+		t.Errorf("print output malformed: %s", buf.String())
+	}
+}

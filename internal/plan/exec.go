@@ -155,7 +155,7 @@ func countScan(rel relation.Relation, d Defaults, set *StatsSet, groups []*Group
 	if len(pairs) == 0 && homogeneous(groups) {
 		return countGroupsFused(rel, set, groups, pes)
 	}
-	return countGeneral(rel, set, groups, pairs, pes)
+	return countGeneral(rel, set, groups, pairs, pes, d.RefKernel)
 }
 
 // homogeneous reports whether every group wants the same tally shape,
@@ -274,6 +274,20 @@ func statsFromCounts(c *bucketing.Counts, g *GroupNeed) *Stats1D {
 // (attribute, resolution) and shared by every consumer; per-filter row
 // masks are computed once per batch.
 
+// effCombo is one distinct (boundary set, filter) combination's
+// effective-index pass: eff[row] is the row's bucket index with
+// masked-out and NaN-driver rows redirected to the trash slot m, so
+// every group sharing the combination tallies with branch-free
+// scatter loops. nans counts the batch's masked-in NaN-driver rows.
+type effCombo struct {
+	loc     int // locate task index
+	maskIdx int // distinct filter index, -1 when unfiltered
+	m       int // bucket count; also the trash slot
+
+	eff  []int32
+	nans int
+}
+
 // execState is one worker's private tally state.
 type execState struct {
 	numPos  map[int]int // attr -> position in cols.Numeric
@@ -287,6 +301,9 @@ type execState struct {
 	filters [][]bucketing.BoolCond // distinct filters (canonical key order)
 	masks   [][]bool
 
+	combos []*effCombo // distinct (loc, maskIdx) effective-index passes
+	useRef bool        // run the reference per-tuple kernel instead
+
 	groups []*groupState
 	pairs  []*pairState
 }
@@ -296,8 +313,13 @@ type groupState struct {
 	col     int // driver column position
 	loc     int // locate task index
 	maskIdx int // distinct filter index, -1 when unfiltered
+	combo   int // effective-index pass (loc, maskIdx)
 	m       int
 
+	// Tally arrays are padded to m+1 slots: slot m is the trash slot
+	// the vectorized kernel scatters masked-out and NaN-driver rows
+	// into, so its inner loops carry no per-row branch. publish slices
+	// the padding back off; merge folds it along with the real slots.
 	total, nans int
 	u           []int
 	v           [][]int     // need.Bools order
@@ -315,12 +337,23 @@ type pairState struct {
 	objCol     int
 	want       bool
 
+	// grid is the published result; the kernels tally into pu/pv —
+	// padded (cells+1-slot) shadows of its flat backing whose last slot
+	// absorbs rows falling outside either bucketing — and publish
+	// copies the real cells in. The axis extreme arrays carry one trash
+	// slot each for the same reason.
 	grid       *region.Grid
 	gu         []int
 	gv         []float64
 	cols       int
+	pu         []int
+	pv         []float64
 	minA, maxA []float64
 	minB, maxB []float64
+
+	effCell []int32 // per batch row: flat cell index, or the trash cell
+	effA    []int32 // row-bucket index, or its trash slot
+	effB    []int32 // column-bucket index, or its trash slot
 }
 
 // layout computes the union column set and position maps.
@@ -360,10 +393,11 @@ func execLayout(groups []*GroupNeed, pairs []*PairNeed) (relation.ColumnSet, map
 	return cols, numPos, boolPos
 }
 
-// newExecState builds one worker's tally state.
+// newExecState builds one worker's tally state. ref selects the
+// reference per-tuple kernel over the batch-vectorized one.
 func newExecState(set *StatsSet, groups []*GroupNeed, pairs []*PairNeed,
-	numPos, boolPos map[int]int) (*execState, error) {
-	st := &execState{numPos: numPos, boolPos: boolPos}
+	numPos, boolPos map[int]int, ref bool) (*execState, error) {
+	st := &execState{numPos: numPos, boolPos: boolPos, useRef: ref}
 	locOf := map[BoundKey]int{}
 	locate := func(k BoundKey) (int, error) {
 		if i, ok := locOf[k]; ok {
@@ -395,29 +429,41 @@ func newExecState(set *StatsSet, groups []*GroupNeed, pairs []*PairNeed,
 		st.masks = append(st.masks, nil)
 		return i
 	}
+	comboOf := map[[2]int]int{}
+	combo := func(loc, mi, m int) int {
+		key := [2]int{loc, mi}
+		if i, ok := comboOf[key]; ok {
+			return i
+		}
+		i := len(st.combos)
+		comboOf[key] = i
+		st.combos = append(st.combos, &effCombo{loc: loc, maskIdx: mi, m: m})
+		return i
+	}
 	for _, g := range groups {
 		loc, err := locate(BoundKey{Attr: g.Driver, M: g.Key.M, Exact: g.Key.Exact})
 		if err != nil {
 			return nil, err
 		}
 		m := st.locB[loc].NumBuckets()
+		mi := maskIdx(g.Filter, g.Key.Filter)
 		gs := &groupState{
 			need: g, col: numPos[g.Driver], loc: loc,
-			maskIdx: maskIdx(g.Filter, g.Key.Filter), m: m,
-			u: make([]int, m),
+			maskIdx: mi, combo: combo(loc, mi, m), m: m,
+			u: make([]int, m+1),
 		}
 		for _, bc := range g.Bools {
-			gs.v = append(gs.v, make([]int, m))
+			gs.v = append(gs.v, make([]int, m+1))
 			gs.boolCol = append(gs.boolCol, boolPos[bc.Attr])
 			gs.boolWant = append(gs.boolWant, bc.Want)
 		}
 		for _, t := range g.Targets {
-			gs.sum = append(gs.sum, make([]float64, m))
+			gs.sum = append(gs.sum, make([]float64, m+1))
 			gs.targetCol = append(gs.targetCol, numPos[t])
 		}
 		if g.TrackExtremes {
-			gs.minv = make([]float64, m)
-			gs.maxv = make([]float64, m)
+			gs.minv = make([]float64, m+1)
+			gs.maxv = make([]float64, m+1)
 			for i := range gs.minv {
 				gs.minv[i] = math.Inf(1)
 				gs.maxv[i] = math.Inf(-1)
@@ -449,8 +495,10 @@ func newExecState(set *StatsSet, groups []*GroupNeed, pairs []*PairNeed,
 			colA: numPos[p.A], colB: numPos[p.B],
 			objCol: boolPos[p.Obj.Attr], want: p.Obj.Want,
 			grid: g, gu: gu, gv: gv, cols: g.Cols(),
-			minA: make([]float64, rows), maxA: make([]float64, rows),
-			minB: make([]float64, colsN), maxB: make([]float64, colsN),
+			pu:   make([]int, rows*colsN+1),
+			pv:   make([]float64, rows*colsN+1),
+			minA: make([]float64, rows+1), maxA: make([]float64, rows+1),
+			minB: make([]float64, colsN+1), maxB: make([]float64, colsN+1),
 		}
 		for i := range ps.minA {
 			ps.minA[i], ps.maxA[i] = math.Inf(1), math.Inf(-1)
@@ -463,7 +511,13 @@ func newExecState(set *StatsSet, groups []*GroupNeed, pairs []*PairNeed,
 	return st, nil
 }
 
-// countBatch tallies one batch into every group and pair.
+// countBatch tallies one batch into every group and pair: bucket
+// indices are located once per (attribute, resolution), row masks are
+// computed once per distinct filter, then either the batch-vectorized
+// kernel or the reference per-tuple kernel consumes them. Both kernels
+// feed every valid bucket the identical addition sequence in row
+// order, so their outputs — float target sums included — are
+// bit-identical.
 func (st *execState) countBatch(b *relation.Batch) {
 	n := b.Len
 	// Bucket indices once per (attribute, resolution): every group and
@@ -493,6 +547,174 @@ func (st *execState) countBatch(b *relation.Batch) {
 			}
 		}
 	}
+	if st.useRef {
+		st.countBatchRef(b)
+		return
+	}
+	st.countBatchVec(b)
+}
+
+// countBatchVec is the batch-vectorized kernel. The per-tuple
+// branching of the reference kernel — mask check, NaN check, extreme
+// tracking, per-objective conditionals — is restructured into columnar
+// passes: one effective-index pass per distinct (boundary set, filter)
+// combination routes every excluded row to a trash slot, and each
+// statistic then runs one tight scatter loop over the whole batch with
+// no row-level control flow. Trash-slot garbage (counts, NaN sums,
+// extremes of masked rows) never surfaces: publish slices it off.
+func (st *execState) countBatchVec(b *relation.Batch) {
+	n := b.Len
+	for _, c := range st.combos {
+		if cap(c.eff) < n {
+			c.eff = make([]int32, n)
+		}
+		eff := c.eff[:n]
+		idx := st.idx[c.loc][:n]
+		trash := int32(c.m)
+		nans := 0
+		if c.maskIdx < 0 {
+			for row, i := range idx {
+				if i < 0 { // NaN driver: belongs to no bucket
+					nans++
+					i = trash
+				}
+				eff[row] = i
+			}
+		} else {
+			mask := st.masks[c.maskIdx][:n]
+			for row, i := range idx {
+				if !mask[row] {
+					eff[row] = trash
+					continue
+				}
+				if i < 0 {
+					nans++
+					i = trash
+				}
+				eff[row] = i
+			}
+		}
+		c.nans = nans
+	}
+	for _, gs := range st.groups {
+		c := st.combos[gs.combo]
+		eff := c.eff[:n]
+		gs.total += n
+		gs.nans += c.nans
+		u := gs.u
+		for _, e := range eff {
+			u[e]++
+		}
+		if gs.minv != nil {
+			col := b.Numeric[gs.col][:n]
+			minv, maxv := gs.minv, gs.maxv
+			for row, e := range eff {
+				x := col[row]
+				if x < minv[e] {
+					minv[e] = x
+				}
+				if x > maxv[e] {
+					maxv[e] = x
+				}
+			}
+		}
+		for k := range gs.v {
+			vk := gs.v[k]
+			colb := b.Bool[gs.boolCol[k]][:n]
+			want := gs.boolWant[k]
+			for row, e := range eff {
+				// Flagless increment: the objective bit is ~50% either
+				// way, so a conditional add would mispredict constantly.
+				d := 0
+				if colb[row] == want {
+					d = 1
+				}
+				vk[e] += d
+			}
+		}
+		for k := range gs.sum {
+			sk := gs.sum[k]
+			colt := b.Numeric[gs.targetCol[k]][:n]
+			for row, e := range eff {
+				sk[e] += colt[row]
+			}
+		}
+	}
+	for _, ps := range st.pairs {
+		ia := st.idx[ps.locA][:n]
+		ib := st.idx[ps.locB][:n]
+		if cap(ps.effCell) < n {
+			ps.effCell = make([]int32, n)
+			ps.effA = make([]int32, n)
+			ps.effB = make([]int32, n)
+		}
+		effCell := ps.effCell[:n]
+		effA := ps.effA[:n]
+		effB := ps.effB[:n]
+		cols := int32(ps.cols)
+		trashCell := int32(len(ps.pu) - 1)
+		trashA := int32(len(ps.minA) - 1)
+		trashB := int32(len(ps.minB) - 1)
+		for row := 0; row < n; row++ {
+			ri, rj := ia[row], ib[row]
+			if ri < 0 || rj < 0 {
+				// A row outside either axis's bucketing contributes to no
+				// cell and — matching the reference kernel — to neither
+				// axis's extremes.
+				effCell[row] = trashCell
+				effA[row] = trashA
+				effB[row] = trashB
+				continue
+			}
+			effCell[row] = ri*cols + rj
+			effA[row] = ri
+			effB[row] = rj
+		}
+		pu, pv := ps.pu, ps.pv
+		for _, e := range effCell {
+			pu[e]++
+		}
+		obj := b.Bool[ps.objCol][:n]
+		want := ps.want
+		for row, e := range effCell {
+			x := 0.0
+			if obj[row] == want {
+				x = 1
+			}
+			pv[e] += x
+		}
+		colA := b.Numeric[ps.colA][:n]
+		minA, maxA := ps.minA, ps.maxA
+		for row, e := range effA {
+			a := colA[row]
+			if a < minA[e] {
+				minA[e] = a
+			}
+			if a > maxA[e] {
+				maxA[e] = a
+			}
+		}
+		colB := b.Numeric[ps.colB][:n]
+		minB, maxB := ps.minB, ps.maxB
+		for row, e := range effB {
+			bv := colB[row]
+			if bv < minB[e] {
+				minB[e] = bv
+			}
+			if bv > maxB[e] {
+				maxB[e] = bv
+			}
+		}
+	}
+}
+
+// countBatchRef is the reference per-tuple kernel: one branchy row
+// loop per group and pair, kept both as the differential baseline the
+// vectorized kernel is pinned against and as a Defaults.RefKernel
+// escape hatch for regression triage. It shares the padded tally
+// layout, so merge and publish are kernel-agnostic.
+func (st *execState) countBatchRef(b *relation.Batch) {
+	n := b.Len
 	for _, gs := range st.groups {
 		gs.total += n
 		idx := st.idx[gs.loc][:n]
@@ -538,7 +760,7 @@ func (st *execState) countBatch(b *relation.Batch) {
 		colA := b.Numeric[ps.colA]
 		colB := b.Numeric[ps.colB]
 		obj := b.Bool[ps.objCol]
-		gu, gv, cols := ps.gu, ps.gv, ps.cols
+		pu, pv, cols := ps.pu, ps.pv, ps.cols
 		minA, maxA := ps.minA, ps.maxA
 		minB, maxB := ps.minB, ps.maxB
 		want := ps.want
@@ -552,7 +774,7 @@ func (st *execState) countBatch(b *relation.Batch) {
 				continue
 			}
 			idx := ri*cols + rj
-			gu[idx]++
+			pu[idx]++
 			// Flagless objective tally (as in the 1-D counting kernel):
 			// the objective bit is ~50% either way, so a conditional
 			// increment would mispredict constantly.
@@ -560,7 +782,7 @@ func (st *execState) countBatch(b *relation.Batch) {
 			if obj[row] == want {
 				e = 1
 			}
-			gv[idx] += e
+			pv[idx] += e
 			a := colA[row]
 			if a < minA[ri] {
 				minA[ri] = a
@@ -579,10 +801,12 @@ func (st *execState) countBatch(b *relation.Batch) {
 	}
 }
 
-// merge folds other's tallies into st. All statistics are integer
-// counts or extremes (float sums force a serial scan), so the merged
-// state matches a serial scan exactly regardless of segmentation.
-func (st *execState) merge(other *execState) error {
+// merge folds other's tallies into st, padding slots included. All
+// statistics are integer counts or extremes (float sums force a serial
+// scan; the pair objective tallies are exact small integers in
+// float64), so the merged state matches a serial scan exactly
+// regardless of segmentation.
+func (st *execState) merge(other *execState) {
 	for i, gs := range st.groups {
 		og := other.groups[i]
 		gs.total += og.total
@@ -613,8 +837,11 @@ func (st *execState) merge(other *execState) error {
 	}
 	for i, ps := range st.pairs {
 		op := other.pairs[i]
-		if err := ps.grid.Merge(op.grid); err != nil {
-			return err
+		for j := range ps.pu {
+			ps.pu[j] += op.pu[j]
+		}
+		for j := range ps.pv {
+			ps.pv[j] += op.pv[j]
 		}
 		for j := range ps.minA {
 			if op.minA[j] < ps.minA[j] {
@@ -633,54 +860,118 @@ func (st *execState) merge(other *execState) error {
 			}
 		}
 	}
-	return nil
 }
 
-// publish converts the final tally state into cached statistics.
+// publish converts the final tally state into cached statistics,
+// slicing the trash slots off every padded array (with full capacity
+// caps, so no later append can reach into them) and copying the pair
+// tallies into their grids' flat backing.
 func (st *execState) publish(set *StatsSet) {
 	for _, gs := range st.groups {
+		var minv, maxv []float64
+		if gs.minv != nil {
+			minv = gs.minv[:gs.m:gs.m]
+			maxv = gs.maxv[:gs.m:gs.m]
+		}
 		s := &Stats1D{
 			M: gs.m, Total: gs.total, NaNs: gs.nans,
-			U:      gs.u,
-			MinVal: gs.minv, MaxVal: gs.maxv,
+			U:      gs.u[:gs.m:gs.m],
+			MinVal: minv, MaxVal: maxv,
 			V:   map[bucketing.BoolCond][]int{},
 			Sum: map[int][]float64{},
 		}
-		for _, u := range gs.u {
+		for _, u := range gs.u[:gs.m] {
 			s.N += u
 		}
 		for k, bc := range gs.need.Bools {
-			s.V[bc] = gs.v[k]
+			s.V[bc] = gs.v[k][:gs.m:gs.m]
 		}
 		for k, t := range gs.need.Targets {
-			s.Sum[t] = gs.sum[k]
+			s.Sum[t] = gs.sum[k][:gs.m:gs.m]
 		}
 		set.Groups[gs.need.Key] = s
 	}
 	for _, ps := range st.pairs {
+		copy(ps.gu, ps.pu) // padding slot beyond len(gu) stays behind
+		copy(ps.gv, ps.pv)
+		ra, ca := ps.grid.Rows(), ps.grid.Cols()
 		set.Pairs[ps.need.Key] = &Stats2D{
 			Grid: ps.grid,
-			MinA: ps.minA, MaxA: ps.maxA,
-			MinB: ps.minB, MaxB: ps.maxB,
+			MinA: ps.minA[:ra:ra], MaxA: ps.maxA[:ra:ra],
+			MinB: ps.minB[:ca:ca], MaxB: ps.maxB[:ca:ca],
 			N:    ps.grid.Total(),
 			Hits: int(ps.grid.SumV()),
 		}
 	}
 }
 
+// commonFilterPred returns the zone-map pushdown predicate when every
+// scheduled statistic is a 1-D group carrying the same non-empty
+// filter — the conjunctive-query shape. Rows in a storage block group
+// the filter provably rejects wholesale then never leave the disk:
+// they contribute only to each group's Total, which the skip callback
+// settles without decoding a byte. Pair grids veto the pushdown (they
+// count unfiltered rows), as does any filter divergence.
+func commonFilterPred(groups []*GroupNeed, pairs []*PairNeed) *relation.Predicate {
+	if len(pairs) > 0 || len(groups) == 0 {
+		return nil
+	}
+	first := groups[0]
+	if first.Key.Filter == "" {
+		return nil
+	}
+	for _, g := range groups[1:] {
+		if g.Key.Filter != first.Key.Filter {
+			return nil
+		}
+	}
+	p := &relation.Predicate{}
+	for _, bc := range first.Filter {
+		p.Bools = append(p.Bools, relation.BoolPredicate{Attr: bc.Attr, Want: bc.Want})
+	}
+	return p
+}
+
+// prunedOrRange scans [start,end) through the pruned path when both a
+// pushdown predicate and a PrunedRangeScanner are at hand, and through
+// the plain range scan otherwise. Skipped rows fold into every group's
+// Total — the only statistic a filter-rejected row touches.
+func prunedOrRange(rel relation.Relation, rs relation.RangeScanner, start, end int,
+	cols relation.ColumnSet, pred *relation.Predicate, st *execState,
+	fn func(*relation.Batch) error) error {
+	if pred != nil {
+		if prs, ok := rel.(relation.PrunedRangeScanner); ok {
+			return prs.ScanRangePruned(start, end, cols, pred, func(rows int) error {
+				for _, gs := range st.groups {
+					gs.total += rows
+				}
+				return nil
+			}, fn)
+		}
+	}
+	if rs != nil {
+		return rs.ScanRange(start, end, cols, fn)
+	}
+	return rel.Scan(cols, fn)
+}
+
 // countGeneral runs the general fused counting scan, serial or
-// segmented at storage-aligned boundaries.
-func countGeneral(rel relation.Relation, set *StatsSet, groups []*GroupNeed, pairs []*PairNeed, pes int) error {
+// segmented at storage-aligned boundaries, with the common-filter
+// zone-map pushdown when the schedule allows it. ref selects the
+// reference per-tuple kernel.
+func countGeneral(rel relation.Relation, set *StatsSet, groups []*GroupNeed, pairs []*PairNeed, pes int, ref bool) error {
 	cols, numPos, boolPos := execLayout(groups, pairs)
+	pred := commonFilterPred(groups, pairs)
 	if pes <= 1 {
-		st, err := newExecState(set, groups, pairs, numPos, boolPos)
+		st, err := newExecState(set, groups, pairs, numPos, boolPos, ref)
 		if err != nil {
 			return err
 		}
-		if err := rel.Scan(cols, func(b *relation.Batch) error {
-			st.countBatch(b)
-			return nil
-		}); err != nil {
+		if err := prunedOrRange(rel, nil, 0, rel.NumTuples(), cols, pred, st,
+			func(b *relation.Batch) error {
+				st.countBatch(b)
+				return nil
+			}); err != nil {
 			return fmt.Errorf("plan: counting: %w", err)
 		}
 		st.publish(set)
@@ -692,16 +983,17 @@ func countGeneral(rel relation.Relation, set *StatsSet, groups []*GroupNeed, pai
 	errs := make(chan error, pes)
 	for p := 0; p < pes; p++ {
 		go func(p int) {
-			local, err := newExecState(set, groups, pairs, numPos, boolPos)
+			local, err := newExecState(set, groups, pairs, numPos, boolPos, ref)
 			if err != nil {
 				errs <- err
 				return
 			}
 			states[p] = local
-			errs <- rs.ScanRange(segs[p], segs[p+1], cols, func(b *relation.Batch) error {
-				local.countBatch(b)
-				return nil
-			})
+			errs <- prunedOrRange(rel, rs, segs[p], segs[p+1], cols, pred, local,
+				func(b *relation.Batch) error {
+					local.countBatch(b)
+					return nil
+				})
 		}(p)
 	}
 	var firstErr error
@@ -715,9 +1007,7 @@ func countGeneral(rel relation.Relation, set *StatsSet, groups []*GroupNeed, pai
 	}
 	total := states[0]
 	for _, part := range states[1:] {
-		if err := total.merge(part); err != nil {
-			return err
-		}
+		total.merge(part)
 	}
 	total.publish(set)
 	return nil

@@ -22,6 +22,11 @@ type Defaults struct {
 	Seed             int64
 	// PEs > 1 segments the counting scan (Algorithm 3.2); see Run.
 	PEs int
+	// RefKernel forces the general counting scan's reference per-tuple
+	// kernel instead of the batch-vectorized one. Results are identical
+	// (the differential tests pin this); the switch exists for
+	// benchmark comparisons and regression triage.
+	RefKernel bool
 }
 
 // Resolved is a Query bound to a concrete schema: attribute positions,

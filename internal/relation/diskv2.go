@@ -148,8 +148,12 @@ func (dw *DiskWriter) appendV2(nums []float64, bools []bool) error {
 }
 
 // flushGroup writes the pending block group's columns contiguously and
-// records its directory entry.
+// records its directory entry. v3 writers share the group buffering but
+// encode each block before writing it.
 func (dw *DiskWriter) flushGroup() error {
+	if dw.version == DiskFormatV3 {
+		return dw.flushGroupV3()
+	}
 	g := dw.pending
 	if g == 0 {
 		return nil
@@ -506,10 +510,10 @@ func (dr *DiskRelation) scanRangeV2(start, end int, cols ColumnSet, fn func(*Bat
 }
 
 // ConvertDisk rewrites the relation file at src into the given format
-// version at dst, streaming batch by batch — the migration path between
-// v1 row-major files and v2 column-major files (either direction, and
-// v2→v2 regroups to the default block size). The partial output is
-// removed on error.
+// version at dst, streaming batch by batch — the migration path among
+// v1 row-major, v2 column-major, and v3 compressed files (any
+// direction; same-version conversion regroups to the default block
+// size). The partial output is removed on error.
 func ConvertDisk(src, dst string, version int) error {
 	dr, err := OpenDisk(src)
 	if err != nil {
@@ -541,6 +545,8 @@ func NewDiskWriterFormat(path string, schema Schema, version int) (*DiskWriter, 
 		return NewDiskWriter(path, schema)
 	case DiskFormatV2:
 		return NewDiskWriterV2(path, schema, 0)
+	case DiskFormatV3:
+		return NewDiskWriterV3(path, schema, 0)
 	default:
 		return nil, fmt.Errorf("relation: unknown disk format version %d", version)
 	}

@@ -12,7 +12,7 @@ import (
 )
 
 // Sharded relations: one LOGICAL relation backed by an ordered list of
-// shard files (each a self-contained v1 or v2 relation file) plus a
+// shard files (each a self-contained v1, v2, or v3 relation file) plus a
 // small versioned manifest. The global row order is the concatenation
 // of the shards in manifest order, so a sharded relation holding the
 // same tuple stream as a single file is indistinguishable to the miner
@@ -40,8 +40,8 @@ import (
 // serving misaligned global row numbers. Blank lines and lines
 // starting with '#' are ignored. All shards must share one schema
 // (same attribute names and kinds, in the same order); shards may mix
-// on-disk format versions freely — a relation can be grown with v2
-// shards while old v1 shards stay in place.
+// on-disk format versions freely — a relation can be grown with v2 or
+// v3 shards while old v1 shards stay in place.
 
 const (
 	// ShardManifestVersion is the current manifest format version.
@@ -385,6 +385,42 @@ func (sr *ShardedRelation) ScanRange(start, end int, cols ColumnSet, fn func(*Ba
 	return nil
 }
 
+// ScanRangePruned implements PrunedRangeScanner by delegating to each
+// shard in the window: v3 shards prune through their zone maps, v1/v2
+// shards deliver everything — so a mixed-format relation prunes
+// exactly where its storage can. The concurrent multi-shard pipeline
+// (SetConcurrentScans > 1) has no pruned variant and falls back to the
+// plain concurrent scan: still correct (pruning is an optimization,
+// never a filter), just without the skip savings.
+func (sr *ShardedRelation) ScanRangePruned(start, end int, cols ColumnSet, pred *Predicate, skip func(rows int) error, fn func(*Batch) error) error {
+	if err := cols.Validate(sr.schema); err != nil {
+		return err
+	}
+	if err := pred.Validate(sr.schema); err != nil {
+		return err
+	}
+	if start < 0 || end > sr.numRows || start > end {
+		return fmt.Errorf("relation: scan range [%d,%d) out of [0,%d)", start, end, sr.numRows)
+	}
+	if start == end {
+		return nil
+	}
+	first, last := sr.shardAt(start), sr.shardAt(end-1)
+	if sr.scanAhead > 1 && first < last {
+		return sr.scanRangeConcurrent(start, end, first, last, cols, fn)
+	}
+	for i := first; i <= last; i++ {
+		lo, hi := sr.shardRange(i, start, end)
+		if lo >= hi {
+			continue // empty shard inside the window
+		}
+		if err := sr.shards[i].ScanRangePruned(lo, hi, cols, pred, skip, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // shardRange clips the global range [start, end) to shard i's rows and
 // translates it to shard-local coordinates.
 func (sr *ShardedRelation) shardRange(i, start, end int) (lo, hi int) {
@@ -601,10 +637,10 @@ type ShardedWriterOptions struct {
 	Shards int
 	// TotalRows is the expected tuple count for count-based splitting.
 	TotalRows int
-	// Format is the shard file format version (DiskFormatV1 or
-	// DiskFormatV2); 0 selects the v2 default.
+	// Format is the shard file format version (DiskFormatV1,
+	// DiskFormatV2, or DiskFormatV3); 0 selects the v2 default.
 	Format int
-	// GroupRows is the v2 block-group size; 0 selects the default.
+	// GroupRows is the v2/v3 block-group size; 0 selects the default.
 	GroupRows int
 }
 
@@ -672,7 +708,7 @@ func NewShardedWriter(manifestPath string, schema Schema, opts ShardedWriterOpti
 	if format == 0 {
 		format = DiskFormatV2
 	}
-	if format != DiskFormatV1 && format != DiskFormatV2 {
+	if format != DiskFormatV1 && format != DiskFormatV2 && format != DiskFormatV3 {
 		return nil, fmt.Errorf("relation: unknown disk format version %d", format)
 	}
 	sw := &ShardedWriter{
@@ -719,13 +755,12 @@ func (sw *ShardedWriter) startShard() error {
 	path := filepath.Join(sw.dir, name)
 	var dw *DiskWriter
 	var err error
-	if sw.format == DiskFormatV2 {
-		gr := sw.groupRows
-		if gr == 0 {
-			gr = DefaultGroupRows
-		}
-		dw, err = NewDiskWriterV2(path, sw.schema, gr)
-	} else {
+	switch sw.format {
+	case DiskFormatV2:
+		dw, err = NewDiskWriterV2(path, sw.schema, sw.groupRows)
+	case DiskFormatV3:
+		dw, err = NewDiskWriterV3(path, sw.schema, sw.groupRows)
+	default:
 		dw, err = NewDiskWriter(path, sw.schema)
 	}
 	if err != nil {

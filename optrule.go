@@ -44,8 +44,8 @@
 //
 // # Storage formats
 //
-// Disk relations come in two binary formats, negotiated automatically
-// by OpenDisk:
+// Disk relations come in three binary formats, negotiated
+// automatically by OpenDisk:
 //
 //   - v1 (NewDiskWriter) is row-major: fixed-width tuples, one after
 //     another. Simple and append-cheap, but every scan reads all 8·d
@@ -61,13 +61,27 @@
 //     aligns its segment boundaries to block groups, and the sampling
 //     pass stops at the last sorted sample index instead of reading the
 //     tail.
+//   - v3 (NewDiskWriterV3) keeps the v2 block-group layout but
+//     compresses each column block independently — delta-from-minimum
+//     bit packing for integer-valued numerics, a dictionary for
+//     low-cardinality columns, bitmaps for Booleans, raw as the
+//     fallback — and records a per-block zone map (numeric min/max,
+//     Boolean true count) in the group directory. Scans pay only the
+//     compressed bytes, and predicated scans consult the zone maps to
+//     skip whole block groups whose blocks provably contain no
+//     matching row: a filtered counting pass over a clustered
+//     condition column reads a fraction of the relation without
+//     decoding the skipped groups at all.
 //
-// Existing v1 files stay fully readable; convert between formats with
-// ConvertDisk (or `optdata convert -in old.opr -out new.opr`) to change
-// a file's scan cost profile. Both targeted queries and MineAll's
-// sampling pass benefit from v2's selective column reads; the
-// differential tests pin that both formats yield rule-for-rule
-// identical mining output.
+// Existing v1 and v2 files stay fully readable; convert between
+// formats with ConvertDisk (or `optdata convert -in old.opr -out
+// new.opr -format v3`) to change a file's scan cost profile. Both
+// targeted queries and MineAll's sampling pass benefit from the
+// selective column reads of v2 and v3; the differential tests pin that
+// all formats yield rule-for-rule identical mining output. v2 remains
+// the default for new data — prefer v3 when columns compress well
+// (integer-valued or low-cardinality) or when workloads filter on
+// clustered conditions.
 //
 // # Sharded relations
 //
@@ -131,7 +145,14 @@
 //     size or mix: one fused sampling scan builds every missing
 //     boundary set, one fused counting scan fills every missing count
 //     group and pair grid (segmented across processing elements on
-//     range-scanning storage).
+//     range-scanning storage). Same-shape batches take the fused
+//     MultiCount path; heterogeneous batches run a batch-vectorized
+//     general kernel — per-batch columnar passes over precomputed
+//     effective-bucket arrays instead of per-tuple branching — pinned
+//     bit-identical to its per-tuple reference. When every group in
+//     the batch shares one conjunctive filter, the filter is pushed
+//     into the storage layer, where v3 zone maps skip whole block
+//     groups that provably contain no matching row.
 //  3. EXTRACT — the Section 4 / §1.4 optimization kernels run per
 //     query on the in-memory statistics, fanned out over a worker
 //     pool. Pure CPU; no I/O.
@@ -220,8 +241,8 @@ type MemoryRelation = relation.MemoryRelation
 // main memory; open one with OpenDisk.
 type DiskRelation = relation.DiskRelation
 
-// DiskWriter streams tuples into the binary on-disk format (either
-// version; see NewDiskWriter and NewDiskWriterV2).
+// DiskWriter streams tuples into the binary on-disk format (any
+// version; see NewDiskWriter, NewDiskWriterV2, and NewDiskWriterV3).
 type DiskWriter = relation.DiskWriter
 
 // On-disk format versions (see the package documentation's Storage
@@ -231,6 +252,8 @@ const (
 	DiskFormatV1 = relation.DiskFormatV1
 	// DiskFormatV2 is the column-major block-group format.
 	DiskFormatV2 = relation.DiskFormatV2
+	// DiskFormatV3 is the compressed block-group format with zone maps.
+	DiskFormatV3 = relation.DiskFormatV3
 )
 
 // Rule is one mined optimized association rule.
@@ -318,8 +341,16 @@ func NewDiskWriterV2(path string, schema Schema, groupRows int) (*DiskWriter, er
 	return relation.NewDiskWriterV2(path, schema, groupRows)
 }
 
+// NewDiskWriterV3 creates a v3 (compressed block-group) binary
+// relation file at path: per-block compression plus min/max zone maps
+// that let predicated scans skip whole block groups. groupRows is the
+// block-group size; 0 selects the default (64Ki rows).
+func NewDiskWriterV3(path string, schema Schema, groupRows int) (*DiskWriter, error) {
+	return relation.NewDiskWriterV3(path, schema, groupRows)
+}
+
 // ConvertDisk rewrites the relation file at src into the given format
-// version (DiskFormatV1 or DiskFormatV2) at dst, streaming batch by
+// version (DiskFormatV1, DiskFormatV2, or DiskFormatV3) at dst, streaming batch by
 // batch so relations larger than memory convert in bounded space. It
 // is failure-safe: output goes to a temp file renamed over dst only on
 // success, so a failed conversion never leaves a truncated dst behind.
