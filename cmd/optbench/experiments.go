@@ -204,6 +204,20 @@ func runShards(full bool, seed int64) (any, error) {
 	return res, nil
 }
 
+func runScatter(full bool, seed int64) (any, error) {
+	n, shards := 400000, 8
+	if full {
+		n = 4000000
+	}
+	res, err := experiments.Scatter(n, shards, []int{0, 1, 2, 4, 8}, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Print(os.Stdout)
+	fmt.Println()
+	return res, nil
+}
+
 func runBatch(full bool, seed int64) (any, error) {
 	n := 500000
 	if full {

@@ -52,7 +52,7 @@ type report struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("optbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, fused, colscan, v3scan, kernel, twodim, shards, batch, or all")
+	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, fused, colscan, v3scan, kernel, twodim, shards, batch, scatter, or all")
 	full := fs.Bool("full", false, "paper-scale sizes (slow; needs several GB of RAM for fig9)")
 	seed := fs.Int64("seed", 1, "random seed")
 	jsonPath := fs.String("json", "", "also write structured results as JSON to this file (e.g. BENCH_optbench.json)")
@@ -91,6 +91,7 @@ func run(args []string) error {
 		{"twodim", runTwoDim},
 		{"shards", runShards},
 		{"batch", runBatch},
+		{"scatter", runScatter},
 	}
 	known := map[string]bool{"all": true}
 	for _, r := range runners {

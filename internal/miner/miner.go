@@ -178,6 +178,30 @@ type Config struct {
 	// rather than bucket approximations. Attributes with more distinct
 	// values fall back to the sampled equi-depth buckets.
 	ExactDomainLimit int
+	// Scatter enables the fault-tolerant scatter-gather counting
+	// executor: Scatter.Workers > 0 scatters each counting scan one
+	// task per shard across an in-process worker pool, with retries,
+	// re-routing, and a direct-scan fallback. Mined rules are identical
+	// at every worker count (see plan.ScatterConfig); the zero value
+	// keeps the classic executors.
+	Scatter ScatterConfig
+}
+
+// ScatterConfig tunes the scatter-gather counting executor; see
+// plan.ScatterConfig.
+type ScatterConfig = plan.ScatterConfig
+
+// ScatterStats carries the scatter coordinator's recovery counters;
+// see plan.ScatterStats.
+type ScatterStats = plan.ScatterStats
+
+// Worker executes scatter-gather counting tasks; see plan.Worker.
+type Worker = plan.Worker
+
+// NewLocalWorker returns the in-process scatter-gather worker over
+// rel; see plan.NewLocalWorker.
+func NewLocalWorker(rel relation.Relation, ref bool) Worker {
+	return plan.NewLocalWorker(rel, ref)
 }
 
 // withDefaults fills zero fields.

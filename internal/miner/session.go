@@ -1,6 +1,7 @@
 package miner
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -108,6 +109,7 @@ func NewSession(rel relation.Relation, cfg Config) (*Session, error) {
 			ExactDomainLimit: cfg.ExactDomainLimit,
 			Seed:             cfg.Seed,
 			PEs:              cfg.PEs,
+			Scatter:          cfg.Scatter,
 		},
 		c: plan.NewCache(0),
 	}, nil
@@ -130,9 +132,21 @@ func (s *Session) InvalidateCache() { s.c.Invalidate() }
 // executor materializes the cache misses in at most TWO relation scans
 // (zero when everything is cached), and extraction runs per query on
 // the in-memory statistics. The returned slice is parallel to queries;
-// per-query failures land in Answer.Err while a scan failure fails the
-// batch.
+// per-query failures — resolution errors AND storage failures the
+// scatter-gather executor could not recover from — land in Answer.Err,
+// so a batch always returns one answer per query when the caller's
+// context is live.
 func (s *Session) ExecuteBatch(queries []Query) ([]Answer, error) {
+	return s.ExecuteBatchContext(context.Background(), queries)
+}
+
+// ExecuteBatchContext is ExecuteBatch with a context: cancellation or
+// deadline expiry aborts the batch's scans and fails the whole batch
+// with the context's error. Storage failures, by contrast, are scoped
+// to the queries they starve — every resolved query gets the scan
+// error in its Answer.Err and the batch itself returns nil error, so
+// callers draining a mixed batch see exactly which answers are usable.
+func (s *Session) ExecuteBatchContext(ctx context.Context, queries []Query) ([]Answer, error) {
 	answers := make([]Answer, len(queries))
 	resolved := make([]*plan.Resolved, len(queries))
 	req := plan.NewRequirements()
@@ -146,9 +160,18 @@ func (s *Session) ExecuteBatch(queries []Query) ([]Answer, error) {
 		resolved[i] = r
 		req.Add(r)
 	}
-	set, err := plan.Run(s.rel, s.d, s.c, req)
+	set, err := plan.RunContext(ctx, s.rel, s.d, s.c, req)
 	if err != nil {
-		return nil, err
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		for i, r := range resolved {
+			if r == nil {
+				continue
+			}
+			answers[i].Err = fmt.Errorf("miner: materializing statistics: %w", err)
+		}
+		return answers, nil
 	}
 	for i, r := range resolved {
 		if r == nil {

@@ -1,10 +1,12 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
+	"sync"
 
 	"optrule/internal/bucketing"
 	"optrule/internal/region"
@@ -28,7 +30,19 @@ func AttrRNG(seed int64, attr int) *rand.Rand {
 // reads it without touching the cache again, so concurrent eviction
 // cannot invalidate an in-flight batch.
 func Run(rel relation.Relation, d Defaults, cache Cache, req *Requirements) (*StatsSet, error) {
+	return RunContext(context.Background(), rel, d, cache, req)
+}
+
+// RunContext is Run under a context: cancellation and deadlines are
+// observed between phases, between batches of the counting scan, and
+// throughout the scatter-gather coordinator (whose per-worker timeouts
+// derive from it). The sampling scan itself runs to completion — it is
+// bounded by the sample size, not the relation size.
+func RunContext(ctx context.Context, rel relation.Relation, d Defaults, cache Cache, req *Requirements) (*StatsSet, error) {
 	set := newStatsSet()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 1: coverage. Split the requirements into cache hits and
 	// misses; only the misses will scan.
@@ -101,7 +115,10 @@ func Run(rel relation.Relation, d Defaults, cache Cache, req *Requirements) (*St
 	if len(groups) == 0 && len(pairs) == 0 {
 		return set, nil // fully served from cache: zero scans
 	}
-	if err := countScan(rel, d, set, groups, pairs); err != nil {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := countScan(ctx, rel, d, set, groups, pairs); err != nil {
 		return nil, err
 	}
 	// Publish through the cache, which merges fresh rows into any
@@ -146,7 +163,12 @@ func scanParallelism(rel relation.Relation, d Defaults, groups []*GroupNeed, pai
 
 // countScan runs the fused counting scan for the scheduled groups and
 // pairs and stores the results in set.
-func countScan(rel relation.Relation, d Defaults, set *StatsSet, groups []*GroupNeed, pairs []*PairNeed) error {
+func countScan(ctx context.Context, rel relation.Relation, d Defaults, set *StatsSet, groups []*GroupNeed, pairs []*PairNeed) error {
+	// Scatter-gather path: enabled workers, integer-exact schedule. The
+	// worker-count-0 default takes the existing executors untouched.
+	if useScatter(rel, d, groups) {
+		return countScatter(ctx, rel, d, set, groups, pairs)
+	}
 	pes := scanParallelism(rel, d, groups, pairs)
 
 	// Fast path: a homogeneous all-1-D schedule (same filter, rows, and
@@ -155,7 +177,7 @@ func countScan(rel relation.Relation, d Defaults, set *StatsSet, groups []*Group
 	if len(pairs) == 0 && homogeneous(groups) {
 		return countGroupsFused(rel, set, groups, pes)
 	}
-	return countGeneral(rel, set, groups, pairs, pes, d.RefKernel)
+	return countGeneral(ctx, rel, set, groups, pairs, pes, d.RefKernel)
 }
 
 // homogeneous reports whether every group wants the same tally shape,
@@ -958,8 +980,9 @@ func prunedOrRange(rel relation.Relation, rs relation.RangeScanner, start, end i
 // countGeneral runs the general fused counting scan, serial or
 // segmented at storage-aligned boundaries, with the common-filter
 // zone-map pushdown when the schedule allows it. ref selects the
-// reference per-tuple kernel.
-func countGeneral(rel relation.Relation, set *StatsSet, groups []*GroupNeed, pairs []*PairNeed, pes int, ref bool) error {
+// reference per-tuple kernel. Cancellation is observed between
+// batches.
+func countGeneral(ctx context.Context, rel relation.Relation, set *StatsSet, groups []*GroupNeed, pairs []*PairNeed, pes int, ref bool) error {
 	cols, numPos, boolPos := execLayout(groups, pairs)
 	pred := commonFilterPred(groups, pairs)
 	if pes <= 1 {
@@ -969,6 +992,9 @@ func countGeneral(rel relation.Relation, set *StatsSet, groups []*GroupNeed, pai
 		}
 		if err := prunedOrRange(rel, nil, 0, rel.NumTuples(), cols, pred, st,
 			func(b *relation.Batch) error {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				st.countBatch(b)
 				return nil
 			}); err != nil {
@@ -980,30 +1006,36 @@ func countGeneral(rel relation.Relation, set *StatsSet, groups []*GroupNeed, pai
 	rs := rel.(relation.RangeScanner) // guaranteed by scanParallelism
 	segs := relation.AlignedSegments(rel, rel.NumTuples(), pes)
 	states := make([]*execState, pes)
-	errs := make(chan error, pes)
+	// One error slot per segment: the FIRST error in segment (row)
+	// order is the one reported, deterministically — not whichever
+	// worker's failure happened to land on a channel first.
+	errs := make([]error, pes)
+	var wg sync.WaitGroup
 	for p := 0; p < pes; p++ {
+		wg.Add(1)
 		go func(p int) {
+			defer wg.Done()
 			local, err := newExecState(set, groups, pairs, numPos, boolPos, ref)
 			if err != nil {
-				errs <- err
+				errs[p] = err
 				return
 			}
 			states[p] = local
-			errs <- prunedOrRange(rel, rs, segs[p], segs[p+1], cols, pred, local,
+			errs[p] = prunedOrRange(rel, rs, segs[p], segs[p+1], cols, pred, local,
 				func(b *relation.Batch) error {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
 					local.countBatch(b)
 					return nil
 				})
 		}(p)
 	}
-	var firstErr error
-	for p := 0; p < pes; p++ {
-		if err := <-errs; err != nil && firstErr == nil {
-			firstErr = err
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("plan: counting: %w", err)
 		}
-	}
-	if firstErr != nil {
-		return fmt.Errorf("plan: counting: %w", firstErr)
 	}
 	total := states[0]
 	for _, part := range states[1:] {

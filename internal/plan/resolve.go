@@ -27,6 +27,10 @@ type Defaults struct {
 	// (the differential tests pin this); the switch exists for
 	// benchmark comparisons and regression triage.
 	RefKernel bool
+	// Scatter enables the fault-tolerant scatter-gather counting
+	// executor (scatter.go). The zero value keeps the serial/segmented
+	// executors untouched.
+	Scatter ScatterConfig
 }
 
 // Resolved is a Query bound to a concrete schema: attribute positions,

@@ -250,6 +250,12 @@ type DiskRelation struct {
 	// address space, not resident memory.
 	mmapOnce sync.Once
 	mmapData []byte
+
+	// ops tracks in-flight scans and point reads (read-locked for their
+	// duration) so Close can refuse with ErrBusy — a defined error —
+	// instead of unmapping the point-read mapping under a concurrent
+	// reader. Close only try-locks, so readers never block each other.
+	ops sync.RWMutex
 }
 
 // OpenDisk opens a file written by DiskWriter, negotiating the format
@@ -417,6 +423,8 @@ func (dr *DiskRelation) Scan(cols ColumnSet, fn func(*Batch) error) error {
 // access pattern of the parallel bucketing Algorithm 3.2. On v2 files
 // the scan runs the overlapped read-ahead pipeline of diskv2.go.
 func (dr *DiskRelation) ScanRange(start, end int, cols ColumnSet, fn func(*Batch) error) error {
+	dr.ops.RLock()
+	defer dr.ops.RUnlock()
 	if err := cols.Validate(dr.schema); err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package relation
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -64,13 +65,24 @@ func (dr *DiskRelation) validatePointRead(attr int, rows []int, out []float64) e
 	return nil
 }
 
+// ErrBusy is returned by Close when scans or point reads are still in
+// flight on the relation: releasing the point-read mapping under a
+// concurrent reader would be a use-after-unmap, so Close refuses with
+// a defined error instead of racing. Callers retry after their
+// operations drain; the relation is untouched.
+var ErrBusy = errors.New("relation: close during active scan")
+
 // Close releases resources the relation holds beyond per-scan file
 // handles — today, the point-read memory mapping. It is safe to call
 // on a relation that never served point reads, and the relation stays
 // usable afterwards (subsequent point reads fall back to positioned
-// reads). Close must not be called concurrently with in-flight
-// operations on the relation.
+// reads). Calling Close while scans or point reads are in flight
+// returns ErrBusy and releases nothing.
 func (dr *DiskRelation) Close() error {
+	if !dr.ops.TryLock() {
+		return fmt.Errorf("relation: %s: %w", dr.path, ErrBusy)
+	}
+	defer dr.ops.Unlock()
 	// Fire the map-once latch (a no-op if a point read already fired it)
 	// so the mapping can never re-arm after Close: without this, a Close
 	// that PRECEDES the first point read would leave mmapOnce cocked,
@@ -128,6 +140,8 @@ func (dr *DiskRelation) pointOffset(p, row int) int64 {
 // price, versus a whole column block per group for a scan — even
 // though a v3 packed value physically touches fewer bytes.
 func (dr *DiskRelation) ReadNumericPoints(attr int, rows []int, out []float64) error {
+	dr.ops.RLock()
+	defer dr.ops.RUnlock()
 	if err := dr.validatePointRead(attr, rows, out); err != nil {
 		return err
 	}

@@ -79,6 +79,8 @@ type PrunedRangeScanner interface {
 // ScanRangePruned implements PrunedRangeScanner: v3 files consult their
 // zone maps; v1/v2 files have none and degrade to a plain ScanRange.
 func (dr *DiskRelation) ScanRangePruned(start, end int, cols ColumnSet, pred *Predicate, skip func(rows int) error, fn func(*Batch) error) error {
+	dr.ops.RLock()
+	defer dr.ops.RUnlock()
 	if err := cols.Validate(dr.schema); err != nil {
 		return err
 	}

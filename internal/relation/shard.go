@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Sharded relations: one LOGICAL relation backed by an ordered list of
@@ -96,6 +97,11 @@ type ShardedRelation struct {
 	// to scanAhead shards' scans at once, each with its own prefetcher,
 	// delivering batches in global row order. See SetConcurrentScans.
 	scanAhead int
+
+	// ops mirrors DiskRelation.ops: scans and point reads hold the read
+	// lock so Close can refuse with ErrBusy instead of tearing down
+	// shard mappings under an in-flight operation.
+	ops sync.RWMutex
 }
 
 // shardManifestEntry is one parsed manifest line.
@@ -239,6 +245,14 @@ func (sr *ShardedRelation) NumTuples() int { return sr.numRows }
 // NumShards returns the number of shard files backing the relation.
 func (sr *ShardedRelation) NumShards() int { return len(sr.shards) }
 
+// ShardStarts returns the global row offset of each shard's first
+// tuple plus a final NumTuples entry (len NumShards()+1, monotone
+// non-decreasing) — the natural task boundaries for a scatter-gather
+// coordinator assigning one worker per shard.
+func (sr *ShardedRelation) ShardStarts() []int {
+	return append([]int(nil), sr.starts...)
+}
+
 // ManifestPath returns the path the relation was opened from.
 func (sr *ShardedRelation) ManifestPath() string { return sr.manifestPath }
 
@@ -285,8 +299,13 @@ func (sr *ShardedRelation) ResetBytesRead() {
 
 // Close releases every shard's resources (point-read mappings). Shards
 // stay usable afterwards via positioned reads, like DiskRelation.Close.
-// Close must not be called concurrently with in-flight operations.
+// Calling Close while scans or point reads are in flight on the
+// sharded relation returns ErrBusy and releases nothing.
 func (sr *ShardedRelation) Close() error {
+	if !sr.ops.TryLock() {
+		return fmt.Errorf("relation: %s: %w", sr.manifestPath, ErrBusy)
+	}
+	defer sr.ops.Unlock()
 	var first error
 	for _, sh := range sr.shards {
 		if err := sh.Close(); err != nil && first == nil {
@@ -360,6 +379,8 @@ func (sr *ShardedRelation) Scan(cols ColumnSet, fn func(*Batch) error) error {
 // identical to the other backends: start/end outside [0, NumTuples()]
 // or start > end error; start == end scans nothing.
 func (sr *ShardedRelation) ScanRange(start, end int, cols ColumnSet, fn func(*Batch) error) error {
+	sr.ops.RLock()
+	defer sr.ops.RUnlock()
 	if err := cols.Validate(sr.schema); err != nil {
 		return err
 	}
@@ -393,6 +414,8 @@ func (sr *ShardedRelation) ScanRange(start, end int, cols ColumnSet, fn func(*Ba
 // plain concurrent scan: still correct (pruning is an optimization,
 // never a filter), just without the skip savings.
 func (sr *ShardedRelation) ScanRangePruned(start, end int, cols ColumnSet, pred *Predicate, skip func(rows int) error, fn func(*Batch) error) error {
+	sr.ops.RLock()
+	defer sr.ops.RUnlock()
 	if err := cols.Validate(sr.schema); err != nil {
 		return err
 	}
@@ -557,6 +580,8 @@ func (sr *ShardedRelation) scanRangeConcurrent(start, end, first, last int, cols
 // served by that shard's own point reader (mmap-backed where
 // available), preserving the 8-bytes-per-unique-row counted cost.
 func (sr *ShardedRelation) ReadNumericPoints(attr int, rows []int, out []float64) error {
+	sr.ops.RLock()
+	defer sr.ops.RUnlock()
 	if attr < 0 || attr >= len(sr.schema) || sr.schema[attr].Kind != Numeric {
 		return fmt.Errorf("relation: point read attribute %d is not a numeric column", attr)
 	}

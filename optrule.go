@@ -181,6 +181,50 @@
 // to their pre-session behavior (differential tests pin this across
 // all storage backends).
 //
+// # Fault tolerance & scatter-gather execution
+//
+// Counting is where a mining batch spends its I/O, so that is the pass
+// the engine can scatter: with Config.Scatter.Workers > 0, the batch's
+// fused counting schedule is split at shard boundaries (storage-aligned
+// segments on single-file relations), each slice is dispatched as one
+// task to a pool of Workers, and the partial tallies are gathered and
+// merged. The merge is EXACT — a scattered schedule carries only
+// integer counts and extremes, never order-sensitive float sums (the
+// average operator's target sums always take the serial path) — so the
+// mined rules are bit-identical at every worker count, under every
+// placement, and after every recovery action. The zero value of
+// Config.Scatter keeps the classic executors untouched.
+//
+// Failures escalate through three layers, and a batch completes
+// whenever the underlying files are readable:
+//
+//  1. RETRY — a failed or timed-out task attempt is retried with capped
+//     exponential backoff, re-routed away from the worker that just
+//     failed it. A stalled worker is abandoned at TaskTimeout and its
+//     partial is discarded, never merged.
+//  2. FALLBACK — a task that exhausts MaxAttempts is counted by the
+//     coordinator itself, directly against the relation.
+//  3. SURFACE — if even the direct scan fails, the error is scoped to
+//     the QUERIES it starved, not the process: every resolved query in
+//     the batch gets the storage error in its Answer.Err and
+//     ExecuteBatch itself returns nil error. Context cancellation, by
+//     contrast, is a caller decision and fails the whole batch
+//     (ExecuteBatchContext). ScatterStats exposes the recovery
+//     counters.
+//
+// The machinery is testable because faults are injectable: FaultRelation
+// wraps any backend with a deterministic, seed-driven fault plan
+// (FaultConfig) — scans that die before the first batch or at a chosen
+// row, artificially short batches, stalls, Close errors — all injected
+// at the consumer boundary so both the caller's error path and the
+// backend's mid-scan teardown (prefetchers, concurrent shard sub-scans)
+// are exercised. Every injected error wraps ErrInjected. The fault
+// matrix tests drive every failure mode across every storage backend
+// and worker count and require bit-identical rules; see examples/faults
+// for a walkthrough. Relatedly, closing a disk or sharded relation
+// while a scan or point read is in flight returns ErrBusy instead of
+// racing the reader — Close only ever releases quiescent resources.
+//
 // # Quick start
 //
 //	rel, err := optrule.ReadCSVFile("customers.csv")
@@ -232,6 +276,14 @@ type Schema = relation.Schema
 // Relation is a read-only table supporting streaming scans. Both the
 // in-memory and the disk-backed implementations satisfy it.
 type Relation = relation.Relation
+
+// ColumnSet selects which attributes a Relation.Scan decodes, by
+// global attribute index.
+type ColumnSet = relation.ColumnSet
+
+// Batch is one scan's unit of delivery: parallel column slices of Len
+// rows. Callbacks must not retain a batch's slices.
+type Batch = relation.Batch
 
 // MemoryRelation is the columnar in-memory relation; build one with
 // NewMemoryRelation and Append, or load one from CSV.
@@ -445,6 +497,48 @@ const (
 func NewSession(rel Relation, cfg Config) (*Session, error) {
 	return miner.NewSession(rel, cfg)
 }
+
+// ScatterConfig enables and tunes the fault-tolerant scatter-gather
+// counting executor (Config.Scatter); the zero value keeps the classic
+// serial/segmented executors. See the package documentation's Fault
+// tolerance section.
+type ScatterConfig = miner.ScatterConfig
+
+// ScatterStats carries the scatter coordinator's recovery counters
+// (tasks, retries, timeouts, fallbacks), written atomically.
+type ScatterStats = miner.ScatterStats
+
+// Worker executes scatter-gather counting tasks; the in-process
+// implementation is NewLocalWorker, and ScatterConfig.NewWorker
+// injects alternatives (including faulty ones, for testing).
+type Worker = miner.Worker
+
+// NewLocalWorker returns the in-process scatter-gather worker over
+// rel. ref selects the reference per-tuple counting kernel.
+func NewLocalWorker(rel Relation, ref bool) Worker {
+	return miner.NewLocalWorker(rel, ref)
+}
+
+// FaultRelation wraps any relation with deterministic, seed-driven
+// storage fault injection — the harness behind the fault-matrix tests.
+type FaultRelation = relation.FaultRelation
+
+// FaultConfig selects which scans fail and how (see FaultRelation).
+type FaultConfig = relation.FaultConfig
+
+// NewFaultRelation wraps rel with the given fault plan.
+func NewFaultRelation(rel Relation, cfg FaultConfig) *FaultRelation {
+	return relation.NewFaultRelation(rel, cfg)
+}
+
+// ErrInjected is the sentinel wrapped by every fault the harness
+// injects; test for it with errors.Is.
+var ErrInjected = relation.ErrInjected
+
+// ErrBusy is returned by DiskRelation.Close and ShardedRelation.Close
+// while scans or point reads are in flight: Close releases nothing and
+// the readers finish unharmed.
+var ErrBusy = relation.ErrBusy
 
 // MineAll mines both optimized rules for every (numeric, Boolean)
 // attribute combination of the relation, sorted by descending lift.
