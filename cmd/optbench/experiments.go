@@ -162,6 +162,20 @@ func runColScan(full bool, seed int64) (any, error) {
 	return res, nil
 }
 
+func runCluster(full bool, seed int64) (any, error) {
+	n, groupRows := 2000000, 1<<9
+	if full {
+		n, groupRows = 8000000, 1<<10
+	}
+	res, err := experiments.Cluster(n, groupRows, []int{1, 2, 4, 8}, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Print(os.Stdout)
+	fmt.Println()
+	return res, nil
+}
+
 func runV3Scan(full bool, seed int64) (any, error) {
 	n, groupRows := 300000, 1<<14
 	if full {

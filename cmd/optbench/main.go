@@ -14,6 +14,9 @@
 // (column-major v2 disk format vs row-major v1, counted bytes), v3scan
 // (compressed v3 format vs v2: file size, unfiltered scan cost, and
 // zone-map pruning on a clustered filter, rule-deviation hard-fail),
+// cluster (prunable layouts end to end: clustered-vs-shuffled filtered
+// read bytes, plus static-vs-work-stealing predicated parallel scan
+// wall-clock per PE count, rule-deviation hard-fail),
 // kernel (general counting kernel: batch-vectorized vs reference
 // per-tuple vs the homogeneous MultiCount fast path, ns/row), twodim
 // (fused all-pairs 2-D engine vs legacy per-pair pipeline: wall-clock
@@ -52,7 +55,7 @@ type report struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("optbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, fused, colscan, v3scan, kernel, twodim, shards, batch, scatter, or all")
+	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, fused, colscan, v3scan, cluster, kernel, twodim, shards, batch, scatter, or all")
 	full := fs.Bool("full", false, "paper-scale sizes (slow; needs several GB of RAM for fig9)")
 	seed := fs.Int64("seed", 1, "random seed")
 	jsonPath := fs.String("json", "", "also write structured results as JSON to this file (e.g. BENCH_optbench.json)")
@@ -87,6 +90,7 @@ func run(args []string) error {
 		{"fused", runFused},
 		{"colscan", runColScan},
 		{"v3scan", runV3Scan},
+		{"cluster", runCluster},
 		{"kernel", runKernel},
 		{"twodim", runTwoDim},
 		{"shards", runShards},

@@ -14,6 +14,8 @@
 //	optdata convert -in columnar.opr -out legacy.opr -format v1
 //	optdata convert -in bank.opr -out bank.oprs -shards 4
 //	optdata convert -in bank.oprs -out bank.opr
+//	optdata convert -in bank.opr -out clustered.opr -format v3 -cluster Balance
+//	optdata inspect -in clustered.opr
 //
 // The bank data plants the paper's headline association
 // (Balance ∈ [3000, 20000]) ⇒ (CardLoan=yes); retail plants item
@@ -33,13 +35,20 @@
 // whether -in is a single file or a manifest, and -shards picks the
 // output layout (0 or 1 = single file). Conversion is only needed to
 // change a relation's scan cost profile, not to keep it readable —
-// the readers accept every combination.
+// the readers accept every combination. convert -cluster <attr>
+// reorders the destination's rows by that column (an in-memory sort;
+// see relation.ClusterBy) so v3 zone maps partition the value space
+// and selective scans prune whole block groups. The inspect subcommand
+// reads a v3 file's (or sharded v3 manifest's) block directory and
+// reports each column's encoding mix, compression ratio, and zone-map
+// tightness — the numbers that predict whether clustering paid off.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"optrule/internal/datagen"
@@ -76,6 +85,9 @@ func isOprPath(path string) bool {
 func run(args []string) error {
 	if len(args) > 0 && args[0] == "convert" {
 		return runConvert(args[1:])
+	}
+	if len(args) > 0 && args[0] == "inspect" {
+		return runInspect(args[1:])
 	}
 	fs := flag.NewFlagSet("optdata", flag.ContinueOnError)
 	kind := fs.String("kind", "bank", "data set kind: bank, retail, or perf")
@@ -179,6 +191,7 @@ func runConvert(args []string) error {
 	out := fs.String("out", "", "destination path (required)")
 	format := fs.String("format", "v2", "target format version: v2, v3, or v1")
 	shards := fs.Int("shards", 0, "shard the destination into this many files behind a manifest (0 = single file)")
+	cluster := fs.String("cluster", "", "reorder the destination's rows by this column (attribute name) so zone maps partition the value space; buffers the relation in memory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -197,6 +210,21 @@ func runConvert(args []string) error {
 		return err
 	}
 	defer src.Close()
+	clusterAttr := -1
+	if *cluster != "" {
+		if *shards > 1 {
+			return fmt.Errorf("-cluster with -shards is not supported in one step: cluster to a single file first, then convert that file to shards (order is preserved)")
+		}
+		for i, attr := range src.Schema() {
+			if attr.Name == *cluster {
+				clusterAttr = i
+				break
+			}
+		}
+		if clusterAttr < 0 {
+			return fmt.Errorf("cluster column %q not in schema %v", *cluster, attrNames(src.Schema()))
+		}
+	}
 	if *shards > 1 {
 		if err := relation.ConvertToSharded(src, *out, *shards, version); err != nil {
 			return err
@@ -205,9 +233,119 @@ func runConvert(args []string) error {
 			*in, describeData(src), src.NumTuples(), *out, *format, *shards)
 		return nil
 	}
+	if clusterAttr >= 0 {
+		if err := relation.ConvertFileClustered(src, *out, version, clusterAttr); err != nil {
+			return err
+		}
+		fmt.Printf("converted %s (%s, %d tuples) to %s (%s, clustered by %s)\n",
+			*in, describeData(src), src.NumTuples(), *out, *format, *cluster)
+		return nil
+	}
 	if err := relation.ConvertFile(src, *out, version); err != nil {
 		return err
 	}
 	fmt.Printf("converted %s (%s, %d tuples) to %s (%s)\n", *in, describeData(src), src.NumTuples(), *out, *format)
 	return nil
+}
+
+// attrNames lists a schema's attribute names for error messages.
+func attrNames(schema relation.Schema) []string {
+	names := make([]string, len(schema))
+	for i, attr := range schema {
+		names[i] = attr.Name
+	}
+	return names
+}
+
+// runInspect prints the physical-layout report for a v3 file or a
+// sharded manifest whose shards are v3: per-column encoding mix,
+// compression ratio, and zone-map tightness/prunability.
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("optdata inspect", flag.ContinueOnError)
+	in := fs.String("in", "", "path to inspect: v3 .opr file or shard manifest (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("inspect needs -in")
+	}
+	src, err := relation.OpenData(*in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	switch r := src.(type) {
+	case *relation.DiskRelation:
+		insp, err := r.InspectLayout()
+		if err != nil {
+			return err
+		}
+		printInspection(insp)
+	case *relation.ShardedRelation:
+		paths := r.StoragePaths()[1:] // drop the manifest itself
+		for i, p := range paths {
+			dr, err := relation.OpenDisk(p)
+			if err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+			insp, err := dr.InspectLayout()
+			dr.Close()
+			if err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("shard %d/%d:\n", i+1, len(paths))
+			printInspection(insp)
+		}
+	default:
+		return fmt.Errorf("cannot inspect %T", src)
+	}
+	return nil
+}
+
+// printInspection renders one file's LayoutInspection as a table.
+func printInspection(insp *relation.LayoutInspection) {
+	fmt.Printf("%s: v3, %d rows, %d block groups of %d rows\n",
+		insp.Path, insp.Rows, insp.Groups, insp.GroupRows)
+	fmt.Printf("  %-16s %-8s %-28s %12s %8s %10s %12s\n",
+		"column", "kind", "encodings", "bytes", "vs raw", "tightness", "prunability")
+	for _, col := range insp.Columns {
+		kind := "numeric"
+		if col.Kind == relation.Boolean {
+			kind = "bool"
+		}
+		ratio := 1.0
+		if col.RawBytes > 0 {
+			ratio = float64(col.EncodedBytes) / float64(col.RawBytes)
+		}
+		fmt.Printf("  %-16s %-8s %-28s %12d %7.2fx %10.3f %12.3f\n",
+			col.Name, kind, encodingMix(col.Encodings), col.EncodedBytes, ratio,
+			col.ZoneTightness, col.Prunability)
+	}
+}
+
+// encodingMix renders an encoding histogram as "delta:12 rle:4",
+// sorted by count descending then name.
+func encodingMix(counts map[string]int) string {
+	type kv struct {
+		name  string
+		count int
+	}
+	mix := make([]kv, 0, len(counts))
+	for name, count := range counts {
+		mix = append(mix, kv{name, count})
+	}
+	sort.Slice(mix, func(i, j int) bool {
+		if mix[i].count != mix[j].count {
+			return mix[i].count > mix[j].count
+		}
+		return mix[i].name < mix[j].name
+	})
+	parts := make([]string, len(mix))
+	for i, m := range mix {
+		parts[i] = fmt.Sprintf("%s:%d", m.name, m.count)
+	}
+	return strings.Join(parts, " ")
 }

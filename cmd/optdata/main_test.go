@@ -231,6 +231,82 @@ func TestRunConvertSharded(t *testing.T) {
 	}
 }
 
+func TestRunConvertClustered(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.opr")
+	if err := run([]string{"-kind", "bank", "-n", "3000", "-out", src}); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "clustered.opr")
+	if err := run([]string{"convert", "-in", src, "-out", dst, "-format", "v3", "-cluster", "Balance"}); err != nil {
+		t.Fatal(err)
+	}
+	dr, err := relation.OpenDisk(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Version() != relation.DiskFormatV3 || dr.NumTuples() != 3000 {
+		t.Fatalf("clustered file: version %d, %d tuples", dr.Version(), dr.NumTuples())
+	}
+	balance := -1
+	for i, attr := range dr.Schema() {
+		if attr.Name == "Balance" {
+			balance = i
+		}
+	}
+	prev := -1.0
+	err = dr.Scan(relation.ColumnSet{Numeric: []int{balance}}, func(b *relation.Batch) error {
+		for r := 0; r < b.Len; r++ {
+			if v := b.Numeric[0][r]; v < prev {
+				t.Fatalf("Balance not sorted: %g after %g", v, prev)
+			} else {
+				prev = v
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Error cases: unknown column, -cluster combined with -shards.
+	if err := run([]string{"convert", "-in", src, "-out", dst, "-cluster", "NoSuchColumn"}); err == nil {
+		t.Error("unknown cluster column accepted")
+	}
+	if err := run([]string{"convert", "-in", src, "-out", filepath.Join(dir, "x.oprs"), "-shards", "2", "-cluster", "Balance"}); err == nil {
+		t.Error("-cluster with -shards accepted")
+	}
+}
+
+func TestRunInspect(t *testing.T) {
+	dir := t.TempDir()
+	v3 := filepath.Join(dir, "v3.opr")
+	if err := run([]string{"-kind", "bank", "-n", "2000", "-format", "v3", "-out", v3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"inspect", "-in", v3}); err != nil {
+		t.Fatal(err)
+	}
+	// Sharded v3 manifests inspect shard by shard.
+	manifest := filepath.Join(dir, "v3.oprs")
+	if err := run([]string{"convert", "-in", v3, "-out", manifest, "-shards", "2", "-format", "v3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"inspect", "-in", manifest}); err != nil {
+		t.Fatal(err)
+	}
+	// v2 files carry no block directory to inspect.
+	v2 := filepath.Join(dir, "v2.opr")
+	if err := run([]string{"-kind", "bank", "-n", "100", "-out", v2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"inspect", "-in", v2}); err == nil {
+		t.Error("inspect accepted a v2 file")
+	}
+	if err := run([]string{"inspect"}); err == nil {
+		t.Error("inspect without -in accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	cases := [][]string{

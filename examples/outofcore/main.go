@@ -24,6 +24,18 @@
 // matching row. This example converts the relation to v3 and re-mines
 // it: same rules, smaller file, fewer bytes read.
 //
+// Zone maps only refute what the row order lets them prove, so the
+// example then re-clusters the v3 file by Amount
+// (optrule.ConvertDiskClustered, or `optdata convert -format v3
+// -cluster Amount` by index) and runs a conditioned query filtered on
+// the band-correlated Audited flag: on the clustered file the flag is
+// constant outside the band's block groups, the zone maps refute the
+// filter wholesale, and the counting pass reads a small fraction of
+// the bytes the unclustered file needs. (Conditioned rules from the
+// two layouts are statistically equivalent, not bit-identical —
+// sampling consumes rows in storage order; see the "Clustering &
+// prunable layouts" section of the package docs.)
+//
 // # Sharding
 //
 // When one file is no longer enough, the same logical relation can
@@ -139,6 +151,46 @@ func main() {
 		log.Fatal("v3 relation mined different rules than the v2 file")
 	}
 
+	// Re-cluster the v3 file by Amount and run the same conditioned
+	// query on both layouts: the Audited filter only survives in the
+	// band's block groups, which on the clustered file are the only
+	// groups whose bytes ever leave the disk.
+	clPath := filepath.Join(dir, "transactions_v3_clustered.opr")
+	if err := optrule.ConvertDiskClustered(v3Path, clPath, optrule.DiskFormatV3, 0); err != nil {
+		log.Fatal(err)
+	}
+	relCl, err := optrule.OpenDisk(clPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer relCl.Close()
+	cond := []optrule.Condition{{Attr: "Audited", Value: true}}
+	relV3.ResetBytesRead()
+	supF, confF, err := optrule.Mine(relV3, "Amount", "Premium", true, cond, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bytesUnclustered := relV3.BytesRead()
+	supFC, confFC, err := optrule.Mine(relCl, "Amount", "Premium", true, cond, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bytesClustered := relCl.BytesRead()
+	fmt.Printf("\nconditioned query (Audited=true) after clustering by Amount: %.2f MB read vs %.2f MB unclustered (%.0fx fewer)\n",
+		float64(bytesClustered)/1e6, float64(bytesUnclustered)/1e6,
+		float64(bytesUnclustered)/float64(bytesClustered))
+	for _, r := range []*optrule.Rule{supFC, confFC} {
+		if r != nil {
+			fmt.Println("  ", r)
+		}
+	}
+	if supF == nil != (supFC == nil) || confF == nil != (confFC == nil) {
+		log.Fatal("clustered layout found different conditioned rule kinds than unclustered")
+	}
+	if 2*bytesClustered > bytesUnclustered {
+		log.Fatal("clustering did not cut the conditioned query's bytes at least in half")
+	}
+
 	// Shard the same relation four ways (in production each shard would
 	// sit on its own disk) and mine again with concurrent sub-scans:
 	// same logical relation, same global row order, identical rules.
@@ -174,13 +226,15 @@ func main() {
 // column-major format: Amount is lognormal, rounded to whole currency
 // units (which is also what makes it compressible in v3); transactions
 // with Amount in [150, 600] are premium with probability 0.8, others
-// with 0.1.
+// with 0.1. Audited is set exactly for that band — the deterministic
+// function of Amount that clustering turns into a prunable filter.
 func writeTransactions(path string, n int) error {
 	w, err := optrule.NewDiskWriterV2(path, optrule.Schema{
 		{Name: "Amount", Kind: optrule.Numeric},
 		{Name: "Items", Kind: optrule.Numeric},
 		{Name: "Premium", Kind: optrule.Boolean},
 		{Name: "Returned", Kind: optrule.Boolean},
+		{Name: "Audited", Kind: optrule.Boolean},
 	}, 0)
 	if err != nil {
 		return err
@@ -189,13 +243,14 @@ func writeTransactions(path string, n int) error {
 	for i := 0; i < n; i++ {
 		amount := math.Round(20 * rng.ExpFloat64() * (1 + 9*rng.Float64()))
 		items := float64(1 + rng.Intn(12))
+		inBand := amount >= 150 && amount <= 600
 		p := 0.1
-		if amount >= 150 && amount <= 600 {
+		if inBand {
 			p = 0.8
 		}
 		err := w.Append(
 			[]float64{amount, items},
-			[]bool{rng.Float64() < p, rng.Float64() < 0.03},
+			[]bool{rng.Float64() < p, rng.Float64() < 0.03, inBand},
 		)
 		if err != nil {
 			w.Close()

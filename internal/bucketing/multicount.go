@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"optrule/internal/relation"
 	"optrule/internal/sampling"
@@ -371,14 +373,19 @@ func MultiCount(rel relation.Relation, drivers []int, bounds []Boundaries, opts 
 	return cs, nil
 }
 
-// ParallelMultiCount generalizes Algorithm 3.2 to the fused scan: the
-// relation's rows are split into pes contiguous segments (aligned to
-// the storage layer's block groups when it declares them, so workers
-// never split a v2 column block group), each counted for ALL drivers
-// by its own goroutine, and the coordinator sums the per-segment
-// partials. All integer statistics and extremes are identical to
-// MultiCount; target Sums accumulate in per-segment order and so may
-// differ from the sequential scan in the last float64 bits.
+// ParallelMultiCount generalizes Algorithm 3.2 to the fused scan with
+// zone-map-aware dynamic scheduling: PlanScanChunks asks the storage
+// layer to price block-group-aligned chunks (groups the common filter's
+// zone maps prune cost ~0, surviving groups their physical bytes), the
+// pes worker goroutines claim chunks off a shared queue, and the
+// coordinator folds the per-CHUNK partials in chunk index order. The
+// chunk plan is deterministic and the fold order fixed, so all integer
+// statistics and extremes are identical to MultiCount regardless of
+// worker count, placement, or steal order; target Sums accumulate in
+// per-chunk order and so may differ from the sequential scan in the
+// last float64 bits (as the per-segment fold always has). On storage
+// without a block directory the chunks degrade to the static aligned
+// segments, preserving the previous behavior exactly.
 func ParallelMultiCount(rel relation.RangeScanner, drivers []int, bounds []Boundaries, opts Options, pes int) ([]*Counts, error) {
 	if pes < 1 {
 		return nil, fmt.Errorf("bucketing: processing element count %d must be positive", pes)
@@ -395,33 +402,58 @@ func ParallelMultiCount(rel relation.RangeScanner, drivers []int, bounds []Bound
 	}
 	cols, targetPos, boolPos, filterPos := multiScanColumns(drivers, opts)
 	pred := filterPredicate(opts)
-	segs := segmentBounds(rel, n, pes)
-	partials := make([][]*driverWork, pes)
-	errs := make(chan error, pes)
-	for p := 0; p < pes; p++ {
-		go func(p int) {
-			start, end := segs[p], segs[p+1]
-			local := make([]*driverWork, len(drivers))
-			for d := range local {
-				local[d] = newDriverWork(bounds[d].NumBuckets(), opts)
-			}
-			partials[p] = local
+	chunks := relation.PlanScanChunks(rel, pes, cols, pred)
+	if len(chunks) <= 1 {
+		return MultiCount(rel, drivers, bounds, opts)
+	}
+	partials := make([][]*driverWork, len(chunks))
+	errs := make([]error, len(chunks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := pes
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
 			scratch := &multiScratch{}
-			errs <- scanMaybePruned(rel, rel, start, end, cols, pred, local,
-				func(b *relation.Batch) error {
-					multiCountBatch(local, b, bounds, opts, targetPos, boolPos, filterPos, scratch)
-					return nil
-				})
-		}(p)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(chunks) {
+					return
+				}
+				local := make([]*driverWork, len(drivers))
+				for d := range local {
+					local[d] = newDriverWork(bounds[d].NumBuckets(), opts)
+				}
+				partials[i] = local
+				if chunks[i].Pruned {
+					// The planner proved this chunk empty under the pushdown
+					// predicate, so the scan is settled without being issued:
+					// its rows touch only each driver's Total — exactly what
+					// the pruned scan's skip callback would have added.
+					rows := chunks[i].End - chunks[i].Start
+					for _, w := range local {
+						w.total += rows
+					}
+					continue
+				}
+				errs[i] = scanMaybePruned(rel, rel, chunks[i].Start, chunks[i].End, cols, pred, local,
+					func(b *relation.Batch) error {
+						multiCountBatch(local, b, bounds, opts, targetPos, boolPos, filterPos, scratch)
+						return nil
+					})
+			}
+		}()
 	}
-	var firstErr error
-	for p := 0; p < pes; p++ {
-		if err := <-errs; err != nil && firstErr == nil {
-			firstErr = err
+	wg.Wait()
+	// First error in chunk (row) order, deterministically.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	total := make([]*Counts, len(drivers))
 	for d := range total {

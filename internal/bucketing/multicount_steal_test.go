@@ -1,0 +1,87 @@
+package bucketing
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"optrule/internal/relation"
+)
+
+// TestParallelMultiCountDynamicPruned pins the work-stealing engine on
+// the layout it was built for: a v3 relation clustered by the filter
+// column, where roughly half the block groups are zone-refuted and
+// cost ~0 — maximal chunk-cost skew. Every Counts field (populations,
+// objective counts, extremes, NaNs, Total) must be bit-identical to
+// the serial MultiCount for every worker count, no matter which worker
+// claims which chunk. Runs under -race in CI.
+func TestParallelMultiCountDynamicPruned(t *testing.T) {
+	schema := relation.Schema{
+		{Name: "V", Kind: relation.Numeric},
+		{Name: "Member", Kind: relation.Boolean},
+		{Name: "Hit", Kind: relation.Boolean},
+	}
+	path := filepath.Join(t.TempDir(), "steal.opr")
+	dw, err := relation.NewDiskWriterV3(path, schema, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster by the filter column: all non-member rows land in leading
+	// groups whose zone maps (true count 0) refute Member=true outright.
+	if err := dw.ClusterBy(1); err != nil {
+		t.Fatal(err)
+	}
+	n := 8000
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64() * 100
+		if i%251 == 0 {
+			v = nan()
+		}
+		if err := dw.Append([]float64{v}, []bool{rng.Intn(2) == 0, rng.Intn(3) == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dr, err := relation.OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dr.Close()
+
+	bounds, err := NewBoundaries([]float64{-150, -50, 0, 50, 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drivers := []int{0}
+	opts := Options{
+		Bools:         []BoolCond{{Attr: 2, Want: true}},
+		Filter:        []BoolCond{{Attr: 1, Want: true}},
+		TrackExtremes: true,
+	}
+	want, err := MultiCount(dr, drivers, []Boundaries{bounds}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want[0].N == 0 || want[0].N == want[0].Total {
+		t.Fatalf("degenerate fixture: N=%d of Total=%d", want[0].N, want[0].Total)
+	}
+	for _, pes := range []int{2, 4, 8} {
+		got, err := ParallelMultiCount(dr, drivers, []Boundaries{bounds}, opts, pes)
+		if err != nil {
+			t.Fatalf("pes=%d: %v", pes, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("pes=%d: dynamic-scheduled counts differ from serial:\ngot:  %+v\nwant: %+v", pes, got[0], want[0])
+		}
+	}
+}
+
+// nan avoids importing math for one constant.
+func nan() float64 {
+	var z float64
+	return z / z
+}

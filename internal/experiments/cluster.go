@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"optrule/internal/miner"
+	"optrule/internal/relation"
+)
+
+// The cluster experiment: what does the prunable-layout pipeline —
+// ClusterBy on the write path, RLE/FOR encodings on sorted runs, and
+// zone-map-aware work-stealing scan scheduling — buy end to end?
+//
+// The same tuple stream is written to v3 twice, shuffled and clustered
+// by the driver column. Part one measures layout: a selective
+// Boolean-filtered query whose matches live in one value band of the
+// cluster column must read a fraction of the unclustered bytes,
+// because clustering turned the zone maps from overlapping (useless)
+// into partitioning (every out-of-band group refuted). Part two
+// measures scheduling on the clustered file, where pruning makes chunk
+// costs maximally skewed: the same predicated parallel scan runs under
+// static equal-row segmentation (the pre-scheduler AlignedSegments
+// split, one worker per segment) and under the zone-map-priced
+// work-stealing chunk queue (PlanScanChunks + dynamic claiming), per
+// PE count. The schedule wins twice: static segmentation strands the
+// whole surviving band on whichever worker's segment covers it while
+// stealing spreads it, and static walks every zone-refuted group
+// through the scan machinery just to skip it while the planner's
+// Pruned chunks are settled without issuing a scan at all.
+//
+// Hard-fails: clustered and unclustered files must mine DeepEqual-
+// identical rules (exact domains make boundaries row-order
+// independent), the filtered answers must match, the clustered
+// filtered read must be at least 2x cheaper in physical bytes, and
+// both schedules must deliver identical row totals and checksums.
+
+// ClusterResult is the prunable-layout experiment's structured result.
+type ClusterResult struct {
+	Tuples     int
+	GroupRows  int
+	GoMaxProcs int
+	// Rules mined identically on both layouts (deviation hard-fails).
+	Rules int
+	// Physical bytes of the selective Boolean-filtered query.
+	UnclusteredFilteredBytes int64
+	ClusteredFilteredBytes   int64
+	// Wall-clock seconds of the filtered parallel scan on the clustered
+	// file, static equal-row segmentation vs work-stealing chunks, per
+	// PE count (best of three runs each).
+	PEs             []int
+	StaticSeconds   []float64
+	StealingSeconds []float64
+	// Rows the predicate survived — identical under every schedule.
+	MatchRows int64
+}
+
+// writeBanded writes n tuples: X uniform over 200 integer values (an
+// exact domain), Y a payload column over 500 distinct NON-integer
+// values — too many for the dictionary encoder and ineligible for
+// delta/FOR, so its blocks stay raw and carry full decode weight,
+// while the domain is still small enough for exact-domain boundaries
+// (rule identity across row orders) — B a planted objective correlated
+// with the band, and F true exactly when X lies in [120, 133] — so
+// clustering by X makes F constant-false outside the band's block
+// groups. clusterAttr < 0 writes append (shuffled) order.
+func writeBanded(path string, n, groupRows int, clusterAttr int, seed int64) (*relation.DiskRelation, error) {
+	schema := relation.Schema{
+		{Name: "X", Kind: relation.Numeric},
+		{Name: "Y", Kind: relation.Numeric},
+		{Name: "B", Kind: relation.Boolean},
+		{Name: "F", Kind: relation.Boolean},
+	}
+	dw, err := relation.NewDiskWriterV3(path, schema, groupRows)
+	if err != nil {
+		return nil, err
+	}
+	if clusterAttr >= 0 {
+		if err := dw.ClusterBy(clusterAttr); err != nil {
+			dw.Close()
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		x := float64(rng.Intn(200))
+		inBand := x >= 120 && x <= 133
+		p := 0.15
+		if inBand {
+			p = 0.75
+		}
+		y := float64(rng.Intn(500))*0.5 + 0.25
+		if err := dw.Append([]float64{x, y}, []bool{rng.Float64() < p, inBand}); err != nil {
+			dw.Close()
+			return nil, err
+		}
+	}
+	if err := dw.Close(); err != nil {
+		return nil, err
+	}
+	return relation.OpenDisk(path)
+}
+
+// scanStatic runs the predicated scan under the pre-scheduler static
+// split: pes equal-row storage-aligned segments, one worker pinned to
+// each. Returns rows delivered and a value checksum.
+func scanStatic(dr *relation.DiskRelation, pes int, cols relation.ColumnSet, pred *relation.Predicate) (int64, float64, error) {
+	segs := relation.AlignedSegments(dr, dr.NumTuples(), pes)
+	var rows atomic.Int64
+	sums := make([]float64, pes)
+	errs := make([]error, pes)
+	var wg sync.WaitGroup
+	for p := 0; p < pes; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var local float64 // avoid false sharing on sums during the scan
+			errs[p] = dr.ScanRangePruned(segs[p], segs[p+1], cols, pred,
+				func(int) error { return nil },
+				func(b *relation.Batch) error {
+					rows.Add(int64(b.Len))
+					for _, v := range b.Numeric[0][:b.Len] {
+						local += v
+					}
+					return nil
+				})
+			sums[p] = local
+		}(p)
+	}
+	wg.Wait()
+	var sum float64
+	for p := 0; p < pes; p++ {
+		if errs[p] != nil {
+			return 0, 0, errs[p]
+		}
+		sum += sums[p]
+	}
+	return rows.Load(), sum, nil
+}
+
+// scanStealing runs the same predicated scan under the zone-map-aware
+// schedule: PlanScanChunks prices block-group-aligned chunks under
+// pred and pes workers claim them dynamically.
+func scanStealing(dr *relation.DiskRelation, pes int, cols relation.ColumnSet, pred *relation.Predicate) (int64, float64, error) {
+	chunks := relation.PlanScanChunks(dr, pes, cols, pred)
+	var rows atomic.Int64
+	sums := make([]float64, len(chunks))
+	errs := make([]error, len(chunks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := pes
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(chunks) {
+					return
+				}
+				if chunks[i].Pruned {
+					continue // planner-proved empty: no scan, no rows
+				}
+				var local float64 // avoid false sharing on sums during the scan
+				errs[i] = dr.ScanRangePruned(chunks[i].Start, chunks[i].End, cols, pred,
+					func(int) error { return nil },
+					func(b *relation.Batch) error {
+						rows.Add(int64(b.Len))
+						for _, v := range b.Numeric[0][:b.Len] {
+							local += v
+						}
+						return nil
+					})
+				sums[i] = local
+			}
+		}()
+	}
+	wg.Wait()
+	var sum float64
+	for i := range errs {
+		if errs[i] != nil {
+			return 0, 0, errs[i]
+		}
+		sum += sums[i]
+	}
+	return rows.Load(), sum, nil
+}
+
+// Cluster runs the prunable-layout experiment; see the package comment
+// at the top of this file for what it measures and what hard-fails.
+func Cluster(n, groupRows int, pesList []int, seed int64) (ClusterResult, error) {
+	res := ClusterResult{Tuples: n, GroupRows: groupRows, GoMaxProcs: runtime.GOMAXPROCS(0), PEs: pesList}
+	dir, err := os.MkdirTemp("", "optrule-cluster")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	shuffled, err := writeBanded(filepath.Join(dir, "shuffled.opr"), n, groupRows, -1, seed)
+	if err != nil {
+		return res, err
+	}
+	defer shuffled.Close()
+	clustered, err := writeBanded(filepath.Join(dir, "clustered.opr"), n, groupRows, 0, seed)
+	if err != nil {
+		return res, err
+	}
+	defer clustered.Close()
+
+	// Rule identity: exact domains (X has 200 distinct values) make
+	// boundaries independent of row order, so the two layouts must mine
+	// the same rules bit for bit.
+	cfg := miner.Config{Buckets: 100, Seed: seed, ExactDomainLimit: 1024}
+	rShuf, err := miner.MineAll(shuffled, cfg)
+	if err != nil {
+		return res, err
+	}
+	rClus, err := miner.MineAll(clustered, cfg)
+	if err != nil {
+		return res, err
+	}
+	res.Rules = len(rShuf.Rules)
+	if res.Rules == 0 {
+		return res, fmt.Errorf("cluster: mined no rules; the comparison is vacuous")
+	}
+	if !reflect.DeepEqual(rShuf.Rules, rClus.Rules) {
+		return res, fmt.Errorf("cluster: rules deviate between shuffled and clustered layouts")
+	}
+
+	// Layout: the selective filtered query. F=true rows live only in
+	// the clustered file's band groups; everywhere else the zone maps
+	// refute the filter and the blocks never leave the disk.
+	filtered := func(dr *relation.DiskRelation) ([]miner.Answer, int64, error) {
+		s, err := miner.NewSession(dr, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		dr.ResetBytesRead()
+		answers, err := s.ExecuteBatch([]miner.Query{{
+			Op: miner.OpRules, Numeric: "X", Objective: "B", ObjectiveValue: true,
+			Conditions: []miner.Condition{{Attr: "F", Value: true}},
+		}})
+		return answers, dr.BytesRead(), err
+	}
+	aShuf, bShuf, err := filtered(shuffled)
+	if err != nil {
+		return res, err
+	}
+	aClus, bClus, err := filtered(clustered)
+	if err != nil {
+		return res, err
+	}
+	res.UnclusteredFilteredBytes, res.ClusteredFilteredBytes = bShuf, bClus
+	if !answersEqual(aShuf, aClus) {
+		return res, fmt.Errorf("cluster: filtered answers deviate between layouts")
+	}
+	if 2*res.ClusteredFilteredBytes > res.UnclusteredFilteredBytes {
+		return res, fmt.Errorf("cluster: clustered filtered query read %d bytes, unclustered %d; want at least 2x fewer",
+			res.ClusteredFilteredBytes, res.UnclusteredFilteredBytes)
+	}
+
+	// Scheduling: the same predicated scan on the clustered file under
+	// both schedules, best of three runs each.
+	cols := relation.ColumnSet{Numeric: []int{0, 1}, Bool: []int{2, 3}}
+	pred := &relation.Predicate{Bools: []relation.BoolPredicate{{Attr: 3, Want: true}}}
+	const reps = 3
+	var wantRows int64
+	var wantSum float64
+	for _, pes := range pesList {
+		best := func(scan func(*relation.DiskRelation, int, relation.ColumnSet, *relation.Predicate) (int64, float64, error)) (float64, error) {
+			bestS := 0.0
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				rows, sum, err := scan(clustered, pes, cols, pred)
+				s := time.Since(start).Seconds()
+				if err != nil {
+					return 0, err
+				}
+				if wantRows == 0 {
+					wantRows, wantSum = rows, sum
+				} else if rows != wantRows || sum != wantSum {
+					return 0, fmt.Errorf("cluster: schedule deviation: %d rows (sum %g), want %d (sum %g)",
+						rows, sum, wantRows, wantSum)
+				}
+				if r == 0 || s < bestS {
+					bestS = s
+				}
+			}
+			return bestS, nil
+		}
+		sStatic, err := best(scanStatic)
+		if err != nil {
+			return res, err
+		}
+		sSteal, err := best(scanStealing)
+		if err != nil {
+			return res, err
+		}
+		res.StaticSeconds = append(res.StaticSeconds, sStatic)
+		res.StealingSeconds = append(res.StealingSeconds, sSteal)
+	}
+	res.MatchRows = wantRows
+	return res, nil
+}
+
+// Print writes the prunable-layout comparison.
+func (r ClusterResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Prunable layouts: %d tuples, block groups of %d rows, %d rules mined identically\n",
+		r.Tuples, r.GroupRows, r.Rules)
+	fmt.Fprintf(w, "selective filtered query: unclustered %d B, clustered %d B (%.1fx fewer)\n",
+		r.UnclusteredFilteredBytes, r.ClusteredFilteredBytes,
+		float64(r.UnclusteredFilteredBytes)/float64(r.ClusteredFilteredBytes))
+	fmt.Fprintf(w, "filtered parallel scan on the clustered file (%d matching rows, GOMAXPROCS=%d):\n",
+		r.MatchRows, r.GoMaxProcs)
+	fmt.Fprintf(w, "%6s  %12s  %12s  %8s\n", "PEs", "static (s)", "stealing (s)", "speedup")
+	for i, pes := range r.PEs {
+		fmt.Fprintf(w, "%6d  %12.4f  %12.4f  %7.2fx\n",
+			pes, r.StaticSeconds[i], r.StealingSeconds[i], r.StaticSeconds[i]/r.StealingSeconds[i])
+	}
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestClusterWins runs the prunable-layout experiment at a small scale
+// and pins its acceptance shape: the clustered filtered query must
+// read at least 2x fewer physical bytes (Cluster itself hard-fails
+// otherwise), rules must exist and agree across layouts (also enforced
+// inside Cluster), and every schedule must have delivered the same
+// surviving rows. Wall-clock ordering is NOT asserted here — timing at
+// unit-test scale is noise; BENCH_pr8.json records it at bench scale.
+func TestClusterWins(t *testing.T) {
+	res, err := Cluster(60000, 256, []int{1, 2, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rules == 0 {
+		t.Fatalf("no rules mined; the experiment is vacuous")
+	}
+	if 2*res.ClusteredFilteredBytes > res.UnclusteredFilteredBytes {
+		t.Errorf("clustered filtered query read %d bytes, unclustered %d; want at least 2x fewer",
+			res.ClusteredFilteredBytes, res.UnclusteredFilteredBytes)
+	}
+	if res.MatchRows == 0 || res.MatchRows >= int64(res.Tuples) {
+		t.Errorf("filtered scan delivered %d of %d rows; the band filter is degenerate", res.MatchRows, res.Tuples)
+	}
+	if len(res.StaticSeconds) != len(res.PEs) || len(res.StealingSeconds) != len(res.PEs) {
+		t.Fatalf("got %d static / %d stealing timings for %d PE counts",
+			len(res.StaticSeconds), len(res.StealingSeconds), len(res.PEs))
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Prunable layouts") {
+		t.Errorf("print output malformed: %s", buf.String())
+	}
+}

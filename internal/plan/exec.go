@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"optrule/internal/bucketing"
 	"optrule/internal/region"
@@ -978,10 +979,10 @@ func prunedOrRange(rel relation.Relation, rs relation.RangeScanner, start, end i
 }
 
 // countGeneral runs the general fused counting scan, serial or
-// segmented at storage-aligned boundaries, with the common-filter
-// zone-map pushdown when the schedule allows it. ref selects the
-// reference per-tuple kernel. Cancellation is observed between
-// batches.
+// dynamically scheduled over cost-balanced storage-aligned chunks
+// (PlanScanChunks), with the common-filter zone-map pushdown when the
+// schedule allows it. ref selects the reference per-tuple kernel.
+// Cancellation is observed between batches.
 func countGeneral(ctx context.Context, rel relation.Relation, set *StatsSet, groups []*GroupNeed, pairs []*PairNeed, pes int, ref bool) error {
 	cols, numPos, boolPos := execLayout(groups, pairs)
 	pred := commonFilterPred(groups, pairs)
@@ -1004,32 +1005,61 @@ func countGeneral(ctx context.Context, rel relation.Relation, set *StatsSet, gro
 		return nil
 	}
 	rs := rel.(relation.RangeScanner) // guaranteed by scanParallelism
-	segs := relation.AlignedSegments(rel, rel.NumTuples(), pes)
-	states := make([]*execState, pes)
-	// One error slot per segment: the FIRST error in segment (row)
-	// order is the one reported, deterministically — not whichever
-	// worker's failure happened to land on a channel first.
-	errs := make([]error, pes)
+	// Zone-map-aware dynamic scheduling: the storage layer prices
+	// block-group-aligned chunks under the pushdown predicate (pruned
+	// groups ~0), pes workers claim them off a shared counter, and the
+	// per-CHUNK states merge in chunk index order. The chunk plan and
+	// fold order are deterministic, so the published integer statistics
+	// are bit-identical across worker counts, placements, and steal
+	// orders; directory-less storage degrades to the static aligned
+	// segments.
+	chunks := relation.PlanScanChunks(rel, pes, cols, pred)
+	states := make([]*execState, len(chunks))
+	// One error slot per chunk: the FIRST error in chunk (row) order is
+	// the one reported, deterministically — not whichever worker's
+	// failure happened to land on a channel first.
+	errs := make([]error, len(chunks))
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for p := 0; p < pes; p++ {
+	workers := pes
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(p int) {
+		go func() {
 			defer wg.Done()
-			local, err := newExecState(set, groups, pairs, numPos, boolPos, ref)
-			if err != nil {
-				errs[p] = err
-				return
-			}
-			states[p] = local
-			errs[p] = prunedOrRange(rel, rs, segs[p], segs[p+1], cols, pred, local,
-				func(b *relation.Batch) error {
-					if err := ctx.Err(); err != nil {
-						return err
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(chunks) {
+					return
+				}
+				local, err := newExecState(set, groups, pairs, numPos, boolPos, ref)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				states[i] = local
+				if chunks[i].Pruned {
+					// Planner-proved empty under the pushdown predicate: no
+					// scan issued; the rows fold into every group's Total,
+					// exactly as the skip callback would settle them.
+					rows := chunks[i].End - chunks[i].Start
+					for _, gs := range local.groups {
+						gs.total += rows
 					}
-					local.countBatch(b)
-					return nil
-				})
-		}(p)
+					continue
+				}
+				errs[i] = prunedOrRange(rel, rs, chunks[i].Start, chunks[i].End, cols, pred, local,
+					func(b *relation.Batch) error {
+						if err := ctx.Err(); err != nil {
+							return err
+						}
+						local.countBatch(b)
+						return nil
+					})
+			}
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -179,8 +179,13 @@ func useScatter(rel relation.Relation, d Defaults, groups []*GroupNeed) bool {
 
 // scatterCuts picks the task boundaries: exact shard boundaries on a
 // sharded relation (one task per non-empty shard — the scatter-gather
-// unit of ROADMAP item 3), storage-aligned segments elsewhere.
-func scatterCuts(rel relation.Relation, workers int) []int {
+// unit of ROADMAP item 3, and the retry/fallback granularity), cost-
+// balanced storage-aligned chunks elsewhere. On single-file v3 storage
+// the chunks are priced from the zone maps under the schedule's
+// pushdown predicate, so tasks covering pruned regions span many rows
+// and tasks covering surviving groups stay small — the already-dynamic
+// task queue then load-balances them across the pool.
+func scatterCuts(rel relation.Relation, workers int, cols relation.ColumnSet, pred *relation.Predicate) []int {
 	n := rel.NumTuples()
 	if sr, ok := rel.(*relation.ShardedRelation); ok {
 		cuts := []int{0}
@@ -197,7 +202,13 @@ func scatterCuts(rel relation.Relation, workers int) []int {
 	if workers > n {
 		workers = n
 	}
-	return relation.AlignedSegments(rel, n, workers)
+	chunks := relation.PlanScanChunks(rel, workers, cols, pred)
+	cuts := make([]int, 0, len(chunks)+1)
+	cuts = append(cuts, 0)
+	for _, c := range chunks {
+		cuts = append(cuts, c.End)
+	}
+	return cuts
 }
 
 // scatterTask is one task's scheduling state. A task is owned by
@@ -217,7 +228,8 @@ type scatterTask struct {
 func countScatter(ctx context.Context, rel relation.Relation, d Defaults, set *StatsSet,
 	groups []*GroupNeed, pairs []*PairNeed) error {
 	sc := d.Scatter.withDefaults()
-	cuts := scatterCuts(rel, sc.Workers)
+	scanCols, _, _ := execLayout(groups, pairs)
+	cuts := scatterCuts(rel, sc.Workers, scanCols, commonFilterPred(groups, pairs))
 	nTasks := len(cuts) - 1
 	if nTasks < 1 {
 		return countGeneral(ctx, rel, set, groups, pairs, 1, d.RefKernel)

@@ -350,7 +350,7 @@ func TestScatterCancellation(t *testing.T) {
 // the cuts are exactly the shard boundaries, one task per shard.
 func TestScatterCutsShardExact(t *testing.T) {
 	rel, _ := scatterFixture(t, 5000, 4)
-	cuts := scatterCuts(rel, 8)
+	cuts := scatterCuts(rel, 8, relation.ColumnSet{}, nil)
 	starts := rel.ShardStarts()
 	if !reflect.DeepEqual(cuts, starts) {
 		t.Errorf("scatter cuts %v != shard starts %v", cuts, starts)

@@ -1,0 +1,231 @@
+package relation
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// chunkFixtureV3 writes a clustered v3 file: n rows of V = i over
+// groupRows-row groups, so zone maps partition the value space and a
+// narrow range predicate prunes all but one group.
+func chunkFixtureV3(t *testing.T, n, groupRows int) *DiskRelation {
+	t.Helper()
+	schema := Schema{{Name: "V", Kind: Numeric}, {Name: "B", Kind: Boolean}}
+	path := filepath.Join(t.TempDir(), "chunks.opr")
+	dw, err := NewDiskWriterV3(path, schema, groupRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := dw.Append([]float64{float64(i)}, []bool{i%2 == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dr, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dr.Close() })
+	return dr
+}
+
+// TestScanCostsV3Pruning pins the cost model: atoms are block groups,
+// zone-refuted groups cost 0, and surviving groups charge their
+// encoded payload bytes for the selected columns.
+func TestScanCostsV3Pruning(t *testing.T) {
+	n, groupRows := 5120, 512
+	dr := chunkFixtureV3(t, n, groupRows)
+	cols := ColumnSet{Numeric: []int{0}}
+	pred := &Predicate{Ranges: []RangePredicate{{Attr: 0, Lo: 600, Hi: 700}}}
+	cuts, costs := dr.ScanCosts(cols, pred)
+	if len(cuts) != 11 || len(costs) != 10 {
+		t.Fatalf("got %d cuts, %d costs; want 11, 10", len(cuts), len(costs))
+	}
+	for g, cut := range cuts {
+		if want := g * groupRows; cut != want {
+			t.Errorf("cut %d = %d, want %d", g, cut, want)
+		}
+	}
+	for g, c := range costs {
+		survives := g == 1 // rows [512, 1024) overlap [600, 700]
+		if survives && c <= 0 {
+			t.Errorf("surviving group %d priced at %d", g, c)
+		}
+		if !survives && c != 0 {
+			t.Errorf("pruned group %d priced at %d, want 0", g, c)
+		}
+	}
+	// Without a predicate every group costs its physical bytes.
+	_, open := dr.ScanCosts(cols, nil)
+	for g, c := range open {
+		if c <= 0 {
+			t.Errorf("unpredicated group %d priced at %d", g, c)
+		}
+	}
+}
+
+// TestPlanScanChunksContract pins the planner invariants: chunks are
+// contiguous, non-empty, cover every row, and the plan is a
+// deterministic function of its inputs. Under a selective predicate
+// the pruned region collapses into wide cheap chunks while the
+// surviving group stays in a chunk of its own cost class.
+func TestPlanScanChunksContract(t *testing.T) {
+	n := 5120
+	dr := chunkFixtureV3(t, n, 512)
+	cols := ColumnSet{Numeric: []int{0}}
+	pred := &Predicate{Ranges: []RangePredicate{{Attr: 0, Lo: 600, Hi: 700}}}
+	for _, pes := range []int{1, 2, 4, 8} {
+		chunks := PlanScanChunks(dr, pes, cols, pred)
+		if len(chunks) == 0 {
+			t.Fatalf("pes=%d: no chunks", pes)
+		}
+		at := 0
+		for i, c := range chunks {
+			if c.Start != at || c.End <= c.Start {
+				t.Fatalf("pes=%d: chunk %d = [%d,%d) after row %d: not contiguous/non-empty", pes, i, c.Start, c.End, at)
+			}
+			at = c.End
+		}
+		if at != n {
+			t.Fatalf("pes=%d: chunks cover %d rows, want %d", pes, at, n)
+		}
+		if again := PlanScanChunks(dr, pes, cols, pred); !reflect.DeepEqual(again, chunks) {
+			t.Errorf("pes=%d: plan is not deterministic", pes)
+		}
+	}
+	// Boundaries stay storage-aligned: every interior cut is a group cut.
+	for _, c := range PlanScanChunks(dr, 4, cols, pred)[:] {
+		if c.End != n && c.End%512 != 0 {
+			t.Errorf("chunk end %d not aligned to 512-row groups", c.End)
+		}
+	}
+}
+
+// TestPlanScanChunksPruned pins the scan-free shortcut: maximal runs of
+// zone-refuted groups surface as dedicated Pruned chunks with cost 0,
+// and the surviving region never hides inside one. With V = i and a
+// range predicate on [600, 700], only group 1 of ten survives — the
+// plan must be pruned[0,512) + surviving[512,1024) + pruned[1024,5120).
+func TestPlanScanChunksPruned(t *testing.T) {
+	n := 5120
+	dr := chunkFixtureV3(t, n, 512)
+	cols := ColumnSet{Numeric: []int{0}}
+	pred := &Predicate{Ranges: []RangePredicate{{Attr: 0, Lo: 600, Hi: 700}}}
+	chunks := PlanScanChunks(dr, 4, cols, pred)
+	if len(chunks) != 3 {
+		t.Fatalf("got %d chunks %+v, want 3 (pruned, surviving, pruned)", len(chunks), chunks)
+	}
+	for i, want := range []struct {
+		start, end int
+		pruned     bool
+	}{{0, 512, true}, {512, 1024, false}, {1024, 5120, true}} {
+		c := chunks[i]
+		if c.Start != want.start || c.End != want.end || c.Pruned != want.pruned {
+			t.Errorf("chunk %d = %+v, want [%d,%d) pruned=%v", i, c, want.start, want.end, want.pruned)
+		}
+		if c.Pruned && c.Cost != 0 {
+			t.Errorf("pruned chunk %d carries cost %d, want 0", i, c.Cost)
+		}
+		if !c.Pruned && c.Cost <= 0 {
+			t.Errorf("surviving chunk %d carries cost %d, want > 0", i, c.Cost)
+		}
+	}
+	// Without a predicate nothing is provably empty: no Pruned chunks.
+	for i, c := range PlanScanChunks(dr, 4, cols, nil) {
+		if c.Pruned {
+			t.Errorf("unpredicated chunk %d marked Pruned: %+v", i, c)
+		}
+	}
+}
+
+// TestPlanScanChunksFallback pins the no-directory path: a v1
+// (row-major) file has no atoms to price, so the plan degrades to the
+// static AlignedSegments split — the pre-scheduler behavior.
+func TestPlanScanChunksFallback(t *testing.T) {
+	schema := Schema{{Name: "V", Kind: Numeric}}
+	path := filepath.Join(t.TempDir(), "v1.opr")
+	dw, err := NewDiskWriter(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1000
+	for i := 0; i < n; i++ {
+		if err := dw.Append([]float64{float64(i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dr, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dr.Close()
+	pes := 4
+	chunks := PlanScanChunks(dr, pes, ColumnSet{Numeric: []int{0}}, nil)
+	segs := AlignedSegments(dr, n, pes)
+	if len(chunks) != pes {
+		t.Fatalf("%d chunks, want %d", len(chunks), pes)
+	}
+	for p, c := range chunks {
+		if c.Start != segs[p] || c.End != segs[p+1] {
+			t.Errorf("chunk %d = [%d,%d), want segment [%d,%d)", p, c.Start, c.End, segs[p], segs[p+1])
+		}
+	}
+}
+
+// TestScanCostsSharded pins the sharded concatenation: per-shard atoms
+// appear in global row order with translated cuts, and pruning carries
+// through each shard's own zone maps.
+func TestScanCostsSharded(t *testing.T) {
+	dr := chunkFixtureV3(t, 4096, 256)
+	manifest := filepath.Join(t.TempDir(), "sharded.oprs")
+	if err := ConvertToSharded(dr, manifest, 4, DiskFormatV3); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := OpenSharded(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	cols := ColumnSet{Numeric: []int{0}}
+	pred := &Predicate{Ranges: []RangePredicate{{Attr: 0, Lo: 0, Hi: 100}}}
+	cuts, costs := sr.ScanCosts(cols, pred)
+	if cuts == nil {
+		t.Fatal("sharded v3 relation declined to price its atoms")
+	}
+	if cuts[0] != 0 || cuts[len(cuts)-1] != sr.NumTuples() {
+		t.Fatalf("cuts span [%d,%d], want [0,%d]", cuts[0], cuts[len(cuts)-1], sr.NumTuples())
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			t.Fatalf("cuts not strictly increasing at %d: %v", i, cuts[i-1:i+1])
+		}
+	}
+	var priced int
+	for _, c := range costs {
+		if c > 0 {
+			priced++
+		}
+	}
+	if priced == 0 || priced == len(costs) {
+		t.Errorf("%d of %d atoms priced nonzero; the narrow predicate should prune most but not all", priced, len(costs))
+	}
+	// The planner accepts the sharded model end to end.
+	chunks := PlanScanChunks(sr, 4, cols, pred)
+	at := 0
+	for _, c := range chunks {
+		if c.Start != at {
+			t.Fatalf("sharded chunks not contiguous at %d", at)
+		}
+		at = c.End
+	}
+	if at != sr.NumTuples() {
+		t.Fatalf("sharded chunks cover %d of %d rows", at, sr.NumTuples())
+	}
+}

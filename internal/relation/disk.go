@@ -97,6 +97,15 @@ type DiskWriter struct {
 	// scratch (see diskv3.go).
 	v3Dir     []byte
 	v3Scratch []uint64
+
+	// cluster state (see cluster.go): while clustering, Append buffers
+	// whole columns instead of streaming them into groups, and Close
+	// replays the rows in cluster-key order through the normal path.
+	clustering  bool
+	clusterAttr int
+	bufNums     [][]float64
+	bufBools    [][]bool
+	bufRows     int
 }
 
 // writeDiskHeader writes the common header prefix (magic, version,
@@ -165,6 +174,16 @@ func (dw *DiskWriter) Append(nums []float64, bools []bool) error {
 		return fmt.Errorf("relation: tuple shape (%d numeric, %d bool) does not match schema (%d, %d)",
 			len(nums), len(bools), dw.nums, dw.bools)
 	}
+	if dw.clustering {
+		for j, v := range nums {
+			dw.bufNums[j] = append(dw.bufNums[j], v)
+		}
+		for j, b := range bools {
+			dw.bufBools[j] = append(dw.bufBools[j], b)
+		}
+		dw.bufRows++
+		return nil
+	}
 	if dw.version == DiskFormatV2 || dw.version == DiskFormatV3 {
 		return dw.appendV2(nums, bools)
 	}
@@ -194,6 +213,13 @@ func (dw *DiskWriter) Append(nums []float64, bools []bool) error {
 func (dw *DiskWriter) Close() error {
 	if dw.closed {
 		return nil
+	}
+	if dw.clustering {
+		if err := dw.replayClustered(); err != nil {
+			dw.closed = true
+			dw.f.Close()
+			return err
+		}
 	}
 	dw.closed = true
 	if dw.version == DiskFormatV3 {

@@ -567,6 +567,13 @@ func ConvertDiskFrom(dr *DiskRelation, dst string, version int) error {
 // interrupted or failed conversion never leaves a truncated dst — and
 // never clobbers a pre-existing dst.
 func ConvertFile(src Relation, dst string, version int) error {
+	return convertFile(src, dst, version, -1)
+}
+
+// convertFile is the shared body of ConvertFile and
+// ConvertFileClustered; clusterAttr < 0 preserves the source's row
+// order.
+func convertFile(src Relation, dst string, version, clusterAttr int) error {
 	for _, p := range storagePathsOf(src) {
 		if sameFile(p, dst) {
 			return fmt.Errorf("relation: cannot convert %s onto itself", p)
@@ -582,6 +589,13 @@ func ConvertFile(src Relation, dst string, version int) error {
 	if err != nil {
 		os.Remove(tmp)
 		return err
+	}
+	if clusterAttr >= 0 {
+		if err := dw.ClusterBy(clusterAttr); err != nil {
+			dw.Close()
+			os.Remove(tmp)
+			return err
+		}
 	}
 	if err := appendAll(src, dw.Append); err != nil {
 		dw.Close()

@@ -49,6 +49,20 @@ import (
 //	encBitmap 3  Boolean columns: ceil(rows/8) packed bits, bit r%8 of
 //	             byte r/8 (LSB first) — the v2 bit layout, kept because
 //	             1 bit/row rarely loses to anything.
+//	encRLE    4  run-length: numRuns uint32, then per run an exclusive
+//	             cumulative end row uint32 and the run's value as raw
+//	             Float64bits. Runs are maximal spans of bit-identical
+//	             values, so NaN and −0 round-trip exactly. Chosen for
+//	             sorted or constant-ish blocks whose cardinality
+//	             defeats the dictionary — the shape a clustered column
+//	             produces (see ClusterBy).
+//	encFOR    5  frame-of-reference bit packing: an explicit int64 base
+//	             (the block minimum), one bitWidth byte, then rows
+//	             deltas of bitWidth bits each, computed in exact int64
+//	             arithmetic — covers integer-valued blocks beyond
+//	             encDelta's ±2^52 float-exactness limit, up to ±2^62.
+//	             encDelta wins whenever both are eligible (its header
+//	             is 8 bytes smaller at the same bit width).
 //
 // The writer picks, per block, the encoding with the smallest computed
 // size (raw wins ties), so a pathological block can never grow beyond
@@ -67,8 +81,9 @@ import (
 // compressible columns cost strictly fewer counted bytes than the same
 // v2 scan. Point reads keep the flat 8-bytes-per-unique-row price of
 // the other formats: the value's location is computed in O(1) from the
-// directory entry (bit arithmetic for packed blocks), never by
-// decoding the block.
+// directory entry (bit arithmetic for packed blocks; RLE blocks
+// binary-search their run directory in O(log runs) tiny fetches),
+// never by decoding the block.
 
 // Numeric/Boolean block encodings of the v3 format.
 const (
@@ -76,6 +91,8 @@ const (
 	v3EncDelta  = 1
 	v3EncDict   = 2
 	v3EncBitmap = 3
+	v3EncRLE    = 4
+	v3EncFOR    = 5
 )
 
 const (
@@ -94,6 +111,15 @@ const (
 	// exact, so encode(decode) is the identity. Beyond it, differences
 	// can round and the encoding would silently corrupt values.
 	v3DeltaLimit = 1 << 52
+	// v3FORLimit bounds FOR-encodable magnitudes: within ±2^62 every
+	// integer-valued float64 converts exactly to int64, and any block
+	// span stays under 64 bits — the writer further requires the span
+	// to fit 63 bits so the decoder can reject base+delta overflow with
+	// a plain signed comparison.
+	v3FORLimit = 1 << 62
+	// v3RLERunSize is the encoded size of one RLE run record: end row
+	// uint32 + value bits uint64.
+	v3RLERunSize = 4 + 8
 )
 
 // v3GroupEntrySize returns the directory bytes per block group.
@@ -230,31 +256,53 @@ func v3MinMax(col []float64) (mn, mx float64) {
 // v3PlanNumeric analyzes one numeric block and picks its encoding:
 // the candidate sizes are computed arithmetically, so only the winner
 // is ever materialized. Returns the encoding, its payload size, the
-// delta bit width (encDelta), and the dictionary (encDict, in
+// packed bit width (encDelta/encFOR), and the dictionary (encDict, in
 // first-appearance order).
-func v3PlanNumeric(col []float64, mn, mx float64) (enc uint8, size int, deltaBW int, dict []float64) {
+func v3PlanNumeric(col []float64, mn, mx float64) (enc uint8, size int, bw int, dict []float64) {
 	rows := len(col)
 	rawSize := 8 * rows
 	enc, size = v3EncRaw, rawSize
 
-	// Delta eligibility: every value a finite integer within ±2^52.
-	deltaOK := !math.IsInf(mn, 0) && !math.IsInf(mx, 0) &&
-		mn >= -v3DeltaLimit && mx <= v3DeltaLimit
-	if deltaOK {
-		for _, v := range col {
-			// Negative zero is integer-valued but not delta-representable:
-			// -0 - min yields +0, so its sign bit would not round-trip.
-			if v != math.Trunc(v) || math.IsNaN(v) || (v == 0 && math.Signbit(v)) {
-				deltaOK = false
-				break
-			}
+	// Integer eligibility, shared by delta and FOR: every value an
+	// integer (NaN fails v != Trunc(v)) and no negative zero — -0 − min
+	// yields +0, so its sign bit would not round-trip.
+	intOK := true
+	for _, v := range col {
+		if v != math.Trunc(v) || (v == 0 && math.Signbit(v)) {
+			intOK = false
+			break
 		}
 	}
-	if deltaOK {
-		bw := bits.Len64(uint64(mx - mn))
-		if s := 1 + (rows*bw+7)/8; s < size {
-			enc, size, deltaBW = v3EncDelta, s, bw
+	// Delta: anchored at the zone-map minimum, exact only within ±2^52.
+	// An all-NaN block (mn = +Inf) fails the bound checks.
+	if intOK && mn >= -v3DeltaLimit && mx <= v3DeltaLimit {
+		w := bits.Len64(uint64(mx - mn))
+		if s := 1 + (rows*w+7)/8; s < size {
+			enc, size, bw = v3EncDelta, s, w
 		}
+	}
+	// FOR: explicit int64 base in the payload, deltas in exact int64
+	// arithmetic — reaches integer blocks beyond the delta limit. The
+	// uint64 subtraction is exact two's complement, so the span check
+	// needs no float rounding slack.
+	if intOK && mn >= -v3FORLimit && mx <= v3FORLimit {
+		w := bits.Len64(uint64(int64(mx)) - uint64(int64(mn)))
+		if s := 8 + 1 + (rows*w+7)/8; w <= 63 && s < size {
+			enc, size, bw = v3EncFOR, s, w
+		}
+	}
+
+	// Run-length: maximal spans of bit-identical values (NaN and ±0
+	// runs compress and round-trip exactly). Wins on sorted or
+	// constant-ish blocks whose cardinality defeats the dictionary.
+	runs := 1
+	for i := 1; i < rows; i++ {
+		if math.Float64bits(col[i]) != math.Float64bits(col[i-1]) {
+			runs++
+		}
+	}
+	if s := 4 + v3RLERunSize*runs; s < size {
+		enc, size = v3EncRLE, s
 	}
 
 	// Dictionary eligibility: at most v3MaxDict distinct bit patterns.
@@ -272,19 +320,19 @@ func v3PlanNumeric(col []float64, mn, mx float64) (enc uint8, size int, deltaBW 
 		dict = append(dict, v)
 	}
 	if seen != nil && len(dict) > 0 {
-		bw := bits.Len(uint(len(dict) - 1))
-		if s := 2 + 8*len(dict) + 1 + (rows*bw+7)/8; s < size {
+		w := bits.Len(uint(len(dict) - 1))
+		if s := 2 + 8*len(dict) + 1 + (rows*w+7)/8; s < size {
 			enc, size = v3EncDict, s
-			return enc, size, deltaBW, dict
+			return enc, size, bw, dict
 		}
 	}
-	return enc, size, deltaBW, nil
+	return enc, size, bw, nil
 }
 
 // v3EncodeNumeric encodes one numeric block into buf (whose first size
 // bytes are overwritten) according to the plan from v3PlanNumeric.
 // scratch holds the packed integers and is grown as needed.
-func v3EncodeNumeric(col []float64, enc uint8, size, deltaBW int, dict []float64, mn float64, buf []byte, scratch []uint64) ([]byte, []uint64) {
+func v3EncodeNumeric(col []float64, enc uint8, size, bw int, dict []float64, mn float64, buf []byte, scratch []uint64) ([]byte, []uint64) {
 	out := buf[:size]
 	switch enc {
 	case v3EncRaw:
@@ -302,8 +350,38 @@ func v3EncodeNumeric(col []float64, enc uint8, size, deltaBW int, dict []float64
 		for i := 1; i < size; i++ {
 			out[i] = 0
 		}
-		out[0] = byte(deltaBW)
-		packBits(out[1:], vals, deltaBW)
+		out[0] = byte(bw)
+		packBits(out[1:], vals, bw)
+	case v3EncFOR:
+		base := int64(mn)
+		binary.LittleEndian.PutUint64(out, uint64(base))
+		out[8] = byte(bw)
+		if cap(scratch) < len(col) {
+			scratch = make([]uint64, len(col))
+		}
+		vals := scratch[:len(col)]
+		for i, v := range col {
+			vals[i] = uint64(int64(v) - base)
+		}
+		for i := 9; i < size; i++ {
+			out[i] = 0
+		}
+		packBits(out[9:], vals, bw)
+	case v3EncRLE:
+		runs := 0
+		for i := 0; i < len(col); {
+			b := math.Float64bits(col[i])
+			j := i + 1
+			for j < len(col) && math.Float64bits(col[j]) == b {
+				j++
+			}
+			rec := out[4+v3RLERunSize*runs:]
+			binary.LittleEndian.PutUint32(rec, uint32(j))
+			binary.LittleEndian.PutUint64(rec[4:], b)
+			runs++
+			i = j
+		}
+		binary.LittleEndian.PutUint32(out, uint32(runs))
 	case v3EncDict:
 		binary.LittleEndian.PutUint16(out, uint16(len(dict)))
 		idxOf := make(map[uint64]uint64, len(dict))
@@ -342,9 +420,9 @@ func (dw *DiskWriter) flushGroupV3() error {
 	var entry [v3NumEntrySize]byte
 	for _, col := range dw.colNums {
 		mn, mx := v3MinMax(col)
-		enc, size, deltaBW, dict := v3PlanNumeric(col, mn, mx)
+		enc, size, bw, dict := v3PlanNumeric(col, mn, mx)
 		var payload []byte
-		payload, dw.v3Scratch = v3EncodeNumeric(col, enc, size, deltaBW, dict, mn, dw.encodeBuf, dw.v3Scratch)
+		payload, dw.v3Scratch = v3EncodeNumeric(col, enc, size, bw, dict, mn, dw.encodeBuf, dw.v3Scratch)
 		if _, err := dw.w.Write(payload); err != nil {
 			return err
 		}
@@ -474,7 +552,9 @@ func (dr *DiskRelation) openV3Meta(f *os.File, r *bufio.Reader) error {
 				max:    math.Float64frombits(binary.LittleEndian.Uint64(dir[pos+21:])),
 			}
 			pos += v3NumEntrySize
-			if blk.enc != v3EncRaw && blk.enc != v3EncDelta && blk.enc != v3EncDict {
+			switch blk.enc {
+			case v3EncRaw, v3EncDelta, v3EncDict, v3EncRLE, v3EncFOR:
+			default:
 				return fmt.Errorf("relation: %s: group %d column %d: unknown numeric encoding %d", dr.path, g, p, blk.enc)
 			}
 			if blk.encLen < 0 || blk.off < dr.dataOff || blk.off+int64(blk.encLen) > dirOff {
@@ -608,6 +688,58 @@ func v3DecodeNumeric(blk *v3Block, data []byte, rows int, dst []float64, scratch
 		}
 		for i, ix := range vals {
 			dst[i] = dict[ix]
+		}
+	case v3EncRLE:
+		if len(data) < 4 {
+			return fmt.Errorf("RLE block holds %d bytes", len(data))
+		}
+		runs := int(binary.LittleEndian.Uint32(data))
+		if runs < 1 || runs > rows {
+			return fmt.Errorf("RLE run count %d out of [1, %d]", runs, rows)
+		}
+		if len(data) != 4+v3RLERunSize*runs {
+			return fmt.Errorf("RLE block holds %d bytes, %d runs need %d", len(data), runs, 4+v3RLERunSize*runs)
+		}
+		pos := 0
+		for k := 0; k < runs; k++ {
+			rec := data[4+v3RLERunSize*k:]
+			end := int(binary.LittleEndian.Uint32(rec))
+			if end <= pos || end > rows {
+				return fmt.Errorf("RLE run %d ends at row %d (after %d, block of %d)", k, end, pos, rows)
+			}
+			v := math.Float64frombits(binary.LittleEndian.Uint64(rec[4:]))
+			for ; pos < end; pos++ {
+				dst[pos] = v
+			}
+		}
+		if pos != rows {
+			return fmt.Errorf("RLE runs cover %d of %d rows", pos, rows)
+		}
+	case v3EncFOR:
+		if len(data) < 9 {
+			return fmt.Errorf("FOR block holds %d bytes", len(data))
+		}
+		base := int64(binary.LittleEndian.Uint64(data))
+		bw := int(data[8])
+		if bw > 63 {
+			return fmt.Errorf("FOR bit width %d overflows 63", bw)
+		}
+		if len(data) != 9+(rows*bw+7)/8 {
+			return fmt.Errorf("FOR block holds %d bytes, %d rows of %d bits need %d", len(data), rows, bw, 9+(rows*bw+7)/8)
+		}
+		if cap(*scratch) < rows {
+			*scratch = make([]uint64, rows)
+		}
+		vals := (*scratch)[:rows]
+		unpackBits(data[9:], bw, rows, vals)
+		for i, d := range vals {
+			// bw ≤ 63 keeps int64(d) non-negative, so overflow of the
+			// signed sum shows as wrap-around below base.
+			v := base + int64(d)
+			if v < base {
+				return fmt.Errorf("FOR value overflows int64 (base %d + delta %d)", base, d)
+			}
+			dst[i] = float64(v)
 		}
 	default:
 		return fmt.Errorf("unknown numeric encoding %d", blk.enc)
@@ -898,8 +1030,9 @@ func (dr *DiskRelation) scanRangeV3(start, end int, cols ColumnSet, pred *Predic
 // v3PointValue serves one row of one numeric column without decoding
 // the block: the value's location is computed from the directory entry
 // — a direct 8-byte read for raw blocks, O(1) bit arithmetic into the
-// packed payload for delta and dict blocks. get must fill its buffer
-// from the given file offset.
+// packed payload for delta, dict, and FOR blocks, and an O(log runs)
+// binary search of the run directory for RLE blocks. get must fill its
+// buffer from the given file offset.
 func (dr *DiskRelation) v3PointValue(p, row int, get func(off int64, dst []byte) error) (float64, error) {
 	g := row / dr.groupRows
 	r := row - g*dr.groupRows
@@ -958,6 +1091,65 @@ func (dr *DiskRelation) v3PointValue(p, row int, get func(off int64, dst []byte)
 			return 0, err
 		}
 		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:8])), nil
+	case v3EncRLE:
+		if err := get(blk.off, buf[:4]); err != nil {
+			return 0, err
+		}
+		runs := int(binary.LittleEndian.Uint32(buf[:4]))
+		if runs < 1 || runs > gRows || blk.encLen != 4+v3RLERunSize*runs {
+			return 0, fmt.Errorf("relation: %s: malformed RLE block (%d runs, %d bytes, %d rows)", dr.path, runs, blk.encLen, gRows)
+		}
+		// Binary search the run directory for the first run whose
+		// exclusive end exceeds r — O(log runs) tiny fetches instead of a
+		// block decode.
+		readEnd := func(k int) (int, error) {
+			if err := get(blk.off+int64(4+v3RLERunSize*k), buf[:4]); err != nil {
+				return 0, err
+			}
+			return int(binary.LittleEndian.Uint32(buf[:4])), nil
+		}
+		lo, hi := 0, runs-1
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			end, err := readEnd(mid)
+			if err != nil {
+				return 0, err
+			}
+			if end <= r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		// A corrupt (non-monotonic) run directory can misdirect the
+		// search; re-check the landed run actually covers row r.
+		if end, err := readEnd(lo); err != nil {
+			return 0, err
+		} else if end <= r || end > gRows {
+			return 0, fmt.Errorf("relation: %s: RLE run directory does not cover row %d", dr.path, r)
+		}
+		if err := get(blk.off+int64(4+v3RLERunSize*lo+4), buf[:8]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:8])), nil
+	case v3EncFOR:
+		if err := get(blk.off, buf[:9]); err != nil {
+			return 0, err
+		}
+		base := int64(binary.LittleEndian.Uint64(buf[:8]))
+		bw := int(buf[8])
+		if bw > 63 || blk.encLen != 9+(gRows*bw+7)/8 {
+			return 0, fmt.Errorf("relation: %s: malformed FOR block (width %d, %d bytes, %d rows)", dr.path, bw, blk.encLen, gRows)
+		}
+		d, err := dr.v3PointBits(blk.off+9, blk.encLen-9, r, bw, get)
+		if err != nil {
+			return 0, err
+		}
+		v := base + int64(d)
+		if v < base {
+			return 0, fmt.Errorf("relation: %s: FOR value overflows int64 (base %d + delta %d)", dr.path, base, d)
+		}
+		return float64(v), nil
 	default:
 		return 0, fmt.Errorf("relation: %s: unknown numeric encoding %d", dr.path, blk.enc)
 	}

@@ -153,7 +153,14 @@ func TestDiskV3EncodingRoundTrips(t *testing.T) {
 			return 0
 		}, v3EncDict},
 		{"raw continuous", func(i int) float64 { return math.Sqrt(float64(i) + 0.5) }, v3EncRaw},
-		{"raw beyond 2^52", func(i int) float64 { return float64(uint64(1)<<53) + float64(i)*4096 }, 255}, // any, but must round-trip
+		// Integer-valued beyond the delta limit: FOR's exact int64
+		// arithmetic reaches where delta's float differences would round.
+		{"for beyond 2^52", func(i int) float64 { return float64(uint64(1)<<53) + float64(i)*4096 }, v3EncFOR},
+		{"for negative wide", func(i int) float64 { return -float64(uint64(1)<<60) + float64(i)*65536 }, v3EncFOR},
+		// Sorted non-integer runs with per-group cardinality above
+		// v3MaxDict: only RLE exploits the structure.
+		{"rle sorted runs", func(i int) float64 { return float64(i/2) + 0.5 }, v3EncRLE},
+		{"rle long runs with NaN", func(i int) float64 { return []float64{nan, 2.5, pinf}[i/500] }, v3EncRLE},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -722,6 +729,100 @@ func TestDiskV3CorruptionErrors(t *testing.T) {
 			}
 			if scanErr == nil && rows == dr.NumTuples() {
 				t.Errorf("corrupt file scanned cleanly; corruption undetected")
+			}
+		})
+	}
+}
+
+// TestDiskV3CorruptionRLEFOR corrupts genuine RLE and FOR blocks in
+// the targeted ways the decoders must reject — run counts exceeding
+// the block's rows, truncated run directories, out-of-range or
+// non-monotonic run ends, FOR widths beyond 63, and base+delta
+// overflow — through both the scan and point-read paths.
+func TestDiskV3CorruptionRLEFOR(t *testing.T) {
+	schema := Schema{{Name: "S", Kind: Numeric}, {Name: "F", Kind: Numeric}}
+	path := filepath.Join(t.TempDir(), "rlefor.opr")
+	dw, err := NewDiskWriterV3(path, schema, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		// S: two 200-row runs per group, cardinality-beating RLE. F:
+		// integers beyond the delta limit, FOR-only territory.
+		if err := dw.Append([]float64{float64(i/200) + 0.5, float64(uint64(1)<<53) + float64(i)*512}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dr, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc := dr.v3NumBlock(0, 0).enc; enc != v3EncRLE {
+		t.Fatalf("column S chose encoding %d, want RLE", enc)
+	}
+	if enc := dr.v3NumBlock(0, 1).enc; enc != v3EncFOR {
+		t.Fatalf("column F chose encoding %d, want FOR", enc)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, dirOffOff := v2HeaderOffsets(schema)
+	dirOff := int64(binary.LittleEndian.Uint64(valid[dirOffOff:]))
+	entry := func(p int) int64 { return dirOff + int64(p)*v3NumEntrySize }
+	sOff := int64(binary.LittleEndian.Uint64(valid[entry(0):]))
+	fOff := int64(binary.LittleEndian.Uint64(valid[entry(1):]))
+
+	cases := []struct {
+		name     string
+		corrupt  func(d []byte)
+		errFrag  string // scan error must mention this when non-empty
+		attr     int    // point read of this column must fail too
+		pointRow int
+	}{
+		{"run count exceeds rows", func(d []byte) {
+			binary.LittleEndian.PutUint32(d[sOff:], 100000)
+		}, "run count", 0, 300},
+		{"truncated runs", func(d []byte) {
+			binary.LittleEndian.PutUint32(d[entry(0)+8:], 16)
+		}, "RLE block holds", 0, 300},
+		{"run end beyond block", func(d []byte) {
+			binary.LittleEndian.PutUint32(d[sOff+4:], 450)
+		}, "", 0, 300},
+		{"run ends not monotonic", func(d []byte) {
+			binary.LittleEndian.PutUint32(d[sOff+4+v3RLERunSize:], 0)
+		}, "", 0, 300},
+		{"FOR width beyond 63", func(d []byte) {
+			d[fOff+8] = 200
+		}, "overflows 63", 1, 399},
+		{"FOR base+delta overflow", func(d []byte) {
+			binary.LittleEndian.PutUint64(d[fOff:], uint64(math.MaxInt64))
+		}, "overflows int64", 1, 399},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := append([]byte(nil), valid...)
+			tc.corrupt(data)
+			p := filepath.Join(t.TempDir(), "corrupt.opr")
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			cdr, err := OpenDisk(p)
+			if err != nil {
+				t.Fatalf("directory untouched; open failed: %v", err)
+			}
+			scanErr := cdr.Scan(ColumnSet{Numeric: []int{0, 1}}, func(*Batch) error { return nil })
+			if scanErr == nil {
+				t.Errorf("corrupt block scanned cleanly")
+			} else if tc.errFrag != "" && !strings.Contains(scanErr.Error(), tc.errFrag) {
+				t.Errorf("scan error %q does not mention %q", scanErr, tc.errFrag)
+			}
+			out := make([]float64, 1)
+			if err := cdr.ReadNumericPoints(tc.attr, []int{tc.pointRow}, out); err == nil {
+				t.Errorf("corrupt block accepted by point read")
 			}
 		})
 	}

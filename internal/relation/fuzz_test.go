@@ -145,22 +145,28 @@ func FuzzOpenDisk(f *testing.F) {
 	mut := append([]byte(nil), validV2...) // corrupt a directory byte
 	mut[len(mut)-6] ^= 0xff
 	f.Add(mut)
-	// Seed with a genuine v3 file exercising every encoding: a delta
+	// Seed with a genuine v3 file exercising most encodings: a delta
 	// column (small ints), a dict column (3 repeating reals), a raw
-	// column (irrationals), and a bitmap bool — several groups plus a
-	// partial tail — with mutations into the directory (zone maps,
-	// encodings, offsets) and into the compressed payloads.
+	// column (irrationals), a FOR column (integers beyond the ±2^52
+	// delta limit, where only FOR is exact), and a bitmap bool —
+	// several groups plus a partial tail — with mutations into the
+	// directory (zone maps, encodings, offsets) and into the
+	// compressed payloads.
 	pathV3 := filepath.Join(dir, "fuzz-seed-v3.opr")
 	dw3, err := NewDiskWriterV3(pathV3, Schema{
 		{Name: "D", Kind: Numeric}, {Name: "K", Kind: Numeric},
-		{Name: "R", Kind: Numeric}, {Name: "B", Kind: Boolean},
+		{Name: "R", Kind: Numeric}, {Name: "F", Kind: Numeric},
+		{Name: "B", Kind: Boolean},
 	}, 4)
 	if err != nil {
 		f.Fatal(err)
 	}
 	for i := 0; i < 11; i++ {
 		dicts := []float64{0.5, 1.5, 2.5}
-		dw3.Append([]float64{float64(i % 7), dicts[i%3], float64(i) + 0.123}, []bool{i%2 == 0})
+		dw3.Append([]float64{
+			float64(i % 7), dicts[i%3], float64(i) + 0.123,
+			float64(uint64(1)<<53) + float64(i)*512,
+		}, []bool{i%2 == 0})
 	}
 	if err := dw3.Close(); err != nil {
 		f.Fatal(err)
@@ -180,6 +186,34 @@ func FuzzOpenDisk(f *testing.F) {
 	mid := append([]byte(nil), validV3...) // corrupt a payload byte
 	mid[len(mid)/2] ^= 0xff
 	f.Add(mid)
+	// A second v3 seed built for run-length coding: RLE only beats the
+	// dictionary when a group's cardinality is high relative to its run
+	// count, which tiny groups cannot produce — so this file uses
+	// 400-row groups with two long half-group runs. Mutations cut and
+	// flip into the run directory and the packed payload.
+	pathRLE := filepath.Join(dir, "fuzz-seed-v3-rle.opr")
+	dwR, err := NewDiskWriterV3(pathRLE, Schema{{Name: "S", Kind: Numeric}}, 400)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		dwR.Append([]float64{float64(i/200) + 0.5}, nil)
+	}
+	if err := dwR.Close(); err != nil {
+		f.Fatal(err)
+	}
+	validRLE, err := os.ReadFile(pathRLE)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(validRLE)
+	f.Add(validRLE[:len(validRLE)-9]) // cut mid-directory
+	f.Add(validRLE[:40])              // cut mid-payload
+	for _, flip := range []int{5, 17, 25, 33, 40, 41, 44, 48, 52} {
+		mutR := append([]byte(nil), validRLE...) // run counts, end rows, values
+		mutR[flip] ^= 0xff
+		f.Add(mutR)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p := filepath.Join(t.TempDir(), "fuzz.opr")
 		if err := os.WriteFile(p, data, 0o644); err != nil {

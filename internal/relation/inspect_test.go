@@ -1,0 +1,155 @@
+package relation
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// TestInspectLayout pins the layout report on a hand-built v3 file
+// whose per-column physics are known: a clustered column must report
+// tight zones and high prunability, a shuffled one loose zones, and
+// the encoding histogram must name what the writer actually chose.
+func TestInspectLayout(t *testing.T) {
+	schema := Schema{
+		{Name: "Sorted", Kind: Numeric},
+		{Name: "Shuffled", Kind: Numeric},
+		{Name: "Flag", Kind: Boolean},
+	}
+	path := filepath.Join(t.TempDir(), "inspect.opr")
+	dw, err := NewDiskWriterV3(path, schema, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1000
+	for i := 0; i < n; i++ {
+		sorted := float64(i)
+		shuffled := float64((i * 617) % n) // hits the full range in every group
+		if err := dw.Append([]float64{sorted, shuffled}, []bool{i < 500}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dr, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dr.Close()
+	insp, err := dr.InspectLayout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insp.Rows != n || insp.Groups != 10 || insp.GroupRows != 100 {
+		t.Fatalf("shape: %d rows, %d groups of %d", insp.Rows, insp.Groups, insp.GroupRows)
+	}
+	if len(insp.Columns) != 3 {
+		t.Fatalf("%d columns reported", len(insp.Columns))
+	}
+	byName := map[string]ColumnLayout{}
+	for _, col := range insp.Columns {
+		byName[col.Name] = col
+		if col.Blocks != 10 {
+			t.Errorf("%s: %d blocks, want 10", col.Name, col.Blocks)
+		}
+		total := 0
+		for _, c := range col.Encodings {
+			total += c
+		}
+		if total != 10 {
+			t.Errorf("%s: encoding histogram covers %d blocks, want 10", col.Name, total)
+		}
+	}
+	sorted := byName["Sorted"]
+	// Ten 100-row groups partition [0,1000): each spans ~1/10 of the
+	// column, so tightness ~0.1 and prunability ~0.9.
+	if sorted.ZoneTightness > 0.15 || sorted.Prunability < 0.85 {
+		t.Errorf("Sorted: tightness %.3f, prunability %.3f; want ~0.1 / ~0.9",
+			sorted.ZoneTightness, sorted.Prunability)
+	}
+	if sorted.Encodings["delta"] != 10 {
+		t.Errorf("Sorted encodings = %v, want delta:10", sorted.Encodings)
+	}
+	if sorted.RawBytes != 8*int64(n) {
+		t.Errorf("Sorted raw bytes = %d, want %d", sorted.RawBytes, 8*n)
+	}
+	if sorted.EncodedBytes <= 0 || sorted.EncodedBytes >= sorted.RawBytes {
+		t.Errorf("Sorted encoded bytes = %d (raw %d): delta should compress", sorted.EncodedBytes, sorted.RawBytes)
+	}
+	shuffled := byName["Shuffled"]
+	if shuffled.ZoneTightness < 0.9 || shuffled.Prunability > 0.1 {
+		t.Errorf("Shuffled: tightness %.3f, prunability %.3f; want ~1 / ~0",
+			shuffled.ZoneTightness, shuffled.Prunability)
+	}
+	flag := byName["Flag"]
+	// All ten groups are constant (first five all-true, last five
+	// all-false): zero mixed blocks, fully prunable.
+	if flag.ZoneTightness != 0 || flag.Prunability != 1 {
+		t.Errorf("Flag: tightness %.3f, prunability %.3f; want 0 / 1",
+			flag.ZoneTightness, flag.Prunability)
+	}
+	// Bits round up per block: ten 100-row groups charge 13 bytes each.
+	if flag.RawBytes != 130 {
+		t.Errorf("Flag raw bytes = %d, want 130", flag.RawBytes)
+	}
+}
+
+// TestInspectLayoutRejectsV2 pins the version gate.
+func TestInspectLayoutRejectsV2(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v2.opr")
+	dw, err := NewDiskWriterV2(path, Schema{{Name: "X", Kind: Numeric}}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.Append([]float64{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dr, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dr.Close()
+	if _, err := dr.InspectLayout(); err == nil {
+		t.Error("InspectLayout accepted a v2 file")
+	}
+}
+
+// TestInspectLayoutConstantColumn pins the degenerate envelope: a
+// constant column reports tight zones but zero prunability (every
+// block's zone admits the one value there is).
+func TestInspectLayoutConstantColumn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "const.opr")
+	dw, err := NewDiskWriterV3(path, Schema{{Name: "C", Kind: Numeric}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if err := dw.Append([]float64{42}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dr, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dr.Close()
+	insp, err := dr.InspectLayout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := insp.Columns[0]
+	if col.ZoneTightness != 0 || col.Prunability != 0 {
+		t.Errorf("constant column: tightness %.3f, prunability %.3f; want 0 / 0",
+			col.ZoneTightness, col.Prunability)
+	}
+	if math.IsNaN(col.ZoneTightness) || math.IsNaN(col.Prunability) {
+		t.Error("NaN leaked into the constant-column report")
+	}
+}

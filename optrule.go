@@ -83,6 +83,44 @@
 // (integer-valued or low-cardinality) or when workloads filter on
 // clustered conditions.
 //
+// # Clustering & prunable layouts
+//
+// Zone maps only prune what the physical row order lets them prove:
+// on a shuffled file every block group's min/max spans the whole value
+// range and nothing is refutable, no matter how selective the filter.
+// The write path can manufacture the prunable layout instead of hoping
+// for it. DiskWriter.ClusterBy(attr) reorders the tuple stream by the
+// chosen column before the v3 blocks are cut (a stable sort, NaNs
+// last), and ConvertDiskClustered / `optdata convert -format v3
+// -cluster <attr>` re-cluster an existing file. Clustering pays three
+// times over:
+//
+//   - zone maps go from overlapping to partitioning, so a filter or
+//     range predicate on the cluster column refutes every out-of-band
+//     block group — the filtered scan reads the surviving bytes, not
+//     the relation;
+//   - sorted runs are what the v3 run-length (RLE) and
+//     frame-of-reference (FOR) block encodings feed on, so the file
+//     itself shrinks — every block still picks its cheapest encoding
+//     (raw/delta/dict/bitmap/RLE/FOR) independently;
+//   - parallel pruned scans stop inheriting the skipped work: the
+//     zone-map-aware scheduler (PlanScanChunks) prices block-group
+//     chunks from the directory — a provably-pruned chunk costs ~0 and
+//     is settled without issuing a scan at all — and workers claim
+//     chunks dynamically, so the surviving band spreads across workers
+//     instead of stranding on whichever static segment covers it.
+//     Partials fold in fixed chunk order, keeping every integer
+//     statistic bit-identical across worker counts and steal orders.
+//
+// Choose the cluster column with `optdata inspect`, which reports each
+// column's encoding mix, zone-map tightness, and estimated
+// prunability. One caveat: the sampling pass consumes rows in storage
+// order, so clustering changes sampled bucket boundaries (rules stay
+// statistically equivalent); under exact domains
+// (Config.ExactDomainLimit) boundaries depend only on the value set
+// and mined rules are bit-identical across row orders — the
+// differential tests pin this.
+//
 // # Sharded relations
 //
 // Above a single file sits the sharded backend: one LOGICAL relation
@@ -408,6 +446,20 @@ func NewDiskWriterV3(path string, schema Schema, groupRows int) (*DiskWriter, er
 // success, so a failed conversion never leaves a truncated dst behind.
 func ConvertDisk(src, dst string, version int) error {
 	return relation.ConvertDisk(src, dst, version)
+}
+
+// ConvertDiskClustered is ConvertDisk with a write-path reorder: the
+// tuples are rewritten clustered by the attribute at index clusterAttr
+// (stable sort, NaNs last), which is what makes v3 zone maps partition
+// the value space and RLE/FOR encodings find their runs. See the
+// package documentation's Clustering & prunable layouts section.
+func ConvertDiskClustered(src, dst string, version, clusterAttr int) error {
+	rel, err := relation.OpenDisk(src)
+	if err != nil {
+		return err
+	}
+	defer rel.Close()
+	return relation.ConvertFileClustered(rel, dst, version, clusterAttr)
 }
 
 // ShardedRelation is the disk-backed relation spanning many shard
