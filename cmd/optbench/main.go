@@ -36,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 )
 
@@ -125,7 +126,7 @@ func run(args []string) error {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err == nil {
 			data = append(data, '\n')
-			err = os.WriteFile(*jsonPath, data, 0o644)
+			err = writeFileAtomic(*jsonPath, data)
 		}
 		if err != nil {
 			if runErr == nil {
@@ -137,4 +138,29 @@ func run(args []string) error {
 		}
 	}
 	return runErr
+}
+
+// writeFileAtomic writes data through a temp file renamed over path,
+// so a failed run cannot truncate the results file of a previous one —
+// hours of paper-scale numbers may be sitting there.
+func writeFileAtomic(path string, data []byte) error {
+	tf, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := tf.Name()
+	if _, err := tf.Write(data); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

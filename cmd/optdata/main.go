@@ -47,7 +47,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -155,12 +157,10 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		f, err := os.Create(*out)
+		err = writeFileStaged(*out, func(w io.Writer) error {
+			return relation.WriteCSV(w, rel)
+		})
 		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := relation.WriteCSV(f, rel); err != nil {
 			return err
 		}
 	default:
@@ -348,4 +348,32 @@ func encodingMix(counts map[string]int) string {
 		parts[i] = fmt.Sprintf("%s:%d", m.name, m.count)
 	}
 	return strings.Join(parts, " ")
+}
+
+// writeFileStaged streams the output into a temp file beside path and
+// renames it over path only after a successful close, so an
+// interrupted run never leaves a truncated file where a previous valid
+// output may have been.
+func writeFileStaged(path string, write func(w io.Writer) error) error {
+	tf, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := tf.Name()
+	if err := write(tf); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// CreateTemp's 0600 → the 0644 a plain create would give a CLI
+	// output (modulo umask, which can only ever be stricter).
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

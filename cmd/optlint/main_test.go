@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildTool compiles the optlint binary into the test's temp dir. The
+// go build cache makes repeat builds cheap.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "optlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building optlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestStandaloneCleanRun runs the standalone driver over the whole
+// module, the way CI's lint job does, and requires a silent exit 0:
+// no findings, no driver errors.
+func TestStandaloneCleanRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and typechecks the whole module")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = "../.."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("optlint ./... failed: %v\n%s", err, out)
+	}
+	if len(out) != 0 {
+		t.Errorf("optlint ./... produced output on a clean tree:\n%s", out)
+	}
+}
+
+// TestVetToolProtocol drives the binary through `go vet -vettool`,
+// exercising the unitchecker protocol: -V=full version handshake,
+// -flags, and per-unit *.cfg invocations.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and runs go vet over two packages")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/relation/", "./internal/plan/")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed: %v\n%s", err, out)
+	}
+}

@@ -21,6 +21,12 @@
 //
 //  5. Close racing a scan — a defined ErrBusy, never a torn mapping.
 //
+// The bit-identity this example demonstrates is also enforced at the
+// source level: the optlint suite (`go run ./cmd/optlint ./...`; see
+// "Enforced invariants" in the package docs) mechanically rejects
+// map-iteration-order leaks, wall-clock and globally seeded randomness
+// in kernel paths, and order-dependent float accumulation in merges.
+//
 //	go run ./examples/faults
 package main
 

@@ -1,0 +1,166 @@
+// Package analysis is a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough driver machinery to run
+// the optlint analyzer suite (internal/analysis/optlint) over
+// type-checked packages, inside tests, from the standalone cmd/optlint
+// binary, and under `go vet -vettool` via the unitchecker protocol
+// (unit.go). The x/tools module is deliberately not vendored — the
+// repo's only dependency is the standard library — so the subset of
+// the API the suite needs is reimplemented here with the same shape
+// and semantics.
+//
+// An Analyzer inspects one type-checked package at a time through a
+// Pass and reports Diagnostics. Drivers are responsible for loading
+// packages (load.go), applying the //optlint:ignore suppression
+// directives (ignore.go), and rendering the surviving diagnostics.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one analysis: a named, documented check over a
+// single type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //optlint:ignore directives. It must be a valid identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: one summary line, a blank
+	// line, then details.
+	Doc string
+
+	// Match, when non-nil, restricts the analyzer to packages whose
+	// import path it accepts. Package-loading drivers (cmd/optlint, the
+	// self-check test) consult it; the analysistest harness does not,
+	// so testdata packages exercise every analyzer regardless of their
+	// synthetic import paths.
+	Match func(pkgPath string) bool
+
+	// Run applies the analyzer to one package. The result value is
+	// unused by the optlint drivers but kept for API parity.
+	Run func(*Pass) (any, error)
+}
+
+// A Pass provides one analyzer run with a single type-checked package
+// and a sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Drivers install it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding: a position and a message. The driver
+// prefixes the analyzer name when rendering.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Validate checks the suite for driver-breaking mistakes: unnamed or
+// runless analyzers and duplicate names (which would make ignore
+// directives ambiguous).
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		if a.Name == "" {
+			return fmt.Errorf("analysis: analyzer with empty name")
+		}
+		if a.Run == nil {
+			return fmt.Errorf("analysis: analyzer %s has no Run function", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+// A Finding is a driver-level diagnostic: the analyzer that produced
+// it plus its resolved position, ready to render or compare.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// RunAnalyzers applies every analyzer to the package (honoring Match
+// when matchPaths is true), suppresses findings covered by
+// //optlint:ignore directives, and reports malformed or unused
+// directives as findings of the synthetic "optlint" analyzer. The
+// returned findings are ordered by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, matchPaths bool) ([]Finding, error) {
+	// The invariants govern shipped code. Tests deliberately exercise
+	// failure paths — scratch files, raw reads against corrupted inputs
+	// — so test files (which `go vet` folds into the unit it hands us)
+	// are out of scope.
+	files := pkg.Files[:0:0]
+	for _, f := range pkg.Files {
+		if !strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	pkg = &Package{PkgPath: pkg.PkgPath, Fset: pkg.Fset, Files: files, Types: pkg.Types, Info: pkg.Info}
+	dirs, bad := CollectIgnores(pkg.Fset, pkg.Files)
+	var findings []Finding
+	for _, d := range bad {
+		findings = append(findings, Finding{
+			Analyzer: "optlint",
+			Pos:      pkg.Fset.Position(d.Pos),
+			Message:  d.Message,
+		})
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		if matchPaths && a.Match != nil && !a.Match(pkg.PkgPath) {
+			continue
+		}
+		ran[a.Name] = true
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if dirs.Suppresses(name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	for _, d := range dirs.Unused(ran) {
+		findings = append(findings, Finding{
+			Analyzer: "optlint",
+			Pos:      pkg.Fset.Position(d.Pos),
+			Message:  d.Message,
+		})
+	}
+	SortFindings(findings)
+	return findings, nil
+}

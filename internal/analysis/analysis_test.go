@@ -1,0 +1,185 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"optrule/internal/analysis"
+)
+
+// fake flags every occurrence of the integer literal 42, giving the
+// driver tests a finding source with predictable positions and no need
+// for type information.
+var fake = &analysis.Analyzer{
+	Name: "fake",
+	Doc:  "flags the literal 42",
+	Run: func(p *analysis.Pass) (any, error) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.BasicLit); ok && lit.Value == "42" {
+					p.Reportf(lit.Pos(), "the answer leaked")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+// parse builds a synthetic package from named sources, comments intact.
+func parse(t *testing.T, sources map[string]string) *analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for name, src := range sources {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	return &analysis.Package{PkgPath: "synthetic/p", Fset: fset, Files: files}
+}
+
+func run(t *testing.T, pkg *analysis.Package, analyzers []*analysis.Analyzer, matchPaths bool) []analysis.Finding {
+	t.Helper()
+	findings, err := analysis.RunAnalyzers(pkg, analyzers, matchPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func TestIgnoreSuppression(t *testing.T) {
+	pkg := parse(t, map[string]string{"p.go": `package p
+
+func unwaived() int {
+	return 42
+}
+
+func sameLine() int {
+	return 42 //optlint:ignore fake waived by a same-line directive
+}
+
+func lineAbove() int {
+	//optlint:ignore fake waived by a directive on the line above
+	return 42
+}
+
+func namedInList() int {
+	//optlint:ignore other,fake a directive may waive several analyzers at once
+	return 42
+}
+`})
+	findings := run(t, pkg, []*analysis.Analyzer{fake}, false)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 (only the unwaived site): %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "fake" || f.Pos.Line != 4 {
+		t.Errorf("surviving finding is %s, want the fake finding on line 4", f)
+	}
+}
+
+func TestMalformedAndUnusedDirectives(t *testing.T) {
+	pkg := parse(t, map[string]string{"p.go": `package p
+
+func malformed() int {
+	//optlint:ignore fake
+	return 7
+}
+
+func unused() int {
+	//optlint:ignore fake nothing below trips the fake analyzer
+	return 7
+}
+
+func foreignWaiver() int {
+	//optlint:ignore notrun waivers for analyzers that did not run are left alone
+	return 7
+}
+`})
+	findings := run(t, pkg, []*analysis.Analyzer{fake}, false)
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (malformed + unused): %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "optlint" {
+			t.Errorf("directive finding attributed to %q, want the synthetic optlint analyzer", f.Analyzer)
+		}
+	}
+	if !strings.Contains(findings[0].Message, "malformed directive") || findings[0].Pos.Line != 4 {
+		t.Errorf("first finding %s, want malformed-directive on line 4", findings[0])
+	}
+	if !strings.Contains(findings[1].Message, "unused directive") || findings[1].Pos.Line != 9 {
+		t.Errorf("second finding %s, want unused-directive on line 9", findings[1])
+	}
+}
+
+func TestTestFilesExcluded(t *testing.T) {
+	pkg := parse(t, map[string]string{
+		"p.go": `package p
+
+func shipped() int { return 42 }
+`,
+		"p_test.go": `package p
+
+func scratch() int { return 42 }
+`,
+	})
+	findings := run(t, pkg, []*analysis.Analyzer{fake}, false)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	if got := findings[0].Pos.Filename; got != "p.go" {
+		t.Errorf("finding in %s, want p.go only — _test.go files are out of scope", got)
+	}
+}
+
+func TestMatchScoping(t *testing.T) {
+	scoped := &analysis.Analyzer{
+		Name:  "fake",
+		Doc:   fake.Doc,
+		Match: func(pkgPath string) bool { return false },
+		Run:   fake.Run,
+	}
+	pkg := parse(t, map[string]string{"p.go": `package p
+
+func shipped() int { return 42 }
+
+func elsewhere() int {
+	//optlint:ignore fake a waiver for a skipped analyzer must not go stale
+	return 7
+}
+`})
+	// With path matching on, the analyzer is skipped: no findings, and
+	// its waiver is not reported unused.
+	if findings := run(t, pkg, []*analysis.Analyzer{scoped}, true); len(findings) != 0 {
+		t.Errorf("matchPaths=true: got %v, want none (analyzer scoped out)", findings)
+	}
+	// The test harness ignores Match so testdata packages always run.
+	findings := run(t, pkg, []*analysis.Analyzer{scoped}, false)
+	if len(findings) != 2 {
+		t.Errorf("matchPaths=false: got %d findings, want 2 (the literal + the now-unused waiver): %v", len(findings), findings)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := []*analysis.Analyzer{fake}
+	if err := analysis.Validate(ok); err != nil {
+		t.Errorf("valid suite rejected: %v", err)
+	}
+	dup := []*analysis.Analyzer{fake, {Name: "fake", Run: fake.Run}}
+	if err := analysis.Validate(dup); err == nil {
+		t.Error("duplicate analyzer names accepted; ignore directives would be ambiguous")
+	}
+	if err := analysis.Validate([]*analysis.Analyzer{{Name: "", Run: fake.Run}}); err == nil {
+		t.Error("unnamed analyzer accepted")
+	}
+	if err := analysis.Validate([]*analysis.Analyzer{{Name: "norun"}}); err == nil {
+		t.Error("runless analyzer accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Package analysistest runs one analyzer over a testdata package and
+// checks its findings against // want "regexp" comments, in the style
+// of golang.org/x/tools/go/analysis/analysistest.
+//
+// Testdata layout: <pkgdir>/testdata/src/<name>/*.go, loaded through
+// the real go-list loader, so testdata packages are type-checked
+// exactly like production code (they are excluded from ./... builds
+// by the go tool's testdata rule). A line expecting diagnostics
+// carries a trailing comment of the form
+//
+//	// want "first regexp" `second regexp`
+//
+// with one pattern per expected finding on that line. Ignore
+// directives are honored before matching, so //optlint:ignore
+// behavior is testable: a suppressed line simply carries no want.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"optrule/internal/analysis"
+)
+
+// want is one expected-finding pattern.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+// Run loads testdata/src/<pkg> for each named package (relative to the
+// calling test's directory) and reports every mismatch between the
+// analyzer's surviving findings and the packages' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	patterns := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		patterns[i] = "./" + filepath.ToSlash(filepath.Join("testdata", "src", p))
+	}
+	loaded, err := analysis.Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", pkgs, err)
+	}
+	for _, pkg := range loaded {
+		findings, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a}, false)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath, err)
+		}
+		wants, werr := collectWants(pkg.Fset, pkg.Files)
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		for _, f := range findings {
+			if !match(wants, f) {
+				t.Errorf("%s: unexpected finding: %s: %s", f.Pos, f.Analyzer, f.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.hit {
+				t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.text)
+			}
+		}
+	}
+}
+
+// match marks and reports the first unhit want on the finding's line
+// whose pattern matches the finding's message.
+func match(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.hit || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(f.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the want comments of every file.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				pats, err := splitPatterns(strings.TrimSpace(rest))
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want comment: %v", pos, err)
+				}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, text: p})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitPatterns tokenizes a want payload: a space-separated sequence
+// of double-quoted or backquoted Go string literals.
+func splitPatterns(s string) ([]string, error) {
+	var pats []string
+	for s != "" {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			break
+		}
+		var lit string
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			var err error
+			lit, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			lit = s[1 : 1+end]
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("pattern must be a quoted or backquoted string, got %q", s)
+		}
+		pats = append(pats, lit)
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("want comment carries no patterns")
+	}
+	return pats, nil
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Ignore directives.
+//
+// A finding is an intended exception when the line it lands on, or the
+// line directly above it, carries
+//
+//	//optlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The analyzer list names which checks are being waived; the reason is
+// mandatory — a directive without one is itself a finding, so every
+// suppression in the tree documents why the invariant does not apply.
+// A directive that suppresses nothing is also a finding (for the
+// analyzers that actually ran): stale waivers rot into holes.
+
+const ignorePrefix = "optlint:ignore"
+
+// ignoreDirective is one parsed //optlint:ignore comment line.
+type ignoreDirective struct {
+	pos       token.Pos
+	file      string
+	line      int
+	analyzers []string
+	used      bool
+}
+
+// Ignores indexes a package's ignore directives for suppression.
+type Ignores struct {
+	dirs []*ignoreDirective
+}
+
+// CollectIgnores scans the files' comments for ignore directives.
+// Malformed directives (missing analyzer list or missing reason) are
+// returned as diagnostics rather than directives: a waiver that does
+// not parse must fail the build, not silently not apply.
+func CollectIgnores(fset *token.FileSet, files []*ast.File) (*Ignores, []Diagnostic) {
+	ig := &Ignores{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments cannot carry directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:     c.Pos(),
+						Message: fmt.Sprintf("malformed directive %q: want //%s <analyzer> <reason>", c.Text, ignorePrefix),
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ig.dirs = append(ig.dirs, &ignoreDirective{
+					pos:       c.Pos(),
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: strings.Split(fields[0], ","),
+				})
+			}
+		}
+	}
+	return ig, bad
+}
+
+// Suppresses reports whether a directive for the named analyzer covers
+// a finding at pos (same line or the line directly below the
+// directive), marking any covering directive as used.
+func (ig *Ignores) Suppresses(analyzer string, pos token.Position) bool {
+	hit := false
+	for _, d := range ig.dirs {
+		if d.file != pos.Filename || (d.line != pos.Line && d.line != pos.Line-1) {
+			continue
+		}
+		for _, name := range d.analyzers {
+			if name == analyzer {
+				d.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// Unused returns one diagnostic per directive that names at least one
+// analyzer in ran but suppressed nothing. Directives naming only
+// analyzers that did not run are left alone — a single-analyzer test
+// harness must not invalidate another analyzer's waivers.
+func (ig *Ignores) Unused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ig.dirs {
+		if d.used {
+			continue
+		}
+		relevant := false
+		for _, name := range d.analyzers {
+			if ran[name] {
+				relevant = true
+			}
+		}
+		if relevant {
+			out = append(out, Diagnostic{
+				Pos:     d.pos,
+				Message: fmt.Sprintf("unused directive: no %s finding on this or the next line", strings.Join(d.analyzers, ",")),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package optlint
+
+import (
+	"go/ast"
+
+	"optrule/internal/analysis"
+)
+
+// AtomicWrite flags os.Create / os.WriteFile calls whose enclosing
+// function never calls os.Rename: writing a destination in place means
+// a crash mid-write leaves a truncated, unreadable file where valid
+// data may have been. Durable artifacts (relation files, shard
+// manifests, converted outputs) must stage into a temp file in the
+// destination directory and rename over the target on success, the
+// pattern ConvertDisk and the shard manifest writer already follow.
+// os.CreateTemp is always fine — a temp file is the staging half of
+// the pattern.
+var AtomicWrite = &analysis.Analyzer{
+	Name: "atomicwrite",
+	Doc: `flag os.Create/os.WriteFile on destinations in functions that
+never os.Rename, where a crash mid-write destroys the previous valid
+file instead of leaving it untouched`,
+	Match: inModule,
+	Run:   runAtomicWrite,
+}
+
+func runAtomicWrite(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	forEachFuncBody(pass, func(decl *ast.FuncDecl) {
+		renames := false
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if isPkgFunc(calleeFunc(info, call), "os", "Rename") {
+					renames = true
+				}
+			}
+			return !renames
+		})
+		if renames {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			switch {
+			case isPkgFunc(fn, "os", "Create"):
+				pass.Reportf(call.Pos(),
+					"os.Create writes the destination in place; stage into an os.CreateTemp file in the target directory and os.Rename it over the destination on success")
+			case isPkgFunc(fn, "os", "WriteFile"):
+				pass.Reportf(call.Pos(),
+					"os.WriteFile writes the destination in place; write a temp file and os.Rename it over the destination on success")
+			}
+			return true
+		})
+	})
+	return nil, nil
+}

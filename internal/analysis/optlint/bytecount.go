@@ -1,0 +1,98 @@
+package optlint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"optrule/internal/analysis"
+)
+
+// ByteCount flags raw file reads in internal/relation that bypass the
+// counted-read helpers in countio.go feeding Stats.BytesRead. The
+// cost model the planner trusts (and the paper's I/O accounting
+// reproduces) is only as honest as BytesRead; a direct os.File.Read,
+// ReadAt, or io.ReadFull charges nothing and silently understates
+// physical I/O. All raw reads live in countio.go, which is the one
+// file exempt from this check.
+var ByteCount = &analysis.Analyzer{
+	Name: "bytecount",
+	Doc: `flag direct file reads in internal/relation that bypass the
+counted-read helpers (countio.go) feeding BytesRead, silently
+understating the physical I/O the cost model depends on`,
+	Match: pkgMatcher("internal/relation"),
+	Run:   runByteCount,
+}
+
+// countioFile is the designated home of raw reads; everything it
+// exports charges BytesRead explicitly.
+const countioFile = "countio.go"
+
+func runByteCount(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		if filepath.Base(pass.Fset.Position(f.Pos()).Filename) == countioFile {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := rawRead(info, call); ok {
+				pass.Reportf(call.Pos(),
+					"%s bypasses the counted-read helpers in countio.go; reads that feed scans must charge BytesRead",
+					name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// rawRead reports whether the call is a raw read: io.ReadFull /
+// io.ReadAtLeast, or a Read/ReadAt method on an *os.File, a
+// *bufio.Reader, or an io reader interface value.
+func rawRead(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	if fn.Signature().Recv() == nil {
+		if fn.Pkg().Path() == "io" && (fn.Name() == "ReadFull" || fn.Name() == "ReadAtLeast") {
+			return "io." + fn.Name(), true
+		}
+		return "", false
+	}
+	if fn.Name() != "Read" && fn.Name() != "ReadAt" {
+		return "", false
+	}
+	recv := fn.Signature().Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	switch t := recv.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() == nil {
+			return "", false
+		}
+		switch {
+		case obj.Pkg().Path() == "os" && obj.Name() == "File":
+			return "os.File." + fn.Name(), true
+		case obj.Pkg().Path() == "bufio" && obj.Name() == "Reader":
+			return "bufio.Reader." + fn.Name(), true
+		}
+		// Methods promoted from an embedded io interface still carry
+		// the interface's package; concrete named readers elsewhere
+		// (csv.Reader's record Read, ...) are not file reads.
+		if obj.Pkg().Path() == "io" {
+			return "io reader " + fn.Name(), true
+		}
+	case *types.Interface:
+		if fn.Pkg().Path() == "io" {
+			return "io reader " + fn.Name(), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,222 @@
+package optlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"optrule/internal/analysis"
+)
+
+// CloseCheck flags ignored Close errors on write handles. For a file
+// being written, Close is where delayed write errors surface; an
+// `f.Close()` whose error is dropped can commit a truncated or corrupt
+// file while the caller reports success. The check tracks handles
+// obtained from os.Create / os.CreateTemp / os.OpenFile and from
+// New*Writer-style constructors, and flags:
+//
+//   - a bare `x.Close()` statement outside error-cleanup blocks, and
+//   - a `defer x.Close()` when no checked Close of x exists in the
+//     function (a backup-cleanup defer next to a checked Close is
+//     fine; a defer as the ONLY close is not).
+//
+// Closes inside an if whose condition tests an error value are
+// error-path cleanup: the operation already failed, the Close error
+// adds nothing.
+var CloseCheck = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc: `flag ignored Close() errors on write handles, where a dropped
+Close error can commit a truncated file while reporting success`,
+	Match: inModule,
+	Run:   runCloseCheck,
+}
+
+func runCloseCheck(pass *analysis.Pass) (any, error) {
+	forEachFuncBody(pass, func(decl *ast.FuncDecl) {
+		checkCloses(pass, decl)
+	})
+	return nil, nil
+}
+
+func checkCloses(pass *analysis.Pass, decl *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Handles assigned from writer-producing calls.
+	writers := map[types.Object]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !writerConstructor(info, call) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil {
+				writers[obj] = true
+			}
+		}
+		return true
+	})
+	if len(writers) == 0 {
+		return
+	}
+
+	// Classify every Close on a tracked handle.
+	type closeSite struct {
+		call    *ast.CallExpr
+		obj     types.Object
+		stmt    bool // bare statement
+		deferCl bool // deferred call (directly or via a one-call literal)
+	}
+	var sites []closeSite
+	checked := map[types.Object]bool{}
+	var walk func(n ast.Node, guarded, deferred bool)
+	walkList := func(list []ast.Stmt, guarded, deferred bool) {
+		for _, s := range list {
+			walk(s, guarded, deferred)
+		}
+	}
+	walk = func(n ast.Node, guarded, deferred bool) {
+		switch v := n.(type) {
+		case nil:
+			return
+		case *ast.IfStmt:
+			walk(v.Init, guarded, deferred)
+			g := guarded || mentionsError(info, v.Cond)
+			walk(v.Body, g, deferred)
+			walk(v.Else, g, deferred)
+			return
+		case *ast.DeferStmt:
+			if obj := closeTarget(info, writers, v.Call); obj != nil {
+				sites = append(sites, closeSite{call: v.Call, obj: obj, deferCl: true})
+				return
+			}
+			// defer func() { x.Close() }() — treat the body as deferred.
+			if lit, ok := ast.Unparen(v.Call.Fun).(*ast.FuncLit); ok {
+				walk(lit.Body, guarded, true)
+				return
+			}
+			walk(v.Call, guarded, deferred)
+			return
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(v.X).(*ast.CallExpr); ok {
+				if obj := closeTarget(info, writers, call); obj != nil {
+					if deferred || !guarded {
+						sites = append(sites, closeSite{call: call, obj: obj, stmt: true, deferCl: deferred})
+					}
+					return
+				}
+			}
+		case *ast.CallExpr:
+			// A Close whose result is consumed (if err := x.Close();
+			// ..., return x.Close(), err = x.Close()) reaches here as a
+			// plain call, not an ExprStmt.
+			if obj := closeTarget(info, writers, v); obj != nil {
+				checked[obj] = true
+			}
+		case *ast.BlockStmt:
+			walkList(v.List, guarded, deferred)
+			return
+		}
+		// Generic descent preserving the flags.
+		for _, child := range children(n) {
+			walk(child, guarded, deferred)
+		}
+	}
+	walk(decl.Body, false, false)
+
+	for _, s := range sites {
+		name := s.obj.Name()
+		switch {
+		case s.stmt && !s.deferCl:
+			pass.Reportf(s.call.Pos(),
+				"error from %s.Close() ignored on a write path; delayed write errors surface at Close — check it or the file may be committed truncated",
+				name)
+		case !s.stmt && s.deferCl && !checked[s.obj]:
+			pass.Reportf(s.call.Pos(),
+				"defer %s.Close() is the only Close of this write handle and its error is dropped; close explicitly on the success path and check the error",
+				name)
+		case s.stmt && s.deferCl && !checked[s.obj]:
+			pass.Reportf(s.call.Pos(),
+				"error from %s.Close() ignored in a deferred cleanup with no checked Close elsewhere; a failed Close can commit a truncated file",
+				name)
+		}
+	}
+}
+
+// writerConstructor reports whether the call produces a write handle:
+// os.Create/CreateTemp/OpenFile or a New*Writer-style constructor.
+func writerConstructor(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if isPkgFunc(fn, "os", "Create", "CreateTemp", "OpenFile") {
+		return true
+	}
+	name := fn.Name()
+	return strings.HasPrefix(name, "New") && strings.Contains(name, "Writer")
+}
+
+// closeTarget returns the tracked handle a call closes, if the call is
+// x.Close() with x in writers.
+func closeTarget(info *types.Info, writers map[types.Object]bool, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" || len(call.Args) != 0 {
+		return nil
+	}
+	obj := rootObj(info, sel.X)
+	if obj == nil || !writers[obj] {
+		return nil
+	}
+	return obj
+}
+
+// mentionsError reports whether the condition inspects an error value
+// (err != nil and friends).
+func mentionsError(info *types.Info, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if obj := info.ObjectOf(id); obj != nil {
+			if named, ok := obj.Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+				found = true
+			}
+			if iface, ok := obj.Type().Underlying().(*types.Interface); ok && iface.NumMethods() == 1 && iface.Method(0).Name() == "Error" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// children lists a node's direct statement/expression children for the
+// flag-preserving walk. ast.Inspect cannot be used directly because the
+// guarded/deferred flags must flow down.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	if n == nil {
+		return out
+	}
+	// One-level fan-out: inspect, but cut off at the first level by
+	// tracking depth via the closure.
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if first {
+			first = false
+			return true
+		}
+		out = append(out, m)
+		return false
+	})
+	return out
+}

@@ -1,0 +1,106 @@
+package optlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"optrule/internal/analysis"
+)
+
+// FloatMerge flags floating-point accumulation in functions reachable
+// from a parallel merge entry point (execState.merge, Partial.Merge,
+// Counts.merge, Grid.Merge, and any other *merge*-named function in
+// the kernel packages). Float addition is not associative, so a float
+// += in a fold whose order varies with worker count or steal order
+// breaks bit-identical results. Only integer tallies (or extremes,
+// which are order-free) may accumulate there; the sanctioned
+// exceptions — sums folded in a fixed deterministic order, or values
+// proven to be exact small integers in float64 — carry directives.
+var FloatMerge = &analysis.Analyzer{
+	Name: "floatmerge",
+	Doc: `flag floating-point += accumulation in functions reachable from
+parallel merge entry points, where non-associative float addition
+breaks bit-identical rule output`,
+	Match: pkgMatcher(
+		"internal/plan",
+		"internal/bucketing",
+		"internal/region",
+	),
+	Run: runFloatMerge,
+}
+
+// mergeEntry reports whether a declared function is a merge entry
+// point, by name: merge, Merge, mergedWith, mergeRuns, ...
+func mergeEntry(decl *ast.FuncDecl) bool {
+	return strings.Contains(strings.ToLower(decl.Name.Name), "merge")
+}
+
+func runFloatMerge(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+
+	// Index this package's declared functions and the static
+	// same-package call edges between them. Calls inside function
+	// literals belong to the enclosing declaration.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	forEachFuncBody(pass, func(decl *ast.FuncDecl) {
+		if fn, ok := info.Defs[decl.Name].(*types.Func); ok {
+			decls[fn] = decl
+		}
+	})
+	callees := map[*ast.FuncDecl][]*ast.FuncDecl{}
+	forEachFuncBody(pass, func(decl *ast.FuncDecl) {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if target, ok := decls[calleeFunc(info, call)]; ok && target != decl {
+				callees[decl] = append(callees[decl], target)
+			}
+			return true
+		})
+	})
+
+	// Breadth-first reachability from the merge entry points.
+	reachable := map[*ast.FuncDecl]bool{}
+	var queue []*ast.FuncDecl
+	forEachFuncBody(pass, func(decl *ast.FuncDecl) {
+		if mergeEntry(decl) && !reachable[decl] {
+			reachable[decl] = true
+			queue = append(queue, decl)
+		}
+	})
+	for len(queue) > 0 {
+		decl := queue[0]
+		queue = queue[1:]
+		for _, next := range callees[decl] {
+			if !reachable[next] {
+				reachable[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+
+	// Flag float accumulation inside every reachable body, in source
+	// order for stable output.
+	forEachFuncBody(pass, func(decl *ast.FuncDecl) {
+		if !reachable[decl] {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || (as.Tok != token.ADD_ASSIGN && as.Tok != token.SUB_ASSIGN) || len(as.Lhs) != 1 {
+				return true
+			}
+			if isFloat(info.TypeOf(as.Lhs[0])) {
+				pass.Reportf(as.Pos(),
+					"floating-point accumulation in %s, which is reachable from a parallel merge entry point; float addition is order-dependent — keep merge tallies integer-exact or document why this fold is deterministic",
+					decl.Name.Name)
+			}
+			return true
+		})
+	})
+	return nil, nil
+}

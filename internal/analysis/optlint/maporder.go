@@ -1,0 +1,174 @@
+package optlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"optrule/internal/analysis"
+)
+
+// MapOrder flags map iteration whose body leaks Go's randomized map
+// order into rule output: appending to a slice that outlives the loop
+// (candidate lists, schedules, cache keys) without sorting it
+// afterwards, or writing output mid-loop. The engine's headline
+// guarantee is bit-identical rules regardless of worker count or steal
+// order; an unsorted map range anywhere in the plan/merge pipeline
+// breaks it silently and only under the iteration orders the tests
+// happened not to see.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: `flag map ranges whose bodies append to outer slices without a
+subsequent sort, or write output, making rule output depend on Go's
+randomized map iteration order`,
+	Match: inModule,
+	Run:   runMapOrder,
+}
+
+func runMapOrder(pass *analysis.Pass) (any, error) {
+	forEachFuncBody(pass, func(decl *ast.FuncDecl) {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass.TypesInfo, rs) {
+				return true
+			}
+			checkMapRangeBody(pass, decl, rs)
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// isMapRange reports whether rs ranges over a map value.
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody inspects one map-range body for order leaks.
+func checkMapRangeBody(pass *analysis.Pass, decl *ast.FuncDecl, rs *ast.RangeStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range reports its own leaks.
+			if v != rs && isMapRange(info, v) {
+				return false
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range v.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+					continue
+				}
+				target := rootObj(info, call.Args[0])
+				if target == nil || !declaredOutside(target, rs.Body) {
+					continue
+				}
+				if sortedAfter(info, decl.Body, rs, target) {
+					continue
+				}
+				pass.Reportf(call.Pos(),
+					"appending to %s while ranging over a map leaks the randomized iteration order; sort %s after the loop or range over sorted keys",
+					target.Name(), target.Name())
+			}
+			if v.Tok == token.ADD_ASSIGN && len(v.Lhs) == 1 && isString(info.TypeOf(v.Lhs[0])) {
+				if target := rootObj(info, v.Lhs[0]); target != nil && declaredOutside(target, rs.Body) {
+					pass.Reportf(v.Pos(),
+						"building string %s while ranging over a map leaks the randomized iteration order; range over sorted keys",
+						target.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := outputCall(info, v); ok {
+				pass.Reportf(v.Pos(),
+					"%s while ranging over a map emits output in randomized iteration order; range over sorted keys",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether, after the range statement, the
+// enclosing function sorts the target: a call to any sort or slices
+// function mentioning the target among its arguments.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, rs *ast.RangeStmt, target types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.ObjectOf(id) == target {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// outputCall reports whether the call writes user-visible output:
+// fmt printing, io/binary writes, or Write*/Encode methods.
+func outputCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if isBuiltin(info, call, "print") || isBuiltin(info, call, "println") {
+		return "printing", true
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	if fn.Signature().Recv() == nil {
+		if fn.Pkg() == nil {
+			return "", false
+		}
+		switch fn.Pkg().Path() {
+		case "fmt":
+			if n := fn.Name(); strings.HasPrefix(n, "Print") || strings.HasPrefix(n, "Fprint") {
+				return "fmt." + n, true
+			}
+		case "io":
+			if fn.Name() == "WriteString" {
+				return "io.WriteString", true
+			}
+		case "encoding/binary":
+			if fn.Name() == "Write" {
+				return "binary.Write", true
+			}
+		}
+		return "", false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode", "Print", "Printf", "Println":
+		return "calling " + fn.Name(), true
+	}
+	return "", false
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,71 @@
+package optlint
+
+import (
+	"go/ast"
+
+	"optrule/internal/analysis"
+)
+
+// NonDet flags ambient nondeterminism — wall-clock reads and the
+// globally seeded math/rand generator — in the kernel and merge
+// packages. Anything the counting kernels or partial folds consume
+// must be derived from the plan seed (plan.AttrRNG-style) or passed in
+// explicitly, or reruns of the same plan produce different rules.
+// Measurement code (internal/experiments, cmd/optbench) is out of
+// scope: timing results is its purpose.
+var NonDet = &analysis.Analyzer{
+	Name: "nondet",
+	Doc: `flag time.Now/time.Since and globally seeded math/rand use in
+kernel and merge packages, where every input must derive from the plan
+seed to keep rule output reproducible`,
+	Match: pkgMatcher(
+		"internal/plan",
+		"internal/bucketing",
+		"internal/region",
+		"internal/miner",
+		"internal/relation",
+		"internal/hull",
+	),
+	Run: runNonDet,
+}
+
+// randConstructors are the math/rand functions that build explicitly
+// seeded generators — the sanctioned way to get randomness here.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runNonDet(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if name := fn.Name(); name == "Now" || name == "Since" {
+					pass.Reportf(call.Pos(),
+						"time.%s in a kernel/merge path makes results depend on wall-clock state; pass times in through the plan or move timing to the measurement layer",
+						name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"rand.%s uses the globally seeded generator; derive a *rand.Rand from the plan seed (e.g. plan.AttrRNG) so reruns are bit-identical",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,36 @@
+// Testdata for the bytecount analyzer: raw file reads outside the
+// designated countio.go.
+package bytecount
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+func rawFileReads(f *os.File, buf []byte) {
+	f.Read(buf)      // want `os.File.Read bypasses the counted-read helpers`
+	f.ReadAt(buf, 0) // want `os.File.ReadAt bypasses the counted-read helpers`
+}
+
+func rawBuffered(r *bufio.Reader, buf []byte) {
+	io.ReadFull(r, buf) // want `io.ReadFull bypasses the counted-read helpers`
+	r.Read(buf)         // want `bufio.Reader.Read bypasses the counted-read helpers`
+}
+
+func interfaceRead(r io.Reader, buf []byte) {
+	r.Read(buf) // want `io reader Read bypasses the counted-read helpers`
+}
+
+type recordReader struct{}
+
+func (*recordReader) Read() ([]string, error) { return nil, nil }
+
+func recordRead(rd *recordReader) {
+	rd.Read() // a non-file Read method (csv.Reader-style): not an I/O read
+}
+
+func waived(f *os.File, buf []byte) {
+	//optlint:ignore bytecount demo: checksum verification pass, intentionally outside the cost model
+	f.ReadAt(buf, 0)
+}

@@ -1,0 +1,69 @@
+// Testdata for the closecheck analyzer: ignored Close errors on write
+// handles.
+package closecheck
+
+import "os"
+
+func ignoredClose(path string, data []byte) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Write(data)
+	f.Close() // want `error from f.Close\(\) ignored on a write path`
+}
+
+func deferOnlyClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f.Close\(\) is the only Close of this write handle`
+	_, err = f.WriteString("x")
+	return err
+}
+
+func errorPathCleanup(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		f.Close() // the write already failed: cleanup close is fine
+		return err
+	}
+	return f.Close() // checked: delayed write errors reach the caller
+}
+
+func deferAsBackup(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // backup cleanup beside the checked Close below: fine
+	if _, err := f.WriteString("x"); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func readHandleMayDefer(path string) ([]byte, error) {
+	f, err := os.Open(path) // read handle: not tracked
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 8)
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+func waived(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Write(nil)
+	//optlint:ignore closecheck demo: best-effort debug dump, durability is explicitly not promised
+	f.Close()
+}

@@ -1,0 +1,49 @@
+// Testdata for the floatmerge analyzer: float accumulation reachable
+// from parallel merge entry points.
+package floatmerge
+
+type state struct {
+	counts []int
+	sums   []float64
+	peak   float64
+}
+
+func (s *state) merge(other *state) {
+	for i := range s.counts {
+		s.counts[i] += other.counts[i] // integer tallies: exact
+	}
+	for i := range s.sums {
+		s.sums[i] += other.sums[i] // want `floating-point accumulation in merge,`
+	}
+	if other.peak > s.peak {
+		s.peak = other.peak // extremes are order-free: fine
+	}
+}
+
+func (s *state) MergeAll(others []*state) {
+	for _, o := range others {
+		s.addFrom(o)
+	}
+}
+
+// addFrom is only reachable through MergeAll.
+func (s *state) addFrom(o *state) {
+	for i := range s.sums {
+		s.sums[i] += o.sums[i] // want `floating-point accumulation in addFrom,`
+	}
+}
+
+// scan is not reachable from any merge entry point: serial
+// accumulation during a scan is the deterministic baseline itself.
+func (s *state) scan(vals []float64) {
+	for _, v := range vals {
+		s.sums[0] += v
+	}
+}
+
+func (s *state) mergeWaived(other *state) {
+	for i := range s.sums {
+		//optlint:ignore floatmerge demo: values are exact small integers stored in float64
+		s.sums[i] += other.sums[i]
+	}
+}

@@ -1,0 +1,89 @@
+// Testdata for the maporder analyzer: map ranges that leak Go's
+// randomized iteration order into slices, strings, or output.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appending to keys while ranging over a map`
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted below: deterministic
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendThenSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v) // sorted below via sort.Slice
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func appendLocalOnly(m map[string]int) {
+	for k := range m {
+		var scratch []string
+		scratch = append(scratch, k) // scratch dies inside the loop body
+		_ = scratch
+	}
+}
+
+func printsInsideLoop(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt.Println while ranging over a map`
+	}
+}
+
+func buildsString(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `building string s while ranging over a map`
+	}
+	return s
+}
+
+func sumsValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // commutative: order-free
+	}
+	return total
+}
+
+func sliceRangeIsFine(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x) // slice order is deterministic
+	}
+	return out
+}
+
+func mapToMapIsFine(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v // map insert: order cannot leak
+	}
+	return out
+}
+
+func waived(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//optlint:ignore maporder demo: the caller treats this as an unordered set
+		keys = append(keys, k)
+	}
+	return keys
+}

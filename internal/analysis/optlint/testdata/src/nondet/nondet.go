@@ -1,0 +1,38 @@
+// Testdata for the nondet analyzer: ambient wall-clock and globally
+// seeded randomness in kernel/merge code.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in a kernel/merge path`
+}
+
+func elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `time.Since in a kernel/merge path`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand.Intn uses the globally seeded generator`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle uses the globally seeded generator`
+}
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // explicitly seeded: sanctioned
+	return rng.Float64()
+}
+
+func pureDurationMath(d time.Duration) time.Duration {
+	return 2 * d // no clock read
+}
+
+func waived() int64 {
+	//optlint:ignore nondet demo: logged timestamp only, never feeds a rule
+	return time.Now().Unix()
+}

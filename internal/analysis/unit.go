@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The `go vet -vettool` protocol (mirroring x/tools' unitchecker,
+// which cmd/go was built against):
+//
+//	tool -V=full     print a version/content-ID line for build caching
+//	tool -flags      print the tool's flag schema as JSON
+//	tool unit.cfg    analyze the single compilation unit the config
+//	                 describes; diagnostics to stderr, exit 1 if any
+//
+// go vet writes unit.cfg per package, with compiler-produced export
+// data for every import, so a unit run type-checks from export files
+// exactly like the go-list loader does.
+
+// UnitConfig is the vet.cfg JSON schema (the fields this driver
+// reads; unknown fields are ignored).
+type UnitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main dispatches the vettool protocol and the standalone
+// pattern mode, and exits. cmd/optlint calls it.
+func Main(analyzers []*Analyzer) {
+	if err := Validate(analyzers); err != nil {
+		fmt.Fprintln(os.Stderr, "optlint:", err)
+		os.Exit(1)
+	}
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V"):
+		printVersion()
+		os.Exit(0)
+	case len(args) == 1 && (args[0] == "-flags" || args[0] == "--flags"):
+		// No tool flags: every analyzer always runs.
+		fmt.Println("[]")
+		os.Exit(0)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(RunUnit(args[0], analyzers, os.Stderr))
+	default:
+		os.Exit(RunPatterns(args, analyzers, os.Stdout))
+	}
+}
+
+// printVersion implements -V=full: cmd/go fingerprints the vettool by
+// this line, expecting "<path> version devel ... buildID=<hex>", and
+// re-vets packages when the tool binary's hash changes.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optlint:", err)
+		os.Exit(1)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optlint:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, "optlint:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s version devel optlint buildID=%02x\n", exe, h.Sum(nil))
+}
+
+// RunUnit analyzes one vet.cfg compilation unit, printing surviving
+// findings to w. Returns the process exit code: 0 clean, 1 findings,
+// 2 driver error.
+func RunUnit(cfgFile string, analyzers []*Analyzer, w io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(w, "optlint:", err)
+		return 2
+	}
+	var cfg UnitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(w, "optlint: cannot decode config %s: %v\n", cfgFile, err)
+		return 2
+	}
+	// go vet expects the facts file to exist even though optlint's
+	// analyzers are factless.
+	if cfg.VetxOutput != "" {
+		//optlint:ignore atomicwrite the vet driver dictates this exact build-cache path and owns its lifecycle; the file is an empty facts placeholder
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(w, "optlint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, no diagnostics wanted
+	}
+	fset := token.NewFileSet()
+	imp := unitImporter(fset, &cfg)
+	pkg, err := Check(fset, cfg.ImportPath, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0 // the compiler will report it better
+		}
+		fmt.Fprintln(w, "optlint:", err)
+		return 2
+	}
+	findings, err := RunAnalyzers(pkg, analyzers, true)
+	if err != nil {
+		fmt.Fprintln(w, "optlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// unitImporter resolves imports through the unit's ImportMap (import
+// path → package path) and PackageFile (package path → export data).
+func unitImporter(fset *token.FileSet, cfg *UnitConfig) types.Importer {
+	compiler := exportImporter(fset, func(path string) (string, bool) {
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compiler.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// RunPatterns is the standalone mode: load the packages matching the
+// patterns from the current directory, run the suite, print surviving
+// findings. Exit codes as RunUnit.
+func RunPatterns(patterns []string, analyzers []*Analyzer, w io.Writer) int {
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(w, "optlint:", err)
+		return 2
+	}
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(w, "optlint:", err)
+		return 2
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		findings, err := RunAnalyzers(pkg, analyzers, true)
+		if err != nil {
+			fmt.Fprintln(w, "optlint:", err)
+			return 2
+		}
+		for _, f := range findings {
+			rel := f
+			if r, err := filepath.Rel(dir, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+				rel.Pos.Filename = r
+			}
+			fmt.Fprintln(w, rel)
+			exit = 1
+		}
+	}
+	return exit
+}

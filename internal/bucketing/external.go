@@ -109,6 +109,7 @@ func writeSortedRuns(rel relation.Relation, attr int, tmpDir string, memLimit in
 
 // writeRun writes values as little-endian float64s.
 func writeRun(path string, values []float64) error {
+	//optlint:ignore atomicwrite spill runs are transient scratch in the sort's own temp dir, deleted after the merge; a crash aborts the whole sort and the partial run is never read
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -75,7 +75,7 @@ func WriteDiskFormat(path string, src RowSource, n int, seed int64, version int)
 	for i := 0; i < n; i++ {
 		nums, bools = src.Row(rng, nums[:0], bools[:0])
 		if err := dw.Append(nums, bools); err != nil {
-			dw.Close()
+			dw.Discard()
 			return err
 		}
 	}

@@ -85,7 +85,7 @@ func writeBanded(path string, n, groupRows int, clusterAttr int, seed int64) (*r
 	}
 	if clusterAttr >= 0 {
 		if err := dw.ClusterBy(clusterAttr); err != nil {
-			dw.Close()
+			dw.Discard()
 			return nil, err
 		}
 	}
@@ -99,7 +99,7 @@ func writeBanded(path string, n, groupRows int, clusterAttr int, seed int64) (*r
 		}
 		y := float64(rng.Intn(500))*0.5 + 0.25
 		if err := dw.Append([]float64{x, y}, []bool{rng.Float64() < p, inBand}); err != nil {
-			dw.Close()
+			dw.Discard()
 			return nil, err
 		}
 	}

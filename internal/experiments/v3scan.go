@@ -79,7 +79,7 @@ func writeClustered(path string, n, groupRows int, format int, seed int64) (*rel
 			[]bool{i >= lo && i < hi, rng.Float64() < p},
 		)
 		if err != nil {
-			dw.Close()
+			dw.Discard()
 			return nil, err
 		}
 	}

@@ -844,6 +844,7 @@ func (st *execState) merge(other *execState) {
 		}
 		for k := range gs.sum {
 			for j := range gs.sum[k] {
+				//optlint:ignore floatmerge unreachable in parallel: float target sums force scanParallelism to 1 and useScatter rejects target schedules, so this fold only ever sees the single serial partial
 				gs.sum[k][j] += og.sum[k][j]
 			}
 		}
@@ -864,6 +865,7 @@ func (st *execState) merge(other *execState) {
 			ps.pu[j] += op.pu[j]
 		}
 		for j := range ps.pv {
+			//optlint:ignore floatmerge pair objective tallies are exact small integer counts stored in float64; integer-valued addition is exact, so the fold order cannot change the result
 			ps.pv[j] += op.pv[j]
 		}
 		for j := range ps.minA {

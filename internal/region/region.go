@@ -169,6 +169,7 @@ func (g *Grid) Merge(other *Grid) error {
 		ou, ov := other.U[r], other.V[r]
 		for c := range gu {
 			gu[c] += ou[c]
+			//optlint:ignore floatmerge grid cells are exact small integer counts stored in float64; integer-valued addition is exact, so merge order cannot change the result
 			gv[c] += ov[c]
 		}
 	}

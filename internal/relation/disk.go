@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 )
@@ -80,6 +81,16 @@ type DiskWriter struct {
 	rowsOff int64
 	closed  bool
 
+	// Crash safety: f is a temp file in dst's directory; a successful
+	// Close renames it over dst (commit), every failure path removes it
+	// (abort/Discard). The destination is either the previous complete
+	// file or the new complete file — never a truncation. commitMode, if
+	// nonzero, overrides the permissions the committed file gets
+	// (convertFile preserves the source's mode through it).
+	dst        string
+	tmp        string
+	commitMode os.FileMode
+
 	// v1 state: one encoded row, reused.
 	rowBuf []byte
 
@@ -137,23 +148,76 @@ func writeDiskHeader(w *bufio.Writer, schema Schema, version int) (rowsOff int64
 	return rowsOff, nil
 }
 
-// NewDiskWriter creates (truncating) the file at path and writes a v1
-// header. Call Append for each tuple and Close to finalize.
+// createStaged opens the staging temp file for a writer destined for
+// path: same directory (so the commit rename cannot cross file
+// systems), removed on every failure path.
+func createStaged(path string) (*os.File, error) {
+	return os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+}
+
+// abort closes and removes the staging file after a failed write,
+// leaving the destination untouched.
+func (dw *DiskWriter) abort() {
+	dw.f.Close()
+	os.Remove(dw.tmp)
+}
+
+// commit finishes a staged write: close the temp file (delayed write
+// errors surface here), give it the destination's permissions (the
+// temp was 0600), and atomically rename it over the destination.
+func (dw *DiskWriter) commit() error {
+	if err := dw.f.Close(); err != nil {
+		os.Remove(dw.tmp)
+		return err
+	}
+	mode := dw.commitMode
+	if mode == 0 {
+		mode = outputMode([]string{dw.dst})
+	}
+	if err := os.Chmod(dw.tmp, mode); err != nil {
+		os.Remove(dw.tmp)
+		return err
+	}
+	if err := os.Rename(dw.tmp, dw.dst); err != nil {
+		os.Remove(dw.tmp)
+		return err
+	}
+	return nil
+}
+
+// Discard abandons the staged write: the temp file is removed and the
+// destination keeps whatever it held before the writer was created.
+// Callers that fail mid-stream must Discard rather than Close — Close
+// would commit a short but well-formed file over the destination. A
+// no-op after Close or a second Discard.
+func (dw *DiskWriter) Discard() {
+	if dw.closed {
+		return
+	}
+	dw.closed = true
+	dw.abort()
+}
+
+// NewDiskWriter creates a v1 relation file at path: the data is staged
+// in a temp file beside path and renamed over it by a successful
+// Close. Call Append for each tuple and Close to finalize (or Discard
+// to abandon).
 func NewDiskWriter(path string, schema Schema) (*DiskWriter, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
-	f, err := os.Create(path)
+	f, err := createStaged(path)
 	if err != nil {
 		return nil, err
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
+	dw := &DiskWriter{f: f, w: w, schema: schema, version: DiskFormatV1, rowBuf: make([]byte, rowWidth(schema)), dst: path, tmp: f.Name()}
 	rowsOff, err := writeDiskHeader(w, schema, DiskFormatV1)
 	if err != nil {
-		f.Close()
+		dw.abort()
 		return nil, err
 	}
-	dw := &DiskWriter{f: f, w: w, schema: schema, version: DiskFormatV1, rowsOff: rowsOff, rowBuf: make([]byte, rowWidth(schema))}
+	dw.rowsOff = rowsOff
 	for _, a := range schema {
 		if a.Kind == Numeric {
 			dw.nums++
@@ -208,8 +272,10 @@ func (dw *DiskWriter) Append(nums []float64, bools []bool) error {
 	return nil
 }
 
-// Close flushes buffered rows, patches the row count (and, for v2, the
-// block-group directory location) into the header, and closes the file.
+// Close flushes buffered rows, patches the row count (and, for v2/v3,
+// the block-group directory location) into the header, closes the
+// staging file, and renames it over the destination — the commit point
+// of the staged write.
 func (dw *DiskWriter) Close() error {
 	if dw.closed {
 		return nil
@@ -217,7 +283,7 @@ func (dw *DiskWriter) Close() error {
 	if dw.clustering {
 		if err := dw.replayClustered(); err != nil {
 			dw.closed = true
-			dw.f.Close()
+			dw.abort()
 			return err
 		}
 	}
@@ -229,16 +295,16 @@ func (dw *DiskWriter) Close() error {
 		return dw.closeV2()
 	}
 	if err := dw.w.Flush(); err != nil {
-		dw.f.Close()
+		dw.abort()
 		return err
 	}
 	var u64 [8]byte
 	binary.LittleEndian.PutUint64(u64[:], dw.rows)
 	if _, err := dw.f.WriteAt(u64[:], dw.rowsOff); err != nil {
-		dw.f.Close()
+		dw.abort()
 		return err
 	}
-	return dw.f.Close()
+	return dw.commit()
 }
 
 // DiskRelation is a Relation backed by either binary on-disk format. It
@@ -294,21 +360,21 @@ func OpenDisk(path string) (*DiskRelation, error) {
 	defer f.Close()
 	r := bufio.NewReader(f)
 	var magic [4]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil {
+	if _, err := metaReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("relation: reading magic: %w", err)
 	}
 	if magic != diskMagic {
 		return nil, fmt.Errorf("relation: %s is not an optrule data file", path)
 	}
 	var u32 [4]byte
-	if _, err := io.ReadFull(r, u32[:]); err != nil {
+	if _, err := metaReadFull(r, u32[:]); err != nil {
 		return nil, err
 	}
 	version := int(binary.LittleEndian.Uint32(u32[:]))
 	if version != DiskFormatV1 && version != DiskFormatV2 && version != DiskFormatV3 {
 		return nil, fmt.Errorf("relation: unsupported file version %d", version)
 	}
-	if _, err := io.ReadFull(r, u32[:]); err != nil {
+	if _, err := metaReadFull(r, u32[:]); err != nil {
 		return nil, err
 	}
 	nattrs := int(binary.LittleEndian.Uint32(u32[:]))
@@ -323,12 +389,12 @@ func OpenDisk(path string) (*DiskRelation, error) {
 			return nil, err
 		}
 		var u16 [2]byte
-		if _, err := io.ReadFull(r, u16[:]); err != nil {
+		if _, err := metaReadFull(r, u16[:]); err != nil {
 			return nil, err
 		}
 		nameLen := int(binary.LittleEndian.Uint16(u16[:]))
 		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(r, name); err != nil {
+		if _, err := metaReadFull(r, name); err != nil {
 			return nil, err
 		}
 		schema = append(schema, Attribute{Name: string(name), Kind: Kind(kindB)})
@@ -338,7 +404,7 @@ func OpenDisk(path string) (*DiskRelation, error) {
 		return nil, err
 	}
 	var u64 [8]byte
-	if _, err := io.ReadFull(r, u64[:]); err != nil {
+	if _, err := metaReadFull(r, u64[:]); err != nil {
 		return nil, err
 	}
 	numRows := binary.LittleEndian.Uint64(u64[:])
@@ -494,10 +560,9 @@ func (dr *DiskRelation) ScanRange(start, end int, cols ColumnSet, fn func(*Batch
 		if at+n > end {
 			n = end - at
 		}
-		if _, err := io.ReadFull(r, rowBuf[:n*dr.rowSize]); err != nil {
+		if _, err := payloadReadFull(r, rowBuf[:n*dr.rowSize], &dr.bytesRead); err != nil {
 			return fmt.Errorf("relation: reading rows %d..%d of %s: %w", at, at+n, dr.path, err)
 		}
-		dr.bytesRead.Add(int64(n * dr.rowSize))
 		for k, i := range cols.Numeric {
 			dst := batch.Numeric[k][:n]
 			fieldOff := 8 * dr.numPos[i]

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
-	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -67,9 +66,11 @@ func groupBytesV2(nums, bools, rows int) int64 {
 	return int64(nums)*8*int64(rows) + int64(bools)*int64((rows+7)/8)
 }
 
-// NewDiskWriterV2 creates (truncating) the file at path and writes a v2
-// column-major header. groupRows is the block-group size; 0 selects
-// DefaultGroupRows. Call Append for each tuple and Close to finalize.
+// NewDiskWriterV2 creates a v2 column-major relation file at path,
+// staged in a temp file beside it and renamed over it by a successful
+// Close. groupRows is the block-group size; 0 selects
+// DefaultGroupRows. Call Append for each tuple and Close to finalize
+// (or Discard to abandon).
 func NewDiskWriterV2(path string, schema Schema, groupRows int) (*DiskWriter, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
@@ -80,14 +81,20 @@ func NewDiskWriterV2(path string, schema Schema, groupRows int) (*DiskWriter, er
 	if groupRows < 1 || groupRows > maxGroupRows {
 		return nil, fmt.Errorf("relation: group size %d rows out of [1, %d]", groupRows, maxGroupRows)
 	}
-	f, err := os.Create(path)
+	f, err := createStaged(path)
 	if err != nil {
 		return nil, err
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
+	dw := &DiskWriter{
+		f: f, w: w, schema: schema, version: DiskFormatV2,
+		groupRows: groupRows,
+		dst:       path,
+		tmp:       f.Name(),
+	}
 	rowsOff, err := writeDiskHeader(w, schema, DiskFormatV2)
 	if err != nil {
-		f.Close()
+		dw.abort()
 		return nil, err
 	}
 	// groupRows, then placeholders for numGroups and dirOff.
@@ -96,15 +103,11 @@ func NewDiskWriterV2(path string, schema Schema, groupRows int) (*DiskWriter, er
 	w.Write(u32[:])
 	var pad [12]byte
 	if _, err := w.Write(pad[:]); err != nil {
-		f.Close()
+		dw.abort()
 		return nil, err
 	}
-	dw := &DiskWriter{
-		f: f, w: w, schema: schema, version: DiskFormatV2,
-		rowsOff:   rowsOff,
-		groupRows: groupRows,
-		off:       rowsOff + 8 + 4 + 4 + 8,
-	}
+	dw.rowsOff = rowsOff
+	dw.off = rowsOff + 8 + 4 + 4 + 8
 	for _, a := range schema {
 		if a.Kind == Numeric {
 			dw.nums++
@@ -191,7 +194,7 @@ func (dw *DiskWriter) flushGroup() error {
 // patches numRows, numGroups, and dirOff into the header.
 func (dw *DiskWriter) closeV2() error {
 	fail := func(err error) error {
-		dw.f.Close()
+		dw.abort()
 		return err
 	}
 	tail := dw.pending
@@ -225,7 +228,7 @@ func (dw *DiskWriter) closeV2() error {
 	if _, err := dw.f.WriteAt(tailer[:], dw.rowsOff+8+4); err != nil {
 		return fail(err)
 	}
-	return dw.f.Close()
+	return dw.commit()
 }
 
 // openV2Meta parses and validates the v2 header tail and block-group
@@ -236,7 +239,7 @@ func (dw *DiskWriter) closeV2() error {
 // clear error instead of a panic or an absurd allocation.
 func (dr *DiskRelation) openV2Meta(f *os.File, r *bufio.Reader) error {
 	var tail [16]byte
-	if _, err := io.ReadFull(r, tail[:]); err != nil {
+	if _, err := metaReadFull(r, tail[:]); err != nil {
 		return fmt.Errorf("relation: %s: reading v2 header: %w", dr.path, err)
 	}
 	dr.groupRows = int(binary.LittleEndian.Uint32(tail[0:]))
@@ -264,7 +267,7 @@ func (dr *DiskRelation) openV2Meta(f *os.File, r *bufio.Reader) error {
 			dr.path, st.Size(), dirOff, dirOff+dirBytes)
 	}
 	dir := make([]byte, dirBytes)
-	if _, err := f.ReadAt(dir, dirOff); err != nil {
+	if _, err := metaReadAt(f, dir, dirOff); err != nil {
 		return fmt.Errorf("relation: %s: reading block directory: %w", dr.path, err)
 	}
 	dr.groupOffs = make([]int64, numGroups)
@@ -408,7 +411,7 @@ func (dr *DiskRelation) scanRangeV2(start, end int, cols ColumnSet, fn func(*Bat
 		pos := 0
 		for _, p := range numSel {
 			off := base + int64(p)*8*int64(gRows) + int64(first)*8
-			if _, err := f.ReadAt(buf[pos:pos+numLen], off); err != nil {
+			if _, err := uncountedReadAt(f, buf[pos:pos+numLen], off); err != nil {
 				fg.err = fmt.Errorf("relation: reading column block of group %d of %s: %w", g, dr.path, err)
 				return fg
 			}
@@ -416,7 +419,7 @@ func (dr *DiskRelation) scanRangeV2(start, end int, cols ColumnSet, fn func(*Bat
 		}
 		for _, q := range boolSel {
 			off := boolBase + int64(q)*bytesPerBool + int64(byteLo)
-			if _, err := f.ReadAt(buf[pos:pos+boolLen], off); err != nil {
+			if _, err := uncountedReadAt(f, buf[pos:pos+boolLen], off); err != nil {
 				fg.err = fmt.Errorf("relation: reading boolean block of group %d of %s: %w", g, dr.path, err)
 				return fg
 			}
@@ -562,10 +565,10 @@ func ConvertDiskFrom(dr *DiskRelation, dst string, version int) error {
 // dst in the given format version. It refuses a dst aliasing one of
 // the source's own files (in-place conversion would leave the still-
 // open source describing a layout that no longer exists), and it is
-// failure-safe: the output is written to a temp file in dst's
-// directory and renamed over dst only after a successful Close, so an
-// interrupted or failed conversion never leaves a truncated dst — and
-// never clobbers a pre-existing dst.
+// failure-safe: the staged writer puts the output in a temp file in
+// dst's directory and renames it over dst only on a successful Close,
+// so an interrupted or failed conversion never leaves a truncated dst
+// — and never clobbers a pre-existing dst.
 func ConvertFile(src Relation, dst string, version int) error {
 	return convertFile(src, dst, version, -1)
 }
@@ -579,46 +582,27 @@ func convertFile(src Relation, dst string, version, clusterAttr int) error {
 			return fmt.Errorf("relation: cannot convert %s onto itself", p)
 		}
 	}
-	tf, err := os.CreateTemp(filepath.Dir(dst), filepath.Base(dst)+".tmp-*")
+	dw, err := NewDiskWriterFormat(dst, src.Schema(), version)
 	if err != nil {
 		return err
 	}
-	tmp := tf.Name()
-	tf.Close()
-	dw, err := NewDiskWriterFormat(tmp, src.Schema(), version)
-	if err != nil {
-		os.Remove(tmp)
-		return err
-	}
+	// The writer stages into a temp file and renames it over dst on
+	// Close. Commit with the mode a direct write would have produced —
+	// the source file's own mode when it has one (preserving a private
+	// 0600 source's privacy), else the 0644-under-umask of a fresh
+	// create.
+	dw.commitMode = outputMode(storagePathsOf(src))
 	if clusterAttr >= 0 {
 		if err := dw.ClusterBy(clusterAttr); err != nil {
-			dw.Close()
-			os.Remove(tmp)
+			dw.Discard()
 			return err
 		}
 	}
 	if err := appendAll(src, dw.Append); err != nil {
-		dw.Close()
-		os.Remove(tmp)
+		dw.Discard()
 		return err
 	}
-	if err := dw.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	// CreateTemp files are 0600; widen the staged output to the mode a
-	// direct write would have produced — the source file's own mode when
-	// it has one (preserving a private 0600 source's privacy), else the
-	// 0644-under-umask of a fresh os.Create.
-	if err := os.Chmod(tmp, outputMode(storagePathsOf(src))); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, dst); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
+	return dw.Close()
 }
 
 // outputMode returns the permission bits a staged output file should
@@ -639,10 +623,12 @@ func outputMode(siblings []string) os.FileMode {
 	}
 	defer os.RemoveAll(dir)
 	probe := filepath.Join(dir, "probe")
+	//optlint:ignore atomicwrite throwaway probe in a private temp dir, created only to measure the umask; no destination data at stake
 	f, err := os.Create(probe)
 	if err != nil {
 		return 0o600
 	}
+	//optlint:ignore closecheck the probe's content is irrelevant (only its stat mode is read); a lost write cannot corrupt anything
 	f.Close()
 	st, err := os.Stat(probe)
 	if err != nil {

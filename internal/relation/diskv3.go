@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
-	"io"
 	"math"
 	"math/bits"
 	"os"
@@ -210,7 +209,7 @@ func unpackBits(src []byte, bw, n int, dst []uint64) {
 // ---------------------------------------------------------------------
 // Writer.
 
-// NewDiskWriterV3 creates (truncating) the file at path and writes a v3
+// NewDiskWriterV3 creates (staged like NewDiskWriterV2) the file at path and writes a v3
 // compressed column-major header. groupRows is the block-group size; 0
 // selects DefaultGroupRows. Call Append for each tuple and Close to
 // finalize.
@@ -223,13 +222,13 @@ func NewDiskWriterV3(path string, schema Schema, groupRows int) (*DiskWriter, er
 	// the version field in place before any data lands after it.
 	dw.version = DiskFormatV3
 	if err := dw.w.Flush(); err != nil {
-		dw.f.Close()
+		dw.abort()
 		return nil, err
 	}
 	var u32 [4]byte
 	binary.LittleEndian.PutUint32(u32[:], uint32(DiskFormatV3))
 	if _, err := dw.f.WriteAt(u32[:], 4); err != nil {
-		dw.f.Close()
+		dw.abort()
 		return nil, err
 	}
 	return dw, nil
@@ -464,7 +463,7 @@ func (dw *DiskWriter) flushGroupV3() error {
 // patches numRows, numGroups, and dirOff into the header.
 func (dw *DiskWriter) closeV3() error {
 	fail := func(err error) error {
-		dw.f.Close()
+		dw.abort()
 		return err
 	}
 	if err := dw.flushGroupV3(); err != nil {
@@ -488,7 +487,7 @@ func (dw *DiskWriter) closeV3() error {
 	if _, err := dw.f.WriteAt(tailer[:], dw.rowsOff+8+4); err != nil {
 		return fail(err)
 	}
-	return dw.f.Close()
+	return dw.commit()
 }
 
 // ---------------------------------------------------------------------
@@ -503,7 +502,7 @@ func (dw *DiskWriter) closeV3() error {
 // Per-block payload corruption is detected at decode time.
 func (dr *DiskRelation) openV3Meta(f *os.File, r *bufio.Reader) error {
 	var tail [16]byte
-	if _, err := io.ReadFull(r, tail[:]); err != nil {
+	if _, err := metaReadFull(r, tail[:]); err != nil {
 		return fmt.Errorf("relation: %s: reading v3 header: %w", dr.path, err)
 	}
 	dr.groupRows = int(binary.LittleEndian.Uint32(tail[0:]))
@@ -532,7 +531,7 @@ func (dr *DiskRelation) openV3Meta(f *os.File, r *bufio.Reader) error {
 			dr.path, st.Size(), dirOff, dirOff+dirBytes)
 	}
 	dir := make([]byte, dirBytes)
-	if _, err := f.ReadAt(dir, dirOff); err != nil {
+	if _, err := metaReadAt(f, dir, dirOff); err != nil {
 		return fmt.Errorf("relation: %s: reading block directory: %w", dr.path, err)
 	}
 	dr.v3Blocks = make([]v3Block, numGroups*(dr.nums+dr.bools))
@@ -904,7 +903,7 @@ func (dr *DiskRelation) scanRangeV3(start, end int, cols ColumnSet, pred *Predic
 		pos := 0
 		for _, p := range numSel {
 			blk := dr.v3NumBlock(g, p)
-			if _, err := f.ReadAt(buf[pos:pos+blk.encLen], blk.off); err != nil {
+			if _, err := uncountedReadAt(f, buf[pos:pos+blk.encLen], blk.off); err != nil {
 				fg.err = fmt.Errorf("relation: reading column block of group %d of %s: %w", g, dr.path, err)
 				return fg
 			}
@@ -912,7 +911,7 @@ func (dr *DiskRelation) scanRangeV3(start, end int, cols ColumnSet, pred *Predic
 		}
 		for _, q := range boolSel {
 			blk := dr.v3BoolBlock(g, q)
-			if _, err := f.ReadAt(buf[pos:pos+blk.encLen], blk.off); err != nil {
+			if _, err := uncountedReadAt(f, buf[pos:pos+blk.encLen], blk.off); err != nil {
 				fg.err = fmt.Errorf("relation: reading boolean block of group %d of %s: %w", g, dr.path, err)
 				return fg
 			}

@@ -180,7 +180,7 @@ func (dr *DiskRelation) ReadNumericPoints(attr int, rows []int, out []float64) e
 			out[i] = out[i-1] // with-replacement duplicate
 			continue
 		}
-		if _, err := f.ReadAt(buf[:], dr.pointOffset(p, row)); err != nil {
+		if _, err := uncountedReadAt(f, buf[:], dr.pointOffset(p, row)); err != nil {
 			return fmt.Errorf("relation: point read row %d of %s: %w", row, dr.path, err)
 		}
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
@@ -210,7 +210,7 @@ func (dr *DiskRelation) readNumericPointsV3(p int, rows []int, out []float64) er
 		}
 		defer f.Close()
 		get = func(off int64, dst []byte) error {
-			if _, err := f.ReadAt(dst, off); err != nil {
+			if _, err := uncountedReadAt(f, dst, off); err != nil {
 				return fmt.Errorf("relation: point read of %s: %w", dr.path, err)
 			}
 			return nil

@@ -627,7 +627,7 @@ func IsShardManifest(path string) (bool, error) {
 	}
 	defer f.Close()
 	buf := make([]byte, len(shardManifestMagic))
-	n, _ := f.Read(buf)
+	n := sniffPrefix(f, buf)
 	return string(buf[:n]) == shardManifestMagic, nil
 }
 
@@ -856,7 +856,7 @@ func (sw *ShardedWriter) commit() error {
 		// A rollover already failed: refuse to commit a manifest missing
 		// part of the stream, and release the current shard's handle.
 		if sw.cur != nil {
-			sw.cur.Close()
+			sw.cur.Discard()
 			sw.cur = nil
 		}
 		return fmt.Errorf("relation: sharded writer failed before Close: %w", sw.writeErr)
@@ -950,7 +950,7 @@ func ConvertToSharded(src Relation, manifestPath string, shards, version int) er
 	}
 	if err := appendAll(src, sw.Append); err != nil {
 		if sw.cur != nil {
-			sw.cur.Close()
+			sw.cur.Discard()
 		}
 		removeAll(sw.CreatedPaths())
 		return err

@@ -263,6 +263,51 @@
 // while a scan or point read is in flight returns ErrBusy instead of
 // racing the reader — Close only ever releases quiescent resources.
 //
+// # Enforced invariants
+//
+// The contracts above are not guarded by differential tests alone —
+// they are mechanically enforced at the source level by optlint
+// (cmd/optlint), a dependency-free go/analysis-style suite
+// (internal/analysis/optlint) that CI runs over the whole module and
+// fails on any finding. Each analyzer guards one invariant:
+//
+//   - maporder — a map range whose body appends to a slice, builds a
+//     string, or writes output must sort afterwards: Go randomizes
+//     map iteration, and leaked iteration order is exactly the bug
+//     class the bit-identity suites exist to catch.
+//   - nondet — kernel and merge packages may not read the wall clock
+//     (time.Now, time.Since) or the globally seeded math/rand
+//     generator; all randomness derives from the plan seed, so a run
+//     is reproducible from its inputs.
+//   - floatmerge — functions reachable from a parallel merge entry
+//     point may not accumulate floats with +=: float addition is
+//     order-dependent, so merged tallies stay integer-exact and
+//     float target sums take the serial path.
+//   - bytecount — raw file reads in internal/relation live only in
+//     countio.go, whose helpers charge Stats.BytesRead; every other
+//     read goes through them, keeping the cost model honest.
+//   - atomicwrite — writers stage into an os.CreateTemp file beside
+//     the destination and os.Rename it over on success, so a crash
+//     mid-write can never truncate or clobber a durable file.
+//   - closecheck — Close errors on write handles must be checked:
+//     delayed write errors surface at Close, and dropping them can
+//     commit a truncated file while reporting success.
+//
+// Run the suite locally, standalone or as a vet tool:
+//
+//	go run ./cmd/optlint ./...
+//	go build -o /tmp/optlint ./cmd/optlint && go vet -vettool=/tmp/optlint ./...
+//
+// An intended exception is waived, on the offending line or the line
+// above, with
+//
+//	//optlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory (a directive without one fails the build),
+// and a directive that no longer suppresses anything is itself a
+// finding — every waiver documents why the invariant does not apply,
+// and stale waivers cannot rot into holes.
+//
 // # Quick start
 //
 //	rel, err := optrule.ReadCSVFile("customers.csv")
