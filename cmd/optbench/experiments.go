@@ -246,6 +246,22 @@ func runBatch(full bool, seed int64) (any, error) {
 	return res, nil
 }
 
+func runAppend(full bool, seed int64) (any, error) {
+	n := 500000
+	if full {
+		n = 4000000
+	}
+	// 0.1% and 1% stay inside the §3.4 bucket-error budget and must
+	// fold; the cumulative ~11% of the last step must re-sample.
+	res, err := experiments.Append(n, []float64{0.001, 0.01, 0.10}, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Print(os.Stdout)
+	fmt.Println()
+	return res, nil
+}
+
 func runTwoDim(full bool, seed int64) (any, error) {
 	n := 200000
 	attrCounts := []int{2, 4, 6}

@@ -24,7 +24,10 @@
 // deep-grid sweep), shards (sharded backend: single-file vs 2/4/8-shard
 // MineAll, serial and concurrent sub-scans, counted bytes), batch
 // (plan/execute session: a mixed B-query workload per-query vs batched
-// vs session-cached re-query, wall-clock and counted bytes).
+// vs session-cached re-query, wall-clock and counted bytes), append
+// (incremental ingest: a warm session absorbing 0.1%/1%/10% appends by
+// delta statistics merge vs a cold two-scan cache rebuild, wall-clock
+// and counted bytes, answer-deviation and byte-ratio hard-fail).
 //
 // -json FILE additionally writes every experiment's structured result
 // to FILE as a single JSON document, so the perf trajectory can be
@@ -56,7 +59,7 @@ type report struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("optbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, fused, colscan, v3scan, cluster, kernel, twodim, shards, batch, scatter, or all")
+	exp := fs.String("exp", "all", "experiment: fig1, table1, fig9, fig9disk, fig10, fig11, par, ablate, regions, fused, colscan, v3scan, cluster, kernel, twodim, shards, batch, append, scatter, or all")
 	full := fs.Bool("full", false, "paper-scale sizes (slow; needs several GB of RAM for fig9)")
 	seed := fs.Int64("seed", 1, "random seed")
 	jsonPath := fs.String("json", "", "also write structured results as JSON to this file (e.g. BENCH_optbench.json)")
@@ -96,6 +99,7 @@ func run(args []string) error {
 		{"twodim", runTwoDim},
 		{"shards", runShards},
 		{"batch", runBatch},
+		{"append", runAppend},
 		{"scatter", runScatter},
 	}
 	known := map[string]bool{"all": true}

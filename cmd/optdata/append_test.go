@@ -1,0 +1,184 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"optrule/internal/relation"
+)
+
+// collectRows reads every numeric and Boolean column of a relation
+// into flat row-major slices for exact comparison.
+func collectRows(t *testing.T, rel relation.Relation) ([][]float64, [][]bool) {
+	t.Helper()
+	cols := relation.ColumnSet{
+		Numeric: rel.Schema().NumericIndices(),
+		Bool:    rel.Schema().BooleanIndices(),
+	}
+	var nums [][]float64
+	var bools [][]bool
+	err := rel.Scan(cols, func(b *relation.Batch) error {
+		for r := 0; r < b.Len; r++ {
+			nrow := make([]float64, len(cols.Numeric))
+			for i := range cols.Numeric {
+				nrow[i] = b.Numeric[i][r]
+			}
+			brow := make([]bool, len(cols.Bool))
+			for i := range cols.Bool {
+				brow[i] = b.Bool[i][r]
+			}
+			nums = append(nums, nrow)
+			bools = append(bools, brow)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nums, bools
+}
+
+// TestRunAppendGenerated pins the prefix-property contract: a sharded
+// relation built from the first 600 rows of a seed's stream, grown by
+// `append -skip 600 -n 400`, is tuple-identical to regenerating all
+// 1000 rows from scratch.
+func TestRunAppendGenerated(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "bank.oprs")
+	if err := run([]string{"-kind", "bank", "-n", "600", "-seed", "3", "-shards", "2", "-out", manifest}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"append", "-to", manifest, "-kind", "bank", "-seed", "3", "-skip", "600", "-n", "400", "-format", "v3", "-rows-per-shard", "150"}); err != nil {
+		t.Fatal(err)
+	}
+	full := filepath.Join(dir, "full.opr")
+	if err := run([]string{"-kind", "bank", "-n", "1000", "-seed", "3", "-out", full}); err != nil {
+		t.Fatal(err)
+	}
+
+	grown, err := relation.OpenSharded(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer grown.Close()
+	// 600 rows in 2 seed shards + 400 appended at 150/shard = 3 more.
+	if grown.NumTuples() != 1000 || grown.NumShards() != 5 {
+		t.Fatalf("grown relation: %d tuples in %d shards, want 1000 in 5", grown.NumTuples(), grown.NumShards())
+	}
+	scratch, err := relation.OpenDisk(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gn, gb := collectRows(t, grown)
+	sn, sb := collectRows(t, scratch)
+	if len(gn) != len(sn) {
+		t.Fatalf("grown holds %d rows, scratch %d", len(gn), len(sn))
+	}
+	for r := range gn {
+		for c := range gn[r] {
+			// Bit-identical, NaNs included.
+			if gn[r][c] != sn[r][c] && (gn[r][c] == gn[r][c] || sn[r][c] == sn[r][c]) {
+				t.Fatalf("row %d numeric col %d: %v vs %v", r, c, gn[r][c], sn[r][c])
+			}
+		}
+		for c := range gb[r] {
+			if gb[r][c] != sb[r][c] {
+				t.Fatalf("row %d bool col %d: %v vs %v", r, c, gb[r][c], sb[r][c])
+			}
+		}
+	}
+}
+
+// TestRunAppendCSV appends rows from a CSV export and checks they
+// land verbatim behind the existing rows.
+func TestRunAppendCSV(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "bank.oprs")
+	if err := run([]string{"-kind", "bank", "-n", "200", "-seed", "5", "-shards", "2", "-out", manifest}); err != nil {
+		t.Fatal(err)
+	}
+	// Export a different slice of the stream as CSV, then append it.
+	csvPath := filepath.Join(dir, "tail.csv")
+	if err := run([]string{"-kind", "bank", "-n", "50", "-seed", "77", "-out", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"append", "-to", manifest, "-in", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := relation.OpenSharded(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if sr.NumTuples() != 250 {
+		t.Fatalf("after CSV append: %d tuples, want 250", sr.NumTuples())
+	}
+	// The appended block equals the CSV parsed against the same schema.
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := relation.ReadCSV(f, sr.Schema())
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gn, _ := collectRows(t, sr)
+	wn, _ := collectRows(t, want)
+	for r := 0; r < 50; r++ {
+		for c := range wn[r] {
+			if gn[200+r][c] != wn[r][c] {
+				t.Fatalf("appended row %d col %d: %v vs CSV %v", r, c, gn[200+r][c], wn[r][c])
+			}
+		}
+	}
+}
+
+// TestRunAppendErrors covers the refusal paths: missing flags, schema
+// mismatches (manifest must stay byte-identical), and non-sharded
+// targets.
+func TestRunAppendErrors(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "bank.oprs")
+	if err := run([]string{"-kind", "bank", "-n", "100", "-shards", "2", "-out", manifest}); err != nil {
+		t.Fatal(err)
+	}
+	single := filepath.Join(dir, "single.opr")
+	if err := run([]string{"-kind", "bank", "-n", "100", "-out", single}); err != nil {
+		t.Fatal(err)
+	}
+	badCSV := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(badCSV, []byte("Wrong,Columns\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"append", "-kind", "bank", "-n", "10"},                                 // missing -to
+		{"append", "-to", manifest},                                             // no rows
+		{"append", "-to", manifest, "-in", badCSV},                              // schema mismatch
+		{"append", "-to", manifest, "-in", badCSV, "-n", "10"},                  // -in with -n
+		{"append", "-to", manifest, "-kind", "retail", "-n", "10"},              // wrong generator schema
+		{"append", "-to", manifest, "-kind", "bank", "-n", "-5"},                // negative n
+		{"append", "-to", manifest, "-kind", "bank", "-n", "10", "-skip", "-1"}, // negative skip
+		{"append", "-to", manifest, "-kind", "bank", "-n", "10", "-format", "v9"},
+		{"append", "-to", single, "-kind", "bank", "-n", "10"}, // not a sharded relation
+		{"append", "-to", filepath.Join(dir, "missing.oprs"), "-kind", "bank", "-n", "10"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, strings.Join(args, " "))
+		}
+	}
+	after, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Errorf("manifest changed by refused appends")
+	}
+}

@@ -16,6 +16,8 @@
 //	optdata convert -in bank.oprs -out bank.opr
 //	optdata convert -in bank.opr -out clustered.opr -format v3 -cluster Balance
 //	optdata inspect -in clustered.opr
+//	optdata append -to bank.oprs -kind bank -n 10000 -seed 1 -skip 4000000
+//	optdata append -to bank.oprs -in newrows.csv
 //
 // The bank data plants the paper's headline association
 // (Balance ∈ [3000, 20000]) ⇒ (CardLoan=yes); retail plants item
@@ -42,6 +44,21 @@
 // reads a v3 file's (or sharded v3 manifest's) block directory and
 // reports each column's encoding mix, compression ratio, and zone-map
 // tightness — the numbers that predict whether clustering paid off.
+//
+// The append subcommand grows an existing SHARDED relation in place:
+// new rows land in fresh shard files and the manifest is swapped by
+// temp+rename, so readers always see either the old relation or the
+// whole grown one. Rows come from a CSV file (-in, parsed against the
+// relation's own schema) or from a generator: with the prefix
+// property of the deterministic generators, -kind/-seed/-skip/-n
+// appends rows [skip, skip+n) of the seed's stream — so a relation
+// originally built with `-kind bank -n 4000000 -seed 1` grows into a
+// bit-identical twin of a from-scratch 4010000-row generation via
+// `append -skip 4000000 -n 10000`. A schema mismatch is refused
+// before any file is touched. Appending is what makes incremental
+// mining (miner.Session.RefreshFromStorage, optbench -exp append)
+// O(Δ) instead of O(n): open sessions fold statistics for just the
+// appended tail into their caches.
 package main
 
 import (
@@ -84,12 +101,42 @@ func isOprPath(path string) bool {
 	return strings.HasSuffix(path, ".opr") || strings.HasSuffix(path, ".oprs")
 }
 
+// newSource builds the row generator for a data set kind. The shape
+// flags apply to perf only.
+func newSource(kind string, numNumeric, numBool int) (datagen.RowSource, error) {
+	switch kind {
+	case "bank":
+		bank, err := datagen.NewBank(datagen.BankConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return bank, nil
+	case "retail":
+		ret, err := datagen.NewRetail(datagen.DefaultRetailConfig())
+		if err != nil {
+			return nil, err
+		}
+		return ret, nil
+	case "perf":
+		ps, err := datagen.NewPerfShape(numNumeric, numBool, nil)
+		if err != nil {
+			return nil, err
+		}
+		return ps, nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q (want bank, retail, or perf)", kind)
+	}
+}
+
 func run(args []string) error {
 	if len(args) > 0 && args[0] == "convert" {
 		return runConvert(args[1:])
 	}
 	if len(args) > 0 && args[0] == "inspect" {
 		return runInspect(args[1:])
+	}
+	if len(args) > 0 && args[0] == "append" {
+		return runAppend(args[1:])
 	}
 	fs := flag.NewFlagSet("optdata", flag.ContinueOnError)
 	kind := fs.String("kind", "bank", "data set kind: bank, retail, or perf")
@@ -113,28 +160,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	var src datagen.RowSource
-	switch *kind {
-	case "bank":
-		bank, err := datagen.NewBank(datagen.BankConfig{})
-		if err != nil {
-			return err
-		}
-		src = bank
-	case "retail":
-		ret, err := datagen.NewRetail(datagen.DefaultRetailConfig())
-		if err != nil {
-			return err
-		}
-		src = ret
-	case "perf":
-		ps, err := datagen.NewPerfShape(*numNumeric, *numBool, nil)
-		if err != nil {
-			return err
-		}
-		src = ps
-	default:
-		return fmt.Errorf("unknown kind %q (want bank, retail, or perf)", *kind)
+	src, err := newSource(*kind, *numNumeric, *numBool)
+	if err != nil {
+		return err
 	}
 
 	switch {
@@ -245,6 +273,92 @@ func runConvert(args []string) error {
 		return err
 	}
 	fmt.Printf("converted %s (%s, %d tuples) to %s (%s)\n", *in, describeData(src), src.NumTuples(), *out, *format)
+	return nil
+}
+
+// runAppend grows an existing sharded relation: new rows are written
+// to fresh shard files and committed by swapping the manifest
+// (temp+rename), leaving the original shards untouched. Rows come
+// either from a CSV file parsed against the relation's own schema, or
+// from a generator offset into the seed's deterministic stream with
+// -skip (the prefix property: rows [skip, skip+n) of the stream are
+// exactly what a relation built from the first skip rows is missing).
+func runAppend(args []string) error {
+	fs := flag.NewFlagSet("optdata append", flag.ContinueOnError)
+	to := fs.String("to", "", "shard manifest of the relation to grow (required; append needs a sharded relation — use convert to shard a single file first)")
+	in := fs.String("in", "", "CSV file holding the rows to append; mutually exclusive with generated rows")
+	kind := fs.String("kind", "bank", "generated rows: data set kind (bank, retail, or perf)")
+	n := fs.Int("n", 0, "generated rows: number of tuples to append")
+	seed := fs.Int64("seed", 1, "generated rows: seed of the stream to continue (match the original generation)")
+	skip := fs.Int("skip", 0, "generated rows: stream offset — skip this many rows before taking n (match the relation's current tuple count to continue its stream)")
+	format := fs.String("format", "v2", "format version for the new shard files: v2, v3, or v1 (existing shards keep theirs)")
+	rowsPerShard := fs.Int("rows-per-shard", 0, "split appended rows into shards of this many rows (0 = one shard for the whole batch)")
+	numNumeric := fs.Int("numeric", 8, "perf only: numeric attribute count")
+	numBool := fs.Int("bool", 8, "perf only: Boolean attribute count")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *to == "" {
+		return fmt.Errorf("append needs -to")
+	}
+	if *rowsPerShard < 0 {
+		return fmt.Errorf("-rows-per-shard must be non-negative")
+	}
+	version, err := parseFormat(*format)
+	if err != nil {
+		return err
+	}
+
+	var tail *relation.MemoryRelation
+	switch {
+	case *in != "":
+		if *n != 0 || *skip != 0 {
+			return fmt.Errorf("-in reads rows from CSV; -n/-skip apply to generated rows only")
+		}
+		// Parse the CSV against the relation's own schema so column
+		// names and kinds are checked up front with a line-level error,
+		// not just refused wholesale by the appender.
+		target, err := relation.OpenSharded(*to)
+		if err != nil {
+			return err
+		}
+		schema := target.Schema()
+		target.Close()
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		tail, err = relation.ReadCSV(f, schema)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *in, err)
+		}
+	case *n > 0:
+		src, err := newSource(*kind, *numNumeric, *numBool)
+		if err != nil {
+			return err
+		}
+		tail, err = datagen.MaterializeRange(src, *seed, *skip, *n)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("append needs rows: -in <csv> or -n > 0")
+	}
+
+	rows, err := relation.AppendToSharded(*to, tail, relation.AppendOptions{
+		Format: version, RowsPerShard: *rowsPerShard,
+	})
+	if err != nil {
+		return err
+	}
+	sr, err := relation.OpenSharded(*to)
+	if err != nil {
+		return fmt.Errorf("reopening after append: %w", err)
+	}
+	defer sr.Close()
+	fmt.Printf("appended %d rows to %s (now %d tuples in %d shards)\n",
+		rows, *to, sr.NumTuples(), sr.NumShards())
 	return nil
 }
 

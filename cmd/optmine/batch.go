@@ -142,8 +142,10 @@ type jsonAvg struct {
 
 // runBatch executes a queries file against the relation in one
 // session. Per-query failures are reported (and fail the command)
-// without suppressing the other answers.
-func runBatch(rel relation.Relation, path string, cfg miner.Config, jsonOut bool, w *os.File) error {
+// without suppressing the other answers. With cacheStats set, the
+// session cache's occupancy and delta-merge telemetry follow the
+// answers (on stderr under -json, keeping stdout a clean document).
+func runBatch(rel relation.Relation, path string, cfg miner.Config, jsonOut, cacheStats bool, w *os.File) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -218,8 +220,26 @@ func runBatch(rel relation.Relation, path string, cfg miner.Config, jsonOut bool
 			}
 		}
 	}
+	if cacheStats {
+		sw := w
+		if jsonOut {
+			sw = os.Stderr
+		}
+		printCacheStats(sw, session.CacheStats())
+	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d queries failed", failed, len(answers))
 	}
 	return nil
+}
+
+// printCacheStats renders the session cache summary: occupancy,
+// hit/miss traffic, and the delta-merge counters that tell whether
+// appends since the session opened were absorbed by O(Δ) tail folds
+// or forced boundary re-sampling.
+func printCacheStats(w *os.File, st miner.CacheStats) {
+	fmt.Fprintf(w, "cache: %d entries, %d/%d bytes, %d hits, %d misses, %d evictions\n",
+		st.Entries, st.Bytes, st.MaxBytes, st.Hits, st.Misses, st.Evictions)
+	fmt.Fprintf(w, "delta: %d tail scans over %d rows, %d entries folded, %d boundary re-samples\n",
+		st.DeltaTailScans, st.DeltaRowsScanned, st.DeltaEntriesFolded, st.DeltaResamples)
 }

@@ -134,6 +134,38 @@ func TestBatchEndToEnd(t *testing.T) {
 	}
 }
 
+// TestBatchCacheStats pins the -cachestats summary: after a batch the
+// text output ends with the cache occupancy line and the delta-merge
+// telemetry line (all zero here — a fresh session saw no appends).
+func TestBatchCacheStats(t *testing.T) {
+	csv := writeBankCSV(t, 2000)
+	dir := t.TempDir()
+	queries := filepath.Join(dir, "q.json")
+	if err := os.WriteFile(queries, []byte(validBatch), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.txt")
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", csv, "-batch", queries, "-cachestats"}, f); err != nil {
+		t.Fatalf("batch with -cachestats failed: %v", err)
+	}
+	f.Close()
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "cache: ") {
+		t.Errorf("missing cache occupancy line:\n%s", text)
+	}
+	if !strings.Contains(text, "delta: 0 tail scans over 0 rows, 0 entries folded, 0 boundary re-samples") {
+		t.Errorf("missing delta telemetry line:\n%s", text)
+	}
+}
+
 // FuzzParseBatch fuzzes the query-JSON parser: any input must either
 // parse into a validated query list or return an error — no panics,
 // and every parsed query must survive its own validation.

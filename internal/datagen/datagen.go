@@ -40,6 +40,40 @@ func Materialize(src RowSource, n int, seed int64) (*relation.MemoryRelation, er
 	return rel, nil
 }
 
+// MaterializeRange builds an in-memory relation holding rows
+// [skip, skip+n) of the stream Materialize(src, skip+n, seed) would
+// produce. Every generator draws from one sequential rng, so the
+// first skip rows of a longer generation are bit-identical to a
+// skip-row generation with the same seed — which makes the returned
+// tail exactly the rows an append must add to a relation already
+// holding the first skip rows of the same (kind, seed) stream.
+func MaterializeRange(src RowSource, seed int64, skip, n int) (*relation.MemoryRelation, error) {
+	if skip < 0 {
+		return nil, fmt.Errorf("datagen: negative skip %d", skip)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("datagen: negative tuple count %d", n)
+	}
+	rel, err := relation.NewMemoryRelation(src.Schema())
+	if err != nil {
+		return nil, err
+	}
+	rel.Grow(n)
+	rng := rand.New(rand.NewSource(seed))
+	var nums []float64
+	var bools []bool
+	for i := 0; i < skip+n; i++ {
+		nums, bools = src.Row(rng, nums[:0], bools[:0])
+		if i < skip {
+			continue // burn the prefix; the rng stream is what matters
+		}
+		if err := rel.Append(nums, bools); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
 // MustMaterialize is Materialize that panics on error, for tests and
 // examples.
 func MustMaterialize(src RowSource, n int, seed int64) *relation.MemoryRelation {

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAppendExperiment pins the ingest contract at experiment scale:
+// within-budget appends fold tail-only statistics (the experiment
+// hard-fails internally on answer deviation or a >5% byte ratio), and
+// the over-budget step re-samples boundaries instead of folding.
+func TestAppendExperiment(t *testing.T) {
+	res, err := Append(20000, []float64{0.001, 0.01, 0.10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 3 {
+		t.Fatalf("got %d steps, want 3", len(res.Steps))
+	}
+	for i, s := range res.Steps[:2] {
+		if s.Resamples != 0 {
+			t.Errorf("step %d (%.2g): re-sampled %d boundary sets inside the budget", i, s.Fraction, s.Resamples)
+		}
+		if s.EntriesFolded == 0 {
+			t.Errorf("step %d (%.2g): no cache entries folded", i, s.Fraction)
+		}
+		if s.TailRows != int64(s.AppendedRows) {
+			t.Errorf("step %d: delta scanned %d rows, appended %d", i, s.TailRows, s.AppendedRows)
+		}
+		if s.DeltaBytes*20 > s.ColdBytes {
+			t.Errorf("step %d: delta read %d bytes, cold %d — over the 5%% ceiling", i, s.DeltaBytes, s.ColdBytes)
+		}
+	}
+	last := res.Steps[2]
+	if last.Resamples == 0 {
+		t.Errorf("10%% append (cumulative ~11%%) did not trip the bucket-error budget")
+	}
+	if last.EntriesFolded != 0 {
+		t.Errorf("over-budget step folded %d entries; they should drop pending re-sampled boundaries", last.EntriesFolded)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "resamples") {
+		t.Errorf("print output missing the telemetry columns:\n%s", buf.String())
+	}
+}

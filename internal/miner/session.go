@@ -75,23 +75,61 @@ func (a *Answer) rule(kind RuleKind) *Rule {
 	return nil
 }
 
+// DeltaStats reports what one incremental refresh (Append or
+// RefreshFromStorage) did: tail rows scanned, boundary sets
+// re-sampled, entries folded vs dropped. See plan.DeltaStats.
+type DeltaStats = plan.DeltaStats
+
+// RowAppender is the storage capability Session.Append needs: an
+// in-place growable relation (MemoryRelation implements it). Disk-
+// backed relations grow through their own write paths instead —
+// relation.AppendToSharded or the optdata append subcommand — after
+// which RefreshFromStorage picks the committed tail up.
+type RowAppender interface {
+	relation.Relation
+	Append(nums []float64, bools []bool) error
+}
+
+// StorageRefresher is the capability RefreshFromStorage needs: re-read
+// the committed manifest and expose appended shards without
+// invalidating in-flight scans (ShardedRelation implements it).
+type StorageRefresher interface {
+	relation.Relation
+	Reopen() (added int, err error)
+}
+
 // Session is a long-lived mining handle over one relation: it owns an
 // LRU-bounded, size-accounted cache of sufficient statistics (bucket
 // boundaries, 1-D count groups, 2-D pair grids) keyed by (attributes,
 // resolution, conditions), so queries that differ only in thresholds,
 // rule kinds, or region classes rescan nothing. Sessions are safe for
 // concurrent use; the underlying relation must support concurrent
-// scans (all storage backends in this module do).
+// scans (all storage backends in this module do). Appends are
+// first-class: Append and RefreshFromStorage fold new rows into the
+// cached statistics with an O(Δ) tail scan instead of dropping them —
+// see the package comment's "Plan/execute sessions" section.
 type Session struct {
 	rel relation.Relation
 	cfg Config
 	d   plan.Defaults
 	c   *plan.LRUCache
+
+	// refreshMu orders batches against refreshes: every batch holds the
+	// read side for its whole execute+extract (so the statistics it
+	// publishes were counted over the row count it planned against), and
+	// a refresh holds the write side while it grows the relation and
+	// folds the cache. gen and rows are guarded by it.
+	refreshMu sync.RWMutex
+	gen       int64
+	rows      int
 }
 
 // NewSession validates cfg and creates a session over rel. The
-// relation's contents must not change for the session's lifetime (the
-// cache has no invalidation hook yet — see InvalidateCache).
+// relation may GROW during the session's lifetime — through
+// Session.Append, or externally through the storage append path plus
+// RefreshFromStorage — and the cached statistics follow incrementally.
+// Only in-place rewrites (changing rows the cache already summarizes)
+// still require InvalidateCache.
 func NewSession(rel relation.Relation, cfg Config) (*Session, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -111,7 +149,8 @@ func NewSession(rel relation.Relation, cfg Config) (*Session, error) {
 			PEs:              cfg.PEs,
 			Scatter:          cfg.Scatter,
 		},
-		c: plan.NewCache(0),
+		c:    plan.NewCache(0),
+		rows: rel.NumTuples(),
 	}, nil
 }
 
@@ -123,9 +162,116 @@ func (s *Session) SetCacheLimit(maxBytes int64) { s.c.SetMaxBytes(maxBytes) }
 // CacheStats returns the statistics cache's occupancy and traffic.
 func (s *Session) CacheStats() CacheStats { return s.c.Stats() }
 
-// InvalidateCache drops every cached statistic, e.g. after the
-// underlying relation was rewritten in place.
-func (s *Session) InvalidateCache() { s.c.Invalidate() }
+// StatsCache exposes the session's statistics cache. Differential
+// tests use it (e.g. LRUCache.CopyBoundsFrom pins a control session to
+// another session's sampled boundaries); normal callers never need it.
+func (s *Session) StatsCache() *plan.LRUCache { return s.c }
+
+// InvalidateCache drops every cached statistic. It is needed ONLY
+// after an in-place rewrite — rows the cache already summarizes
+// changed under it. Plain growth does not require it: Append and
+// RefreshFromStorage fold appended rows into the cache with an O(Δ)
+// tail scan instead of recounting everything.
+func (s *Session) InvalidateCache() {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	s.c.Invalidate()
+	s.rows = s.rel.NumTuples()
+	s.gen++ // defense in depth: no pre-rewrite partial may ever merge
+}
+
+// Append adds rows to the session's relation (which must be a
+// RowAppender, e.g. a MemoryRelation) and incrementally folds them
+// into every cached statistic: a counting scan over just the appended
+// tail, integer-exact merges, and — only when accumulated growth
+// exceeds the Section 3.4 bucket-error budget — a boundary re-sample.
+// Each row i is nums[i]/bools[i] in schema column order. On a row
+// error nothing is appended; rows are validated before any lands.
+func (s *Session) Append(nums [][]float64, bools [][]bool) (DeltaStats, error) {
+	return s.AppendContext(context.Background(), nums, bools)
+}
+
+// AppendContext is Append under a context governing the tail scan.
+func (s *Session) AppendContext(ctx context.Context, nums [][]float64, bools [][]bool) (DeltaStats, error) {
+	ra, ok := s.rel.(RowAppender)
+	if !ok {
+		return DeltaStats{}, fmt.Errorf("miner: relation %T cannot append rows in place; grow the storage and call RefreshFromStorage", s.rel)
+	}
+	if len(nums) != len(bools) {
+		return DeltaStats{}, fmt.Errorf("miner: %d numeric rows vs %d boolean rows", len(nums), len(bools))
+	}
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	for i := range nums {
+		if err := ra.Append(nums[i], bools[i]); err != nil {
+			if i > 0 {
+				// Earlier rows of the batch landed; the cache must not go
+				// stale. Fold what was appended before reporting.
+				if _, ferr := s.refreshLocked(ctx); ferr != nil {
+					return DeltaStats{}, fmt.Errorf("miner: append row %d: %v (and refreshing the partial batch: %w)", i, err, ferr)
+				}
+			}
+			return DeltaStats{}, fmt.Errorf("miner: append row %d: %w", i, err)
+		}
+	}
+	return s.refreshLocked(ctx)
+}
+
+// Refresh folds any in-place growth of the underlying relation into
+// the cached statistics: use it when rows were appended to the
+// relation object directly (a shared MemoryRelation, an instrumented
+// wrapper) rather than through Session.Append. Shrinkage falls back to
+// invalidation, like any non-append change.
+func (s *Session) Refresh() (DeltaStats, error) {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	return s.refreshLocked(context.Background())
+}
+
+// RefreshFromStorage picks up rows appended to the session's storage
+// outside the session — relation.AppendToSharded, the optdata append
+// subcommand, another process — and folds them into the cached
+// statistics exactly like Append. The relation must be a
+// StorageRefresher (e.g. a ShardedRelation); its Reopen guarantees
+// in-flight scans keep their pre-refresh snapshot.
+func (s *Session) RefreshFromStorage() (DeltaStats, error) {
+	return s.RefreshFromStorageContext(context.Background())
+}
+
+// RefreshFromStorageContext is RefreshFromStorage under a context.
+func (s *Session) RefreshFromStorageContext(ctx context.Context) (DeltaStats, error) {
+	sr, ok := s.rel.(StorageRefresher)
+	if !ok {
+		return DeltaStats{}, fmt.Errorf("miner: relation %T cannot reopen from storage", s.rel)
+	}
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	if _, err := sr.Reopen(); err != nil {
+		return DeltaStats{}, fmt.Errorf("miner: refresh: %w", err)
+	}
+	return s.refreshLocked(ctx)
+}
+
+// refreshLocked folds the relation's growth since the last refresh
+// into the cache. Caller holds refreshMu.
+func (s *Session) refreshLocked(ctx context.Context) (DeltaStats, error) {
+	newN := s.rel.NumTuples()
+	if newN == s.rows {
+		return DeltaStats{OldRows: s.rows, NewRows: newN}, nil
+	}
+	ds, err := plan.RunDelta(ctx, s.rel, s.d, s.c, s.rows, newN, s.gen+1)
+	if err != nil {
+		// The relation already grew; the cache may hold pre-growth
+		// statistics a later batch would serve as covering. Fail safe.
+		s.c.Invalidate()
+		s.rows = newN
+		s.gen++
+		return ds, fmt.Errorf("miner: delta refresh: %w (cache invalidated)", err)
+	}
+	s.rows = newN
+	s.gen++
+	return ds, nil
+}
 
 // ExecuteBatch answers a batch of queries together: the planner
 // dedupes the sufficient statistics the whole batch needs, the
@@ -147,9 +293,16 @@ func (s *Session) ExecuteBatch(queries []Query) ([]Answer, error) {
 // error in its Answer.Err and the batch itself returns nil error, so
 // callers draining a mixed batch see exactly which answers are usable.
 func (s *Session) ExecuteBatchContext(ctx context.Context, queries []Query) ([]Answer, error) {
+	// The read side of refreshMu spans resolve, execute, AND extract: a
+	// concurrent Append cannot slip between the batch planning against N
+	// rows and publishing statistics counted over them, so every cache
+	// entry's generation tag is truthful.
+	s.refreshMu.RLock()
+	defer s.refreshMu.RUnlock()
 	answers := make([]Answer, len(queries))
 	resolved := make([]*plan.Resolved, len(queries))
 	req := plan.NewRequirements()
+	req.Gen = s.gen
 	for i, q := range queries {
 		answers[i].Query = q
 		r, err := plan.Resolve(s.rel, s.d, q)

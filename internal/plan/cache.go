@@ -2,6 +2,7 @@ package plan
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 
 	"optrule/internal/bucketing"
@@ -9,18 +10,30 @@ import (
 
 // Cache stores sufficient statistics across batches. Implementations
 // must be safe for concurrent use; Put1D must MERGE into an existing
-// entry (statistics for one key only ever grow rows, never change
-// them), and values handed out are shared read-only.
+// same-generation entry (statistics for one key only ever grow rows,
+// never change them), and values handed out are shared read-only.
+// PutBounds records the relation row count the boundaries were sampled
+// over, so the delta executor can hold appended growth against the
+// Section 3.4 bucket-error budget per boundary set.
 type Cache interface {
 	GetBounds(BoundKey) (bucketing.Boundaries, bool)
-	PutBounds(BoundKey, bucketing.Boundaries)
+	PutBounds(BoundKey, bucketing.Boundaries, int)
 	Get1D(GroupKey) (*Stats1D, bool)
 	Put1D(GroupKey, *Stats1D) *Stats1D // returns the merged entry
 	Get2D(PairKey) (*Stats2D, bool)
 	Put2D(PairKey, *Stats2D) *Stats2D
 }
 
-// CacheStats reports a cache's occupancy and traffic.
+// BoundEntry is a cached boundary set plus the relation row count it
+// was sampled over — the denominator of the delta executor's appended-
+// fraction budget check.
+type BoundEntry struct {
+	B    bucketing.Boundaries
+	Rows int
+}
+
+// CacheStats reports a cache's occupancy and traffic, including the
+// incremental-append delta-merge counters.
 type CacheStats struct {
 	Entries   int
 	Bytes     int64
@@ -28,6 +41,17 @@ type CacheStats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	// DeltaTailScans counts counting scans the delta executor ran over
+	// appended tails; DeltaRowsScanned totals the tail rows they
+	// delivered. DeltaResamples counts boundary sets re-sampled because
+	// appended growth exceeded the bucket-error budget, and
+	// DeltaEntriesFolded counts cached groups and pair grids updated by
+	// an integer-exact fold (entries dropped pending re-sampled
+	// boundaries are not folded; they recount on next demand).
+	DeltaTailScans     int64
+	DeltaRowsScanned   int64
+	DeltaResamples     int64
+	DeltaEntriesFolded int64
 }
 
 // LRUCache is the session statistics cache: size-accounted, bounded,
@@ -45,6 +69,12 @@ type LRUCache struct {
 	hits     int64
 	misses   int64
 	evicts   int64
+
+	// Delta-merge telemetry; see CacheStats.
+	deltaTailScans     int64
+	deltaRowsScanned   int64
+	deltaResamples     int64
+	deltaEntriesFolded int64
 }
 
 // DefaultCacheBytes is the default session cache budget.
@@ -120,20 +150,38 @@ func (c *LRUCache) putLocked(key any, value any, bytes int64) {
 	}
 }
 
-// GetBounds implements Cache.
-func (c *LRUCache) GetBounds(k BoundKey) (bucketing.Boundaries, bool) {
-	v, ok := c.get(k)
-	if !ok {
-		return bucketing.Boundaries{}, false
+// removeLocked drops the entry for key, with c.mu held.
+func (c *LRUCache) removeLocked(key any) {
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry)
+		c.order.Remove(el)
+		delete(c.entries, key)
+		c.bytes -= e.bytes
 	}
-	return v.(bucketing.Boundaries), true
 }
 
-// PutBounds implements Cache.
-func (c *LRUCache) PutBounds(k BoundKey, b bucketing.Boundaries) {
+// GetBounds implements Cache.
+func (c *LRUCache) GetBounds(k BoundKey) (bucketing.Boundaries, bool) {
+	e, ok := c.GetBoundEntry(k)
+	return e.B, ok
+}
+
+// GetBoundEntry returns the cached boundaries together with the row
+// count they were sampled over.
+func (c *LRUCache) GetBoundEntry(k BoundKey) (BoundEntry, bool) {
+	v, ok := c.get(k)
+	if !ok {
+		return BoundEntry{}, false
+	}
+	return v.(BoundEntry), true
+}
+
+// PutBounds implements Cache. rows is the relation's row count at
+// sampling time.
+func (c *LRUCache) PutBounds(k BoundKey, b bucketing.Boundaries, rows int) {
 	// A Boundaries value is dominated by its cut array; the slot table
 	// adds ~4 int32 slots per cut.
-	c.put(k, b, int64(b.NumBuckets())*28+64)
+	c.put(k, BoundEntry{B: b, Rows: rows}, int64(b.NumBuckets())*28+64)
 }
 
 // Get1D implements Cache.
@@ -145,18 +193,28 @@ func (c *LRUCache) Get1D(k GroupKey) (*Stats1D, bool) {
 	return v.(*Stats1D), true
 }
 
-// Put1D implements Cache: if an entry already exists, a NEW statistic
-// holding the union of its rows and the fresh rows replaces it
-// (copy-on-write — published Stats1D values are immutable, so batches
-// still reading the old entry race with nothing), and the merged
-// entry is returned. The whole check-merge-insert runs in one
+// Put1D implements Cache: if a same-generation entry already exists, a
+// NEW statistic holding the union of its rows and the fresh rows
+// replaces it (copy-on-write — published Stats1D values are immutable,
+// so batches still reading the old entry race with nothing), and the
+// merged entry is returned. The whole check-merge-insert runs in one
 // critical section, so concurrent first-time publishers compose
-// instead of clobbering each other.
+// instead of clobbering each other. Generations never mix: a fresh
+// statistic older than the cached entry is discarded (the cached entry
+// already absorbed an append the stale partial has not seen), and one
+// newer replaces the entry outright.
 func (c *LRUCache) Put1D(k GroupKey, s *Stats1D) *Stats1D {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
-		s = el.Value.(*entry).value.(*Stats1D).mergedWith(s)
+		have := el.Value.(*entry).value.(*Stats1D)
+		switch {
+		case have.Gen == s.Gen:
+			s = have.mergedWith(s)
+		case have.Gen > s.Gen:
+			c.order.MoveToFront(el)
+			return have // stale partial: never merged, never cached
+		}
 	}
 	c.putLocked(k, s, s.sizeBytes())
 	return s
@@ -172,18 +230,98 @@ func (c *LRUCache) Get2D(k PairKey) (*Stats2D, bool) {
 }
 
 // Put2D implements Cache. Pair grids carry a fixed statistic set, so a
-// racing duplicate insert keeps the first entry (both hold identical
-// counts); check and insert share one critical section.
+// racing same-generation duplicate insert keeps the first entry (both
+// hold identical counts); check and insert share one critical section.
+// Generations follow the Put1D rules: stale grids are discarded, newer
+// grids replace the entry.
 func (c *LRUCache) Put2D(k PairKey, s *Stats2D) *Stats2D {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
 		have := el.Value.(*entry).value.(*Stats2D)
-		c.order.MoveToFront(el)
-		return have
+		if have.Gen >= s.Gen {
+			c.order.MoveToFront(el)
+			return have
+		}
 	}
 	c.putLocked(k, s, s.sizeBytes())
 	return s
+}
+
+// CopyBoundsFrom copies every cached boundary entry of src into c.
+// Differential tests use it to pin a control session to the boundaries
+// another session sampled, isolating counting behavior from sampling
+// position.
+func (c *LRUCache) CopyBoundsFrom(src *LRUCache) {
+	type kv struct {
+		k BoundKey
+		v BoundEntry
+	}
+	src.mu.Lock()
+	var pairs []kv
+	for k, el := range src.entries {
+		if bk, ok := k.(BoundKey); ok {
+			pairs = append(pairs, kv{bk, el.Value.(*entry).value.(BoundEntry)})
+		}
+	}
+	src.mu.Unlock()
+	// Insert in a fixed order so the destination's LRU order does not
+	// inherit the source map's randomized iteration order.
+	sort.Slice(pairs, func(i, j int) bool {
+		a, b := pairs[i].k, pairs[j].k
+		if a.Attr != b.Attr {
+			return a.Attr < b.Attr
+		}
+		if a.M != b.M {
+			return a.M < b.M
+		}
+		return !a.Exact && b.Exact
+	})
+	for _, p := range pairs {
+		c.PutBounds(p.k, p.v.B, p.v.Rows)
+	}
+}
+
+// snapshotForDelta returns every cached entry by kind, under one
+// critical section, for the delta executor's planning pass.
+func (c *LRUCache) snapshotForDelta() (bounds map[BoundKey]BoundEntry, groups map[GroupKey]*Stats1D, pairs map[PairKey]*Stats2D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bounds = map[BoundKey]BoundEntry{}
+	groups = map[GroupKey]*Stats1D{}
+	pairs = map[PairKey]*Stats2D{}
+	for k, el := range c.entries {
+		switch key := k.(type) {
+		case BoundKey:
+			bounds[key] = el.Value.(*entry).value.(BoundEntry)
+		case GroupKey:
+			groups[key] = el.Value.(*entry).value.(*Stats1D)
+		case PairKey:
+			pairs[key] = el.Value.(*entry).value.(*Stats2D)
+		}
+	}
+	return bounds, groups, pairs
+}
+
+// dropForDelta removes the given keys (any mix of bound, group, and
+// pair keys) in one critical section. The delta executor drops entries
+// whose boundaries it re-sampled; they recount cold on next demand.
+func (c *LRUCache) dropForDelta(keys []any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, k := range keys {
+		c.removeLocked(k)
+	}
+}
+
+// noteDelta folds one refresh's telemetry into the counters.
+func (c *LRUCache) noteDelta(tailScans, rowsScanned, resamples, folded int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deltaTailScans += tailScans
+	c.deltaRowsScanned += rowsScanned
+	c.deltaResamples += resamples
+	c.deltaEntriesFolded += folded
 }
 
 // SetMaxBytes rebounds the cache (0 restores DefaultCacheBytes,
@@ -214,17 +352,21 @@ func (c *LRUCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:   c.order.Len(),
-		Bytes:     c.bytes,
-		MaxBytes:  c.maxBytes,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evicts,
+		Entries:            c.order.Len(),
+		Bytes:              c.bytes,
+		MaxBytes:           c.maxBytes,
+		Hits:               c.hits,
+		Misses:             c.misses,
+		Evictions:          c.evicts,
+		DeltaTailScans:     c.deltaTailScans,
+		DeltaRowsScanned:   c.deltaRowsScanned,
+		DeltaResamples:     c.deltaResamples,
+		DeltaEntriesFolded: c.deltaEntriesFolded,
 	}
 }
 
 // Invalidate empties the cache (e.g. after the underlying relation
-// changed); traffic counters are preserved.
+// changed in place); traffic counters are preserved.
 func (c *LRUCache) Invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()

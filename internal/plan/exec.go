@@ -46,11 +46,16 @@ func RunContext(ctx context.Context, rel relation.Relation, d Defaults, cache Ca
 	}
 
 	// Phase 1: coverage. Split the requirements into cache hits and
-	// misses; only the misses will scan.
+	// misses; only the misses will scan. An entry from a different cache
+	// generation never counts as a hit — it summarizes a different row
+	// set than the batch executes against (the delta executor normally
+	// folds or drops every entry on refresh, so this guard only fires on
+	// exotic cache implementations or interleavings, but correctness must
+	// not depend on that).
 	var groups []*GroupNeed
 	for _, gk := range req.GroupOrder {
 		need := req.Groups[gk]
-		if have, ok := cache.Get1D(gk); ok && have.Covers(need) {
+		if have, ok := cache.Get1D(gk); ok && have.Gen == req.Gen && have.Covers(need) {
 			set.Groups[gk] = have
 			continue
 		}
@@ -58,7 +63,7 @@ func RunContext(ctx context.Context, rel relation.Relation, d Defaults, cache Ca
 	}
 	var pairs []*PairNeed
 	for _, pk := range req.PairOrder {
-		if have, ok := cache.Get2D(pk); ok {
+		if have, ok := cache.Get2D(pk); ok && have.Gen == req.Gen {
 			set.Pairs[pk] = have
 			continue
 		}
@@ -108,7 +113,7 @@ func RunContext(ctx context.Context, rel relation.Relation, d Defaults, cache Ca
 		}
 		for i, bk := range boundOrder {
 			set.Bounds[bk] = bounds[i]
-			cache.PutBounds(bk, bounds[i])
+			cache.PutBounds(bk, bounds[i], rel.NumTuples())
 		}
 	}
 
@@ -124,11 +129,15 @@ func RunContext(ctx context.Context, rel relation.Relation, d Defaults, cache Ca
 	}
 	// Publish through the cache, which merges fresh rows into any
 	// concurrently created entries; the merged entry is what the batch
-	// binds to.
+	// binds to. Fresh statistics carry the batch's cache generation so a
+	// partial computed before a concurrent append can never be merged
+	// into an entry the delta executor already advanced.
 	for _, need := range groups {
+		set.Groups[need.Key].Gen = req.Gen
 		set.Groups[need.Key] = cache.Put1D(need.Key, set.Groups[need.Key])
 	}
 	for _, need := range pairs {
+		set.Pairs[need.Key].Gen = req.Gen
 		set.Pairs[need.Key] = cache.Put2D(need.Key, set.Pairs[need.Key])
 	}
 	return set, nil

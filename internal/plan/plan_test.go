@@ -155,7 +155,7 @@ type boundsMissCache struct {
 func (c *boundsMissCache) GetBounds(BoundKey) (bucketing.Boundaries, bool) {
 	return bucketing.Boundaries{}, false
 }
-func (c *boundsMissCache) PutBounds(BoundKey, bucketing.Boundaries) {}
+func (c *boundsMissCache) PutBounds(BoundKey, bucketing.Boundaries, int) {}
 func (c *boundsMissCache) Get1D(k GroupKey) (*Stats1D, bool) {
 	s, ok := c.groups[k]
 	return s, ok

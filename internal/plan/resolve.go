@@ -409,6 +409,11 @@ type Requirements struct {
 	GroupOrder []GroupKey
 	Pairs      map[PairKey]*PairNeed
 	PairOrder  []PairKey
+	// Gen is the cache generation the batch executes against. Statistics
+	// it publishes are stamped with it, so partials computed before a
+	// concurrent append/refresh are discarded rather than merged into
+	// already-advanced cache entries.
+	Gen int64
 }
 
 // NewRequirements creates an empty requirement set.

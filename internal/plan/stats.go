@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"optrule/internal/bucketing"
@@ -83,6 +84,38 @@ func canonicalFilter(conds []bucketing.BoolCond) (string, []bucketing.BoolCond) 
 	return b.String(), uniq
 }
 
+// parseCanonicalFilter is canonicalFilter's inverse: it rebuilds the
+// condition list from a GroupKey.Filter rendering. The delta executor
+// uses it to reconstruct a cached group's filter without the original
+// query, so an appended tail is counted under exactly the conditions
+// the cached statistic was.
+func parseCanonicalFilter(s string) ([]bucketing.BoolCond, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]bucketing.BoolCond, 0, len(parts))
+	for _, p := range parts {
+		eq := strings.IndexByte(p, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("plan: malformed canonical filter term %q", p)
+		}
+		attr, err := strconv.Atoi(p[:eq])
+		if err != nil || attr < 0 {
+			return nil, fmt.Errorf("plan: malformed canonical filter term %q", p)
+		}
+		switch p[eq+1:] {
+		case "0":
+			out = append(out, bucketing.BoolCond{Attr: attr, Want: false})
+		case "1":
+			out = append(out, bucketing.BoolCond{Attr: attr, Want: true})
+		default:
+			return nil, fmt.Errorf("plan: malformed canonical filter term %q", p)
+		}
+	}
+	return out, nil
+}
+
 // Stats1D is one driver group's cached sufficient statistics: the
 // bucket populations plus whatever objective rows, target sums, and
 // extremes have been tallied for it so far. All slices are read-only
@@ -92,7 +125,12 @@ type Stats1D struct {
 	N     int // tuples passing the filter and landing in a bucket
 	Total int // tuples scanned (before the filter)
 	NaNs  int // filter-passing tuples whose driver value was NaN
-	U     []int
+	// Gen is the cache generation the statistic covers (how many
+	// incremental refreshes of the relation it has absorbed). A
+	// generation-aware cache refuses to merge partials across different
+	// generations — they were counted over different row sets.
+	Gen int64
+	U   []int
 	// MinVal/MaxVal are observed per-bucket driver extremes; nil when
 	// never tracked for this group.
 	MinVal, MaxVal []float64
@@ -132,7 +170,7 @@ func (s *Stats1D) Covers(need *GroupNeed) bool {
 // U/N/extremes are interchangeable; s's rows win on overlap.
 func (s *Stats1D) mergedWith(fresh *Stats1D) *Stats1D {
 	out := &Stats1D{
-		M: s.M, N: s.N, Total: s.Total, NaNs: s.NaNs,
+		M: s.M, N: s.N, Total: s.Total, NaNs: s.NaNs, Gen: s.Gen,
 		U:      s.U,
 		MinVal: s.MinVal, MaxVal: s.MaxVal,
 		V:   make(map[bucketing.BoolCond][]int, len(s.V)+len(fresh.V)),
@@ -155,6 +193,59 @@ func (s *Stats1D) mergedWith(fresh *Stats1D) *Stats1D {
 	for t, row := range fresh.Sum {
 		if _, ok := out.Sum[t]; !ok {
 			out.Sum[t] = row
+		}
+	}
+	return out
+}
+
+// foldedWith returns a NEW statistic equal to s plus the appended
+// tail's tallies, advancing the generation to gen. Like mergedWith it
+// is copy-on-write: published statistics are read concurrently without
+// locks, so neither input is touched. All folds are integer-exact
+// (counts add; extremes take min/max) EXCEPT float target sums, whose
+// accumulation order is observable in the last bits — a folded sum
+// would differ from a cold serial recount — so Sum rows are STRIPPED:
+// the next query needing one recounts it (serially, over the full
+// relation) and merges it back in, preserving bit-identity with a cold
+// rebuild. Rows of s that tail does not carry are dropped the same way
+// (the tail scan is planned FROM s, so in practice tail carries
+// everything).
+func (s *Stats1D) foldedWith(tail *Stats1D, gen int64) *Stats1D {
+	out := &Stats1D{
+		M: s.M, N: s.N + tail.N, Total: s.Total + tail.Total, NaNs: s.NaNs + tail.NaNs,
+		Gen: gen,
+		U:   addInts(s.U, tail.U),
+		V:   make(map[bucketing.BoolCond][]int, len(s.V)),
+		Sum: map[int][]float64{},
+	}
+	if s.MinVal != nil && tail.MinVal != nil {
+		out.MinVal = foldExtremes(s.MinVal, tail.MinVal, false)
+		out.MaxVal = foldExtremes(s.MaxVal, tail.MaxVal, true)
+	}
+	for bc, row := range s.V {
+		if tailRow, ok := tail.V[bc]; ok {
+			out.V[bc] = addInts(row, tailRow)
+		}
+	}
+	return out
+}
+
+// addInts returns a+b elementwise in fresh storage.
+func addInts(a, b []int) []int {
+	out := make([]int, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// foldExtremes returns the elementwise min (or max) in fresh storage.
+func foldExtremes(a, b []float64, max bool) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i]
+		if (max && b[i] > out[i]) || (!max && b[i] < out[i]) {
+			out[i] = b[i]
 		}
 	}
 	return out
@@ -220,12 +311,40 @@ type Stats2D struct {
 	MinA, MaxA []float64
 	MinB, MaxB []float64
 	N, Hits    int
+	// Gen mirrors Stats1D.Gen: the cache generation the grid covers.
+	Gen int64
 }
 
 // sizeBytes estimates the grid's memory footprint for cache accounting.
 func (s *Stats2D) sizeBytes() int64 {
 	cells := int64(s.Grid.Rows()) * int64(s.Grid.Cols())
 	return cells*16 + int64(len(s.MinA)+len(s.MaxA)+len(s.MinB)+len(s.MaxB))*8 + 64
+}
+
+// foldedWith returns a NEW grid statistic equal to s plus the appended
+// tail's cells, advancing the generation to gen. Cell counts and the
+// objective tallies are exact small integers (the tallies are
+// integer-valued float64s, exact under addition), and the per-bucket
+// extremes fold by min/max, so the result is bit-identical to counting
+// prefix+tail in one scan over the same boundaries.
+func (s *Stats2D) foldedWith(tail *Stats2D, gen int64) (*Stats2D, error) {
+	g, err := region.NewGrid(s.Grid.Rows(), s.Grid.Cols())
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Merge(s.Grid); err != nil {
+		return nil, err
+	}
+	if err := g.Merge(tail.Grid); err != nil {
+		return nil, err
+	}
+	return &Stats2D{
+		Grid: g,
+		MinA: foldExtremes(s.MinA, tail.MinA, false), MaxA: foldExtremes(s.MaxA, tail.MaxA, true),
+		MinB: foldExtremes(s.MinB, tail.MinB, false), MaxB: foldExtremes(s.MaxB, tail.MaxB, true),
+		N: s.N + tail.N, Hits: s.Hits + tail.Hits,
+		Gen: gen,
+	}, nil
 }
 
 // GroupNeed is a planner-aggregated 1-D requirement: one count group

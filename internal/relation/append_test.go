@@ -1,0 +1,274 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// appendFixtureTail builds a standalone memory relation of n fresh
+// rows over the bank test schema, continuing from rng.
+func appendFixtureTail(rng *rand.Rand, n int) *MemoryRelation {
+	tail := MustNewMemoryRelation(bankSchema())
+	for r := 0; r < n; r++ {
+		nums := []float64{rng.Float64() * 1e6, float64(rng.Intn(100))}
+		bools := []bool{rng.Intn(2) == 0, rng.Intn(3) == 0}
+		tail.MustAppend(nums, bools)
+	}
+	return tail
+}
+
+// TestShardedAppendAndReopen covers the grow-and-pick-up cycle: append
+// shards commit through the manifest, an OPEN relation sees them only
+// after Reopen (epoch bump), and the grown relation reads back
+// tuple-identical to prefix+tail — across mixed shard formats.
+func TestShardedAppendAndReopen(t *testing.T) {
+	manifest, mem := writeShardedFixture(t, 5, []int{50, 30}, []int{DiskFormatV1, DiskFormatV2}, 16)
+	sr, err := OpenSharded(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if sr.NumTuples() != 80 {
+		t.Fatalf("base relation holds %d tuples, want 80", sr.NumTuples())
+	}
+	epoch0 := sr.Epoch()
+
+	rng := rand.New(rand.NewSource(99))
+	tail := appendFixtureTail(rng, 30)
+	rows, err := AppendToSharded(manifest, tail, AppendOptions{Format: DiskFormatV3, RowsPerShard: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 30 {
+		t.Fatalf("appended %d rows, want 30", rows)
+	}
+	// Commit is visible to new opens but NOT to the live handle until
+	// Reopen: in-flight consumers keep their snapshot.
+	if sr.NumTuples() != 80 {
+		t.Errorf("live handle saw appended rows before Reopen: %d tuples", sr.NumTuples())
+	}
+	added, err := sr.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 30 {
+		t.Fatalf("Reopen added %d rows, want 30", added)
+	}
+	if sr.Epoch() == epoch0 {
+		t.Errorf("epoch did not advance across a growing Reopen")
+	}
+	if sr.NumTuples() != 110 || sr.NumShards() != 5 {
+		t.Fatalf("grown relation: %d tuples in %d shards, want 110 in 5 (12+12+6 appended)", sr.NumTuples(), sr.NumShards())
+	}
+	// A second Reopen with no growth is a cheap no-op.
+	added, err = sr.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 || sr.Epoch() != epoch0+1 {
+		t.Errorf("no-growth Reopen: added %d, epoch %d (want 0, %d)", added, sr.Epoch(), epoch0+1)
+	}
+
+	// Tuple identity: grown relation == prefix rows ++ tail rows.
+	wantN, wantB := collectRange(t, mem, 0, 80)
+	tn, tb := collectRange(t, tail, 0, 30)
+	wantN = append(wantN, tn...)
+	wantB = append(wantB, tb...)
+	gotN, gotB := collectRange(t, sr, 0, 110)
+	for i := range wantN {
+		if gotN[i] != wantN[i] || gotB[i] != wantB[i] {
+			t.Fatalf("row %d differs after append: %v/%v vs %v/%v", i, gotN[i], gotB[i], wantN[i], wantB[i])
+		}
+	}
+	// And a cold open agrees.
+	fresh, err := OpenSharded(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if fresh.NumTuples() != 110 {
+		t.Errorf("cold open sees %d tuples, want 110", fresh.NumTuples())
+	}
+}
+
+// TestShardedAppendSchemaMismatchRefused pins the all-or-nothing
+// contract: a schema mismatch is refused before any file is created,
+// and the manifest stays byte-identical.
+func TestShardedAppendSchemaMismatchRefused(t *testing.T) {
+	manifest, _ := writeShardedFixture(t, 7, []int{20}, []int{DiskFormatV2}, 16)
+	before, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(manifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := MustNewMemoryRelation(Schema{
+		{Name: "Other", Kind: Numeric},
+		{Name: "Flag", Kind: Boolean},
+	})
+	wrong.MustAppend([]float64{1}, []bool{true})
+	if _, err := AppendToSharded(manifest, wrong, AppendOptions{}); err == nil {
+		t.Fatalf("schema mismatch accepted")
+	}
+	after, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Errorf("manifest changed by refused append")
+	}
+	entriesAfter, err := os.ReadDir(filepath.Dir(manifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entriesAfter) != len(entries) {
+		t.Errorf("refused append left files behind: %d entries, had %d", len(entriesAfter), len(entries))
+	}
+}
+
+// TestShardedAppendZeroRowsUntouched pins that appending an empty
+// source leaves the manifest byte-identical (no temp-rename cycle for
+// nothing).
+func TestShardedAppendZeroRowsUntouched(t *testing.T) {
+	manifest, _ := writeShardedFixture(t, 11, []int{20}, []int{DiskFormatV2}, 16)
+	before, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := MustNewMemoryRelation(bankSchema())
+	rows, err := AppendToSharded(manifest, empty, AppendOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 0 {
+		t.Fatalf("empty append reported %d rows", rows)
+	}
+	after, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Errorf("manifest rewritten by zero-row append")
+	}
+}
+
+// TestShardedReopenRequiresAppendOnlyGrowth pins Reopen's safety rail:
+// a manifest whose existing lines shrank or changed is an in-place
+// rewrite, not an append, and must be refused (the snapshot's shard
+// handles would be lies).
+func TestShardedReopenRequiresAppendOnlyGrowth(t *testing.T) {
+	manifest, _ := writeShardedFixture(t, 13, []int{20, 10}, []int{DiskFormatV2, DiskFormatV2}, 16)
+	sr, err := OpenSharded(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	original, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(original), "\n"), "\n")
+
+	// Shrunk: drop the last shard line.
+	if err := os.WriteFile(manifest, []byte(strings.Join(lines[:len(lines)-1], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Reopen(); err == nil {
+		t.Errorf("Reopen accepted a shrunken manifest")
+	}
+
+	// Changed row count on an existing line.
+	mutated := append([]string(nil), lines...)
+	mutated[1] = strings.Replace(mutated[1], "shard 20 ", "shard 19 ", 1)
+	if err := os.WriteFile(manifest, []byte(strings.Join(mutated, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Reopen(); err == nil {
+		t.Errorf("Reopen accepted a mutated shard line")
+	}
+
+	// Restored: Reopen recovers.
+	if err := os.WriteFile(manifest, original, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if added, err := sr.Reopen(); err != nil || added != 0 {
+		t.Errorf("Reopen after restore: added %d, err %v", added, err)
+	}
+}
+
+// TestShardedReopenDuringScan pins the epoch/snapshot contract: a scan
+// in flight when Reopen lands keeps delivering its pre-append snapshot
+// — exactly the old tuple count, no torn view.
+func TestShardedReopenDuringScan(t *testing.T) {
+	manifest, _ := writeShardedFixture(t, 17, []int{40, 40}, []int{DiskFormatV2, DiskFormatV2}, 16)
+	sr, err := OpenSharded(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	rng := rand.New(rand.NewSource(101))
+	delivered := 0
+	reopened := false
+	err = sr.Scan(ColumnSet{Numeric: []int{0}}, func(b *Batch) error {
+		delivered += b.Len
+		if !reopened {
+			reopened = true
+			tail := appendFixtureTail(rng, 25)
+			if _, err := AppendToSharded(manifest, tail, AppendOptions{}); err != nil {
+				return fmt.Errorf("append mid-scan: %w", err)
+			}
+			if _, err := sr.Reopen(); err != nil {
+				return fmt.Errorf("reopen mid-scan: %w", err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 80 {
+		t.Errorf("mid-append scan delivered %d rows, want the 80-row snapshot", delivered)
+	}
+	if sr.NumTuples() != 105 {
+		t.Errorf("post-scan relation holds %d tuples, want 105", sr.NumTuples())
+	}
+}
+
+// TestShardedAppenderContinuesNumbering pins that appended shard files
+// never truncate an existing base-named file: numbering skips past any
+// <base>-sNNNNN.opr already on disk.
+func TestShardedAppenderContinuesNumbering(t *testing.T) {
+	manifest, _ := writeShardedFixture(t, 19, []int{10}, []int{DiskFormatV2}, 16)
+	dir := filepath.Dir(manifest)
+	// Plant an unrelated file at the first append slot.
+	blocker := filepath.Join(dir, "rel-s00001.opr")
+	if err := os.WriteFile(blocker, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	tail := appendFixtureTail(rng, 5)
+	if _, err := AppendToSharded(manifest, tail, AppendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "precious" {
+		t.Errorf("append truncated an existing base-named file")
+	}
+	sr, err := OpenSharded(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if sr.NumTuples() != 15 {
+		t.Errorf("relation holds %d tuples, want 15", sr.NumTuples())
+	}
+}

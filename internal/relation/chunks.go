@@ -117,9 +117,10 @@ func (dr *DiskRelation) ScanCosts(cols ColumnSet, pred *Predicate) ([]int, []int
 // atoms the whole relation declines, so the estimate never silently
 // mixes priced and unpriced regions.
 func (sr *ShardedRelation) ScanCosts(cols ColumnSet, pred *Predicate) ([]int, []int64) {
+	ss := sr.cur.Load()
 	cuts := []int{0}
 	var costs []int64
-	for i, shard := range sr.shards {
+	for i, shard := range ss.shards {
 		if shard.NumTuples() == 0 {
 			continue // empty shard: no atoms to contribute
 		}
@@ -127,7 +128,7 @@ func (sr *ShardedRelation) ScanCosts(cols ColumnSet, pred *Predicate) ([]int, []
 		if sCuts == nil {
 			return nil, nil
 		}
-		base := sr.starts[i]
+		base := ss.starts[i]
 		for j, c := range sCosts {
 			cuts = append(cuts, base+sCuts[j+1])
 			costs = append(costs, c)

@@ -609,31 +609,6 @@ type ScanAligner interface {
 
 // ScanRange makes MemoryRelation a RangeScanner.
 func (r *MemoryRelation) ScanRange(start, end int, cols ColumnSet, fn func(*Batch) error) error {
-	if err := cols.Validate(r.schema); err != nil {
-		return err
-	}
-	if start < 0 || end > r.numRows || start > end {
-		return fmt.Errorf("relation: scan range [%d,%d) out of [0,%d)", start, end, r.numRows)
-	}
-	batch := &Batch{
-		Numeric: make([][]float64, len(cols.Numeric)),
-		Bool:    make([][]bool, len(cols.Bool)),
-	}
-	for at := start; at < end; at += DefaultBatchSize {
-		stop := at + DefaultBatchSize
-		if stop > end {
-			stop = end
-		}
-		batch.Len = stop - at
-		for k, i := range cols.Numeric {
-			batch.Numeric[k] = r.numeric[r.colIdx[i]][at:stop]
-		}
-		for k, i := range cols.Bool {
-			batch.Bool[k] = r.boolean[r.colIdx[i]][at:stop]
-		}
-		if err := fn(batch); err != nil {
-			return err
-		}
-	}
-	return nil
+	n, numeric, boolean := r.snapshot()
+	return r.scanSnapshot(start, end, n, numeric, boolean, cols, fn)
 }

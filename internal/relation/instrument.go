@@ -28,3 +28,62 @@ func (c *CountingRelation) Scan(cols ColumnSet, fn func(*Batch) error) error {
 		return fn(b)
 	})
 }
+
+// RangeCountingRelation wraps a RangeScanner and counts both full scans
+// and range scans, recording each range's bounds. The delta-merge tests
+// assert on it: an incremental refresh must issue scans covering ONLY
+// the appended tail, never the prefix the cache already summarizes.
+// (CountingRelation deliberately does not implement RangeScanner —
+// existing tests rely on wrapped relations dropping that capability —
+// hence a separate wrapper.)
+type RangeCountingRelation struct {
+	R RangeScanner
+	// Scans counts Scan plus ScanRange calls; Rows totals delivered
+	// tuples across both.
+	Scans int
+	Rows  int64
+	// Ranges records every ScanRange's [start, end) in call order; full
+	// Scans record [0, NumTuples()).
+	Ranges [][2]int
+}
+
+// Schema implements Relation.
+func (c *RangeCountingRelation) Schema() Schema { return c.R.Schema() }
+
+// NumTuples implements Relation.
+func (c *RangeCountingRelation) NumTuples() int { return c.R.NumTuples() }
+
+// Scan implements Relation.
+func (c *RangeCountingRelation) Scan(cols ColumnSet, fn func(*Batch) error) error {
+	c.Scans++
+	c.Ranges = append(c.Ranges, [2]int{0, c.R.NumTuples()})
+	return c.R.Scan(cols, func(b *Batch) error {
+		c.Rows += int64(b.Len)
+		return fn(b)
+	})
+}
+
+// ScanRange implements RangeScanner.
+func (c *RangeCountingRelation) ScanRange(start, end int, cols ColumnSet, fn func(*Batch) error) error {
+	c.Scans++
+	c.Ranges = append(c.Ranges, [2]int{start, end})
+	return c.R.ScanRange(start, end, cols, func(b *Batch) error {
+		c.Rows += int64(b.Len)
+		return fn(b)
+	})
+}
+
+// MinScanned returns the lowest row any recorded scan touched, or -1
+// when no scan ran.
+func (c *RangeCountingRelation) MinScanned() int {
+	min := -1
+	for _, r := range c.Ranges {
+		if r[0] == r[1] {
+			continue // empty range: touched nothing
+		}
+		if min == -1 || r[0] < min {
+			min = r[0]
+		}
+	}
+	return min
+}

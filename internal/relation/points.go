@@ -29,6 +29,9 @@ type NumericPointReader interface {
 // ReadNumericPoints implements NumericPointReader by direct column
 // indexing.
 func (r *MemoryRelation) ReadNumericPoints(attr int, rows []int, out []float64) error {
+	// NumericColumn captures the column header under the relation's read
+	// lock; rows beyond its captured length (concurrent appends) are out
+	// of range for this call, matching NumTuples at capture time.
 	col, err := r.NumericColumn(attr)
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Sharded relations: one LOGICAL relation backed by an ordered list of
@@ -86,13 +87,24 @@ var (
 // ShardedRelation is a Relation backed by an ordered list of shard
 // files; see the package comment above for the manifest format and the
 // global row-order contract. Open one with OpenSharded.
+//
+// The shard list lives in an immutable snapshot (shardSet) swapped
+// atomically by Reopen: every operation loads the snapshot once and
+// works against it, so an open relation can pick up shards appended to
+// the manifest (by a ShardedAppender) without invalidating in-flight
+// scans — appends only ever extend the shard list, so a scan bounded
+// by an older snapshot's row count stays valid against any newer one.
 type ShardedRelation struct {
 	manifestPath string
 	schema       Schema
-	shards       []*DiskRelation
-	paths        []string // resolved shard paths, manifest order
-	starts       []int    // starts[i] = global row of shard i's first tuple; len(shards)+1 entries
-	numRows      int
+	// cur is the current immutable shard-set snapshot. Readers load it
+	// once per operation; Reopen swaps in a new one.
+	cur atomic.Pointer[shardSet]
+	// epoch counts snapshot swaps that added rows; see Epoch.
+	epoch atomic.Int64
+	// reopenMu serializes Reopen (and orders it against Close) without
+	// blocking scans, which only read the snapshot pointer.
+	reopenMu sync.Mutex
 	// scanAhead > 1 enables concurrent sub-scans: Scan/ScanRange runs up
 	// to scanAhead shards' scans at once, each with its own prefetcher,
 	// delivering batches in global row order. See SetConcurrentScans.
@@ -104,10 +116,25 @@ type ShardedRelation struct {
 	ops sync.RWMutex
 }
 
-// shardManifestEntry is one parsed manifest line.
+// shardSet is one immutable snapshot of a sharded relation's backing
+// files. Never mutated after publication; Reopen builds a fresh one
+// (sharing the already-open *DiskRelation prefix) and swaps the
+// pointer.
+type shardSet struct {
+	shards  []*DiskRelation
+	paths   []string             // resolved shard paths, manifest order
+	entries []shardManifestEntry // parsed manifest lines, raw path text preserved
+	starts  []int                // starts[i] = global row of shard i's first tuple; len(shards)+1 entries
+	numRows int
+}
+
+// shardManifestEntry is one parsed manifest line. raw preserves the
+// path exactly as written (before resolving against the manifest
+// directory), so an appender can rewrite existing lines verbatim.
 type shardManifestEntry struct {
 	rows int
 	path string
+	raw  string
 }
 
 // parseShardManifest parses and validates manifest text (not the shard
@@ -144,14 +171,15 @@ func parseShardManifest(name string, data []byte, dir string) ([]shardManifestEn
 		if err != nil || rows < 0 {
 			return nil, fmt.Errorf("relation: %s:%d: bad shard row count %q", name, line, fields[1])
 		}
-		path := strings.TrimSpace(fields[2])
-		if path == "" {
+		raw := strings.TrimSpace(fields[2])
+		if raw == "" {
 			return nil, fmt.Errorf("relation: %s:%d: empty shard path", name, line)
 		}
+		path := raw
 		if !filepath.IsAbs(path) {
 			path = filepath.Join(dir, path)
 		}
-		entries = append(entries, shardManifestEntry{rows: rows, path: path})
+		entries = append(entries, shardManifestEntry{rows: rows, path: path, raw: raw})
 		if len(entries) > maxManifestShards {
 			return nil, fmt.Errorf("relation: %s: more than %d shards", name, maxManifestShards)
 		}
@@ -179,12 +207,8 @@ func sameSchema(a, b Schema) bool {
 	return true
 }
 
-// OpenSharded opens a sharded relation from its manifest: every listed
-// shard file is opened (format version negotiated per shard) and
-// cross-checked — declared row counts against the shard headers,
-// schemas for exact equality across shards — before any row is served,
-// so a corrupt or drifted manifest fails at open, not mid-scan.
-func OpenSharded(manifestPath string) (*ShardedRelation, error) {
+// readShardManifest stats, reads, and parses the manifest at path.
+func readShardManifest(manifestPath string) ([]shardManifestEntry, error) {
 	st, err := os.Stat(manifestPath)
 	if err != nil {
 		return nil, err
@@ -196,61 +220,137 @@ func OpenSharded(manifestPath string) (*ShardedRelation, error) {
 	if err != nil {
 		return nil, err
 	}
-	entries, err := parseShardManifest(manifestPath, data, filepath.Dir(manifestPath))
-	if err != nil {
-		return nil, err
-	}
-	sr := &ShardedRelation{
-		manifestPath: manifestPath,
-		shards:       make([]*DiskRelation, 0, len(entries)),
-		paths:        make([]string, 0, len(entries)),
-		starts:       make([]int, 1, len(entries)+1),
+	return parseShardManifest(manifestPath, data, filepath.Dir(manifestPath))
+}
+
+// buildShardSet opens manifest entries [from, len(entries)), reusing
+// the already-open prefix shards, and returns the complete snapshot.
+// schema is the required schema for every newly opened shard (nil when
+// from == 0: shard 0 defines it). On error, every shard opened by THIS
+// call is closed; prefix shards are left untouched.
+func buildShardSet(manifestPath string, entries []shardManifestEntry, prefix []*DiskRelation, schema Schema) (*shardSet, error) {
+	from := len(prefix)
+	ss := &shardSet{
+		shards:  append(make([]*DiskRelation, 0, len(entries)), prefix...),
+		paths:   make([]string, 0, len(entries)),
+		entries: entries,
+		starts:  make([]int, 1, len(entries)+1),
 	}
 	ok := false
 	defer func() {
 		if !ok {
-			sr.Close()
+			for _, sh := range ss.shards[from:] {
+				sh.Close()
+			}
 		}
 	}()
 	for i, e := range entries {
-		dr, err := OpenDisk(e.path)
-		if err != nil {
-			return nil, fmt.Errorf("relation: %s: shard %d: %w", manifestPath, i, err)
+		if i >= from {
+			dr, err := OpenDisk(e.path)
+			if err != nil {
+				return nil, fmt.Errorf("relation: %s: shard %d: %w", manifestPath, i, err)
+			}
+			ss.shards = append(ss.shards, dr)
 		}
-		sr.shards = append(sr.shards, dr)
-		sr.paths = append(sr.paths, e.path)
+		dr := ss.shards[i]
+		ss.paths = append(ss.paths, e.path)
 		if dr.NumTuples() != e.rows {
 			return nil, fmt.Errorf("relation: %s: shard %d (%s) holds %d rows, manifest declares %d",
 				manifestPath, i, e.path, dr.NumTuples(), e.rows)
 		}
-		if i == 0 {
-			sr.schema = dr.Schema()
-		} else if !sameSchema(sr.schema, dr.Schema()) {
+		if schema == nil {
+			schema = dr.Schema()
+		} else if !sameSchema(schema, dr.Schema()) {
 			return nil, fmt.Errorf("relation: %s: shard %d (%s) schema %v differs from shard 0 schema %v",
-				manifestPath, i, e.path, dr.Schema().Names(), sr.schema.Names())
+				manifestPath, i, e.path, dr.Schema().Names(), schema.Names())
 		}
-		sr.numRows += e.rows
-		sr.starts = append(sr.starts, sr.numRows)
+		ss.numRows += e.rows
+		ss.starts = append(ss.starts, ss.numRows)
 	}
 	ok = true
+	return ss, nil
+}
+
+// OpenSharded opens a sharded relation from its manifest: every listed
+// shard file is opened (format version negotiated per shard) and
+// cross-checked — declared row counts against the shard headers,
+// schemas for exact equality across shards — before any row is served,
+// so a corrupt or drifted manifest fails at open, not mid-scan.
+func OpenSharded(manifestPath string) (*ShardedRelation, error) {
+	entries, err := readShardManifest(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	ss, err := buildShardSet(manifestPath, entries, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	sr := &ShardedRelation{manifestPath: manifestPath, schema: ss.shards[0].Schema()}
+	sr.cur.Store(ss)
 	return sr, nil
 }
+
+// Reopen re-reads the manifest and picks up shards committed since the
+// relation was opened (or last reopened). The new manifest must extend
+// the current one — every existing entry unchanged, in order — because
+// append is the only manifest mutation that preserves the global row
+// numbering cached statistics are keyed on; anything else (reorder,
+// rewrite, truncation) errors and leaves the relation on its current
+// snapshot. In-flight scans are never invalidated: they run against
+// the snapshot they started on, whose shards stay open. Returns the
+// number of rows added.
+func (sr *ShardedRelation) Reopen() (added int, err error) {
+	sr.reopenMu.Lock()
+	defer sr.reopenMu.Unlock()
+	old := sr.cur.Load()
+	entries, err := readShardManifest(sr.manifestPath)
+	if err != nil {
+		return 0, err
+	}
+	if len(entries) < len(old.entries) {
+		return 0, fmt.Errorf("relation: %s: manifest shrank from %d to %d shards; reopen requires append-only growth",
+			sr.manifestPath, len(old.entries), len(entries))
+	}
+	for i, e := range old.entries {
+		if entries[i].rows != e.rows || entries[i].path != e.path {
+			return 0, fmt.Errorf("relation: %s: shard %d changed (%d rows at %s -> %d rows at %s); reopen requires append-only growth",
+				sr.manifestPath, i, e.rows, e.path, entries[i].rows, entries[i].path)
+		}
+	}
+	if len(entries) == len(old.entries) {
+		return 0, nil // nothing new committed
+	}
+	ss, err := buildShardSet(sr.manifestPath, entries, old.shards, sr.schema)
+	if err != nil {
+		return 0, err
+	}
+	sr.cur.Store(ss)
+	if ss.numRows != old.numRows {
+		sr.epoch.Add(1)
+	}
+	return ss.numRows - old.numRows, nil
+}
+
+// Epoch returns a counter incremented every time Reopen picks up
+// committed rows. Sessions compare epochs to detect that cached
+// statistics cover a prefix of the current relation.
+func (sr *ShardedRelation) Epoch() int64 { return sr.epoch.Load() }
 
 // Schema implements Relation.
 func (sr *ShardedRelation) Schema() Schema { return sr.schema }
 
 // NumTuples implements Relation.
-func (sr *ShardedRelation) NumTuples() int { return sr.numRows }
+func (sr *ShardedRelation) NumTuples() int { return sr.cur.Load().numRows }
 
 // NumShards returns the number of shard files backing the relation.
-func (sr *ShardedRelation) NumShards() int { return len(sr.shards) }
+func (sr *ShardedRelation) NumShards() int { return len(sr.cur.Load().shards) }
 
 // ShardStarts returns the global row offset of each shard's first
 // tuple plus a final NumTuples entry (len NumShards()+1, monotone
 // non-decreasing) — the natural task boundaries for a scatter-gather
 // coordinator assigning one worker per shard.
 func (sr *ShardedRelation) ShardStarts() []int {
-	return append([]int(nil), sr.starts...)
+	return append([]int(nil), sr.cur.Load().starts...)
 }
 
 // ManifestPath returns the path the relation was opened from.
@@ -260,9 +360,10 @@ func (sr *ShardedRelation) ManifestPath() string { return sr.manifestPath }
 // then the shard files in manifest order. Conversion helpers use it to
 // refuse writing a destination onto one of its own sources.
 func (sr *ShardedRelation) StoragePaths() []string {
-	out := make([]string, 0, len(sr.paths)+1)
+	ss := sr.cur.Load()
+	out := make([]string, 0, len(ss.paths)+1)
 	out = append(out, sr.manifestPath)
-	return append(out, sr.paths...)
+	return append(out, ss.paths...)
 }
 
 // SetConcurrentScans configures how many shard sub-scans a single
@@ -284,7 +385,7 @@ func (sr *ShardedRelation) SetConcurrentScans(ahead int) {
 // concurrent use.
 func (sr *ShardedRelation) BytesRead() int64 {
 	var total int64
-	for _, sh := range sr.shards {
+	for _, sh := range sr.cur.Load().shards {
 		total += sh.BytesRead()
 	}
 	return total
@@ -292,7 +393,7 @@ func (sr *ShardedRelation) BytesRead() int64 {
 
 // ResetBytesRead zeroes every shard's BytesRead counter.
 func (sr *ShardedRelation) ResetBytesRead() {
-	for _, sh := range sr.shards {
+	for _, sh := range sr.cur.Load().shards {
 		sh.ResetBytesRead()
 	}
 }
@@ -306,8 +407,12 @@ func (sr *ShardedRelation) Close() error {
 		return fmt.Errorf("relation: %s: %w", sr.manifestPath, ErrBusy)
 	}
 	defer sr.ops.Unlock()
+	// Hold reopenMu so a racing Reopen cannot open shards after Close
+	// loaded the snapshot (they would leak their mappings).
+	sr.reopenMu.Lock()
+	defer sr.reopenMu.Unlock()
 	var first error
-	for _, sh := range sr.shards {
+	for _, sh := range sr.cur.Load().shards {
 		if err := sh.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -323,7 +428,7 @@ func (sr *ShardedRelation) Close() error {
 // group grid is phased to the shard's own first row.
 func (sr *ShardedRelation) ScanAlignment() int {
 	g := 1
-	for _, sh := range sr.shards {
+	for _, sh := range sr.cur.Load().shards {
 		if a := sh.ScanAlignment(); a > g {
 			g = a
 		}
@@ -334,9 +439,9 @@ func (sr *ShardedRelation) ScanAlignment() int {
 // shardAt returns the index of the shard containing global row, for
 // row in [0, numRows). Empty shards never contain a row and are
 // skipped naturally.
-func (sr *ShardedRelation) shardAt(row int) int {
+func (ss *shardSet) shardAt(row int) int {
 	// First i with starts[i] >= row+1, minus one: starts[i] <= row < starts[i+1].
-	return sort.SearchInts(sr.starts, row+1) - 1
+	return sort.SearchInts(ss.starts, row+1) - 1
 }
 
 // SnapSegment implements SegmentSnapper: the proposed cut is rounded to
@@ -347,28 +452,29 @@ func (sr *ShardedRelation) shardAt(row int) int {
 // AlignedSegments built from these cuts therefore never split a
 // shard's block group.
 func (sr *ShardedRelation) SnapSegment(cut int) int {
+	ss := sr.cur.Load()
 	if cut <= 0 {
 		return 0
 	}
-	if cut >= sr.numRows {
-		return sr.numRows
+	if cut >= ss.numRows {
+		return ss.numRows
 	}
-	i := sr.shardAt(cut)
-	align := sr.shards[i].ScanAlignment()
+	i := ss.shardAt(cut)
+	align := ss.shards[i].ScanAlignment()
 	if align <= 1 {
 		return cut
 	}
-	local := cut - sr.starts[i]
+	local := cut - ss.starts[i]
 	snapped := (local + align/2) / align * align
-	if max := sr.starts[i+1] - sr.starts[i]; snapped > max {
+	if max := ss.starts[i+1] - ss.starts[i]; snapped > max {
 		snapped = max
 	}
-	return sr.starts[i] + snapped
+	return ss.starts[i] + snapped
 }
 
 // Scan implements Relation by streaming every shard in manifest order.
 func (sr *ShardedRelation) Scan(cols ColumnSet, fn func(*Batch) error) error {
-	return sr.ScanRange(0, sr.numRows, cols, fn)
+	return sr.ScanRange(0, sr.NumTuples(), cols, fn)
 }
 
 // ScanRange implements RangeScanner: the global row range [start, end)
@@ -381,25 +487,26 @@ func (sr *ShardedRelation) Scan(cols ColumnSet, fn func(*Batch) error) error {
 func (sr *ShardedRelation) ScanRange(start, end int, cols ColumnSet, fn func(*Batch) error) error {
 	sr.ops.RLock()
 	defer sr.ops.RUnlock()
+	ss := sr.cur.Load()
 	if err := cols.Validate(sr.schema); err != nil {
 		return err
 	}
-	if start < 0 || end > sr.numRows || start > end {
-		return fmt.Errorf("relation: scan range [%d,%d) out of [0,%d)", start, end, sr.numRows)
+	if start < 0 || end > ss.numRows || start > end {
+		return fmt.Errorf("relation: scan range [%d,%d) out of [0,%d)", start, end, ss.numRows)
 	}
 	if start == end {
 		return nil
 	}
-	first, last := sr.shardAt(start), sr.shardAt(end-1)
+	first, last := ss.shardAt(start), ss.shardAt(end-1)
 	if sr.scanAhead > 1 && first < last {
-		return sr.scanRangeConcurrent(start, end, first, last, cols, fn)
+		return sr.scanRangeConcurrent(ss, start, end, first, last, cols, fn)
 	}
 	for i := first; i <= last; i++ {
-		lo, hi := sr.shardRange(i, start, end)
+		lo, hi := ss.shardRange(i, start, end)
 		if lo >= hi {
 			continue // empty shard inside the window
 		}
-		if err := sr.shards[i].ScanRange(lo, hi, cols, fn); err != nil {
+		if err := ss.shards[i].ScanRange(lo, hi, cols, fn); err != nil {
 			return err
 		}
 	}
@@ -416,28 +523,29 @@ func (sr *ShardedRelation) ScanRange(start, end int, cols ColumnSet, fn func(*Ba
 func (sr *ShardedRelation) ScanRangePruned(start, end int, cols ColumnSet, pred *Predicate, skip func(rows int) error, fn func(*Batch) error) error {
 	sr.ops.RLock()
 	defer sr.ops.RUnlock()
+	ss := sr.cur.Load()
 	if err := cols.Validate(sr.schema); err != nil {
 		return err
 	}
 	if err := pred.Validate(sr.schema); err != nil {
 		return err
 	}
-	if start < 0 || end > sr.numRows || start > end {
-		return fmt.Errorf("relation: scan range [%d,%d) out of [0,%d)", start, end, sr.numRows)
+	if start < 0 || end > ss.numRows || start > end {
+		return fmt.Errorf("relation: scan range [%d,%d) out of [0,%d)", start, end, ss.numRows)
 	}
 	if start == end {
 		return nil
 	}
-	first, last := sr.shardAt(start), sr.shardAt(end-1)
+	first, last := ss.shardAt(start), ss.shardAt(end-1)
 	if sr.scanAhead > 1 && first < last {
-		return sr.scanRangeConcurrent(start, end, first, last, cols, fn)
+		return sr.scanRangeConcurrent(ss, start, end, first, last, cols, fn)
 	}
 	for i := first; i <= last; i++ {
-		lo, hi := sr.shardRange(i, start, end)
+		lo, hi := ss.shardRange(i, start, end)
 		if lo >= hi {
 			continue // empty shard inside the window
 		}
-		if err := sr.shards[i].ScanRangePruned(lo, hi, cols, pred, skip, fn); err != nil {
+		if err := ss.shards[i].ScanRangePruned(lo, hi, cols, pred, skip, fn); err != nil {
 			return err
 		}
 	}
@@ -446,12 +554,12 @@ func (sr *ShardedRelation) ScanRangePruned(start, end int, cols ColumnSet, pred 
 
 // shardRange clips the global range [start, end) to shard i's rows and
 // translates it to shard-local coordinates.
-func (sr *ShardedRelation) shardRange(i, start, end int) (lo, hi int) {
-	lo, hi = 0, sr.starts[i+1]-sr.starts[i]
-	if s := start - sr.starts[i]; s > lo {
+func (ss *shardSet) shardRange(i, start, end int) (lo, hi int) {
+	lo, hi = 0, ss.starts[i+1]-ss.starts[i]
+	if s := start - ss.starts[i]; s > lo {
 		lo = s
 	}
-	if e := end - sr.starts[i]; e < hi {
+	if e := end - ss.starts[i]; e < hi {
 		hi = e
 	}
 	return lo, hi
@@ -482,7 +590,7 @@ type shardStream struct {
 // the free list, so at most shardScanDepth copies exist per shard. A
 // closed stop channel tears the producer down on any consumer exit
 // path.
-func (sr *ShardedRelation) startShardStream(i, lo, hi int, cols ColumnSet, stop <-chan struct{}) *shardStream {
+func startShardStream(ss *shardSet, i, lo, hi int, cols ColumnSet, stop <-chan struct{}) *shardStream {
 	st := &shardStream{
 		out:  make(chan *shardBatch, shardScanDepth),
 		free: make(chan *shardBatch, shardScanDepth),
@@ -490,7 +598,7 @@ func (sr *ShardedRelation) startShardStream(i, lo, hi int, cols ColumnSet, stop 
 	for j := 0; j < shardScanDepth; j++ {
 		st.free <- nil // allocated lazily by the producer
 	}
-	sh := sr.shards[i]
+	sh := ss.shards[i]
 	go func() {
 		defer close(st.out)
 		err := sh.ScanRange(lo, hi, cols, func(b *Batch) error {
@@ -536,7 +644,7 @@ func (sr *ShardedRelation) startShardStream(i, lo, hi int, cols ColumnSet, stop 
 // next shard's disk reads overlap the current shard's decode-and-count
 // work, and on multi-disk layouts the spindles stream in parallel.
 // Memory stays bounded at scanAhead × shardScanDepth copied batches.
-func (sr *ShardedRelation) scanRangeConcurrent(start, end, first, last int, cols ColumnSet, fn func(*Batch) error) error {
+func (sr *ShardedRelation) scanRangeConcurrent(ss *shardSet, start, end, first, last int, cols ColumnSet, fn func(*Batch) error) error {
 	stop := make(chan struct{})
 	defer close(stop) // tears down every launched producer on any exit
 	streams := make([]*shardStream, last-first+1)
@@ -544,8 +652,8 @@ func (sr *ShardedRelation) scanRangeConcurrent(start, end, first, last int, cols
 		if i > last {
 			return
 		}
-		lo, hi := sr.shardRange(i, start, end)
-		streams[i-first] = sr.startShardStream(i, lo, hi, cols, stop)
+		lo, hi := ss.shardRange(i, start, end)
+		streams[i-first] = startShardStream(ss, i, lo, hi, cols, stop)
 	}
 	for i := first; i < first+sr.scanAhead && i <= last; i++ {
 		launch(i)
@@ -582,6 +690,7 @@ func (sr *ShardedRelation) scanRangeConcurrent(start, end, first, last int, cols
 func (sr *ShardedRelation) ReadNumericPoints(attr int, rows []int, out []float64) error {
 	sr.ops.RLock()
 	defer sr.ops.RUnlock()
+	ss := sr.cur.Load()
 	if attr < 0 || attr >= len(sr.schema) || sr.schema[attr].Kind != Numeric {
 		return fmt.Errorf("relation: point read attribute %d is not a numeric column", attr)
 	}
@@ -589,8 +698,8 @@ func (sr *ShardedRelation) ReadNumericPoints(attr int, rows []int, out []float64
 		return fmt.Errorf("relation: %d rows but %d outputs", len(rows), len(out))
 	}
 	for i, row := range rows {
-		if row < 0 || row >= sr.numRows {
-			return fmt.Errorf("relation: point read row %d out of [0,%d)", row, sr.numRows)
+		if row < 0 || row >= ss.numRows {
+			return fmt.Errorf("relation: point read row %d out of [0,%d)", row, ss.numRows)
 		}
 		if i > 0 && row < rows[i-1] {
 			return fmt.Errorf("relation: point read rows not sorted at %d", i)
@@ -601,15 +710,15 @@ func (sr *ShardedRelation) ReadNumericPoints(attr int, rows []int, out []float64
 	}
 	local := make([]int, 0, len(rows))
 	for j := 0; j < len(rows); {
-		i := sr.shardAt(rows[j])
-		hi := sr.starts[i+1]
+		i := ss.shardAt(rows[j])
+		hi := ss.starts[i+1]
 		k := j
 		local = local[:0]
 		for k < len(rows) && rows[k] < hi {
-			local = append(local, rows[k]-sr.starts[i])
+			local = append(local, rows[k]-ss.starts[i])
 			k++
 		}
-		if err := sr.shards[i].ReadNumericPoints(attr, local, out[j:k]); err != nil {
+		if err := ss.shards[i].ReadNumericPoints(attr, local, out[j:k]); err != nil {
 			return err
 		}
 		j = k
@@ -960,6 +1069,272 @@ func ConvertToSharded(src Relation, manifestPath string, shards, version int) er
 		return err
 	}
 	return nil
+}
+
+// AppendOptions configures NewShardedAppender.
+type AppendOptions struct {
+	// RowsPerShard, when positive, starts a new appended shard every
+	// RowsPerShard rows; 0 puts the whole appended stream in one new
+	// shard.
+	RowsPerShard int
+	// Format is the new shards' file format version (DiskFormatV1,
+	// DiskFormatV2, or DiskFormatV3); 0 selects the v2 default. Appended
+	// shards may use a different format than the existing ones.
+	Format int
+	// GroupRows is the v2/v3 block-group size; 0 selects the default.
+	GroupRows int
+}
+
+// ShardedAppender grows an EXISTING sharded relation: appended tuples
+// stream into fresh shard files next to the manifest (continuing the
+// <base>-sNNNNN.opr numbering past any name already on disk), and
+// Close rewrites the manifest — existing lines verbatim, new `shard`
+// lines added — through the same temp+rename discipline as
+// ShardedWriter. A reader that opens (or Reopens) the manifest
+// therefore sees either the old relation or the fully-committed grown
+// one, never a partial append; existing shard files are never touched,
+// so the old relation remains a valid prefix of the new one.
+type ShardedAppender struct {
+	manifestPath string
+	dir          string
+	base         string
+	schema       Schema
+	format       int
+	groupRows    int
+	rowsPerShard int
+	existing     []shardManifestEntry
+	nextIdx      int // shard file number for the next started shard
+	cur          *DiskWriter
+	curRows      int
+	rows         int
+	newEntries   []shardManifestEntry
+	created      []string
+	closed       bool
+	closeErr     error
+	// writeErr latches a failed rollover, like ShardedWriter: rows are
+	// lost, so later Appends and Close must fail rather than commit.
+	writeErr error
+}
+
+// NewShardedAppender opens the manifest at manifestPath for appending.
+// The manifest's schema (shard 0's) becomes the appender's schema;
+// callers must append tuples of exactly that schema.
+func NewShardedAppender(manifestPath string, opts AppendOptions) (*ShardedAppender, error) {
+	entries, err := readShardManifest(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	dr, err := OpenDisk(entries[0].path)
+	if err != nil {
+		return nil, fmt.Errorf("relation: %s: shard 0: %w", manifestPath, err)
+	}
+	schema := dr.Schema()
+	dr.Close()
+	format := opts.Format
+	if format == 0 {
+		format = DiskFormatV2
+	}
+	if format != DiskFormatV1 && format != DiskFormatV2 && format != DiskFormatV3 {
+		return nil, fmt.Errorf("relation: unknown disk format version %d", format)
+	}
+	sa := &ShardedAppender{
+		manifestPath: manifestPath,
+		dir:          filepath.Dir(manifestPath),
+		base:         shardBaseName(manifestPath),
+		schema:       schema,
+		format:       format,
+		groupRows:    opts.GroupRows,
+		rowsPerShard: opts.RowsPerShard,
+		existing:     entries,
+		nextIdx:      len(entries),
+	}
+	// Continue the numbering past any existing file: a relation written
+	// with custom shard names, or grown and partially cleaned up, may
+	// hold base-named files beyond len(entries). Never truncate one.
+	for {
+		p := filepath.Join(sa.dir, shardFileName(sa.base, sa.nextIdx))
+		if _, err := os.Stat(p); err == nil {
+			sa.nextIdx++
+			continue
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+		break
+	}
+	return sa, nil
+}
+
+// Schema returns the relation's schema, for callers validating their
+// rows before appending.
+func (sa *ShardedAppender) Schema() Schema { return sa.schema }
+
+// Rows returns the number of tuples appended so far.
+func (sa *ShardedAppender) Rows() int { return sa.rows }
+
+// startShard opens the next appended shard file. The first shard is
+// started lazily by Append, so a zero-row appender Closes without
+// touching the manifest or the directory.
+func (sa *ShardedAppender) startShard() error {
+	name := shardFileName(sa.base, sa.nextIdx)
+	path := filepath.Join(sa.dir, name)
+	var dw *DiskWriter
+	var err error
+	switch sa.format {
+	case DiskFormatV2:
+		dw, err = NewDiskWriterV2(path, sa.schema, sa.groupRows)
+	case DiskFormatV3:
+		dw, err = NewDiskWriterV3(path, sa.schema, sa.groupRows)
+	default:
+		dw, err = NewDiskWriter(path, sa.schema)
+	}
+	if err != nil {
+		return err
+	}
+	sa.cur = dw
+	sa.curRows = 0
+	sa.nextIdx++
+	sa.created = append(sa.created, path)
+	return nil
+}
+
+// finishShard closes the current shard and records its manifest entry
+// (relative path: appended shards always live beside the manifest).
+func (sa *ShardedAppender) finishShard() error {
+	if err := sa.cur.Close(); err != nil {
+		return err
+	}
+	name := shardFileName(sa.base, sa.nextIdx-1)
+	sa.newEntries = append(sa.newEntries, shardManifestEntry{rows: sa.curRows, path: filepath.Join(sa.dir, name), raw: name})
+	sa.cur = nil
+	return nil
+}
+
+// Append writes one tuple (same contract as DiskWriter.Append),
+// rolling to a new shard file when RowsPerShard fills the current one.
+func (sa *ShardedAppender) Append(nums []float64, bools []bool) error {
+	if sa.closed {
+		return fmt.Errorf("relation: append to closed ShardedAppender")
+	}
+	if sa.writeErr != nil {
+		return sa.writeErr
+	}
+	if sa.cur == nil || (sa.rowsPerShard > 0 && sa.curRows == sa.rowsPerShard) {
+		if sa.cur != nil {
+			if err := sa.finishShard(); err != nil {
+				sa.writeErr = err
+				return err
+			}
+		}
+		if err := sa.startShard(); err != nil {
+			sa.writeErr = err
+			return err
+		}
+	}
+	if err := sa.cur.Append(nums, bools); err != nil {
+		return err
+	}
+	sa.curRows++
+	sa.rows++
+	return nil
+}
+
+// Close finalizes the appended shards and commits the grown manifest
+// via temp+rename. Closing with zero appended rows is a no-op success:
+// the manifest is left byte-identical. A failed Close is sticky.
+func (sa *ShardedAppender) Close() error {
+	if sa.closed {
+		return sa.closeErr
+	}
+	sa.closed = true
+	sa.closeErr = sa.commit()
+	return sa.closeErr
+}
+
+// commit is Close's one-shot body.
+func (sa *ShardedAppender) commit() error {
+	if sa.writeErr != nil {
+		if sa.cur != nil {
+			sa.cur.Discard()
+			sa.cur = nil
+		}
+		return fmt.Errorf("relation: sharded appender failed before Close: %w", sa.writeErr)
+	}
+	if sa.cur != nil {
+		if err := sa.finishShard(); err != nil {
+			return err
+		}
+	}
+	if len(sa.newEntries) == 0 {
+		return nil // nothing appended: manifest untouched
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %d\n", shardManifestMagic, ShardManifestVersion)
+	for _, e := range sa.existing {
+		fmt.Fprintf(&b, "shard %d %s\n", e.rows, e.raw)
+	}
+	for _, e := range sa.newEntries {
+		fmt.Fprintf(&b, "shard %d %s\n", e.rows, e.raw)
+	}
+	tf, err := os.CreateTemp(sa.dir, filepath.Base(sa.manifestPath)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := tf.Name()
+	sa.created = append(sa.created, tmp)
+	if _, err := tf.WriteString(b.String()); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Match the manifest's own existing mode (CreateTemp files are 0600).
+	if err := os.Chmod(tmp, outputMode([]string{sa.manifestPath})); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, sa.manifestPath); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// CreatedPaths returns every file the appender created so far (new
+// shard files and any leftover temp manifest), so a failed append can
+// clean up after itself — the original relation's files are never in
+// this list.
+func (sa *ShardedAppender) CreatedPaths() []string { return sa.created }
+
+// AppendToSharded streams every tuple of src onto the end of the
+// sharded relation at manifestPath. The source schema must equal the
+// relation's schema exactly (names and kinds, in order) — mismatches
+// are refused before any file is created. On any error the appended
+// shard files are removed and the manifest is left as it was, so the
+// relation either grows by all of src or not at all.
+func AppendToSharded(manifestPath string, src Relation, opts AppendOptions) (rows int, err error) {
+	sa, err := NewShardedAppender(manifestPath, opts)
+	if err != nil {
+		return 0, err
+	}
+	if !sameSchema(sa.Schema(), src.Schema()) {
+		return 0, fmt.Errorf("relation: append schema %v does not match %s schema %v",
+			src.Schema().Names(), manifestPath, sa.Schema().Names())
+	}
+	if err := appendAll(src, sa.Append); err != nil {
+		if sa.cur != nil {
+			sa.cur.Discard()
+		}
+		removeAll(sa.CreatedPaths())
+		return 0, err
+	}
+	if err := sa.Close(); err != nil {
+		removeAll(sa.CreatedPaths())
+		return 0, err
+	}
+	return sa.Rows(), nil
 }
 
 // storagePathsOf returns the files backing rel, when it declares them.

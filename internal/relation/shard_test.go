@@ -330,8 +330,8 @@ func TestShardedWriterPolicies(t *testing.T) {
 		if sr.NumShards() != 4 { // 300+300+300+100
 			t.Fatalf("NumShards = %d, want 4", sr.NumShards())
 		}
-		if sr.shards[0].Version() != DiskFormatV1 {
-			t.Errorf("shard format = %d, want v1", sr.shards[0].Version())
+		if sr.cur.Load().shards[0].Version() != DiskFormatV1 {
+			t.Errorf("shard format = %d, want v1", sr.cur.Load().shards[0].Version())
 		}
 	})
 	t.Run("failed-rollover-is-sticky", func(t *testing.T) {

@@ -211,8 +211,32 @@
 // actually turns — is answered with ZERO scans, because thresholds
 // live in the query plane. Sessions are safe for concurrent callers,
 // so one session can back a serving layer; Session.CacheStats exposes
-// occupancy and hit rates, SetCacheLimit rebounds the budget, and
-// InvalidateCache drops statistics after the relation is rewritten.
+// occupancy, hit rates, and delta-merge telemetry, and SetCacheLimit
+// rebounds the budget.
+//
+// The relation may GROW under a live session. Because the cached
+// statistics are per-bucket counts, an append of Δ rows does not
+// invalidate them — it extends them: Session.Append (in-memory
+// relations), Session.RefreshFromStorage (sharded relations grown by
+// AppendToSharded / `optdata append`), and Session.Refresh (anything
+// else that grew in place) run ONE counting scan over just the
+// appended tail and fold the partial statistics into every cached
+// entry. The fold is integer-exact — counts, grids, and extremes
+// merge in fixed order; order-sensitive float sums (the average
+// operator's target sums) are stripped and recounted on next demand —
+// so a refreshed session answers bit-identically to a cold rebuild
+// over the grown relation with the same boundaries. Ingest is O(Δ),
+// not O(n): the `optbench -exp append` experiment hard-fails if a 1%
+// append costs more than 5% of a cold rebuild's counted bytes.
+// Bucket boundaries are reused until the accumulated appended
+// fraction exceeds the §3.4 bucket-error budget (≈0.5/√SampleFactor);
+// past it the refresh re-samples the affected attributes over the
+// full relation, exactly as a cold session would. Each refresh
+// advances an internal cache generation, so batches racing an append
+// never mix statistics from different relation snapshots.
+// InvalidateCache remains for the one case appends cannot absorb: a
+// relation REWRITTEN in place (rows changed or removed), where every
+// cached statistic is stale and must be dropped.
 //
 // The one-shot functions below (MineAll, Mine, MineTopK, …) are thin
 // wrappers over a throwaway session and remain rule-for-rule identical
@@ -588,11 +612,35 @@ const (
 	OpRules2D = miner.OpRules2D
 )
 
-// NewSession validates cfg and creates a session over rel; the
-// relation's contents must not change for the session's lifetime (call
-// Session.InvalidateCache after rewriting it in place).
+// NewSession validates cfg and creates a session over rel. The
+// relation may grow while the session is open — Session.Append,
+// Session.Refresh, and Session.RefreshFromStorage fold appended rows
+// into the cached statistics in O(Δ) — but existing rows must not
+// change (call Session.InvalidateCache after rewriting the relation
+// in place).
 func NewSession(rel Relation, cfg Config) (*Session, error) {
 	return miner.NewSession(rel, cfg)
+}
+
+// DeltaStats reports what one session refresh did with appended rows:
+// tail rows scanned, cache entries folded, boundary sets re-sampled
+// past the bucket-error budget, and whether the cache had to be
+// invalidated outright.
+type DeltaStats = miner.DeltaStats
+
+// AppendOptions configures AppendToSharded: the format version and
+// rows-per-shard split of the new shard files.
+type AppendOptions = relation.AppendOptions
+
+// AppendToSharded appends every row of src to the sharded relation at
+// manifestPath: new rows land in fresh shard files and the manifest is
+// committed by temp+rename, so concurrent readers see either the old
+// relation or the whole grown one, never a torn state. Open handles
+// keep their snapshot until ShardedRelation.Reopen (or a session's
+// RefreshFromStorage) picks up the growth. A schema mismatch is
+// refused before any file is touched.
+func AppendToSharded(manifestPath string, src Relation, opts AppendOptions) (int, error) {
+	return relation.AppendToSharded(manifestPath, src, opts)
 }
 
 // ScatterConfig enables and tunes the fault-tolerant scatter-gather
